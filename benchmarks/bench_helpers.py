@@ -1,0 +1,95 @@
+"""Helpers shared by the sweep benchmarks (Figures 5-10)."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import (
+    ExperimentSetting,
+    ProtectionScheme,
+    RBERSweepResult,
+    WholeWeightSweepResult,
+    run_rber_sweep,
+    run_whole_weight_sweep,
+)
+from repro.experiments.model_provider import TrainedNetwork
+
+__all__ = ["run_and_print_rber_figure", "run_and_print_whole_weight_figure"]
+
+
+def _print_median_table(result, schemes, title: str) -> None:
+    rows = []
+    rates = sorted(next(iter(result.samples.values())).keys())
+    for rate in rates:
+        row: dict[str, object] = {"error_rate": f"{rate:.0e}"}
+        for scheme in schemes:
+            stats = result.summary(scheme)[rate]
+            row[scheme.value] = stats.median
+        rows.append(row)
+    print(format_table(rows, title=title, precision=3))
+
+
+def run_and_print_rber_figure(
+    network: TrainedNetwork,
+    title: str,
+    error_rates: tuple[float, ...],
+    trials: int,
+) -> RBERSweepResult:
+    """Run the 4-scheme RBER sweep and print the median normalized accuracies."""
+    schemes = (
+        ProtectionScheme.NONE,
+        ProtectionScheme.ECC,
+        ProtectionScheme.MILR,
+        ProtectionScheme.ECC_MILR,
+    )
+    setting = ExperimentSetting(
+        network_name=network.name, error_rates=error_rates, trials=trials, schemes=schemes, seed=1
+    )
+    result = run_rber_sweep(setting, network=network)
+    _print_median_table(result, schemes, title)
+    return result
+
+
+def run_and_print_whole_weight_figure(
+    network: TrainedNetwork,
+    title: str,
+    error_rates: tuple[float, ...],
+    trials: int,
+) -> WholeWeightSweepResult:
+    """Run the 2-scheme whole-weight sweep and print the median accuracies."""
+    schemes = (ProtectionScheme.NONE, ProtectionScheme.MILR)
+    setting = ExperimentSetting(
+        network_name=network.name, error_rates=error_rates, trials=trials, schemes=schemes, seed=2
+    )
+    result = run_whole_weight_sweep(setting, network=network)
+    _print_median_table(result, schemes, title)
+    return result
+
+
+def assert_rber_shape(result: RBERSweepResult, high_rate: float) -> None:
+    """Qualitative checks shared by the RBER figures (who wins at high RBER)."""
+    none_median = dict(result.median_curve(ProtectionScheme.NONE))[high_rate]
+    milr_median = dict(result.median_curve(ProtectionScheme.MILR))[high_rate]
+    ecc_milr_median = dict(result.median_curve(ProtectionScheme.ECC_MILR))[high_rate]
+    # MILR never does worse than no recovery, and the combination is at least
+    # as strong as either component at the highest error rate in the sweep.
+    assert milr_median >= none_median
+    assert ecc_milr_median >= none_median
+    assert ecc_milr_median >= 0.9
+
+
+def assert_whole_weight_shape(result: WholeWeightSweepResult) -> None:
+    """Qualitative checks shared by the whole-weight figures.
+
+    The paper's shape: MILR tracks or beats the no-recovery curve until the
+    error rate is so high that several layers between the same checkpoint pair
+    are erroneous (where its recovery quality degrades, Figures 6b/8b/10b).
+    The comparison is therefore asserted on all but the highest rate of the
+    sweep, and MILR must hold (near) full accuracy at the moderate rates where
+    ECC would be powerless.
+    """
+    none_curve = dict(result.median_curve(ProtectionScheme.NONE))
+    milr_curve = dict(result.median_curve(ProtectionScheme.MILR))
+    rates = sorted(milr_curve)
+    for rate in rates[:-1]:
+        assert milr_curve[rate] >= none_curve[rate] - 0.02
+    assert milr_curve[rates[1]] >= 0.95

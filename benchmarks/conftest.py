@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper (see
+DESIGN.md for the index).  Trained networks are cached on disk, so the first
+benchmark run pays the (small) training cost once; subsequent runs reuse the
+cached weights.
+
+The accuracy benchmarks run on the reduced-scale networks; the structural
+benchmarks (architectures, storage, timing) use the paper-exact networks.
+Benchmark output (the regenerated rows/series) is printed; run pytest with
+``-s`` or ``-rA`` to see it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.model_provider import get_trained_network
+
+#: Error-rate grids used by the sweep benchmarks.  They cover the same decades
+#: as the paper's figures with fewer points so the benches finish quickly.
+RBER_GRID = (1e-6, 1e-5, 1e-4, 1e-3, 5e-3)
+WHOLE_WEIGHT_GRID = (1e-5, 1e-4, 1e-3, 1e-2)
+SWEEP_TRIALS = 3
+
+
+@pytest.fixture(scope="session")
+def mnist_reduced_network():
+    """Trained reduced MNIST-style network (stands in for the Table I network)."""
+    return get_trained_network("mnist_reduced", samples_per_class=60, epochs=6, seed=0)
+
+
+@pytest.fixture(scope="session")
+def cifar_reduced_network():
+    """Trained reduced CIFAR-style network (stands in for the Table II network)."""
+    return get_trained_network("cifar_reduced", samples_per_class=60, epochs=6, seed=0)
+
+
+@pytest.fixture(scope="session")
+def cifar_reduced_large_network():
+    """Trained reduced large-CIFAR-style network (stands in for Table III)."""
+    return get_trained_network("cifar_reduced_large", samples_per_class=60, epochs=6, seed=0)
+
+
+def print_header(title: str) -> None:
+    """Uniform section header for benchmark console output."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

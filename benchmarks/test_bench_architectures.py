@@ -1,0 +1,55 @@
+"""Tables I-III: the three evaluation networks (architecture + forward pass cost)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.analysis.reporting import format_table
+from repro.types import FLOAT_DTYPE
+from repro.zoo import (
+    build_cifar_large_network,
+    build_cifar_small_network,
+    build_mnist_network,
+    paper_layer_table,
+)
+
+_PAPER_TOTALS = {
+    "mnist": 1_669_290,
+    "cifar_small": 698_154,
+    "cifar_large": 2_389_786,
+}
+
+_BUILDERS = {
+    "mnist": build_mnist_network,
+    "cifar_small": build_cifar_small_network,
+    "cifar_large": build_cifar_large_network,
+}
+
+
+@pytest.mark.parametrize("name", ["mnist", "cifar_small", "cifar_large"])
+def test_bench_architecture_tables(benchmark, name):
+    """Regenerate the architecture table and benchmark one inference pass."""
+    model = _BUILDERS[name]()
+    rows = paper_layer_table(model)
+    print_header(f"Table ({name}): layer / output shape / trainable parameters")
+    print(
+        format_table(
+            [
+                {
+                    "layer": row["layer"],
+                    "output_shape": str(tuple(row["output_shape"])),
+                    "trainable": row["trainable"],
+                }
+                for row in rows
+            ],
+            precision=0,
+        )
+    )
+    total = sum(int(row["trainable"]) for row in rows)
+    print(f"total trainable parameters: {total:,}")
+    assert total == _PAPER_TOTALS[name]
+
+    sample = np.random.default_rng(0).random((1,) + model.input_shape).astype(FLOAT_DTYPE)
+    benchmark.pedantic(lambda: model.predict(sample), rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,21 @@
+"""Figure 10: CIFAR-10 large-style network, whole-weight error sweep."""
+
+from __future__ import annotations
+
+from benchmarks.bench_helpers import assert_whole_weight_shape, run_and_print_whole_weight_figure
+from benchmarks.conftest import SWEEP_TRIALS, WHOLE_WEIGHT_GRID, print_header
+
+
+def test_bench_fig10_cifar_large_whole_weight(benchmark, cifar_reduced_large_network):
+    print_header("Figure 10: CIFAR-10 large network, whole-weight errors")
+
+    def run():
+        return run_and_print_whole_weight_figure(
+            cifar_reduced_large_network,
+            "Figure 10 (none / milr)",
+            WHOLE_WEIGHT_GRID,
+            SWEEP_TRIALS,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_whole_weight_shape(result)

@@ -1,0 +1,47 @@
+"""Figure 11: recovery time as a function of the number of injected errors."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_header
+from repro.analysis.reporting import format_table
+from repro.experiments.timing import recovery_time_curve
+from repro.zoo import network_table
+
+_ERROR_COUNTS = (10, 100, 500, 2000)
+
+
+def test_bench_fig11_recovery_time(benchmark):
+    results = {}
+
+    def run():
+        for name in ("mnist_reduced", "cifar_reduced", "cifar_reduced_large"):
+            model = network_table()[name].builder()
+            results[name] = recovery_time_curve(
+                name, error_counts=_ERROR_COUNTS, model=model, seed=5
+            )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Figure 11: recovery time vs injected whole-weight errors")
+    rows = []
+    for name, points in results.items():
+        for point in points:
+            rows.append(
+                {
+                    "network": name,
+                    "errors": point.injected_errors,
+                    "recovery_s": point.recovery_seconds,
+                    "layers_recovered": point.recovered_layers,
+                }
+            )
+    print(format_table(rows, precision=4))
+
+    for points in results.values():
+        # More injected errors never reduce the amount of recovery work: the
+        # number of layers needing recovery grows with the error count and the
+        # recovery time of the largest error count exceeds (or matches) the
+        # smallest one within measurement noise.
+        assert points[-1].recovered_layers >= points[0].recovered_layers
+        assert points[-1].recovery_seconds >= points[0].recovery_seconds * 0.5
+        assert all(point.recovery_seconds > 0 for point in points)

@@ -1,0 +1,60 @@
+"""Figure 12: availability vs minimum-accuracy trade-off (Eq. 6)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_header
+from repro.analysis.reporting import format_table
+from repro.experiments.availability_tradeoff import (
+    USER_A_MINIMUM_ACCURACY,
+    USER_B_AVAILABILITY,
+    availability_tradeoff_curves,
+)
+
+_NETWORKS = ("mnist_reduced", "cifar_reduced", "cifar_reduced_large")
+
+
+def test_bench_fig12_availability(benchmark):
+    tradeoffs = benchmark.pedantic(
+        lambda: availability_tradeoff_curves(
+            _NETWORKS, curve_points=25, recovery_error_count=100
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header("Figure 12: availability vs minimum accuracy")
+    rows = []
+    for tradeoff in tradeoffs:
+        for point in tradeoff.curve[:: max(len(tradeoff.curve) // 8, 1)]:
+            rows.append(
+                {
+                    "network": tradeoff.network,
+                    "availability": point.availability,
+                    "min_accuracy": point.minimum_accuracy,
+                }
+            )
+    print(format_table(rows, precision=6))
+    print(
+        format_table(
+            [
+                {
+                    "network": tradeoff.network,
+                    f"availability @ accuracy>={USER_A_MINIMUM_ACCURACY}": tradeoff.availability_at_user_a,
+                    f"accuracy @ availability>={USER_B_AVAILABILITY}": tradeoff.accuracy_at_user_b,
+                }
+                for tradeoff in tradeoffs
+            ],
+            title="Worked examples (users A and B)",
+            precision=6,
+        )
+    )
+
+    for tradeoff in tradeoffs:
+        availabilities = [point.availability for point in tradeoff.curve]
+        accuracies = [point.minimum_accuracy for point in tradeoff.curve]
+        # The trade-off: availability rises as the maintenance period grows
+        # while the guaranteed minimum accuracy falls.
+        assert availabilities == sorted(availabilities)
+        assert accuracies == sorted(accuracies, reverse=True)
+        assert 0.0 <= tradeoff.availability_at_user_a <= 1.0
+        assert tradeoff.accuracy_at_user_b >= 0.99

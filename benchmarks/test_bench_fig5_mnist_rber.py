@@ -1,0 +1,21 @@
+"""Figure 5: MNIST-style network, normalized accuracy vs RBER for four schemes."""
+
+from __future__ import annotations
+
+from benchmarks.bench_helpers import assert_rber_shape, run_and_print_rber_figure
+from benchmarks.conftest import RBER_GRID, SWEEP_TRIALS, print_header
+
+
+def test_bench_fig5_mnist_rber(benchmark, mnist_reduced_network):
+    print_header("Figure 5: MNIST network, RBER sweep (median normalized accuracy)")
+
+    def run():
+        return run_and_print_rber_figure(
+            mnist_reduced_network,
+            "Figure 5 (none / ecc / milr / ecc+milr)",
+            RBER_GRID,
+            SWEEP_TRIALS,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_rber_shape(result, high_rate=RBER_GRID[-1])

@@ -1,0 +1,21 @@
+"""Figure 6: MNIST-style network, normalized accuracy vs whole-weight error rate."""
+
+from __future__ import annotations
+
+from benchmarks.bench_helpers import assert_whole_weight_shape, run_and_print_whole_weight_figure
+from benchmarks.conftest import SWEEP_TRIALS, WHOLE_WEIGHT_GRID, print_header
+
+
+def test_bench_fig6_mnist_whole_weight(benchmark, mnist_reduced_network):
+    print_header("Figure 6: MNIST network, whole-weight errors (median normalized accuracy)")
+
+    def run():
+        return run_and_print_whole_weight_figure(
+            mnist_reduced_network,
+            "Figure 6 (none / milr)",
+            WHOLE_WEIGHT_GRID,
+            SWEEP_TRIALS,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_whole_weight_shape(result)

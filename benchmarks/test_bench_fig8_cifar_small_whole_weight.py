@@ -1,0 +1,21 @@
+"""Figure 8: CIFAR-10 small-style network, whole-weight error sweep."""
+
+from __future__ import annotations
+
+from benchmarks.bench_helpers import assert_whole_weight_shape, run_and_print_whole_weight_figure
+from benchmarks.conftest import SWEEP_TRIALS, WHOLE_WEIGHT_GRID, print_header
+
+
+def test_bench_fig8_cifar_small_whole_weight(benchmark, cifar_reduced_network):
+    print_header("Figure 8: CIFAR-10 small network, whole-weight errors")
+
+    def run():
+        return run_and_print_whole_weight_figure(
+            cifar_reduced_network,
+            "Figure 8 (none / milr)",
+            WHOLE_WEIGHT_GRID,
+            SWEEP_TRIALS,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_whole_weight_shape(result)

@@ -1,0 +1,21 @@
+"""Figure 9: CIFAR-10 large-style network, normalized accuracy vs RBER."""
+
+from __future__ import annotations
+
+from benchmarks.bench_helpers import assert_rber_shape, run_and_print_rber_figure
+from benchmarks.conftest import RBER_GRID, SWEEP_TRIALS, print_header
+
+
+def test_bench_fig9_cifar_large_rber(benchmark, cifar_reduced_large_network):
+    print_header("Figure 9: CIFAR-10 large network, RBER sweep (median normalized accuracy)")
+
+    def run():
+        return run_and_print_rber_figure(
+            cifar_reduced_large_network,
+            "Figure 9 (none / ecc / milr / ecc+milr)",
+            RBER_GRID,
+            SWEEP_TRIALS,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert_rber_shape(result, high_rate=RBER_GRID[-1])

@@ -1,0 +1,34 @@
+"""Table X: single prediction, batched prediction and identification times.
+
+Absolute times differ from the paper's machine; the benchmark checks the
+paper's qualitative relationships: identification time is of the same order as
+a single prediction, and batched prediction is much cheaper per sample.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.analysis.reporting import format_table
+from repro.experiments.timing import measure_prediction_and_identification
+from repro.zoo import network_table
+
+
+@pytest.mark.parametrize("network_name", ["mnist", "cifar_small", "cifar_large"])
+def test_bench_table10_timing(benchmark, network_name):
+    model = network_table()[network_name].builder()
+
+    def run():
+        return measure_prediction_and_identification(
+            network_name, batch_size=32, repeats=2, model=model
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header(f"Table X ({network_name}): prediction and identification time (seconds)")
+    print(format_table([row.as_row()], precision=6))
+
+    assert row.batch_per_sample_seconds < row.single_prediction_seconds
+    assert row.identification_seconds < row.single_prediction_seconds * 50
+    assert row.identification_seconds > 0

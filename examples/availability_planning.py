@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Choosing a MILR detection schedule from availability / accuracy requirements.
+
+The paper's Sec. V-E shows how to pick the error-detection interval for a
+deployment by trading availability (time not spent on detection/recovery)
+against the minimum accuracy the network is guaranteed to maintain between
+maintenance windows (Eq. 6, Fig. 12).
+
+This example measures detection and recovery times for the three evaluation
+networks, derives each network's availability/accuracy curve under the paper's
+DRAM error-rate assumptions, and answers the paper's two user stories:
+
+* user A needs accuracy >= 99.999%: what availability can each network offer?
+* user B needs availability >= 99.9%: what accuracy can each network sustain?
+
+Run with:  python examples/availability_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.availability_tradeoff import (
+    USER_A_MINIMUM_ACCURACY,
+    USER_B_AVAILABILITY,
+    availability_tradeoff_curves,
+)
+
+NETWORKS = ("mnist_reduced", "cifar_reduced", "cifar_reduced_large")
+
+
+def main() -> None:
+    tradeoffs = availability_tradeoff_curves(NETWORKS, curve_points=30, recovery_error_count=100)
+
+    print("Measured maintenance costs and error model per network:")
+    print(
+        format_table(
+            [
+                {
+                    "network": t.network,
+                    "detection_s": t.model.detection_seconds,
+                    "recovery_s": t.model.recovery_seconds,
+                    "mean_time_between_errors_s": t.model.error_interval_seconds,
+                }
+                for t in tradeoffs
+            ],
+            precision=4,
+        )
+    )
+
+    print("\nAvailability / minimum-accuracy curve (a sample of points per network):")
+    rows = []
+    for tradeoff in tradeoffs:
+        for point in tradeoff.curve[::6]:
+            rows.append(
+                {
+                    "network": tradeoff.network,
+                    "maintenance_period_s": point.maintenance_period_seconds,
+                    "availability": point.availability,
+                    "min_accuracy": point.minimum_accuracy,
+                }
+            )
+    print(format_table(rows, precision=6))
+
+    print("\nPaper's worked examples:")
+    print(
+        format_table(
+            [
+                {
+                    "network": t.network,
+                    f"user A: availability at accuracy >= {USER_A_MINIMUM_ACCURACY}": t.availability_at_user_a,
+                    f"user B: accuracy at availability >= {USER_B_AVAILABILITY}": t.accuracy_at_user_b,
+                }
+                for t in tradeoffs
+            ],
+            precision=6,
+        )
+    )
+    print(
+        "\nUse the curve to pick the detection interval: longer maintenance periods buy\n"
+        "availability but let more errors accumulate before they are healed."
+    )
+
+
+if __name__ == "__main__":
+    main()

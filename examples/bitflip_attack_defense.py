@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Defending against targeted weight-corruption attacks with MILR.
+
+The paper's security motivation (Sec. I and the whole-layer experiments): an
+attacker with a memory-write primitive targets the most impactful weights of a
+deployed CNN -- or simply overwrites a whole layer -- to destroy its accuracy
+with a handful of writes (cf. the Bit-Flip Attack, Rakin et al. 2019).
+
+This example mounts three escalating attacks on a trained CNN and shows MILR
+detecting the tampering and restoring the original weights:
+
+1. a *targeted bit-flip attack*: flip the most-significant exponent bit of the
+   largest-magnitude weights of the last dense layer,
+2. a *whole-weight overwrite* of a random subset of a convolution layer,
+3. a *whole-layer overwrite* (every parameter of a layer replaced).
+
+Run with:  python examples/bitflip_attack_defense.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import normalized_accuracy
+from repro.core import MILRConfig, MILRProtector
+from repro.experiments.injection import restore_weights, snapshot_weights
+from repro.experiments.model_provider import get_trained_network
+from repro.memory import inject_whole_layer, inject_whole_weight
+from repro.memory.bitops import flip_bits
+
+
+def report(tag: str, network) -> float:
+    accuracy = normalized_accuracy(network.accuracy(), network.baseline_accuracy)
+    print(f"  {tag:<32s} normalized accuracy = {accuracy:.3f}")
+    return accuracy
+
+
+def targeted_bitflip_attack(model, layer_name: str, flips: int) -> None:
+    """Flip the high exponent bit of the largest-magnitude weights of a layer."""
+    layer = model.get_layer(layer_name)
+    weights = layer.get_weights()
+    targets = np.argsort(np.abs(weights).ravel())[-flips:]
+    attacked = flip_bits(weights, targets, np.full(flips, 30))  # exponent MSB
+    layer.set_weights(attacked)
+
+
+def main() -> None:
+    network = get_trained_network("mnist_reduced", samples_per_class=60, epochs=6, seed=0)
+    model = network.model
+    protector = MILRProtector(model, MILRConfig(master_seed=3))
+    protector.initialize()
+    clean = snapshot_weights(model)
+    rng = np.random.default_rng(13)
+
+    print("Attack 1: targeted bit-flips on the classifier's final dense layer")
+    targeted_bitflip_attack(model, "head2_dense", flips=8)
+    report("after 8 targeted bit flips", network)
+    detection, _ = protector.detect_and_recover()
+    print(f"  detection flagged: {[r.name for r in detection.results if r.erroneous]}")
+    report("after MILR self-healing", network)
+    restore_weights(model, clean)
+
+    print("\nAttack 2: whole-weight overwrite of 10% of the first convolution layer")
+    conv = model.get_layer("block1_conv")
+    attacked, _ = inject_whole_weight(conv.get_weights(), 0.1, rng)
+    conv.set_weights(attacked)
+    report("after whole-weight overwrite", network)
+    protector.detect_and_recover()
+    report("after MILR self-healing", network)
+    restore_weights(model, clean)
+
+    print("\nAttack 3: whole-layer overwrite of the first dense layer")
+    dense = model.get_layer("head1_dense")
+    attacked, _ = inject_whole_layer(dense.get_weights(), rng)
+    dense.set_weights(attacked)
+    report("after whole-layer overwrite", network)
+    protector.detect_and_recover()
+    recovered = report("after MILR self-healing", network)
+
+    max_error = float(np.max(np.abs(dense.get_weights() - clean["head1_dense"])))
+    print(f"\nmax |recovered - original| for the attacked dense layer: {max_error:.2e}")
+    if recovered >= 0.99:
+        print("MILR restored the network despite every parameter of the layer being overwritten.")
+
+
+if __name__ == "__main__":
+    main()

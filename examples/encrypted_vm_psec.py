@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Plaintext-space error correction (PSEC) for a CNN in an encrypted VM.
+
+The paper's motivating scenario: the CNN's weights live in memory encrypted
+with AES-XTS (Intel MKTME / AMD SEV).  A single bit error in the *ciphertext*
+decrypts to a fully garbled 128-bit plaintext block -- four consecutive float32
+weights become garbage at once.  Per-word SECDED ECC applied in the plaintext
+space is useless against such bursts, while MILR recovers them.
+
+This example compares, at increasing ciphertext-space error rates:
+
+* no protection,
+* plaintext-space SECDED ECC (misses every multi-bit burst),
+* MILR (detects and recovers the corrupted layers).
+
+Run with:  python examples/encrypted_vm_psec.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import normalized_accuracy
+from repro.analysis.reporting import format_table
+from repro.core import MILRConfig, MILRProtector
+from repro.experiments.injection import restore_weights, snapshot_weights
+from repro.experiments.model_provider import get_trained_network
+from repro.memory import SECDEDCodec, XTSMemoryModel
+
+CIPHERTEXT_ERROR_RATES = (1e-6, 1e-5, 1e-4)
+TRIALS = 3
+
+
+def corrupt_through_xts(model, xts: XTSMemoryModel, rate: float, rng) -> int:
+    """Corrupt every layer's weights through the encrypted-memory model."""
+    corrupted_weights = 0
+    for layer in model.layers:
+        if not layer.has_parameters:
+            continue
+        corrupted, report = xts.corrupt_plaintext(layer.get_weights(), rate, rng)
+        layer.set_weights(corrupted)
+        corrupted_weights += int(report.affected_weight_indices.size)
+    return corrupted_weights
+
+
+def plaintext_ecc_scrub(model, clean_weights, codec: SECDEDCodec) -> None:
+    """Apply plaintext-space SECDED: encode clean weights, decode corrupted ones.
+
+    The check bits were computed over the clean plaintext; after an XTS burst
+    every affected word has many flipped bits, so the code either mis-detects
+    or reports an uncorrectable error -- exactly the paper's argument for why
+    ciphertext-space ECC guarantees do not transfer to the plaintext space.
+    """
+    for layer in model.layers:
+        if not layer.has_parameters:
+            continue
+        check = codec.encode_floats(clean_weights[layer.name])
+        corrected, _ = codec.decode_floats(layer.get_weights(), check)
+        layer.set_weights(corrected)
+
+
+def main() -> None:
+    network = get_trained_network("mnist_reduced", samples_per_class=60, epochs=6, seed=0)
+    model = network.model
+    protector = MILRProtector(model, MILRConfig(master_seed=11))
+    protector.initialize()
+    clean = snapshot_weights(model)
+    codec = SECDEDCodec()
+
+    rows = []
+    rng = np.random.default_rng(42)
+    for rate in CIPHERTEXT_ERROR_RATES:
+        accumulators = {"none": [], "plaintext ECC": [], "MILR": []}
+        for _ in range(TRIALS):
+            xts = XTSMemoryModel(seed=int(rng.integers(0, 2**31)))
+
+            corrupt_through_xts(model, xts, rate, rng)
+            accumulators["none"].append(
+                normalized_accuracy(network.accuracy(), network.baseline_accuracy)
+            )
+            restore_weights(model, clean)
+
+            corrupt_through_xts(model, xts, rate, rng)
+            plaintext_ecc_scrub(model, clean, codec)
+            accumulators["plaintext ECC"].append(
+                normalized_accuracy(network.accuracy(), network.baseline_accuracy)
+            )
+            restore_weights(model, clean)
+
+            corrupt_through_xts(model, xts, rate, rng)
+            protector.detect_and_recover()
+            accumulators["MILR"].append(
+                normalized_accuracy(network.accuracy(), network.baseline_accuracy)
+            )
+            restore_weights(model, clean)
+
+        rows.append(
+            {
+                "ciphertext RBER": f"{rate:.0e}",
+                "none": float(np.median(accumulators["none"])),
+                "plaintext ECC": float(np.median(accumulators["plaintext ECC"])),
+                "MILR": float(np.median(accumulators["MILR"])),
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            title="Median normalized accuracy under encrypted-VM (AES-XTS) memory errors",
+            precision=3,
+        )
+    )
+    print(
+        "\nECC in the plaintext space cannot correct the 128-bit bursts produced by\n"
+        "ciphertext errors; MILR recovers the affected layers algebraically (PSEC)."
+    )
+
+
+if __name__ == "__main__":
+    main()

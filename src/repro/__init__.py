@@ -1,0 +1,18 @@
+"""MILR: Mathematically Induced Layer Recovery — DSN 2021 reproduction.
+
+Public API highlights:
+
+* :mod:`repro.nn` — the NumPy CNN framework (layers, models, training),
+* :mod:`repro.core` — the MILR protector (initialization, detection, recovery),
+* :mod:`repro.memory` — fault injection, SECDED ECC and the AES-XTS
+  ciphertext/plaintext error model,
+* :mod:`repro.zoo` — the paper's three evaluation networks,
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+from repro.core import MILRConfig, MILRProtector
+from repro.nn import Sequential
+
+__version__ = "1.0.0"
+
+__all__ = ["MILRProtector", "MILRConfig", "Sequential", "__version__"]

@@ -1,0 +1,21 @@
+"""Analysis utilities: summary statistics, the availability model and reporting."""
+
+from repro.analysis.availability import (
+    AvailabilityModel,
+    AvailabilityPoint,
+    dram_error_interval_seconds,
+)
+from repro.analysis.stats import BoxPlotStats, normalized_accuracy, summarize_runs
+from repro.analysis.reporting import format_table, format_storage_table, format_series
+
+__all__ = [
+    "BoxPlotStats",
+    "normalized_accuracy",
+    "summarize_runs",
+    "AvailabilityModel",
+    "AvailabilityPoint",
+    "dram_error_interval_seconds",
+    "format_table",
+    "format_storage_table",
+    "format_series",
+]

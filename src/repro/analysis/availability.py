@@ -1,0 +1,180 @@
+"""Availability / minimum-accuracy trade-off model (paper Sec. V-E, Eq. 6, Fig. 12).
+
+The paper models a CNN system that periodically runs MILR error detection (time
+``Td``), recovers when errors are found (time ``Tr``), and whose accuracy
+degrades linearly with the number of accumulated uncorrected errors ``A(n)``.
+Spending more time on detection/recovery lowers availability but keeps the
+minimum accuracy high; running them rarely does the opposite.
+
+This module reconstructs that trade-off with an explicit maintenance-period
+parameterization: if detection+recovery is performed every ``tau`` seconds,
+
+* availability  ``a(tau) = 1 - (Td * I + Tr) / tau``  (``I`` detection runs per
+  period, one recovery), and
+* minimum accuracy ``A(n(tau))`` with ``n(tau) = tau / Tbe`` the expected number
+  of errors accumulated within a period (``Tbe`` = mean time between errors).
+
+Sweeping ``tau`` traces the curve of Fig. 12; the paper's worked assumptions
+(75,000 FIT/Mbit DRAM error rate, detection running twice between errors,
+linear accuracy degradation over one year of expected errors) are provided as
+defaults and helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["AvailabilityPoint", "AvailabilityModel", "dram_error_interval_seconds"]
+
+#: Errors per billion device-hours per Mbit (Schroeder et al., worst case used
+#: by the paper).
+DRAM_FIT_PER_MBIT = 75_000.0
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_YEAR = 365.0 * 24.0 * _SECONDS_PER_HOUR
+
+
+def dram_error_interval_seconds(model_bytes: int, fit_per_mbit: float = DRAM_FIT_PER_MBIT) -> float:
+    """Mean time between memory errors (seconds) for a model of ``model_bytes``.
+
+    ``fit_per_mbit`` is the error rate in errors per 10^9 device-hours per Mbit
+    of memory; the paper uses 75,000 as the worst case from the DRAM field
+    study it cites.
+    """
+    if model_bytes <= 0:
+        raise ExperimentError("model_bytes must be positive")
+    megabits = model_bytes * 8.0 / 1e6
+    errors_per_hour = fit_per_mbit * megabits / 1e9
+    if errors_per_hour <= 0:
+        return float("inf")
+    return _SECONDS_PER_HOUR / errors_per_hour
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    """One point of the availability / minimum-accuracy curve."""
+
+    maintenance_period_seconds: float
+    availability: float
+    minimum_accuracy: float
+    accumulated_errors: float
+
+
+class AvailabilityModel:
+    """Evaluates the accuracy/availability trade-off for one network.
+
+    Args:
+        detection_seconds: Time of one detection pass (``Td``).
+        recovery_seconds: Time of one recovery pass (``Tr``); the paper uses
+            the maximum recovery time expected for one year's worth of errors.
+        error_interval_seconds: Mean time between errors (``Tbe``).
+        detections_per_period: How many detection runs happen per maintenance
+            period (``I``; the paper assumes detection runs twice between
+            errors).
+        yearly_accuracy_floor: Normalized accuracy after one year of
+            accumulated, never-recovered errors.  Accuracy degrades linearly
+            from 1.0 (zero errors) to this floor (errors expected in a year),
+            matching the paper's assumption that ``A(n)`` is linear.
+    """
+
+    def __init__(
+        self,
+        detection_seconds: float,
+        recovery_seconds: float,
+        error_interval_seconds: float,
+        detections_per_period: int = 2,
+        yearly_accuracy_floor: float = 0.0,
+    ):
+        if detection_seconds < 0 or recovery_seconds < 0:
+            raise ExperimentError("detection and recovery times must be non-negative")
+        if error_interval_seconds <= 0:
+            raise ExperimentError("error_interval_seconds must be positive")
+        if detections_per_period < 1:
+            raise ExperimentError("detections_per_period must be at least 1")
+        if not 0.0 <= yearly_accuracy_floor <= 1.0:
+            raise ExperimentError("yearly_accuracy_floor must be in [0, 1]")
+        self.detection_seconds = float(detection_seconds)
+        self.recovery_seconds = float(recovery_seconds)
+        self.error_interval_seconds = float(error_interval_seconds)
+        self.detections_per_period = int(detections_per_period)
+        self.yearly_accuracy_floor = float(yearly_accuracy_floor)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def errors_per_year(self) -> float:
+        """Expected number of errors accumulated over one year."""
+        return _SECONDS_PER_YEAR / self.error_interval_seconds
+
+    def accuracy_after_errors(self, error_count: float) -> float:
+        """Linear accuracy-degradation model ``A(n)``."""
+        if error_count <= 0:
+            return 1.0
+        per_year = max(self.errors_per_year, 1e-12)
+        fraction = min(error_count / per_year, 1.0)
+        return 1.0 - fraction * (1.0 - self.yearly_accuracy_floor)
+
+    def maintenance_overhead_seconds(self) -> float:
+        """Unavailable time per maintenance period (detections + one recovery)."""
+        return self.detection_seconds * self.detections_per_period + self.recovery_seconds
+
+    def evaluate_period(self, maintenance_period_seconds: float) -> AvailabilityPoint:
+        """Availability and minimum accuracy for one maintenance period ``tau``."""
+        overhead = self.maintenance_overhead_seconds()
+        if maintenance_period_seconds <= overhead:
+            raise ExperimentError(
+                f"maintenance period {maintenance_period_seconds}s must exceed the "
+                f"maintenance overhead {overhead}s"
+            )
+        availability = 1.0 - overhead / maintenance_period_seconds
+        accumulated = maintenance_period_seconds / self.error_interval_seconds
+        return AvailabilityPoint(
+            maintenance_period_seconds=maintenance_period_seconds,
+            availability=availability,
+            minimum_accuracy=self.accuracy_after_errors(accumulated),
+            accumulated_errors=accumulated,
+        )
+
+    def trade_off_curve(self, points: int = 50) -> list[AvailabilityPoint]:
+        """Sweep the maintenance period and return the Fig. 12 curve."""
+        if points < 2:
+            raise ExperimentError("need at least 2 points for a curve")
+        overhead = self.maintenance_overhead_seconds()
+        shortest = max(overhead * 1.01, 1e-6)
+        longest = max(self.error_interval_seconds * 1000.0, shortest * 10.0)
+        periods = np.geomspace(shortest, longest, points)
+        return [self.evaluate_period(float(tau)) for tau in periods]
+
+    # ------------------------------------------------------------------ #
+    def availability_for_accuracy(self, minimum_accuracy: float) -> float:
+        """Best availability achievable while keeping accuracy above a floor.
+
+        This answers the paper's "user A" question (e.g. accuracy >= 99.999%).
+        """
+        if not 0.0 <= minimum_accuracy <= 1.0:
+            raise ExperimentError("minimum_accuracy must be in [0, 1]")
+        # Invert A(n) to the largest tolerable error count, then the largest
+        # tolerable maintenance period, then the availability it implies.
+        degradation = 1.0 - self.yearly_accuracy_floor
+        if degradation <= 0:
+            return 1.0
+        max_errors = (1.0 - minimum_accuracy) / degradation * self.errors_per_year
+        max_period = max_errors * self.error_interval_seconds
+        overhead = self.maintenance_overhead_seconds()
+        if max_period <= overhead:
+            return 0.0
+        return 1.0 - overhead / max_period
+
+    def accuracy_for_availability(self, availability: float) -> float:
+        """Best minimum accuracy achievable at a given availability target.
+
+        This answers the paper's "user B" question (e.g. availability >= 99.9%).
+        """
+        if not 0.0 <= availability < 1.0:
+            raise ExperimentError("availability must be in [0, 1)")
+        overhead = self.maintenance_overhead_seconds()
+        period = overhead / (1.0 - availability)
+        accumulated = period / self.error_interval_seconds
+        return self.accuracy_after_errors(accumulated)

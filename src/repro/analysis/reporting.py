@@ -1,0 +1,59 @@
+"""Plain-text table formatting for experiment and benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_storage_table", "format_series"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [_format_cell(row.get(col, ""), precision) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(cells[i]) for cells in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_storage_table(comparison_rows: Iterable[Mapping[str, object]], title: str) -> str:
+    """Render storage-overhead comparison rows (paper Tables V/VII/IX style)."""
+    columns = ["network", "backup_weights_mb", "ecc_mb", "milr_mb", "ecc_and_milr_mb"]
+    return format_table(list(comparison_rows), columns=columns, title=title, precision=2)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[object, object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an (x, y) series as a two-column table (figure data)."""
+    rows = [{x_label: x, y_label: y} for x, y in points]
+    return format_table(rows, columns=[x_label, y_label], title=title, precision=precision)

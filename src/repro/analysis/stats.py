@@ -1,0 +1,87 @@
+"""Summary statistics matching the paper's box plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BoxPlotStats", "normalized_accuracy", "summarize_runs"]
+
+
+def normalized_accuracy(accuracy: float, baseline_accuracy: float) -> float:
+    """Accuracy relative to the error-free model (the paper's y-axis).
+
+    A baseline of zero would make the ratio meaningless; in that degenerate
+    case the raw accuracy is returned.
+    """
+    if baseline_accuracy <= 0.0:
+        return accuracy
+    return accuracy / baseline_accuracy
+
+
+@dataclass(frozen=True)
+class BoxPlotStats:
+    """Five-number summary (plus whiskers/outliers) used by the paper's figures.
+
+    The whiskers extend 1.5x the inter-quartile range beyond the quartiles,
+    clipped to the observed min/max, exactly as described in Sec. V-B.
+    """
+
+    count: int
+    minimum: float
+    first_quartile: float
+    median: float
+    third_quartile: float
+    maximum: float
+    mean: float
+    lower_whisker: float
+    upper_whisker: float
+    outliers: tuple[float, ...]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BoxPlotStats":
+        values = np.asarray(list(samples), dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot summarize an empty sample set")
+        q1, median, q3 = np.percentile(values, [25, 50, 75])
+        iqr = q3 - q1
+        low_fence = q1 - 1.5 * iqr
+        high_fence = q3 + 1.5 * iqr
+        in_fence = values[(values >= low_fence) & (values <= high_fence)]
+        lower_whisker = float(in_fence.min()) if in_fence.size else float(values.min())
+        upper_whisker = float(in_fence.max()) if in_fence.size else float(values.max())
+        outliers = tuple(
+            float(v) for v in values[(values < low_fence) | (values > high_fence)]
+        )
+        return cls(
+            count=int(values.size),
+            minimum=float(values.min()),
+            first_quartile=float(q1),
+            median=float(median),
+            third_quartile=float(q3),
+            maximum=float(values.max()),
+            mean=float(values.mean()),
+            lower_whisker=lower_whisker,
+            upper_whisker=upper_whisker,
+            outliers=outliers,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary view (useful for CSV / table output)."""
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "q1": self.first_quartile,
+            "median": self.median,
+            "q3": self.third_quartile,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+def summarize_runs(samples_by_key: dict, sort_keys: bool = True) -> dict[str, BoxPlotStats]:
+    """Summarize a mapping ``key -> list of samples`` into box-plot statistics."""
+    keys = sorted(samples_by_key) if sort_keys else list(samples_by_key)
+    return {str(key): BoxPlotStats.from_samples(samples_by_key[key]) for key in keys}

@@ -1,0 +1,257 @@
+"""Command-line interface for running the MILR experiments.
+
+Installed as ``python -m repro.cli`` (or imported and called with an argument
+list, which is how the tests drive it).  Each sub-command regenerates one of
+the paper's artifacts and prints a plain-text table:
+
+* ``storage``        — Tables V / VII / IX (paper-exact networks)
+* ``rber``           — Figures 5 / 7 / 9 (reduced networks)
+* ``whole-weight``   — Figures 6 / 8 / 10 (reduced networks)
+* ``whole-layer``    — Tables IV / VI / VIII (reduced networks)
+* ``timing``         — Table X
+* ``recovery-time``  — Figure 11
+* ``availability``   — Figure 12
+* ``summary``        — architecture tables (Tables I–III)
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_storage_table, format_table
+from repro.experiments import (
+    ExperimentSetting,
+    ProtectionScheme,
+    run_rber_sweep,
+    run_whole_weight_sweep,
+)
+from repro.experiments.availability_tradeoff import availability_tradeoff_curves
+from repro.experiments.storage import storage_overhead_table
+from repro.experiments.timing import (
+    measure_prediction_and_identification,
+    recovery_time_curve,
+)
+from repro.experiments.whole_layer import run_whole_layer_experiment
+from repro.zoo import network_table, paper_layer_table
+
+__all__ = ["build_parser", "main"]
+
+_PAPER_NETWORKS = ("mnist", "cifar_small", "cifar_large")
+_REDUCED_NETWORKS = ("mnist_reduced", "cifar_reduced", "cifar_reduced_large")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MILR (DSN 2021) reproduction experiments"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summary = subparsers.add_parser("summary", help="print an architecture table (Tables I-III)")
+    summary.add_argument("--network", default="mnist", choices=sorted(network_table()))
+
+    storage = subparsers.add_parser("storage", help="storage overheads (Tables V/VII/IX)")
+    storage.add_argument(
+        "--networks", nargs="+", default=list(_PAPER_NETWORKS), choices=sorted(network_table())
+    )
+
+    def add_sweep_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--network", default="mnist_reduced", choices=sorted(network_table()))
+        sub.add_argument("--trials", type=int, default=3)
+        sub.add_argument(
+            "--error-rates",
+            type=float,
+            nargs="+",
+            default=[1e-6, 1e-5, 1e-4, 1e-3],
+        )
+        sub.add_argument("--seed", type=int, default=0)
+
+    rber = subparsers.add_parser("rber", help="RBER sweep (Figures 5/7/9)")
+    add_sweep_arguments(rber)
+
+    whole_weight = subparsers.add_parser(
+        "whole-weight", help="whole-weight error sweep (Figures 6/8/10)"
+    )
+    add_sweep_arguments(whole_weight)
+
+    whole_layer = subparsers.add_parser(
+        "whole-layer", help="whole-layer error accuracy (Tables IV/VI/VIII)"
+    )
+    whole_layer.add_argument(
+        "--network", default="mnist_reduced", choices=sorted(network_table())
+    )
+    whole_layer.add_argument("--seed", type=int, default=0)
+
+    timing = subparsers.add_parser("timing", help="prediction/identification timing (Table X)")
+    timing.add_argument(
+        "--networks", nargs="+", default=list(_PAPER_NETWORKS), choices=sorted(network_table())
+    )
+    timing.add_argument("--batch-size", type=int, default=32)
+
+    recovery_time = subparsers.add_parser(
+        "recovery-time", help="recovery time vs error count (Figure 11)"
+    )
+    recovery_time.add_argument(
+        "--network", default="mnist_reduced", choices=sorted(network_table())
+    )
+    recovery_time.add_argument(
+        "--error-counts", type=int, nargs="+", default=[10, 100, 500, 2000]
+    )
+
+    availability = subparsers.add_parser(
+        "availability", help="availability / accuracy trade-off (Figure 12)"
+    )
+    availability.add_argument(
+        "--networks", nargs="+", default=list(_REDUCED_NETWORKS), choices=sorted(network_table())
+    )
+    availability.add_argument("--points", type=int, default=25)
+    return parser
+
+
+def _print_summary(args: argparse.Namespace) -> None:
+    model = network_table()[args.network].builder()
+    rows = [
+        {
+            "layer": row["layer"],
+            "output_shape": str(tuple(row["output_shape"])),
+            "trainable": row["trainable"],
+        }
+        for row in paper_layer_table(model)
+    ]
+    print(format_table(rows, title=f"{args.network} architecture", precision=0))
+    print(f"total trainable parameters: {model.parameter_count():,}")
+
+
+def _print_storage(args: argparse.Namespace) -> None:
+    comparisons = storage_overhead_table(tuple(args.networks))
+    print(
+        format_storage_table(
+            [comparison.as_row() for comparison in comparisons],
+            title="Storage overhead (MB): backup vs ECC vs MILR vs ECC+MILR",
+        )
+    )
+
+
+def _sweep_rows(result, schemes) -> list[dict[str, object]]:
+    rates = sorted(next(iter(result.samples.values())).keys())
+    rows = []
+    for rate in rates:
+        row: dict[str, object] = {"error_rate": f"{rate:.0e}"}
+        for scheme in schemes:
+            row[scheme.value] = result.summary(scheme)[rate].median
+        rows.append(row)
+    return rows
+
+
+def _print_rber(args: argparse.Namespace) -> None:
+    schemes = (
+        ProtectionScheme.NONE,
+        ProtectionScheme.ECC,
+        ProtectionScheme.MILR,
+        ProtectionScheme.ECC_MILR,
+    )
+    setting = ExperimentSetting(
+        network_name=args.network,
+        error_rates=tuple(args.error_rates),
+        trials=args.trials,
+        schemes=schemes,
+        seed=args.seed,
+    )
+    result = run_rber_sweep(setting)
+    print(
+        format_table(
+            _sweep_rows(result, schemes),
+            title=f"RBER sweep on {args.network} (median normalized accuracy)",
+            precision=3,
+        )
+    )
+
+
+def _print_whole_weight(args: argparse.Namespace) -> None:
+    schemes = (ProtectionScheme.NONE, ProtectionScheme.MILR)
+    setting = ExperimentSetting(
+        network_name=args.network,
+        error_rates=tuple(args.error_rates),
+        trials=args.trials,
+        schemes=schemes,
+        seed=args.seed,
+    )
+    result = run_whole_weight_sweep(setting)
+    print(
+        format_table(
+            _sweep_rows(result, schemes),
+            title=f"Whole-weight error sweep on {args.network} (median normalized accuracy)",
+            precision=3,
+        )
+    )
+
+
+def _print_whole_layer(args: argparse.Namespace) -> None:
+    results = run_whole_layer_experiment(network_name=args.network, seed=args.seed)
+    print(
+        format_table(
+            [row.as_row() for row in results],
+            title=f"Whole-layer error accuracy on {args.network}",
+            precision=3,
+        )
+    )
+
+
+def _print_timing(args: argparse.Namespace) -> None:
+    rows = [
+        measure_prediction_and_identification(name, batch_size=args.batch_size).as_row()
+        for name in args.networks
+    ]
+    print(format_table(rows, title="Prediction and identification time (seconds)", precision=6))
+
+
+def _print_recovery_time(args: argparse.Namespace) -> None:
+    points = recovery_time_curve(args.network, error_counts=tuple(args.error_counts))
+    rows = [
+        {
+            "errors": point.injected_errors,
+            "recovery_s": point.recovery_seconds,
+            "layers_recovered": point.recovered_layers,
+        }
+        for point in points
+    ]
+    print(format_table(rows, title=f"Recovery time vs errors on {args.network}", precision=4))
+
+
+def _print_availability(args: argparse.Namespace) -> None:
+    tradeoffs = availability_tradeoff_curves(tuple(args.networks), curve_points=args.points)
+    rows = []
+    for tradeoff in tradeoffs:
+        rows.append(
+            {
+                "network": tradeoff.network,
+                "availability@99.999%acc": tradeoff.availability_at_user_a,
+                "accuracy@99.9%avail": tradeoff.accuracy_at_user_b,
+            }
+        )
+    print(format_table(rows, title="Availability / accuracy trade-off", precision=6))
+
+
+_HANDLERS = {
+    "summary": _print_summary,
+    "storage": _print_storage,
+    "rber": _print_rber,
+    "whole-weight": _print_whole_weight,
+    "whole-layer": _print_whole_layer,
+    "timing": _print_timing,
+    "recovery-time": _print_recovery_time,
+    "availability": _print_availability,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _HANDLERS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""MILR core: initialization (planning + checkpointing), detection and recovery.
+
+The public entry point is :class:`~repro.core.protector.MILRProtector`::
+
+    from repro.core import MILRProtector
+
+    protector = MILRProtector(model)
+    protector.initialize()
+    ...  # memory errors corrupt the model's weights
+    report = protector.detect_and_recover()
+"""
+
+from repro.core.config import MILRConfig
+from repro.core.checkpoint import CheckpointStore
+from repro.core.detection import DetectionReport, LayerDetectionResult
+from repro.core.planner import LayerPlan, MILRPlan, RecoveryStrategy, plan_model
+from repro.core.protector import MILRProtector
+from repro.core.recovery import LayerRecoveryResult, RecoveryReport
+
+__all__ = [
+    "MILRConfig",
+    "CheckpointStore",
+    "MILRProtector",
+    "MILRPlan",
+    "LayerPlan",
+    "RecoveryStrategy",
+    "plan_model",
+    "DetectionReport",
+    "LayerDetectionResult",
+    "RecoveryReport",
+    "LayerRecoveryResult",
+]

@@ -1,0 +1,142 @@
+"""Checkpoint storage for MILR.
+
+The store holds everything the paper keeps in error-resistant memory
+(SSD / persistent memory):
+
+* the master seed (implicitly, via the PRNG),
+* partial checkpoints for detection (one value per parameter group),
+* full activation checkpoints at the input of every non-invertible layer and
+  the final network output,
+* dummy outputs (dense dummy rows / dummy parameter columns, convolution
+  dummy filters) required to make layers solvable or invertible,
+* 2-D CRC codes for convolution layers using partial recoverability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.crc.twod import CRCCode2D
+from repro.exceptions import CheckpointError
+from repro.types import StorageReport
+
+__all__ = ["CheckpointStore"]
+
+_BYTES_PER_VALUE = 4
+#: Bytes charged for storing the master seed.
+_SEED_BYTES = 8
+
+
+@dataclass
+class CheckpointStore:
+    """All error-resistant data MILR needs for detection and recovery."""
+
+    #: Partial checkpoints keyed by layer index (detection reference values).
+    partial_checkpoints: dict[int, np.ndarray] = field(default_factory=dict)
+    #: Full activation checkpoints keyed by layer index; entry ``i`` is the
+    #: activation *entering* layer ``i`` during the golden recovery pass.
+    input_checkpoints: dict[int, np.ndarray] = field(default_factory=dict)
+    #: The final output of the golden recovery pass.
+    final_output: Optional[np.ndarray] = None
+    #: Dense solving: stored outputs of the PRNG dummy input rows, keyed by
+    #: layer index; shape ``(dummy_rows, P)``.
+    dense_dummy_row_outputs: dict[int, np.ndarray] = field(default_factory=dict)
+    #: Dense inversion: stored outputs of the PRNG dummy parameter columns,
+    #: keyed by layer index; shape ``(M, dummy_columns)``.
+    dense_dummy_column_outputs: dict[int, np.ndarray] = field(default_factory=dict)
+    #: Convolution inversion: stored outputs of the PRNG dummy filters, keyed
+    #: by layer index; shape ``(1, G1, G2, dummy_filters)``.
+    conv_dummy_filter_outputs: dict[int, np.ndarray] = field(default_factory=dict)
+    #: 2-D CRC codes for convolution layers using partial recoverability.
+    crc_codes: dict[int, list[CRCCode2D]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Accessors with useful error messages
+    # ------------------------------------------------------------------ #
+    def partial_checkpoint(self, index: int) -> np.ndarray:
+        try:
+            return self.partial_checkpoints[index]
+        except KeyError as exc:
+            raise CheckpointError(f"no partial checkpoint stored for layer {index}") from exc
+
+    def input_checkpoint(self, index: int) -> np.ndarray:
+        try:
+            return self.input_checkpoints[index]
+        except KeyError as exc:
+            raise CheckpointError(f"no input checkpoint stored for layer {index}") from exc
+
+    def require_final_output(self) -> np.ndarray:
+        if self.final_output is None:
+            raise CheckpointError("final output checkpoint has not been stored")
+        return self.final_output
+
+    def dummy_row_outputs(self, index: int) -> np.ndarray:
+        try:
+            return self.dense_dummy_row_outputs[index]
+        except KeyError as exc:
+            raise CheckpointError(f"no dense dummy-row outputs stored for layer {index}") from exc
+
+    def dummy_column_outputs(self, index: int) -> np.ndarray:
+        try:
+            return self.dense_dummy_column_outputs[index]
+        except KeyError as exc:
+            raise CheckpointError(
+                f"no dense dummy-column outputs stored for layer {index}"
+            ) from exc
+
+    def dummy_filter_outputs(self, index: int) -> np.ndarray:
+        try:
+            return self.conv_dummy_filter_outputs[index]
+        except KeyError as exc:
+            raise CheckpointError(
+                f"no convolution dummy-filter outputs stored for layer {index}"
+            ) from exc
+
+    def crc_codes_for(self, index: int) -> list[CRCCode2D]:
+        try:
+            return self.crc_codes[index]
+        except KeyError as exc:
+            raise CheckpointError(f"no CRC codes stored for layer {index}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Storage accounting
+    # ------------------------------------------------------------------ #
+    def storage_report(self, weights_bytes: int = 0) -> StorageReport:
+        """Byte-level accounting of everything held by this store."""
+        report = StorageReport(weights_bytes=weights_bytes)
+        report.add("master_seed", _SEED_BYTES)
+        report.add(
+            "partial_checkpoints",
+            sum(array.size for array in self.partial_checkpoints.values()) * _BYTES_PER_VALUE,
+        )
+        report.add(
+            "input_checkpoints",
+            sum(array.size for array in self.input_checkpoints.values()) * _BYTES_PER_VALUE,
+        )
+        if self.final_output is not None:
+            report.add("final_output", self.final_output.size * _BYTES_PER_VALUE)
+        report.add(
+            "dense_dummy_row_outputs",
+            sum(array.size for array in self.dense_dummy_row_outputs.values())
+            * _BYTES_PER_VALUE,
+        )
+        report.add(
+            "dense_dummy_column_outputs",
+            sum(array.size for array in self.dense_dummy_column_outputs.values())
+            * _BYTES_PER_VALUE,
+        )
+        report.add(
+            "conv_dummy_filter_outputs",
+            sum(array.size for array in self.conv_dummy_filter_outputs.values())
+            * _BYTES_PER_VALUE,
+        )
+        report.add(
+            "crc_codes",
+            sum(
+                sum(code.storage_bytes for code in codes) for codes in self.crc_codes.values()
+            ),
+        )
+        return report

@@ -1,0 +1,150 @@
+"""MILR error-detection phase.
+
+For every parameterized layer the detection engine regenerates the layer's
+PRNG detection input, runs a forward pass through that layer alone, samples
+the same output values that were stored as the partial checkpoint at
+initialization, and flags the layer if they disagree.  For convolution layers
+using partial recoverability the stored 2-D CRC codes are additionally
+recomputed to localize the individual erroneous weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.checkpoint import CheckpointStore
+from repro.core.config import MILRConfig
+from repro.core.initialization import conv_probe_position, detection_input_for
+from repro.core.planner import MILRPlan, RecoveryStrategy
+from repro.crc.twod import TwoDimensionalCRC
+from repro.nn.layers import Bias, Conv2D, Dense
+from repro.nn.model import Sequential
+from repro.prng import SeededTensorGenerator
+
+__all__ = ["LayerDetectionResult", "DetectionReport", "DetectionEngine"]
+
+
+@dataclass
+class LayerDetectionResult:
+    """Detection outcome for one parameterized layer."""
+
+    index: int
+    name: str
+    kind: str
+    erroneous: bool
+    max_relative_deviation: float = 0.0
+    #: Convolution partial recoverability: per-weight suspect mask (or None).
+    suspect_mask: Optional[np.ndarray] = None
+
+    @property
+    def suspect_count(self) -> int:
+        if self.suspect_mask is None:
+            return 0
+        return int(np.sum(self.suspect_mask))
+
+
+@dataclass
+class DetectionReport:
+    """Result of one full detection pass."""
+
+    results: list[LayerDetectionResult] = field(default_factory=list)
+
+    @property
+    def erroneous_layers(self) -> list[int]:
+        """Indices of layers flagged as erroneous."""
+        return [result.index for result in self.results if result.erroneous]
+
+    @property
+    def any_errors(self) -> bool:
+        return bool(self.erroneous_layers)
+
+    def result_for(self, index: int) -> LayerDetectionResult:
+        for result in self.results:
+            if result.index == index:
+                return result
+        raise KeyError(f"no detection result for layer index {index}")
+
+
+class DetectionEngine:
+    """Runs the MILR detection phase against the live (possibly corrupted) model."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        plan: MILRPlan,
+        store: CheckpointStore,
+        config: MILRConfig,
+        prng: SeededTensorGenerator,
+    ):
+        self._model = model
+        self._plan = plan
+        self._store = store
+        self._config = config
+        self._prng = prng
+        self._crc = TwoDimensionalCRC(
+            group_size=config.crc_group_size, crc_bits=config.crc_bits
+        )
+
+    # ------------------------------------------------------------------ #
+    def _mismatch(self, current: np.ndarray, reference: np.ndarray) -> tuple[bool, float]:
+        current = np.asarray(current, dtype=np.float64)
+        reference = np.asarray(reference, dtype=np.float64)
+        tolerance = (
+            self._config.detection_atol + self._config.detection_rtol * np.abs(reference)
+        )
+        deviation = np.abs(current - reference)
+        scale = np.maximum(np.abs(reference), 1e-12)
+        max_relative = float(np.max(deviation / scale)) if deviation.size else 0.0
+        return bool(np.any(deviation > tolerance)), max_relative
+
+    def _detect_layer(self, index: int) -> LayerDetectionResult:
+        layer = self._model.layers[index]
+        layer_plan = self._plan.plan_for(index)
+        reference = self._store.partial_checkpoint(index)
+        if isinstance(layer, Dense):
+            det_in = detection_input_for(
+                index, layer.input_shape, self._prng, self._config.detection_batch
+            )
+            current = layer.forward(det_in)[0]
+        elif isinstance(layer, Conv2D):
+            det_in = detection_input_for(
+                index, layer.input_shape, self._prng, self._config.detection_batch
+            )
+            row, col = conv_probe_position(layer)
+            current = layer.forward(det_in)[0, row, col, :]
+        elif isinstance(layer, Bias):
+            if self._config.bias_detection_uses_sum:
+                current = np.asarray([layer.get_weights().sum(dtype=np.float64)])
+            else:
+                current = layer.get_weights()
+        else:  # pragma: no cover - the plan never asks for other layer kinds
+            return LayerDetectionResult(
+                index=index, name=layer.name, kind=layer_plan.kind, erroneous=False
+            )
+        erroneous, max_relative = self._mismatch(current, reference)
+        result = LayerDetectionResult(
+            index=index,
+            name=layer.name,
+            kind=layer_plan.kind,
+            erroneous=erroneous,
+            max_relative_deviation=max_relative,
+        )
+        if (
+            erroneous
+            and isinstance(layer, Conv2D)
+            and layer_plan.recovery_strategy is RecoveryStrategy.CONV_PARTIAL
+            and layer_plan.stores_crc_codes
+        ):
+            codes = self._store.crc_codes_for(index)
+            result.suspect_mask = self._crc.localize_kernel(layer.get_weights(), codes)
+        return result
+
+    def detect(self) -> DetectionReport:
+        """Run detection over every parameterized layer and return the report."""
+        report = DetectionReport()
+        for layer_plan in self._plan.parameterized_layers():
+            report.results.append(self._detect_layer(layer_plan.index))
+        return report

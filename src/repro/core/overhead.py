@@ -1,0 +1,74 @@
+"""Storage-overhead accounting (paper Tables V, VII, IX).
+
+Three protection schemes are compared per network:
+
+* **Backup weights** -- a full second copy of the parameters (detects nothing,
+  recovers everything if you know which copy is good).
+* **ECC** -- (39,32) SECDED, 7 check bits per 32-bit weight word.
+* **MILR** -- partial checkpoints, full checkpoints, dummy outputs, CRC codes
+  and the master seed, as held by the :class:`CheckpointStore`.
+* **ECC & MILR** -- the sum of the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.checkpoint import CheckpointStore
+from repro.memory.ecc import CHECK_BITS_PER_WORD
+from repro.nn.model import Sequential
+from repro.types import StorageReport
+
+__all__ = ["ProtectionStorageComparison", "compare_storage_overheads"]
+
+
+@dataclass
+class ProtectionStorageComparison:
+    """Byte counts of each protection scheme for one network."""
+
+    network: str
+    backup_weights_bytes: int
+    ecc_bytes: float
+    milr_bytes: int
+    milr_breakdown: StorageReport
+
+    @property
+    def ecc_and_milr_bytes(self) -> float:
+        return self.ecc_bytes + self.milr_bytes
+
+    @property
+    def milr_saving_vs_backup(self) -> float:
+        """Fractional reduction of MILR storage relative to a full backup."""
+        if self.backup_weights_bytes == 0:
+            return 0.0
+        return 1.0 - self.milr_bytes / self.backup_weights_bytes
+
+    def as_row(self) -> dict[str, float]:
+        """Megabyte-denominated row matching the paper's storage tables."""
+        return {
+            "network": self.network,
+            "backup_weights_mb": self.backup_weights_bytes / 1e6,
+            "ecc_mb": self.ecc_bytes / 1e6,
+            "milr_mb": self.milr_bytes / 1e6,
+            "ecc_and_milr_mb": self.ecc_and_milr_bytes / 1e6,
+        }
+
+
+def ecc_overhead_bytes(model: Sequential) -> float:
+    """SECDED storage overhead: 7 bits per 32-bit parameter word."""
+    return model.parameter_count() * CHECK_BITS_PER_WORD / 8.0
+
+
+def compare_storage_overheads(
+    model: Sequential, store: CheckpointStore, network_name: str | None = None
+) -> ProtectionStorageComparison:
+    """Build the storage comparison for one protected network."""
+    weights_bytes = model.parameter_bytes()
+    milr_report = store.storage_report(weights_bytes=weights_bytes)
+    return ProtectionStorageComparison(
+        network=network_name or model.name,
+        backup_weights_bytes=weights_bytes,
+        ecc_bytes=ecc_overhead_bytes(model),
+        milr_bytes=milr_report.total_bytes,
+        milr_breakdown=milr_report,
+    )

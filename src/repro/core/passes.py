@@ -1,0 +1,58 @@
+"""Forward passes used by MILR initialization and recovery.
+
+During initialization and recovery all activation functions are treated as the
+identity (paper Sec. IV-D), so the passes here skip layers whose inversion
+strategy is ``IDENTITY`` (activations, dropout, input layers).  Every other
+layer runs its normal forward computation.  What matters is *consistency*:
+checkpoints, dummy outputs and recovery-time passes all use the same
+linearized network, so the input/output pairs handed to the parameter solvers
+exactly satisfy the layer algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.planner import InversionStrategy, MILRPlan
+from repro.nn.model import Sequential
+from repro.types import FLOAT_DTYPE
+
+__all__ = ["linearized_forward", "linearized_collect"]
+
+
+def linearized_forward(
+    model: Sequential,
+    plan: MILRPlan,
+    inputs: np.ndarray,
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Run layers ``start`` (inclusive) to ``stop`` (exclusive), activations as identity."""
+    current = np.asarray(inputs, dtype=FLOAT_DTYPE)
+    for index in range(start, stop):
+        layer_plan = plan.plan_for(index)
+        if layer_plan.inversion_strategy is InversionStrategy.IDENTITY:
+            continue
+        current = model.layers[index].forward(current, training=False)
+    return current
+
+
+def linearized_collect(
+    model: Sequential, plan: MILRPlan, inputs: np.ndarray
+) -> list[np.ndarray]:
+    """Return the activation *entering* every layer plus the final output.
+
+    Element ``i`` of the returned list is the tensor entering layer ``i``
+    (element 0 is the network input); the last element (index ``len(model)``)
+    is the final output of the linearized pass.
+    """
+    activations: list[np.ndarray] = []
+    current = np.asarray(inputs, dtype=FLOAT_DTYPE)
+    for index, layer in enumerate(model.layers):
+        activations.append(current)
+        layer_plan = plan.plan_for(index)
+        if layer_plan.inversion_strategy is InversionStrategy.IDENTITY:
+            continue
+        current = layer.forward(current, training=False)
+    activations.append(current)
+    return activations

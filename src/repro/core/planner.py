@@ -1,0 +1,310 @@
+"""Initialization-phase planning: invertibility analysis and checkpoint placement.
+
+For every layer the planner decides (paper Sec. III and IV):
+
+* whether the layer needs a **full input checkpoint** (non-invertible layers
+  such as pooling, or layers where a checkpoint is cheaper than dummy data),
+* whether inversion requires **dummy parameters / dummy filters** (and how
+  many), whose outputs must be stored at initialization,
+* which **parameter-solving strategy** applies: full solve, full solve with
+  dummy input rows, or 2-D-CRC-based partial recoverability,
+* the per-layer storage cost of each choice, which feeds the storage-overhead
+  accounting (paper Tables V, VII, IX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.core.config import MILRConfig
+from repro.exceptions import LayerConfigurationError
+from repro.nn.layers import Bias, Conv2D, Dense, Layer
+from repro.nn.layers.pooling import _Pool2D
+from repro.nn.model import Sequential
+
+__all__ = ["RecoveryStrategy", "InversionStrategy", "LayerPlan", "MILRPlan", "plan_model"]
+
+_BYTES_PER_VALUE = 4
+
+
+class RecoveryStrategy(Enum):
+    """How a layer's parameters are recovered."""
+
+    NONE = "none"  # parameter-free layer, nothing to recover
+    DENSE_FULL = "dense_full"  # dense solve, possibly with dummy input rows
+    CONV_FULL = "conv_full"  # convolution solve with G^2 >= F^2 Z
+    CONV_PARTIAL = "conv_partial"  # 2-D CRC localization, restricted solve
+    BIAS_SUBTRACT = "bias_subtract"  # bias = output - input
+
+
+class InversionStrategy(Enum):
+    """How the layer is traversed during a backward (inversion) pass."""
+
+    IDENTITY = "identity"  # activations, dropout, input layers
+    RESHAPE = "reshape"  # flatten / zero padding: exact shape restoration
+    DENSE = "dense"  # linear solve, possibly with dummy parameter columns
+    CONV = "conv"  # per-patch linear solve, possibly with dummy filters
+    BIAS = "bias"  # subtract parameters
+    CHECKPOINT = "checkpoint"  # not invertible: rely on the stored input checkpoint
+
+
+@dataclass
+class LayerPlan:
+    """Per-layer decisions made during MILR initialization."""
+
+    index: int
+    name: str
+    kind: str
+    parameter_count: int
+    recovery_strategy: RecoveryStrategy
+    inversion_strategy: InversionStrategy
+    needs_input_checkpoint: bool = False
+    #: Dense inversion: number of dummy parameter columns (P < N case).
+    dummy_parameter_columns: int = 0
+    #: Dense solving: number of dummy input rows (M < N case).
+    dummy_input_rows: int = 0
+    #: Convolution inversion: number of dummy filters (Y < F^2 Z case).
+    dummy_filters: int = 0
+    #: Whether 2-D CRC codes are stored for this layer.
+    stores_crc_codes: bool = False
+    #: Size (values, not bytes) of the stored partial checkpoint.
+    partial_checkpoint_values: int = 0
+    #: Size (values) of stored dummy outputs (all kinds combined).
+    dummy_output_values: int = 0
+    #: Size (values) of the stored full input checkpoint (0 when not stored).
+    input_checkpoint_values: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def extra_storage_bytes(self) -> int:
+        """Bytes of MILR data stored for this layer (excluding CRC codes)."""
+        values = (
+            self.partial_checkpoint_values
+            + self.dummy_output_values
+            + self.input_checkpoint_values
+        )
+        return values * _BYTES_PER_VALUE
+
+
+@dataclass
+class MILRPlan:
+    """The complete initialization plan for one model."""
+
+    layer_plans: list[LayerPlan]
+    #: Indices of layers whose *input* activation is checkpointed.
+    checkpoint_indices: list[int]
+    #: Whether the final network output is checkpointed (always True).
+    stores_final_output: bool = True
+
+    def plan_for(self, index: int) -> LayerPlan:
+        return self.layer_plans[index]
+
+    def preceding_checkpoint(self, index: int) -> int:
+        """Largest checkpointed layer index that is <= ``index``.
+
+        Index 0 (the network input) is always a checkpoint, so this always
+        succeeds.
+        """
+        candidates = [c for c in self.checkpoint_indices if c <= index]
+        return max(candidates)
+
+    def succeeding_checkpoint(self, index: int, layer_count: int) -> int:
+        """Smallest checkpoint index strictly greater than ``index``.
+
+        Returns ``layer_count`` to denote the final-output checkpoint when no
+        intermediate checkpoint follows the layer.
+        """
+        candidates = [c for c in self.checkpoint_indices if c > index]
+        if candidates:
+            return min(candidates)
+        return layer_count
+
+    def parameterized_layers(self) -> list[LayerPlan]:
+        """Plans of layers that own parameters (detection / recovery targets)."""
+        return [plan for plan in self.layer_plans if plan.parameter_count > 0]
+
+
+def _volume(shape: tuple[int, ...]) -> int:
+    size = 1
+    for dim in shape:
+        size *= dim
+    return size
+
+
+def _plan_dense(layer: Dense, index: int, config: MILRConfig) -> LayerPlan:
+    """Plan a dense layer: Y = X (M, N) @ W (N, P)."""
+    features_in = layer.features_in
+    features_out = layer.features_out
+    detection_rows = config.detection_batch
+    plan = LayerPlan(
+        index=index,
+        name=layer.name,
+        kind="Dense",
+        parameter_count=layer.parameter_count,
+        recovery_strategy=RecoveryStrategy.DENSE_FULL,
+        inversion_strategy=InversionStrategy.DENSE,
+    )
+    # Detection: one stored output value per parameter column.
+    plan.partial_checkpoint_values = features_out
+
+    # Inversion (backward pass) requires P >= N; otherwise pad with dummy
+    # parameter columns whose outputs (for the golden recovery activation,
+    # one row) must be stored.
+    if features_out < features_in:
+        plan.dummy_parameter_columns = features_in - features_out
+        plan.dummy_output_values += 1 * plan.dummy_parameter_columns
+        plan.notes.append(
+            f"inversion needs {plan.dummy_parameter_columns} dummy parameter columns"
+        )
+
+    # Parameter solving requires M >= N rows.  The golden recovery activation
+    # only provides one row, so PRNG dummy rows (with stored outputs) supply
+    # the rest.  A full set of N dummy rows is stored -- one more than strictly
+    # necessary -- so that dense solving is *self-contained*: it never has to
+    # trust an activation that travelled through another, possibly erroneous,
+    # layer.  This is what lets MILR recover several dense layers between the
+    # same pair of checkpoints (the paper's whole-weight results at high error
+    # rates), at a storage cost of one extra output row.
+    del detection_rows
+    plan.dummy_input_rows = features_in
+    plan.dummy_output_values += plan.dummy_input_rows * features_out
+    plan.notes.append(
+        f"solving uses {plan.dummy_input_rows} self-contained dummy input rows"
+    )
+    return plan
+
+
+def _plan_conv(layer: Conv2D, index: int, config: MILRConfig) -> LayerPlan:
+    """Plan a convolution layer (F, F, Z, Y) with G^2 output positions."""
+    receptive = layer.receptive_field_size  # F^2 Z
+    filters = layer.filters  # Y
+    positions = layer.output_positions  # G^2
+    plan = LayerPlan(
+        index=index,
+        name=layer.name,
+        kind="Conv2D",
+        parameter_count=layer.parameter_count,
+        recovery_strategy=RecoveryStrategy.CONV_FULL,
+        inversion_strategy=InversionStrategy.CONV,
+    )
+    # Detection: one stored output value per filter.
+    plan.partial_checkpoint_values = filters
+
+    # Parameter solving: G^2 >= F^2 Z allows a full solve with no extra data.
+    if positions < receptive:
+        if config.prefer_partial_conv_recovery:
+            plan.recovery_strategy = RecoveryStrategy.CONV_PARTIAL
+            plan.stores_crc_codes = True
+            plan.notes.append(
+                f"partial recoverability (G^2={positions} < F^2Z={receptive}); "
+                "2-D CRC codes stored"
+            )
+        else:
+            # Full recoverability through dummy input patches: each dummy patch
+            # adds one equation per filter, so (F^2 Z - G^2) patches are needed
+            # and their outputs stored.
+            dummy_patches = receptive - positions
+            plan.dummy_output_values += dummy_patches * filters
+            plan.notes.append(
+                f"full recoverability with {dummy_patches} dummy input patches"
+            )
+
+    # Inversion: Y >= F^2 Z gives enough equations per receptive field.  If
+    # not, compare the cost of dummy filters (their outputs are G^2 values per
+    # dummy filter) against a full input checkpoint and keep the cheaper.
+    if filters < receptive:
+        dummy_filters = receptive - filters
+        dummy_filter_output_values = dummy_filters * positions
+        input_checkpoint_values = _volume(layer.input_shape)
+        if dummy_filter_output_values <= input_checkpoint_values:
+            plan.dummy_filters = dummy_filters
+            plan.dummy_output_values += dummy_filter_output_values
+            plan.notes.append(
+                f"inversion uses {dummy_filters} dummy filters "
+                f"({dummy_filter_output_values} stored outputs)"
+            )
+        else:
+            plan.inversion_strategy = InversionStrategy.CHECKPOINT
+            plan.needs_input_checkpoint = True
+            plan.input_checkpoint_values = input_checkpoint_values
+            plan.notes.append(
+                "inversion via input checkpoint (cheaper than dummy filters)"
+            )
+    return plan
+
+
+def _plan_bias(layer: Bias, index: int, config: MILRConfig) -> LayerPlan:
+    plan = LayerPlan(
+        index=index,
+        name=layer.name,
+        kind="Bias",
+        parameter_count=layer.parameter_count,
+        recovery_strategy=RecoveryStrategy.BIAS_SUBTRACT,
+        inversion_strategy=InversionStrategy.BIAS,
+    )
+    # Detection: the stored sum of all bias values (1 value) or a full copy.
+    plan.partial_checkpoint_values = 1 if config.bias_detection_uses_sum else layer.channels
+    return plan
+
+
+def _plan_parameter_free(layer: Layer, index: int) -> LayerPlan:
+    from repro.nn.layers.structural import Flatten, ZeroPadding2D
+
+    if isinstance(layer, _Pool2D):
+        inversion = InversionStrategy.CHECKPOINT
+        needs_checkpoint = True
+        checkpoint_values = _volume(layer.input_shape)
+        notes = ["pooling is non-invertible: input checkpoint stored"]
+    elif isinstance(layer, (Flatten, ZeroPadding2D)):
+        inversion = InversionStrategy.RESHAPE
+        needs_checkpoint = False
+        checkpoint_values = 0
+        notes = []
+    else:
+        # Activations, dropout, input layers: identity during recovery passes.
+        inversion = InversionStrategy.IDENTITY
+        needs_checkpoint = False
+        checkpoint_values = 0
+        notes = []
+    return LayerPlan(
+        index=index,
+        name=layer.name,
+        kind=type(layer).__name__,
+        parameter_count=0,
+        recovery_strategy=RecoveryStrategy.NONE,
+        inversion_strategy=inversion,
+        needs_input_checkpoint=needs_checkpoint,
+        input_checkpoint_values=checkpoint_values,
+        notes=notes,
+    )
+
+
+def plan_model(model: Sequential, config: MILRConfig | None = None) -> MILRPlan:
+    """Analyse a built model and produce the MILR initialization plan."""
+    if config is None:
+        config = MILRConfig()
+    if not model.built:
+        raise LayerConfigurationError("model must be built before planning")
+    layer_plans: list[LayerPlan] = []
+    for index, layer in enumerate(model.layers):
+        if isinstance(layer, Dense):
+            plan = _plan_dense(layer, index, config)
+        elif isinstance(layer, Conv2D):
+            plan = _plan_conv(layer, index, config)
+        elif isinstance(layer, Bias):
+            plan = _plan_bias(layer, index, config)
+        else:
+            plan = _plan_parameter_free(layer, index)
+        layer_plans.append(plan)
+
+    # The network input (index 0) is always available: it is regenerated from
+    # the stored seed, so it acts as a zero-cost checkpoint.
+    checkpoint_indices = [0]
+    for plan in layer_plans:
+        if plan.needs_input_checkpoint and plan.index != 0:
+            checkpoint_indices.append(plan.index)
+    checkpoint_indices = sorted(set(checkpoint_indices))
+    return MILRPlan(layer_plans=layer_plans, checkpoint_indices=checkpoint_indices)

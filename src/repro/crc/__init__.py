@@ -1,0 +1,18 @@
+"""CRC substrate.
+
+MILR uses a two-dimensional CRC scheme (after Kim et al., MICRO 2007) to
+localize *which* convolution weights are erroneous so that partial
+recoverability can restrict the system of equations to only the corrupted
+unknowns (paper Sec. IV-B-c).
+"""
+
+from repro.crc.crc32 import crc32_bytes, crc32_words, crc8_bytes
+from repro.crc.twod import TwoDimensionalCRC, WeightLocalizationResult
+
+__all__ = [
+    "crc32_bytes",
+    "crc32_words",
+    "crc8_bytes",
+    "TwoDimensionalCRC",
+    "WeightLocalizationResult",
+]

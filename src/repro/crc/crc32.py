@@ -1,0 +1,75 @@
+"""CRC primitives implemented from scratch (table-driven CRC-32 and CRC-8).
+
+These back the two-dimensional weight-localization scheme.  CRC-32 uses the
+IEEE 802.3 reflected polynomial; CRC-8 uses the CCITT polynomial 0x07.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.bitops import floats_to_bits
+
+__all__ = ["crc32_bytes", "crc32_words", "crc8_bytes"]
+
+_CRC32_POLY = 0xEDB88320
+
+
+def _build_crc32_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint32)
+    for byte in range(256):
+        value = byte
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ _CRC32_POLY
+            else:
+                value >>= 1
+        table[byte] = value
+    return table
+
+
+_CRC32_TABLE = _build_crc32_table()
+
+_CRC8_POLY = 0x07
+
+
+def _build_crc8_table() -> np.ndarray:
+    table = np.zeros(256, dtype=np.uint8)
+    for byte in range(256):
+        value = byte
+        for _ in range(8):
+            if value & 0x80:
+                value = ((value << 1) ^ _CRC8_POLY) & 0xFF
+            else:
+                value = (value << 1) & 0xFF
+        table[byte] = value
+    return table
+
+
+_CRC8_TABLE = _build_crc8_table()
+
+
+def crc32_bytes(data: bytes | bytearray | np.ndarray) -> int:
+    """CRC-32 (IEEE, reflected) of a byte string."""
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).tobytes()
+    crc = 0xFFFFFFFF
+    for byte in bytes(data):
+        crc = (crc >> 8) ^ int(_CRC32_TABLE[(crc ^ byte) & 0xFF])
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32_words(values: np.ndarray) -> int:
+    """CRC-32 over the raw 32-bit words of a float32 array."""
+    words = floats_to_bits(np.asarray(values)).ravel()
+    return crc32_bytes(words.view(np.uint8).tobytes())
+
+
+def crc8_bytes(data: bytes | bytearray | np.ndarray) -> int:
+    """CRC-8 (poly 0x07) of a byte string."""
+    if isinstance(data, np.ndarray):
+        data = np.ascontiguousarray(data).tobytes()
+    crc = 0
+    for byte in bytes(data):
+        crc = int(_CRC8_TABLE[(crc ^ byte) & 0xFF])
+    return crc

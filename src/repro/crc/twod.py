@@ -1,0 +1,163 @@
+"""Two-dimensional CRC weight localization (paper Sec. IV-B-c, after Kim et al.).
+
+For each spatial position ``(f1, f2)`` of a convolution kernel ``(F, F, Z, Y)``
+the ``(Z, Y)`` slice is encoded twice: horizontally (CRC over groups of
+``group_size`` consecutive weights along the ``Y`` axis) and vertically (groups
+along the ``Z`` axis).  When a layer is flagged as erroneous the CRCs are
+recomputed; a weight is reported as erroneous when *both* the horizontal group
+and the vertical group containing it mismatch.  The intersection may include
+false positives (reported conservatively), but never misses a corrupted weight
+whose group CRCs changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crc.crc32 import crc32_bytes, crc8_bytes
+from repro.exceptions import ShapeError
+from repro.types import FLOAT_DTYPE
+
+__all__ = ["TwoDimensionalCRC", "CRCCode2D", "WeightLocalizationResult"]
+
+
+@dataclass
+class CRCCode2D:
+    """Stored CRC codes for one 2-D matrix.
+
+    Attributes:
+        row_codes: ``(R, ceil(C / group))`` horizontal group CRCs.
+        col_codes: ``(ceil(R / group), C)`` vertical group CRCs.
+    """
+
+    row_codes: np.ndarray
+    col_codes: np.ndarray
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes needed to store these codes."""
+        bytes_per_code = self.row_codes.dtype.itemsize
+        return int((self.row_codes.size + self.col_codes.size) * bytes_per_code)
+
+
+@dataclass
+class WeightLocalizationResult:
+    """Outcome of recomputing the 2-D CRC over a possibly corrupted matrix."""
+
+    suspect_mask: np.ndarray
+    mismatched_row_groups: int
+    mismatched_col_groups: int
+
+    @property
+    def suspect_count(self) -> int:
+        return int(np.sum(self.suspect_mask))
+
+    @property
+    def any_mismatch(self) -> bool:
+        return self.mismatched_row_groups > 0 or self.mismatched_col_groups > 0
+
+
+class TwoDimensionalCRC:
+    """Encode and localize errors in 2-D weight matrices (and 4-D kernels).
+
+    Args:
+        group_size: Number of weights per CRC group (the paper uses 4).
+        crc_bits: 8 or 32; CRC-8 keeps overhead minimal, CRC-32 lowers the
+            collision (missed detection) probability.
+    """
+
+    def __init__(self, group_size: int = 4, crc_bits: int = 8):
+        if group_size < 1:
+            raise ShapeError(f"group_size must be positive, got {group_size}")
+        if crc_bits not in (8, 32):
+            raise ShapeError(f"crc_bits must be 8 or 32, got {crc_bits}")
+        self.group_size = int(group_size)
+        self.crc_bits = int(crc_bits)
+        self._crc = crc8_bytes if crc_bits == 8 else crc32_bytes
+        self._dtype = np.uint8 if crc_bits == 8 else np.uint32
+
+    # ------------------------------------------------------------------ #
+    # 2-D matrices
+    # ------------------------------------------------------------------ #
+    def _group_count(self, length: int) -> int:
+        return (length + self.group_size - 1) // self.group_size
+
+    def encode_matrix(self, matrix: np.ndarray) -> CRCCode2D:
+        """Compute row-group and column-group CRCs for a 2-D float32 matrix."""
+        matrix = np.asarray(matrix, dtype=FLOAT_DTYPE)
+        if matrix.ndim != 2:
+            raise ShapeError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        rows, cols = matrix.shape
+        row_groups = self._group_count(cols)
+        col_groups = self._group_count(rows)
+        row_codes = np.zeros((rows, row_groups), dtype=self._dtype)
+        col_codes = np.zeros((col_groups, cols), dtype=self._dtype)
+        for r in range(rows):
+            for g in range(row_groups):
+                chunk = matrix[r, g * self.group_size : (g + 1) * self.group_size]
+                row_codes[r, g] = self._crc(chunk.tobytes())
+        for g in range(col_groups):
+            for c in range(cols):
+                chunk = matrix[g * self.group_size : (g + 1) * self.group_size, c]
+                col_codes[g, c] = self._crc(chunk.tobytes())
+        return CRCCode2D(row_codes=row_codes, col_codes=col_codes)
+
+    def localize_matrix(self, matrix: np.ndarray, codes: CRCCode2D) -> WeightLocalizationResult:
+        """Recompute the CRCs of ``matrix`` and intersect mismatching groups."""
+        matrix = np.asarray(matrix, dtype=FLOAT_DTYPE)
+        current = self.encode_matrix(matrix)
+        row_mismatch = current.row_codes != codes.row_codes  # (rows, row_groups)
+        col_mismatch = current.col_codes != codes.col_codes  # (col_groups, cols)
+        rows, cols = matrix.shape
+        # Expand group-level mismatches to per-weight masks.
+        row_mask = np.repeat(row_mismatch, self.group_size, axis=1)[:, :cols]
+        col_mask = np.repeat(col_mismatch, self.group_size, axis=0)[:rows, :]
+        suspect = row_mask & col_mask
+        return WeightLocalizationResult(
+            suspect_mask=suspect,
+            mismatched_row_groups=int(np.sum(row_mismatch)),
+            mismatched_col_groups=int(np.sum(col_mismatch)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # 4-D convolution kernels
+    # ------------------------------------------------------------------ #
+    def encode_kernel(self, kernel: np.ndarray) -> list[CRCCode2D]:
+        """Encode each ``(Z, Y)`` slice of an ``(F1, F2, Z, Y)`` kernel.
+
+        Returns codes ordered by ``(f1, f2)`` row-major (``F1 * F2`` entries).
+        """
+        kernel = np.asarray(kernel, dtype=FLOAT_DTYPE)
+        if kernel.ndim != 4:
+            raise ShapeError(f"expected a 4-D kernel, got shape {kernel.shape}")
+        codes: list[CRCCode2D] = []
+        f1_size, f2_size = kernel.shape[:2]
+        for f1 in range(f1_size):
+            for f2 in range(f2_size):
+                codes.append(self.encode_matrix(kernel[f1, f2]))
+        return codes
+
+    def localize_kernel(self, kernel: np.ndarray, codes: list[CRCCode2D]) -> np.ndarray:
+        """Return a boolean suspect mask with the kernel's full 4-D shape."""
+        kernel = np.asarray(kernel, dtype=FLOAT_DTYPE)
+        if kernel.ndim != 4:
+            raise ShapeError(f"expected a 4-D kernel, got shape {kernel.shape}")
+        f1_size, f2_size = kernel.shape[:2]
+        if len(codes) != f1_size * f2_size:
+            raise ShapeError(
+                f"expected {f1_size * f2_size} code slices, got {len(codes)}"
+            )
+        mask = np.zeros(kernel.shape, dtype=bool)
+        index = 0
+        for f1 in range(f1_size):
+            for f2 in range(f2_size):
+                result = self.localize_matrix(kernel[f1, f2], codes[index])
+                mask[f1, f2] = result.suspect_mask
+                index += 1
+        return mask
+
+    def kernel_storage_bytes(self, codes: list[CRCCode2D]) -> int:
+        """Total bytes needed to store the CRC codes of one kernel."""
+        return sum(code.storage_bytes for code in codes)

@@ -1,0 +1,25 @@
+"""Synthetic image-classification datasets.
+
+The paper trains on MNIST and CIFAR-10.  This environment has no network
+access, so :mod:`repro.data` generates deterministic synthetic datasets with
+the same shapes (28x28x1 and 32x32x3, 10 classes) whose classes are separable
+by small CNNs.  Normalized accuracy -- the paper's metric -- only requires a
+trained baseline network, not the original natural-image data; see DESIGN.md.
+"""
+
+from repro.data.datasets import Dataset, train_test_split
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    make_cifar_like,
+    make_mnist_like,
+    make_synthetic_images,
+)
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "SyntheticImageConfig",
+    "make_synthetic_images",
+    "make_mnist_like",
+    "make_cifar_like",
+]

@@ -1,0 +1,92 @@
+"""Dataset container and splitting utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.types import FLOAT_DTYPE
+
+__all__ = ["Dataset", "train_test_split"]
+
+
+@dataclass
+class Dataset:
+    """A labelled image dataset.
+
+    Attributes:
+        images: ``(N, H, W, C)`` float32 images in [0, 1].
+        labels: ``(N,)`` integer class labels.
+        num_classes: Number of distinct classes.
+        name: Human readable dataset name.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=FLOAT_DTYPE)
+        self.labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise DatasetError(
+                f"images ({self.images.shape[0]}) and labels ({self.labels.shape[0]}) "
+                "differ in length"
+            )
+        if self.num_classes <= 1:
+            raise DatasetError(f"num_classes must be at least 2, got {self.num_classes}")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def image_shape(self) -> tuple[int, ...]:
+        """Per-sample image shape ``(H, W, C)``."""
+        return tuple(self.images.shape[1:])
+
+    def subset(self, indices: np.ndarray, name_suffix: str = "subset") -> "Dataset":
+        """Return a new dataset restricted to ``indices``."""
+        return Dataset(
+            images=self.images[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            name=f"{self.name}-{name_suffix}",
+        )
+
+    def take(self, count: int) -> "Dataset":
+        """Return the first ``count`` samples."""
+        count = min(count, len(self))
+        return self.subset(np.arange(count), name_suffix=f"take{count}")
+
+    def batches(self, batch_size: int):
+        """Yield ``(images, labels)`` mini-batches in order."""
+        if batch_size <= 0:
+            raise DatasetError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, len(self), batch_size):
+            yield (
+                self.images[start : start + batch_size],
+                self.labels[start : start + batch_size],
+            )
+
+    def class_counts(self) -> np.ndarray:
+        """Return the number of samples per class."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Split a dataset into reproducible train/test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise DatasetError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    test_count = max(1, int(round(len(dataset) * test_fraction)))
+    test_idx = order[:test_count]
+    train_idx = order[test_count:]
+    if train_idx.size == 0:
+        raise DatasetError("train split is empty; lower test_fraction or add samples")
+    return dataset.subset(train_idx, "train"), dataset.subset(test_idx, "test")

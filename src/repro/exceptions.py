@@ -1,0 +1,64 @@
+"""Exception hierarchy for the MILR reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible or unexpected shape."""
+
+
+class LayerConfigurationError(ReproError):
+    """A layer was constructed or connected with invalid hyper-parameters."""
+
+
+class NotBuiltError(ReproError):
+    """An operation requires a built (shape-bound) layer or model."""
+
+
+class NotInvertibleError(ReproError):
+    """A backward (inversion) pass was requested on a non-invertible layer."""
+
+
+class RecoveryError(ReproError):
+    """Parameter recovery failed (e.g. singular or under-determined system)."""
+
+
+class UnderdeterminedSystemError(RecoveryError):
+    """The system of equations has more unknowns than independent equations."""
+
+
+class DetectionError(ReproError):
+    """Error-detection state is missing or inconsistent."""
+
+
+class CheckpointError(ReproError):
+    """A required checkpoint is missing, stale or malformed."""
+
+
+class SerializationError(ReproError):
+    """Model or checkpoint (de)serialization failed."""
+
+
+class FaultInjectionError(ReproError):
+    """Invalid fault-injection request (bad rate, empty target, ...)."""
+
+
+class ECCError(ReproError):
+    """SECDED encode/decode failure (e.g. detected-uncorrectable error)."""
+
+
+class DatasetError(ReproError):
+    """Synthetic dataset generation was requested with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

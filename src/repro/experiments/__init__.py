@@ -1,0 +1,69 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each module corresponds to one family of artifacts:
+
+================================  ==========================================
+Module                            Paper artifact
+================================  ==========================================
+:mod:`repro.experiments.rber_sweep`            Figures 5, 7, 9 (RBER sweeps)
+:mod:`repro.experiments.whole_weight`          Figures 6, 8, 10 (whole-weight errors)
+:mod:`repro.experiments.whole_layer`           Tables IV, VI, VIII (whole-layer errors)
+:mod:`repro.experiments.storage`               Tables V, VII, IX (storage overheads)
+:mod:`repro.experiments.timing`                Table X and Figure 11 (timing)
+:mod:`repro.experiments.availability_tradeoff` Figure 12 (availability/accuracy)
+================================  ==========================================
+
+Accuracy experiments run on reduced-scale networks trained on synthetic data
+(see DESIGN.md); structural experiments (storage, architecture) use the
+paper-exact networks from :mod:`repro.zoo`.
+"""
+
+from repro.experiments.harness import (
+    ExperimentSetting,
+    ProtectionScheme,
+    SchemeTrialResult,
+    run_protection_trial,
+)
+from repro.experiments.injection import (
+    ECCProtectedModel,
+    corrupt_model_rber,
+    corrupt_model_whole_weight,
+    restore_weights,
+    snapshot_weights,
+)
+from repro.experiments.model_provider import TrainedNetwork, get_trained_network
+from repro.experiments.rber_sweep import RBERSweepResult, run_rber_sweep
+from repro.experiments.whole_weight import WholeWeightSweepResult, run_whole_weight_sweep
+from repro.experiments.whole_layer import WholeLayerResult, run_whole_layer_experiment
+from repro.experiments.storage import storage_overhead_table
+from repro.experiments.timing import (
+    TimingRow,
+    measure_prediction_and_identification,
+    recovery_time_curve,
+)
+from repro.experiments.availability_tradeoff import availability_tradeoff_curves
+
+__all__ = [
+    "ProtectionScheme",
+    "ExperimentSetting",
+    "SchemeTrialResult",
+    "run_protection_trial",
+    "snapshot_weights",
+    "restore_weights",
+    "corrupt_model_rber",
+    "corrupt_model_whole_weight",
+    "ECCProtectedModel",
+    "TrainedNetwork",
+    "get_trained_network",
+    "RBERSweepResult",
+    "run_rber_sweep",
+    "WholeWeightSweepResult",
+    "run_whole_weight_sweep",
+    "WholeLayerResult",
+    "run_whole_layer_experiment",
+    "storage_overhead_table",
+    "TimingRow",
+    "measure_prediction_and_identification",
+    "recovery_time_curve",
+    "availability_tradeoff_curves",
+]

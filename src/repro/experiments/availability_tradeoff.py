@@ -1,0 +1,96 @@
+"""Availability / minimum-accuracy trade-off experiment (paper Figure 12).
+
+The curve is derived, per network, from
+
+* the measured MILR identification (detection) time,
+* a measured recovery time,
+* the expected memory-error interval for a model of that size under the
+  paper's assumed DRAM error rate (75,000 FIT/Mbit), and
+* a linear accuracy-degradation model.
+
+The result includes the two worked examples of the paper: the availability
+achievable at a minimum accuracy of 99.999% (user A) and the accuracy
+achievable at an availability of 99.9% (user B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.availability import (
+    AvailabilityModel,
+    AvailabilityPoint,
+    dram_error_interval_seconds,
+)
+from repro.core import MILRConfig
+from repro.exceptions import ExperimentError
+from repro.experiments.timing import (
+    measure_prediction_and_identification,
+    recovery_time_curve,
+)
+from repro.zoo import network_table
+
+__all__ = ["AvailabilityTradeoff", "availability_tradeoff_curves"]
+
+#: The paper's two worked examples.
+USER_A_MINIMUM_ACCURACY = 0.99999
+USER_B_AVAILABILITY = 0.999
+
+
+@dataclass
+class AvailabilityTradeoff:
+    """Figure 12 data for one network."""
+
+    network: str
+    model: AvailabilityModel
+    curve: list[AvailabilityPoint]
+    availability_at_user_a: float
+    accuracy_at_user_b: float
+
+
+def availability_tradeoff_curves(
+    network_names: tuple[str, ...] = ("mnist_reduced", "cifar_reduced"),
+    milr_config: MILRConfig | None = None,
+    yearly_accuracy_floor: float = 0.5,
+    curve_points: int = 40,
+    recovery_error_count: int = 100,
+) -> list[AvailabilityTradeoff]:
+    """Build the Figure 12 trade-off curve for each requested network."""
+    if curve_points < 2:
+        raise ExperimentError("curve_points must be at least 2")
+    specs = network_table()
+    results: list[AvailabilityTradeoff] = []
+    for name in network_names:
+        if name not in specs:
+            raise ExperimentError(f"unknown network {name!r}")
+        model = specs[name].builder()
+        timing = measure_prediction_and_identification(name, model=model, milr_config=milr_config)
+        recovery_points = recovery_time_curve(
+            name,
+            error_counts=(recovery_error_count,),
+            milr_config=milr_config,
+            model=model,
+        )
+        recovery_seconds = recovery_points[0].recovery_seconds
+        error_interval = dram_error_interval_seconds(model.parameter_bytes())
+        availability_model = AvailabilityModel(
+            detection_seconds=timing.identification_seconds,
+            recovery_seconds=recovery_seconds,
+            error_interval_seconds=error_interval,
+            detections_per_period=2,
+            yearly_accuracy_floor=yearly_accuracy_floor,
+        )
+        results.append(
+            AvailabilityTradeoff(
+                network=name,
+                model=availability_model,
+                curve=availability_model.trade_off_curve(points=curve_points),
+                availability_at_user_a=availability_model.availability_for_accuracy(
+                    USER_A_MINIMUM_ACCURACY
+                ),
+                accuracy_at_user_b=availability_model.accuracy_for_availability(
+                    USER_B_AVAILABILITY
+                ),
+            )
+        )
+    return results

@@ -1,0 +1,132 @@
+"""Common protection-scheme trial harness.
+
+One *trial* = (start from clean weights) -> (inject errors) -> (apply a
+protection scheme) -> (measure normalized accuracy) -> (restore clean
+weights).  The four schemes of the paper are supported: no recovery, SECDED
+ECC, MILR, and ECC followed by MILR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.analysis.stats import normalized_accuracy
+from repro.core import MILRProtector
+from repro.exceptions import ExperimentError
+from repro.experiments.injection import (
+    ECCProtectedModel,
+    corrupt_model_rber,
+    corrupt_model_whole_weight,
+    restore_weights,
+    snapshot_weights,
+)
+from repro.experiments.model_provider import TrainedNetwork
+
+__all__ = ["ProtectionScheme", "ExperimentSetting", "SchemeTrialResult", "run_protection_trial"]
+
+
+class ProtectionScheme(Enum):
+    """Protection schemes compared in the paper's evaluation."""
+
+    NONE = "none"
+    ECC = "ecc"
+    MILR = "milr"
+    ECC_MILR = "ecc+milr"
+
+
+class ErrorModel(Enum):
+    """Which of the paper's injection workloads a trial uses."""
+
+    RBER = "rber"
+    WHOLE_WEIGHT = "whole_weight"
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """Configuration of one sweep (shared by the RBER / whole-weight sweeps)."""
+
+    network_name: str = "mnist_reduced"
+    error_rates: tuple[float, ...] = (1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3)
+    trials: int = 10
+    schemes: tuple[ProtectionScheme, ...] = (
+        ProtectionScheme.NONE,
+        ProtectionScheme.ECC,
+        ProtectionScheme.MILR,
+        ProtectionScheme.ECC_MILR,
+    )
+    seed: int = 0
+
+
+@dataclass
+class SchemeTrialResult:
+    """Outcome of a single trial."""
+
+    scheme: ProtectionScheme
+    error_rate: float
+    normalized_accuracy: float
+    detected_layers: int = 0
+    recovered_layers: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def run_protection_trial(
+    network: TrainedNetwork,
+    protector: MILRProtector,
+    clean_weights: dict[str, np.ndarray],
+    scheme: ProtectionScheme,
+    error_model: ErrorModel,
+    error_rate: float,
+    rng: np.random.Generator,
+    ecc_memory: ECCProtectedModel | None = None,
+) -> SchemeTrialResult:
+    """Run one (scheme, error-rate) trial and return its normalized accuracy.
+
+    The model is restored to ``clean_weights`` before this function returns,
+    so trials are independent.
+    """
+    model = network.model
+    if not protector.initialized:
+        raise ExperimentError("protector must be initialized before running trials")
+    detected_layers = 0
+    recovered_layers = 0
+    try:
+        if scheme in (ProtectionScheme.ECC, ProtectionScheme.ECC_MILR):
+            if error_model is not ErrorModel.RBER:
+                raise ExperimentError(
+                    "the ECC baseline is only evaluated under the RBER error model "
+                    "(the paper omits it for whole-weight errors)"
+                )
+            if ecc_memory is None:
+                ecc_memory = ECCProtectedModel(model, clean_weights)
+            ecc_memory.reset()
+            ecc_memory.inject_codeword_bit_flips(error_rate, rng)
+            ecc_memory.scrub_into_model()
+        else:
+            if error_model is ErrorModel.RBER:
+                corrupt_model_rber(model, error_rate, rng)
+            else:
+                corrupt_model_whole_weight(model, error_rate, rng)
+
+        if scheme in (ProtectionScheme.MILR, ProtectionScheme.ECC_MILR):
+            detection, recovery = protector.detect_and_recover()
+            detected_layers = len(detection.erroneous_layers)
+            recovered_layers = len(recovery.recovered_layers) if recovery is not None else 0
+
+        accuracy = network.accuracy()
+        return SchemeTrialResult(
+            scheme=scheme,
+            error_rate=error_rate,
+            normalized_accuracy=normalized_accuracy(accuracy, network.baseline_accuracy),
+            detected_layers=detected_layers,
+            recovered_layers=recovered_layers,
+        )
+    finally:
+        restore_weights(model, clean_weights)
+
+
+def clean_snapshot(network: TrainedNetwork) -> dict[str, np.ndarray]:
+    """Snapshot of the trained (error-free) weights."""
+    return snapshot_weights(network.model)

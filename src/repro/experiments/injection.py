@@ -1,0 +1,113 @@
+"""Model-level fault injection and the ECC-protected model wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.ecc import ScrubReport, SECDEDProtectedWeights
+from repro.memory.fault_injection import (
+    FaultInjectionReport,
+    inject_rber,
+    inject_whole_layer,
+    inject_whole_weight,
+)
+from repro.nn.model import Sequential
+
+__all__ = [
+    "snapshot_weights",
+    "restore_weights",
+    "corrupt_model_rber",
+    "corrupt_model_whole_weight",
+    "corrupt_layer_completely",
+    "ECCProtectedModel",
+]
+
+
+def snapshot_weights(model: Sequential) -> dict[str, np.ndarray]:
+    """Copy of every parameterized layer's weights, keyed by layer name."""
+    return model.get_weights()
+
+
+def restore_weights(model: Sequential, snapshot: dict[str, np.ndarray]) -> None:
+    """Write a snapshot produced by :func:`snapshot_weights` back into the model."""
+    model.set_weights(snapshot)
+
+
+def corrupt_model_rber(
+    model: Sequential, error_rate: float, rng: np.random.Generator
+) -> dict[str, FaultInjectionReport]:
+    """Inject random bit flips at ``error_rate`` into every parameterized layer."""
+    reports: dict[str, FaultInjectionReport] = {}
+    for layer in model.layers:
+        if not layer.has_parameters:
+            continue
+        corrupted, report = inject_rber(layer.get_weights(), error_rate, rng)
+        layer.set_weights(corrupted)
+        reports[layer.name] = report
+    return reports
+
+
+def corrupt_model_whole_weight(
+    model: Sequential, weight_error_rate: float, rng: np.random.Generator
+) -> dict[str, FaultInjectionReport]:
+    """Inject whole-weight (all-32-bit) errors at rate ``q`` into every layer."""
+    reports: dict[str, FaultInjectionReport] = {}
+    for layer in model.layers:
+        if not layer.has_parameters:
+            continue
+        corrupted, report = inject_whole_weight(layer.get_weights(), weight_error_rate, rng)
+        layer.set_weights(corrupted)
+        reports[layer.name] = report
+    return reports
+
+
+def corrupt_layer_completely(
+    model: Sequential, layer_name: str, rng: np.random.Generator
+) -> FaultInjectionReport:
+    """Replace every parameter of one layer with fresh random values."""
+    layer = model.get_layer(layer_name)
+    corrupted, report = inject_whole_layer(layer.get_weights(), rng)
+    layer.set_weights(corrupted)
+    return report
+
+
+class ECCProtectedModel:
+    """SECDED-protected view of a model's weights (the paper's ECC baseline).
+
+    The clean weights are encoded once; a trial injects bit flips into the
+    39-bit codewords (data and check bits alike), scrubs, and writes the
+    post-correction weights into the live model.
+    """
+
+    def __init__(self, model: Sequential, clean_weights: dict[str, np.ndarray]):
+        self._model = model
+        self._clean_weights = {name: array.copy() for name, array in clean_weights.items()}
+        self._protected: dict[str, SECDEDProtectedWeights] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-encode the clean weights (start of a new trial)."""
+        self._protected = {
+            name: SECDEDProtectedWeights(array) for name, array in self._clean_weights.items()
+        }
+
+    @property
+    def overhead_bytes(self) -> float:
+        """Total ECC check-bit storage across all layers."""
+        return sum(protected.overhead_bytes for protected in self._protected.values())
+
+    def inject_codeword_bit_flips(self, error_rate: float, rng: np.random.Generator) -> int:
+        """Flip stored codeword bits at ``error_rate``; returns flipped-bit count."""
+        return sum(
+            protected.inject_codeword_bit_flips(error_rate, rng)
+            for protected in self._protected.values()
+        )
+
+    def scrub_into_model(self) -> dict[str, ScrubReport]:
+        """Run ECC correction and write the resulting weights into the model."""
+        reports: dict[str, ScrubReport] = {}
+        for name, protected in self._protected.items():
+            corrected, report = protected.scrub()
+            self._model.get_layer(name).set_weights(corrected)
+            reports[name] = report
+        return reports

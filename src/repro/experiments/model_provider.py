@@ -1,0 +1,117 @@
+"""Trained networks for the accuracy experiments.
+
+Training a CNN in pure NumPy is the slowest part of the pipeline, so trained
+weights are cached on disk (``.cache/models`` inside the repository by
+default, overridable through the ``MILR_CACHE_DIR`` environment variable).
+The reduced-scale networks train to high accuracy on the synthetic datasets in
+a few epochs; accuracy experiments then reuse the cached weights.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.data import Dataset, make_cifar_like, make_mnist_like, train_test_split
+from repro.exceptions import ExperimentError
+from repro.nn import Sequential, load_model_weights, save_model_weights
+from repro.nn.training import Adam, Trainer
+from repro.zoo import network_table
+
+__all__ = ["TrainedNetwork", "get_trained_network", "default_cache_dir"]
+
+
+@dataclass
+class TrainedNetwork:
+    """A trained model plus the held-out data used to score it."""
+
+    name: str
+    model: Sequential
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    baseline_accuracy: float
+
+    def accuracy(self) -> float:
+        """Current accuracy of the (possibly corrupted / recovered) model."""
+        return self.model.accuracy(self.test_images, self.test_labels)
+
+    def normalized_accuracy(self) -> float:
+        """Current accuracy relative to the error-free baseline."""
+        if self.baseline_accuracy <= 0:
+            return self.accuracy()
+        return self.accuracy() / self.baseline_accuracy
+
+
+def default_cache_dir() -> Path:
+    """Directory used to cache trained weights."""
+    override = os.environ.get("MILR_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parents[3] / ".cache" / "models"
+
+
+def _dataset_for(network_name: str, samples_per_class: int, seed: int) -> Dataset:
+    if network_name.startswith("mnist"):
+        return make_mnist_like(samples_per_class=samples_per_class, seed=seed)
+    if network_name.startswith("cifar"):
+        return make_cifar_like(samples_per_class=samples_per_class, seed=seed)
+    raise ExperimentError(f"no dataset mapping for network {network_name!r}")
+
+
+def get_trained_network(
+    network_name: str = "mnist_reduced",
+    samples_per_class: int = 60,
+    epochs: int = 6,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+    cache_dir: Optional[Path] = None,
+    force_retrain: bool = False,
+) -> TrainedNetwork:
+    """Return a trained network (training it and caching weights if needed).
+
+    Args:
+        network_name: A zoo network name (reduced variants recommended for
+            accuracy experiments).
+        samples_per_class: Synthetic dataset size knob.
+        epochs: Training epochs when the cache is cold.
+        test_fraction: Held-out fraction used for accuracy measurements.
+        seed: Seed controlling dataset generation and the train/test split.
+        cache_dir: Where to cache weights; defaults to ``.cache/models``.
+        force_retrain: Ignore any cached weights.
+    """
+    specs = network_table()
+    if network_name not in specs:
+        raise ExperimentError(
+            f"unknown network {network_name!r}; available: {sorted(specs)}"
+        )
+    dataset = _dataset_for(network_name, samples_per_class, seed)
+    train_set, test_set = train_test_split(dataset, test_fraction=test_fraction, seed=seed)
+    model = specs[network_name].builder()
+
+    cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+    cache_key = f"{network_name}_spc{samples_per_class}_ep{epochs}_seed{seed}.npz"
+    cache_path = Path(cache_dir) / cache_key
+    if cache_path.exists() and not force_retrain:
+        load_model_weights(model, cache_path)
+    else:
+        trainer = Trainer(model, optimizer=Adam(learning_rate=0.002), shuffle_seed=seed)
+        trainer.fit(
+            train_set.images,
+            train_set.labels,
+            epochs=epochs,
+            batch_size=32,
+            validation_data=(test_set.images, test_set.labels),
+        )
+        save_model_weights(model, cache_path)
+    baseline = model.accuracy(test_set.images, test_set.labels)
+    return TrainedNetwork(
+        name=network_name,
+        model=model,
+        test_images=test_set.images,
+        test_labels=test_set.labels,
+        baseline_accuracy=baseline,
+    )

@@ -1,0 +1,105 @@
+"""RBER sweep experiment (paper Figures 5, 7 and 9).
+
+For every raw bit error rate in the sweep, a number of independent trials are
+run per protection scheme; each trial injects random bit flips into every
+weight of the network, applies the scheme (nothing / ECC scrub / MILR detect
+and recover / ECC then MILR) and measures the normalized accuracy on the
+held-out test set.  The per-rate samples are summarized with the same box-plot
+statistics the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import BoxPlotStats
+from repro.core import MILRConfig, MILRProtector
+from repro.experiments.harness import (
+    ErrorModel,
+    ExperimentSetting,
+    ProtectionScheme,
+    run_protection_trial,
+)
+from repro.experiments.injection import ECCProtectedModel, snapshot_weights
+from repro.experiments.model_provider import TrainedNetwork, get_trained_network
+
+__all__ = ["RBERSweepResult", "run_rber_sweep"]
+
+
+@dataclass
+class RBERSweepResult:
+    """All samples and summaries of one RBER sweep."""
+
+    network_name: str
+    baseline_accuracy: float
+    #: scheme -> error rate -> list of normalized accuracies.
+    samples: dict[ProtectionScheme, dict[float, list[float]]] = field(default_factory=dict)
+
+    def summary(self, scheme: ProtectionScheme) -> dict[float, BoxPlotStats]:
+        """Box-plot summary per error rate for one scheme."""
+        return {
+            rate: BoxPlotStats.from_samples(values)
+            for rate, values in sorted(self.samples[scheme].items())
+        }
+
+    def median_curve(self, scheme: ProtectionScheme) -> list[tuple[float, float]]:
+        """(error rate, median normalized accuracy) series for one scheme."""
+        return [(rate, stats.median) for rate, stats in self.summary(scheme).items()]
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Flat rows (scheme, error rate, statistics) for reporting."""
+        rows: list[dict[str, object]] = []
+        for scheme in self.samples:
+            for rate, stats in self.summary(scheme).items():
+                row: dict[str, object] = {"scheme": scheme.value, "error_rate": rate}
+                row.update(stats.as_dict())
+                rows.append(row)
+        return rows
+
+
+def run_rber_sweep(
+    setting: ExperimentSetting | None = None,
+    network: TrainedNetwork | None = None,
+    milr_config: MILRConfig | None = None,
+) -> RBERSweepResult:
+    """Run the full RBER sweep described by ``setting``.
+
+    Args:
+        setting: Sweep configuration (network, rates, trial count, schemes).
+        network: Optionally a pre-trained network (otherwise fetched/trained
+            through the model provider).
+        milr_config: Optional MILR configuration override.
+    """
+    if setting is None:
+        setting = ExperimentSetting()
+    if network is None:
+        network = get_trained_network(setting.network_name, seed=setting.seed)
+    protector = MILRProtector(network.model, milr_config)
+    protector.initialize()
+    clean_weights = snapshot_weights(network.model)
+    ecc_memory = ECCProtectedModel(network.model, clean_weights)
+
+    result = RBERSweepResult(
+        network_name=network.name, baseline_accuracy=network.baseline_accuracy
+    )
+    for scheme in setting.schemes:
+        result.samples[scheme] = {rate: [] for rate in setting.error_rates}
+
+    rng = np.random.default_rng(setting.seed + 1)
+    for rate in setting.error_rates:
+        for _ in range(setting.trials):
+            for scheme in setting.schemes:
+                trial = run_protection_trial(
+                    network,
+                    protector,
+                    clean_weights,
+                    scheme,
+                    ErrorModel.RBER,
+                    rate,
+                    rng,
+                    ecc_memory=ecc_memory,
+                )
+                result.samples[scheme][rate].append(trial.normalized_accuracy)
+    return result

@@ -1,0 +1,39 @@
+"""Storage-overhead experiment (paper Tables V, VII and IX).
+
+Unlike the accuracy experiments, the storage comparison uses the paper-exact
+architectures from :mod:`repro.zoo` -- storage depends only on the network
+structure (shapes, filter counts, layer order), not on trained weights, so the
+networks are used untrained.
+"""
+
+from __future__ import annotations
+
+from repro.core import MILRConfig, MILRProtector
+from repro.core.overhead import ProtectionStorageComparison
+from repro.exceptions import ExperimentError
+from repro.zoo import network_table
+
+__all__ = ["storage_overhead_for", "storage_overhead_table"]
+
+
+def storage_overhead_for(
+    network_name: str, milr_config: MILRConfig | None = None
+) -> ProtectionStorageComparison:
+    """Initialize MILR on one zoo network and return its storage comparison."""
+    specs = network_table()
+    if network_name not in specs:
+        raise ExperimentError(
+            f"unknown network {network_name!r}; available: {sorted(specs)}"
+        )
+    model = specs[network_name].builder()
+    protector = MILRProtector(model, milr_config)
+    protector.initialize()
+    return protector.storage_comparison(network_name)
+
+
+def storage_overhead_table(
+    network_names: tuple[str, ...] = ("mnist", "cifar_small", "cifar_large"),
+    milr_config: MILRConfig | None = None,
+) -> list[ProtectionStorageComparison]:
+    """Storage comparison for each requested network (paper Tables V/VII/IX)."""
+    return [storage_overhead_for(name, milr_config) for name in network_names]

@@ -1,0 +1,147 @@
+"""Timing experiments (paper Table X and Figure 11).
+
+Table X compares a single prediction, the per-sample cost of a large batched
+prediction, and the MILR error-identification (detection) time for each
+network.  Figure 11 relates the recovery time to the number of injected
+errors.  Absolute numbers naturally differ from the paper's testbed; the
+relationships (identification is of the same order as one prediction, batching
+is far cheaper per sample, recovery time grows with error count) are what the
+benchmarks check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import MILRConfig, MILRProtector
+from repro.exceptions import ExperimentError
+from repro.experiments.injection import restore_weights, snapshot_weights
+from repro.memory.fault_injection import inject_whole_weight
+from repro.nn.model import Sequential
+from repro.types import FLOAT_DTYPE
+from repro.zoo import network_table
+
+__all__ = [
+    "TimingRow",
+    "measure_prediction_and_identification",
+    "RecoveryTimePoint",
+    "recovery_time_curve",
+]
+
+
+@dataclass
+class TimingRow:
+    """One row of Table X."""
+
+    network: str
+    single_prediction_seconds: float
+    batch_per_sample_seconds: float
+    identification_seconds: float
+
+    def as_row(self) -> dict[str, float | str]:
+        return {
+            "network": self.network,
+            "single_prediction_s": self.single_prediction_seconds,
+            "batch_per_sample_s": self.batch_per_sample_seconds,
+            "identification_s": self.identification_seconds,
+        }
+
+
+def _time_call(function, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock time of ``function()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_prediction_and_identification(
+    network_name: str,
+    batch_size: int = 64,
+    repeats: int = 3,
+    milr_config: MILRConfig | None = None,
+    model: Sequential | None = None,
+) -> TimingRow:
+    """Measure Table X's three quantities for one network."""
+    if model is None:
+        specs = network_table()
+        if network_name not in specs:
+            raise ExperimentError(f"unknown network {network_name!r}")
+        model = specs[network_name].builder()
+    protector = MILRProtector(model, milr_config)
+    protector.initialize()
+    rng = np.random.default_rng(0)
+    single = rng.random((1,) + model.input_shape).astype(FLOAT_DTYPE)
+    batch = rng.random((batch_size,) + model.input_shape).astype(FLOAT_DTYPE)
+
+    single_seconds = _time_call(lambda: model.predict(single), repeats)
+    batch_seconds = _time_call(lambda: model.predict(batch), repeats)
+    identification_seconds = _time_call(lambda: protector.detect(), repeats)
+    return TimingRow(
+        network=network_name,
+        single_prediction_seconds=single_seconds,
+        batch_per_sample_seconds=batch_seconds / batch_size,
+        identification_seconds=identification_seconds,
+    )
+
+
+@dataclass
+class RecoveryTimePoint:
+    """One point of the Figure 11 curve."""
+
+    injected_errors: int
+    recovery_seconds: float
+    recovered_layers: int
+
+
+def recovery_time_curve(
+    network_name: str = "mnist_reduced",
+    error_counts: tuple[int, ...] = (10, 50, 100, 500, 1000),
+    milr_config: MILRConfig | None = None,
+    seed: int = 0,
+    model: Sequential | None = None,
+) -> list[RecoveryTimePoint]:
+    """Measure MILR recovery time as a function of injected whole-weight errors."""
+    if model is None:
+        specs = network_table()
+        if network_name not in specs:
+            raise ExperimentError(f"unknown network {network_name!r}")
+        model = specs[network_name].builder()
+    protector = MILRProtector(model, milr_config)
+    protector.initialize()
+    clean_weights = snapshot_weights(model)
+    total_parameters = model.parameter_count()
+    rng = np.random.default_rng(seed)
+
+    points: list[RecoveryTimePoint] = []
+    for error_count in error_counts:
+        if error_count > total_parameters:
+            raise ExperimentError(
+                f"cannot inject {error_count} errors into {total_parameters} parameters"
+            )
+        try:
+            rate = error_count / total_parameters
+            for layer in model.layers:
+                if not layer.has_parameters:
+                    continue
+                corrupted, _ = inject_whole_weight(layer.get_weights(), rate, rng)
+                layer.set_weights(corrupted)
+            detection = protector.detect()
+            started = time.perf_counter()
+            recovery = protector.recover(detection)
+            elapsed = time.perf_counter() - started
+            points.append(
+                RecoveryTimePoint(
+                    injected_errors=error_count,
+                    recovery_seconds=elapsed,
+                    recovered_layers=len(recovery.recovered_layers),
+                )
+            )
+        finally:
+            restore_weights(model, clean_weights)
+    return points

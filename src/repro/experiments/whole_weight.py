@@ -1,0 +1,96 @@
+"""Whole-weight error experiment (paper Figures 6, 8 and 10).
+
+Every weight is independently selected with probability ``q`` and, when
+selected, all 32 of its bits are flipped.  This is the plaintext-space image
+of a ciphertext error under AES-XTS and the regime where SECDED ECC is
+powerless (every injected error is a 32-bit error), so only the "no recovery"
+and "MILR" schemes are evaluated, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import BoxPlotStats
+from repro.core import MILRConfig, MILRProtector
+from repro.experiments.harness import (
+    ErrorModel,
+    ExperimentSetting,
+    ProtectionScheme,
+    run_protection_trial,
+)
+from repro.experiments.injection import snapshot_weights
+from repro.experiments.model_provider import TrainedNetwork, get_trained_network
+
+__all__ = ["WholeWeightSweepResult", "run_whole_weight_sweep"]
+
+_WHOLE_WEIGHT_SCHEMES = (ProtectionScheme.NONE, ProtectionScheme.MILR)
+
+
+@dataclass
+class WholeWeightSweepResult:
+    """Samples and summaries of one whole-weight error sweep."""
+
+    network_name: str
+    baseline_accuracy: float
+    samples: dict[ProtectionScheme, dict[float, list[float]]] = field(default_factory=dict)
+
+    def summary(self, scheme: ProtectionScheme) -> dict[float, BoxPlotStats]:
+        return {
+            rate: BoxPlotStats.from_samples(values)
+            for rate, values in sorted(self.samples[scheme].items())
+        }
+
+    def median_curve(self, scheme: ProtectionScheme) -> list[tuple[float, float]]:
+        return [(rate, stats.median) for rate, stats in self.summary(scheme).items()]
+
+    def as_rows(self) -> list[dict[str, object]]:
+        rows: list[dict[str, object]] = []
+        for scheme in self.samples:
+            for rate, stats in self.summary(scheme).items():
+                row: dict[str, object] = {"scheme": scheme.value, "error_rate": rate}
+                row.update(stats.as_dict())
+                rows.append(row)
+        return rows
+
+
+def run_whole_weight_sweep(
+    setting: ExperimentSetting | None = None,
+    network: TrainedNetwork | None = None,
+    milr_config: MILRConfig | None = None,
+) -> WholeWeightSweepResult:
+    """Run the whole-weight error sweep (schemes: no recovery and MILR)."""
+    if setting is None:
+        setting = ExperimentSetting(schemes=_WHOLE_WEIGHT_SCHEMES)
+    if network is None:
+        network = get_trained_network(setting.network_name, seed=setting.seed)
+    protector = MILRProtector(network.model, milr_config)
+    protector.initialize()
+    clean_weights = snapshot_weights(network.model)
+
+    schemes = tuple(
+        scheme for scheme in setting.schemes if scheme in _WHOLE_WEIGHT_SCHEMES
+    ) or _WHOLE_WEIGHT_SCHEMES
+    result = WholeWeightSweepResult(
+        network_name=network.name, baseline_accuracy=network.baseline_accuracy
+    )
+    for scheme in schemes:
+        result.samples[scheme] = {rate: [] for rate in setting.error_rates}
+
+    rng = np.random.default_rng(setting.seed + 2)
+    for rate in setting.error_rates:
+        for _ in range(setting.trials):
+            for scheme in schemes:
+                trial = run_protection_trial(
+                    network,
+                    protector,
+                    clean_weights,
+                    scheme,
+                    ErrorModel.WHOLE_WEIGHT,
+                    rate,
+                    rng,
+                )
+                result.samples[scheme][rate].append(trial.normalized_accuracy)
+    return result

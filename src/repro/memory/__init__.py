@@ -1,0 +1,47 @@
+"""Memory and fault-model substrate.
+
+This package simulates the memory system the paper evaluates on:
+
+* :mod:`repro.memory.bitops` -- viewing float32 weights as 32-bit words and
+  flipping individual bits,
+* :mod:`repro.memory.fault_injection` -- the three error workloads of the
+  paper (random bit flips at a given RBER, whole-weight errors, whole-layer
+  corruption),
+* :mod:`repro.memory.ecc` -- a (39,32) Hamming SECDED codec, the baseline
+  error-correction scheme the paper compares against,
+* :mod:`repro.memory.encryption` -- an AES-XTS-style ciphertext/plaintext
+  model in which one ciphertext bit error corrupts an entire 128-bit plaintext
+  block, the property that motivates plaintext-space error correction,
+* :mod:`repro.memory.protected` -- ECC-protected weight memory combining the
+  pieces above.
+"""
+
+from repro.memory.bitops import (
+    bits_to_floats,
+    count_bit_differences,
+    flip_bits,
+    floats_to_bits,
+)
+from repro.memory.ecc import SECDEDCodec, SECDEDProtectedWeights, SECDEDWordStatus
+from repro.memory.encryption import XTSMemoryModel
+from repro.memory.fault_injection import (
+    FaultInjectionReport,
+    inject_rber,
+    inject_whole_layer,
+    inject_whole_weight,
+)
+
+__all__ = [
+    "floats_to_bits",
+    "bits_to_floats",
+    "flip_bits",
+    "count_bit_differences",
+    "SECDEDCodec",
+    "SECDEDWordStatus",
+    "SECDEDProtectedWeights",
+    "XTSMemoryModel",
+    "FaultInjectionReport",
+    "inject_rber",
+    "inject_whole_weight",
+    "inject_whole_layer",
+]

@@ -1,0 +1,83 @@
+"""Bit-level manipulation of float32 weight arrays.
+
+Every weight is one 32-bit word; the paper's fault model flips bits of these
+words irrespective of their role (sign, exponent, mantissa).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FaultInjectionError
+from repro.types import BITS_DTYPE, BITS_PER_WEIGHT, FLOAT_DTYPE
+
+__all__ = [
+    "floats_to_bits",
+    "bits_to_floats",
+    "flip_bits",
+    "flip_bit_positions",
+    "count_bit_differences",
+]
+
+
+def floats_to_bits(values: np.ndarray) -> np.ndarray:
+    """Reinterpret a float32 array as uint32 bit patterns (same shape)."""
+    values = np.ascontiguousarray(np.asarray(values, dtype=FLOAT_DTYPE))
+    return values.view(BITS_DTYPE).copy()
+
+
+def bits_to_floats(bits: np.ndarray) -> np.ndarray:
+    """Reinterpret a uint32 array as float32 values (same shape)."""
+    bits = np.ascontiguousarray(np.asarray(bits, dtype=BITS_DTYPE))
+    return bits.view(FLOAT_DTYPE).copy()
+
+
+def flip_bit_positions(word: int, positions: list[int] | np.ndarray) -> int:
+    """Flip the listed bit positions (0 = LSB) of a single 32-bit word."""
+    result = int(word)
+    for position in positions:
+        position = int(position)
+        if not 0 <= position < BITS_PER_WEIGHT:
+            raise FaultInjectionError(
+                f"bit position {position} outside [0, {BITS_PER_WEIGHT})"
+            )
+        result ^= 1 << position
+    return result & 0xFFFFFFFF
+
+
+def flip_bits(values: np.ndarray, flat_indices: np.ndarray, bit_positions: np.ndarray) -> np.ndarray:
+    """Return a copy of ``values`` with specific bits flipped.
+
+    Args:
+        values: float32 array of any shape.
+        flat_indices: Flat indices (into ``values.ravel()``) of the affected
+            weights; repeated indices flip multiple bits of the same weight.
+        bit_positions: Bit position (0-31) flipped for the corresponding entry
+            of ``flat_indices``.
+    """
+    flat_indices = np.asarray(flat_indices, dtype=np.int64)
+    bit_positions = np.asarray(bit_positions, dtype=np.int64)
+    if flat_indices.shape != bit_positions.shape:
+        raise FaultInjectionError("flat_indices and bit_positions must have the same shape")
+    if flat_indices.size and (
+        flat_indices.min() < 0 or flat_indices.max() >= np.asarray(values).size
+    ):
+        raise FaultInjectionError("flat index outside the weight array")
+    if bit_positions.size and (bit_positions.min() < 0 or bit_positions.max() >= BITS_PER_WEIGHT):
+        raise FaultInjectionError(f"bit positions must be in [0, {BITS_PER_WEIGHT})")
+    bits = floats_to_bits(values).ravel()
+    masks = (np.uint32(1) << bit_positions.astype(BITS_DTYPE)).astype(BITS_DTYPE)
+    # Repeated indices must XOR cumulatively, so apply with a loop over unique
+    # groups rather than fancy indexing (which would drop duplicates).
+    np.bitwise_xor.at(bits, flat_indices, masks)
+    return bits_to_floats(bits).reshape(np.asarray(values).shape)
+
+
+def count_bit_differences(original: np.ndarray, corrupted: np.ndarray) -> int:
+    """Total number of differing bits between two same-shaped float32 arrays."""
+    bits_a = floats_to_bits(original).ravel()
+    bits_b = floats_to_bits(corrupted).ravel()
+    if bits_a.shape != bits_b.shape:
+        raise FaultInjectionError("arrays must have the same shape")
+    xor = np.bitwise_xor(bits_a, bits_b)
+    return int(np.sum(np.unpackbits(xor.view(np.uint8))))

@@ -1,0 +1,253 @@
+"""(39,32) Hamming SECDED codec — the ECC baseline of the paper.
+
+Each 32-bit weight word is protected by 6 Hamming parity bits plus one overall
+parity bit (7 check bits total).  The code corrects any single-bit error and
+detects (but cannot correct) double-bit errors within a word, matching the
+behaviour the paper assumes: "In the case of more than 1 bit error no
+correction occurs and interrupts are not raised."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.exceptions import ECCError
+from repro.memory.bitops import bits_to_floats, floats_to_bits
+from repro.types import BITS_DTYPE, FLOAT_DTYPE
+
+__all__ = ["SECDEDWordStatus", "SECDEDCodec", "SECDEDProtectedWeights", "ScrubReport"]
+
+#: Number of Hamming parity bits for 32 data bits.
+_HAMMING_PARITY_BITS = 6
+#: Total check bits per word (Hamming + overall parity).
+CHECK_BITS_PER_WORD = _HAMMING_PARITY_BITS + 1
+#: Total code word length in bits.
+CODEWORD_BITS = 32 + CHECK_BITS_PER_WORD
+
+
+class SECDEDWordStatus(Enum):
+    """Outcome of decoding one protected word."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    PARITY_BIT_ERROR = "parity_bit_error"
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+
+
+def _data_positions() -> np.ndarray:
+    """Codeword positions (1-indexed) holding the 32 data bits."""
+    positions = [p for p in range(1, 39) if (p & (p - 1)) != 0]
+    return np.asarray(positions, dtype=np.int64)
+
+
+_DATA_POSITIONS = _data_positions()
+#: (6, 32) matrix: row i marks data bits covered by Hamming parity i.
+_COVERAGE = np.stack(
+    [((_DATA_POSITIONS >> i) & 1).astype(np.uint8) for i in range(_HAMMING_PARITY_BITS)]
+)
+#: Map codeword position -> data bit index (or -1 for parity positions).
+_POSITION_TO_DATA_BIT = np.full(64, -1, dtype=np.int64)
+for _bit_index, _position in enumerate(_DATA_POSITIONS):
+    _POSITION_TO_DATA_BIT[_position] = _bit_index
+
+
+def _unpack_words(words: np.ndarray) -> np.ndarray:
+    """Unpack uint32 words to a (N, 32) bit matrix, bit 0 first."""
+    words = np.asarray(words, dtype=BITS_DTYPE).ravel()
+    shifts = np.arange(32, dtype=BITS_DTYPE)
+    return ((words[:, None] >> shifts[None, :]) & 1).astype(np.uint8)
+
+
+def _pack_words(bits: np.ndarray) -> np.ndarray:
+    """Pack a (N, 32) bit matrix back to uint32 words."""
+    shifts = np.arange(32, dtype=np.uint64)
+    return (bits.astype(np.uint64) << shifts[None, :]).sum(axis=1).astype(BITS_DTYPE)
+
+
+@dataclass
+class ScrubReport:
+    """Statistics from one ECC scrub pass over an array of protected words."""
+
+    total_words: int = 0
+    corrected_words: int = 0
+    parity_bit_errors: int = 0
+    uncorrectable_words: int = 0
+
+    @property
+    def clean_words(self) -> int:
+        return (
+            self.total_words
+            - self.corrected_words
+            - self.parity_bit_errors
+            - self.uncorrectable_words
+        )
+
+
+class SECDEDCodec:
+    """Encode/decode arrays of 32-bit words with (39,32) SECDED."""
+
+    @property
+    def check_bits_per_word(self) -> int:
+        """Number of stored check bits per word (7)."""
+        return CHECK_BITS_PER_WORD
+
+    @property
+    def overhead_bytes_per_word(self) -> float:
+        """Storage overhead per protected word, in bytes."""
+        return CHECK_BITS_PER_WORD / 8.0
+
+    def encode_words(self, words: np.ndarray) -> np.ndarray:
+        """Return the uint8 check byte for each uint32 word.
+
+        Bit ``i`` (0-5) of the check byte is Hamming parity ``i``; bit 6 is the
+        overall parity over all 38 Hamming-codeword bits.
+        """
+        data_bits = _unpack_words(words)
+        hamming = (data_bits @ _COVERAGE.T) % 2  # (N, 6)
+        overall = (data_bits.sum(axis=1) + hamming.sum(axis=1)) % 2
+        check = np.zeros(data_bits.shape[0], dtype=np.uint8)
+        for i in range(_HAMMING_PARITY_BITS):
+            check |= (hamming[:, i].astype(np.uint8) << i)
+        check |= (overall.astype(np.uint8) << _HAMMING_PARITY_BITS)
+        return check
+
+    def encode_floats(self, weights: np.ndarray) -> np.ndarray:
+        """Encode a float32 weight array; returns one check byte per weight."""
+        return self.encode_words(floats_to_bits(weights).ravel())
+
+    def decode_words(
+        self, words: np.ndarray, check: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Correct single-bit errors in ``words`` given stored check bytes.
+
+        Returns ``(corrected_words, statuses)`` where ``statuses`` is an array
+        of :class:`SECDEDWordStatus` values, one per word.
+        """
+        words = np.asarray(words, dtype=BITS_DTYPE).ravel()
+        check = np.asarray(check, dtype=np.uint8).ravel()
+        if words.shape != check.shape:
+            raise ECCError(
+                f"words ({words.shape}) and check bytes ({check.shape}) differ in length"
+            )
+        data_bits = _unpack_words(words)
+        recomputed_hamming = (data_bits @ _COVERAGE.T) % 2
+        stored_hamming = np.stack(
+            [((check >> i) & 1) for i in range(_HAMMING_PARITY_BITS)], axis=1
+        ).astype(np.uint8)
+        stored_overall = ((check >> _HAMMING_PARITY_BITS) & 1).astype(np.uint8)
+        syndrome_bits = (recomputed_hamming ^ stored_hamming).astype(np.int64)
+        syndrome = np.zeros(words.shape[0], dtype=np.int64)
+        for i in range(_HAMMING_PARITY_BITS):
+            syndrome |= syndrome_bits[:, i] << i
+        overall_recomputed = (
+            data_bits.sum(axis=1) + stored_hamming.sum(axis=1) + stored_overall
+        ) % 2
+        overall_fails = overall_recomputed == 1
+
+        statuses = np.full(words.shape[0], SECDEDWordStatus.CLEAN, dtype=object)
+        corrected_bits = data_bits.copy()
+
+        # Single-bit error somewhere in the codeword (overall parity odd).
+        single = overall_fails & (syndrome != 0)
+        if np.any(single):
+            error_positions = syndrome[single]
+            valid = error_positions < 64
+            data_bit_index = np.where(valid, _POSITION_TO_DATA_BIT[np.minimum(error_positions, 63)], -1)
+            rows = np.flatnonzero(single)
+            for row, bit_index in zip(rows, data_bit_index):
+                if bit_index >= 0:
+                    corrected_bits[row, bit_index] ^= 1
+                    statuses[row] = SECDEDWordStatus.CORRECTED
+                else:
+                    # The flipped bit was one of the Hamming parity bits.
+                    statuses[row] = SECDEDWordStatus.PARITY_BIT_ERROR
+        # Error confined to the overall parity bit itself.
+        parity_only = overall_fails & (syndrome == 0)
+        statuses[parity_only] = SECDEDWordStatus.PARITY_BIT_ERROR
+        # Even number of flipped bits with non-zero syndrome: detected, not correctable.
+        double = (~overall_fails) & (syndrome != 0)
+        statuses[double] = SECDEDWordStatus.DETECTED_UNCORRECTABLE
+
+        return _pack_words(corrected_bits), statuses
+
+    def decode_floats(
+        self, weights: np.ndarray, check: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Float32 wrapper around :meth:`decode_words` (preserves shape)."""
+        weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+        corrected_words, statuses = self.decode_words(floats_to_bits(weights).ravel(), check)
+        return bits_to_floats(corrected_words).reshape(weights.shape), statuses
+
+
+class SECDEDProtectedWeights:
+    """A weight array stored under per-word SECDED protection.
+
+    This models ECC DRAM: both the data words and the check bits live in the
+    error-prone memory, and a *scrub* pass corrects what the code can correct.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        self._codec = SECDEDCodec()
+        weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+        self._shape = weights.shape
+        self._words = floats_to_bits(weights).ravel()
+        self._check = self._codec.encode_words(self._words)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def word_count(self) -> int:
+        return int(self._words.size)
+
+    @property
+    def overhead_bytes(self) -> float:
+        """ECC storage overhead in bytes (7 bits per 32-bit word)."""
+        return self.word_count * self._codec.overhead_bytes_per_word
+
+    def read_raw(self) -> np.ndarray:
+        """Read the weights without ECC correction (as a float32 array)."""
+        return bits_to_floats(self._words).reshape(self._shape)
+
+    def inject_codeword_bit_flips(self, error_rate: float, rng: np.random.Generator) -> int:
+        """Flip each of the 39 stored bits per word independently with ``error_rate``.
+
+        Returns the number of flipped bits.  Data bits and check bits are both
+        exposed to errors, as they would be in real ECC DRAM.
+        """
+        if not 0.0 <= error_rate <= 1.0:
+            raise ECCError(f"error_rate must be in [0, 1], got {error_rate}")
+        total_bits = self.word_count * CODEWORD_BITS
+        flip_count = int(rng.binomial(total_bits, error_rate)) if total_bits else 0
+        if flip_count == 0:
+            return 0
+        positions = rng.choice(total_bits, size=flip_count, replace=False)
+        word_index = positions // CODEWORD_BITS
+        bit_index = positions % CODEWORD_BITS
+        for word, bit in zip(word_index, bit_index):
+            if bit < 32:
+                self._words[word] ^= np.uint32(1) << np.uint32(bit)
+            else:
+                self._check[word] ^= np.uint8(1) << np.uint8(bit - 32)
+        return flip_count
+
+    def scrub(self) -> tuple[np.ndarray, ScrubReport]:
+        """Run ECC correction and return ``(corrected_weights, report)``.
+
+        The stored words are updated in place with the corrected values, as a
+        hardware scrubber would do.
+        """
+        corrected_words, statuses = self._codec.decode_words(self._words, self._check)
+        report = ScrubReport(total_words=self.word_count)
+        report.corrected_words = int(np.sum(statuses == SECDEDWordStatus.CORRECTED))
+        report.parity_bit_errors = int(np.sum(statuses == SECDEDWordStatus.PARITY_BIT_ERROR))
+        report.uncorrectable_words = int(
+            np.sum(statuses == SECDEDWordStatus.DETECTED_UNCORRECTABLE)
+        )
+        self._words = corrected_words
+        self._check = self._codec.encode_words(self._words)
+        return bits_to_floats(corrected_words).reshape(self._shape), report

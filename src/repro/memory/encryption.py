@@ -1,0 +1,109 @@
+"""AES-XTS ciphertext/plaintext error-amplification model.
+
+Under memory encryption (Intel MKTME / AMD SEV), memory is encrypted in
+128-bit blocks with AES-XTS.  A single bit error in the *ciphertext* space
+decrypts to an essentially random 128-bit plaintext block: the error is no
+longer a single bit, it is a burst spanning four consecutive float32 weights.
+This module models exactly that amplification without implementing real AES --
+the cryptographic details are irrelevant to the fault-tolerance question, only
+the diffusion property matters (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FaultInjectionError
+from repro.memory.bitops import bits_to_floats, floats_to_bits
+from repro.types import BITS_DTYPE, FLOAT_DTYPE
+
+__all__ = ["XTSCorruptionReport", "XTSMemoryModel"]
+
+#: AES block size in bits.
+BLOCK_BITS = 128
+#: Number of float32 weights covered by one encryption block.
+WEIGHTS_PER_BLOCK = BLOCK_BITS // 32
+
+
+@dataclass
+class XTSCorruptionReport:
+    """Which encryption blocks (and therefore weights) were corrupted."""
+
+    ciphertext_bit_errors: int = 0
+    affected_blocks: int = 0
+    total_blocks: int = 0
+    affected_weight_indices: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    @property
+    def block_error_rate(self) -> float:
+        if self.total_blocks == 0:
+            return 0.0
+        return self.affected_blocks / self.total_blocks
+
+
+class XTSMemoryModel:
+    """Models plaintext-space corruption caused by ciphertext-space bit errors.
+
+    Args:
+        seed: Seed of the generator used to synthesize "decrypted garbage"
+            blocks.  Injection calls take their own generator so experiments
+            control the error pattern separately from the garbage content.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._garbage_rng = np.random.default_rng(seed)
+
+    @staticmethod
+    def block_count(weight_count: int) -> int:
+        """Number of 128-bit blocks needed to store ``weight_count`` weights."""
+        return (weight_count + WEIGHTS_PER_BLOCK - 1) // WEIGHTS_PER_BLOCK
+
+    def corrupt_plaintext(
+        self,
+        weights: np.ndarray,
+        ciphertext_rber: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, XTSCorruptionReport]:
+        """Apply ciphertext-space bit errors and return the decrypted plaintext.
+
+        Every bit of the ciphertext is flipped independently with probability
+        ``ciphertext_rber``; every block containing at least one flipped bit
+        decrypts to uniformly random plaintext.
+        """
+        if not 0.0 <= ciphertext_rber <= 1.0:
+            raise FaultInjectionError(
+                f"ciphertext_rber must be in [0, 1], got {ciphertext_rber}"
+            )
+        weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+        flat = weights.ravel()
+        total_blocks = self.block_count(flat.size)
+        report = XTSCorruptionReport(total_blocks=total_blocks)
+        if flat.size == 0 or ciphertext_rber == 0.0:
+            return weights.copy(), report
+        total_bits = total_blocks * BLOCK_BITS
+        flip_count = int(rng.binomial(total_bits, ciphertext_rber))
+        report.ciphertext_bit_errors = flip_count
+        if flip_count == 0:
+            return weights.copy(), report
+        bit_positions = rng.choice(total_bits, size=flip_count, replace=False)
+        affected_blocks = np.unique(bit_positions // BLOCK_BITS)
+        report.affected_blocks = int(affected_blocks.size)
+
+        corrupted = flat.copy()
+        corrupted_bits = floats_to_bits(corrupted)
+        affected_weight_indices: list[int] = []
+        for block in affected_blocks:
+            start = int(block) * WEIGHTS_PER_BLOCK
+            stop = min(start + WEIGHTS_PER_BLOCK, flat.size)
+            width = stop - start
+            garbage = self._garbage_rng.integers(
+                0, 2**32, size=width, dtype=np.uint64
+            ).astype(BITS_DTYPE)
+            corrupted_bits[start:stop] = garbage
+            affected_weight_indices.extend(range(start, stop))
+        report.affected_weight_indices = np.asarray(affected_weight_indices, dtype=np.int64)
+        return bits_to_floats(corrupted_bits).reshape(weights.shape), report

@@ -1,0 +1,142 @@
+"""The paper's three fault-injection workloads.
+
+1. **RBER bit flips** -- every bit of every weight word is flipped
+   independently with probability ``p`` (raw bit error rate).
+2. **Whole-weight errors** -- every weight is selected independently with
+   probability ``q``; all 32 bits of a selected weight are flipped.  This is
+   the plaintext-space effect of a ciphertext error under AES-XTS.
+3. **Whole-layer corruption** -- every parameter of a layer is replaced with a
+   fresh random value (none equal to the original), modelling an aggressive
+   overwrite attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FaultInjectionError
+from repro.memory.bitops import floats_to_bits, bits_to_floats
+from repro.types import BITS_DTYPE, BITS_PER_WEIGHT, FLOAT_DTYPE
+
+__all__ = [
+    "FaultInjectionReport",
+    "inject_rber",
+    "inject_whole_weight",
+    "inject_whole_layer",
+]
+
+
+@dataclass
+class FaultInjectionReport:
+    """What a single injection call actually changed.
+
+    Attributes:
+        flipped_bits: Total number of bits flipped.
+        affected_weights: Number of weights whose value changed.
+        total_weights: Number of weights in the target array.
+        affected_indices: Flat indices of the changed weights.
+    """
+
+    flipped_bits: int = 0
+    affected_weights: int = 0
+    total_weights: int = 0
+    affected_indices: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def weight_error_rate(self) -> float:
+        """Fraction of weights affected."""
+        if self.total_weights == 0:
+            return 0.0
+        return self.affected_weights / self.total_weights
+
+
+def _validate_rate(rate: float, name: str) -> float:
+    rate = float(rate)
+    if not 0.0 <= rate <= 1.0:
+        raise FaultInjectionError(f"{name} must be in [0, 1], got {rate}")
+    return rate
+
+
+def inject_rber(
+    weights: np.ndarray, error_rate: float, rng: np.random.Generator
+) -> tuple[np.ndarray, FaultInjectionReport]:
+    """Flip each bit of each weight independently with probability ``error_rate``."""
+    error_rate = _validate_rate(error_rate, "error_rate")
+    weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+    total_weights = int(weights.size)
+    total_bits = total_weights * BITS_PER_WEIGHT
+    if total_bits == 0 or error_rate == 0.0:
+        return weights.copy(), FaultInjectionReport(total_weights=total_weights)
+    flip_count = int(rng.binomial(total_bits, error_rate))
+    if flip_count == 0:
+        return weights.copy(), FaultInjectionReport(total_weights=total_weights)
+    bit_indices = rng.choice(total_bits, size=flip_count, replace=False)
+    weight_indices = bit_indices // BITS_PER_WEIGHT
+    bit_positions = bit_indices % BITS_PER_WEIGHT
+    bits = floats_to_bits(weights).ravel()
+    masks = (np.uint32(1) << bit_positions.astype(BITS_DTYPE)).astype(BITS_DTYPE)
+    np.bitwise_xor.at(bits, weight_indices, masks)
+    corrupted = bits_to_floats(bits).reshape(weights.shape)
+    affected = np.unique(weight_indices)
+    report = FaultInjectionReport(
+        flipped_bits=flip_count,
+        affected_weights=int(affected.size),
+        total_weights=total_weights,
+        affected_indices=affected.astype(np.int64),
+    )
+    return corrupted, report
+
+
+def inject_whole_weight(
+    weights: np.ndarray, weight_error_rate: float, rng: np.random.Generator
+) -> tuple[np.ndarray, FaultInjectionReport]:
+    """Flip all 32 bits of each weight independently selected with probability ``q``."""
+    weight_error_rate = _validate_rate(weight_error_rate, "weight_error_rate")
+    weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+    total_weights = int(weights.size)
+    if total_weights == 0 or weight_error_rate == 0.0:
+        return weights.copy(), FaultInjectionReport(total_weights=total_weights)
+    selected = rng.random(total_weights) < weight_error_rate
+    affected = np.flatnonzero(selected)
+    if affected.size == 0:
+        return weights.copy(), FaultInjectionReport(total_weights=total_weights)
+    bits = floats_to_bits(weights).ravel()
+    bits[affected] = np.bitwise_xor(bits[affected], np.uint32(0xFFFFFFFF))
+    corrupted = bits_to_floats(bits).reshape(weights.shape)
+    report = FaultInjectionReport(
+        flipped_bits=int(affected.size) * BITS_PER_WEIGHT,
+        affected_weights=int(affected.size),
+        total_weights=total_weights,
+        affected_indices=affected.astype(np.int64),
+    )
+    return corrupted, report
+
+
+def inject_whole_layer(
+    weights: np.ndarray, rng: np.random.Generator, scale: float = 1.0
+) -> tuple[np.ndarray, FaultInjectionReport]:
+    """Replace every weight with a fresh random value different from the original.
+
+    The replacement values are drawn uniformly from ``[-scale, scale)``; any
+    value that happens to equal its original is nudged so that, as in the
+    paper, *none* of the parameters keep their original value.
+    """
+    weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+    total_weights = int(weights.size)
+    if total_weights == 0:
+        return weights.copy(), FaultInjectionReport(total_weights=0)
+    replacement = rng.uniform(-scale, scale, size=weights.shape).astype(FLOAT_DTYPE)
+    collisions = replacement == weights
+    if np.any(collisions):
+        replacement = np.where(
+            collisions, replacement + np.float32(scale) * np.float32(1e-3) + np.float32(1e-6), replacement
+        ).astype(FLOAT_DTYPE)
+    report = FaultInjectionReport(
+        flipped_bits=total_weights * BITS_PER_WEIGHT,
+        affected_weights=total_weights,
+        total_weights=total_weights,
+        affected_indices=np.arange(total_weights, dtype=np.int64),
+    )
+    return replacement, report

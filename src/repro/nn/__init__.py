@@ -1,0 +1,51 @@
+"""A minimal-but-complete NumPy CNN framework.
+
+This package is the substrate the MILR core operates on.  It provides the four
+layer families the paper analyses (convolution, dense, pooling, activation),
+the auxiliary layers found in real CNNs (bias, flatten, dropout, padding,
+softmax), a :class:`~repro.nn.model.Sequential` container, and enough training
+machinery (losses, optimizers, a trainer loop) to produce trained networks for
+the error-injection experiments.
+
+Data layout is channels-last: images are ``(batch, height, width, channels)``
+and dense activations are ``(batch, features)``.  All parameters and
+activations are float32, matching the 32-bit weight words the paper's fault
+model flips.
+"""
+
+from repro.nn.layers import (
+    Activation,
+    AvgPool2D,
+    Bias,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    InputLayer,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+    ZeroPadding2D,
+)
+from repro.nn.model import Sequential
+from repro.nn.serialization import load_model_weights, save_model_weights
+
+__all__ = [
+    "Activation",
+    "AvgPool2D",
+    "Bias",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "InputLayer",
+    "Layer",
+    "MaxPool2D",
+    "ReLU",
+    "Softmax",
+    "ZeroPadding2D",
+    "Sequential",
+    "save_model_weights",
+    "load_model_weights",
+]

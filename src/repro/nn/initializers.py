@@ -1,0 +1,53 @@
+"""Weight initializers for the NumPy CNN framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import FLOAT_DTYPE, ShapeLike, as_shape
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "uniform", "get_initializer"]
+
+
+def glorot_uniform(shape: ShapeLike, rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    shape = as_shape(shape)
+    limit = float(np.sqrt(6.0 / max(fan_in + fan_out, 1)))
+    return rng.uniform(-limit, limit, size=shape).astype(FLOAT_DTYPE)
+
+
+def he_normal(shape: ShapeLike, rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He normal initialization (suited to ReLU networks)."""
+    shape = as_shape(shape)
+    stddev = float(np.sqrt(2.0 / max(fan_in, 1)))
+    return (rng.standard_normal(size=shape) * stddev).astype(FLOAT_DTYPE)
+
+
+def zeros(shape: ShapeLike, rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zero initialization (used for biases)."""
+    del rng, fan_in, fan_out
+    return np.zeros(as_shape(shape), dtype=FLOAT_DTYPE)
+
+
+def uniform(shape: ShapeLike, rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Uniform initialization in [-0.05, 0.05]."""
+    del fan_in, fan_out
+    return rng.uniform(-0.05, 0.05, size=as_shape(shape)).astype(FLOAT_DTYPE)
+
+
+_INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros,
+    "uniform": uniform,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer function by name."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown initializer {name!r}; available: {sorted(_INITIALIZERS)}"
+        ) from exc

@@ -1,0 +1,25 @@
+"""Layer implementations for the NumPy CNN framework."""
+
+from repro.nn.layers.activation import Activation, ReLU, Softmax
+from repro.nn.layers.base import Layer
+from repro.nn.layers.bias import Bias
+from repro.nn.layers.conv2d import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.pooling import AvgPool2D, MaxPool2D
+from repro.nn.layers.structural import Dropout, Flatten, InputLayer, ZeroPadding2D
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "Bias",
+    "Activation",
+    "ReLU",
+    "Softmax",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "Dropout",
+    "InputLayer",
+    "ZeroPadding2D",
+]

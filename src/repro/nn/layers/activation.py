@@ -1,0 +1,126 @@
+"""Activation layers.
+
+The paper treats activations as parameter-free layers; during MILR's detection
+and recovery passes all activations are treated as the identity function
+(Sec. IV-D), which the MILR core implements by calling the layer's forward only
+during normal inference and skipping it during recovery passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import LayerConfigurationError, ShapeError
+from repro.nn.layers.base import Layer
+from repro.types import FLOAT_DTYPE, Shape
+
+__all__ = ["Activation", "ReLU", "Softmax"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0).astype(FLOAT_DTYPE)
+
+
+def _relu_grad(x: np.ndarray, y: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    del y
+    return (grad * (x > 0)).astype(FLOAT_DTYPE)
+
+
+def _linear(x: np.ndarray) -> np.ndarray:
+    return x.astype(FLOAT_DTYPE)
+
+
+def _linear_grad(x: np.ndarray, y: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    del x, y
+    return grad.astype(FLOAT_DTYPE)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return (1.0 / (1.0 + np.exp(-x.astype(np.float64)))).astype(FLOAT_DTYPE)
+
+
+def _sigmoid_grad(x: np.ndarray, y: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    del x
+    return (grad * y * (1.0 - y)).astype(FLOAT_DTYPE)
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x).astype(FLOAT_DTYPE)
+
+
+def _tanh_grad(x: np.ndarray, y: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    del x
+    return (grad * (1.0 - y * y)).astype(FLOAT_DTYPE)
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted.astype(np.float64))
+    return (exp / exp.sum(axis=-1, keepdims=True)).astype(FLOAT_DTYPE)
+
+
+def _softmax_grad(x: np.ndarray, y: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    del x
+    dot = np.sum(grad * y, axis=-1, keepdims=True)
+    return (y * (grad - dot)).astype(FLOAT_DTYPE)
+
+
+_ACTIVATIONS: dict[str, tuple[Callable, Callable]] = {
+    "relu": (_relu, _relu_grad),
+    "linear": (_linear, _linear_grad),
+    "sigmoid": (_sigmoid, _sigmoid_grad),
+    "tanh": (_tanh, _tanh_grad),
+    "softmax": (_softmax, _softmax_grad),
+}
+
+
+class Activation(Layer):
+    """Parameter-free element-wise (or row-wise, for softmax) activation."""
+
+    has_parameters = False
+    #: Treated as identity during MILR recovery passes, so for planning
+    #: purposes the layer never forces a checkpoint.
+    structurally_invertible = True
+
+    def __init__(self, function: str = "relu", name: Optional[str] = None):
+        super().__init__(name=name)
+        if function not in _ACTIVATIONS:
+            raise LayerConfigurationError(
+                f"unknown activation {function!r}; available: {sorted(_ACTIVATIONS)}"
+            )
+        self.function = function
+        self._forward_fn, self._grad_fn = _ACTIVATIONS[function]
+        self._last_input: Optional[np.ndarray] = None
+        self._last_output: Optional[np.ndarray] = None
+
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        outputs = self._forward_fn(inputs)
+        if training:
+            self._last_input = inputs
+            self._last_output = outputs
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None or self._last_output is None:
+            raise ShapeError("backward() called before a training-mode forward()")
+        return self._grad_fn(self._last_input, self._last_output, grad_output)
+
+
+class ReLU(Activation):
+    """Convenience subclass for the most common CNN activation."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(function="relu", name=name)
+
+
+class Softmax(Activation):
+    """Row-wise softmax, typically the last layer of a classifier."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(function="softmax", name=name)

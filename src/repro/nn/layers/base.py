@@ -1,0 +1,162 @@
+"""Abstract base class for all layers."""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NotBuiltError, ShapeError
+from repro.types import FLOAT_DTYPE, LayerSignature, Shape, ShapeLike, as_shape
+
+__all__ = ["Layer"]
+
+_NAME_COUNTERS: dict[str, itertools.count] = {}
+
+
+def _auto_name(kind: str) -> str:
+    counter = _NAME_COUNTERS.setdefault(kind, itertools.count())
+    return f"{kind.lower()}_{next(counter)}"
+
+
+class Layer(ABC):
+    """Base class for every layer in the framework.
+
+    A layer is *built* once it knows its per-sample input shape; building
+    allocates parameters.  Shapes never include the batch dimension.
+
+    Subclasses implement :meth:`build`, :meth:`forward` and, if they are
+    trainable or sit on a training path, :meth:`backward`.
+    """
+
+    #: Whether the layer owns trainable parameters.
+    has_parameters: bool = False
+    #: Whether the layer can be inverted exactly with no extra stored data
+    #: (structure-level property; data-dependent requirements are handled by
+    #: the MILR planner).
+    structurally_invertible: bool = False
+    #: Whether the layer changes values as data passes through during
+    #: inference (layers like Dropout/InputLayer are pass-through).
+    is_passthrough: bool = False
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or _auto_name(type(self).__name__)
+        self.built = False
+        self._input_shape: Optional[Shape] = None
+        self._output_shape: Optional[Shape] = None
+        #: Gradient of the loss w.r.t. this layer's parameters, populated by
+        #: :meth:`backward` during training.
+        self.grad_weights: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Shape handling
+    # ------------------------------------------------------------------ #
+    @property
+    def input_shape(self) -> Shape:
+        """Per-sample input shape (raises if the layer is not built)."""
+        self._require_built()
+        assert self._input_shape is not None
+        return self._input_shape
+
+    @property
+    def output_shape(self) -> Shape:
+        """Per-sample output shape (raises if the layer is not built)."""
+        self._require_built()
+        assert self._output_shape is not None
+        return self._output_shape
+
+    def build(self, input_shape: ShapeLike) -> None:
+        """Bind the layer to ``input_shape`` and allocate parameters."""
+        input_shape = as_shape(input_shape)
+        self._input_shape = input_shape
+        self._output_shape = self.compute_output_shape(input_shape)
+        self._build(input_shape)
+        self.built = True
+
+    def _build(self, input_shape: Shape) -> None:
+        """Hook for subclasses that allocate parameters.  Default: nothing."""
+
+    @abstractmethod
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        """Return the per-sample output shape for ``input_shape``."""
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise NotBuiltError(f"layer {self.name!r} has not been built")
+
+    def _check_input(self, inputs: np.ndarray) -> np.ndarray:
+        """Validate and coerce a batched input tensor."""
+        self._require_built()
+        inputs = np.asarray(inputs, dtype=FLOAT_DTYPE)
+        expected = self.input_shape
+        if inputs.shape[1:] != expected:
+            raise ShapeError(
+                f"layer {self.name!r} expected per-sample shape {expected}, "
+                f"got {inputs.shape[1:]}"
+            )
+        return inputs
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the layer on a batched input tensor."""
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` through the layer.
+
+        Returns the gradient w.r.t. the layer input and stores the gradient
+        w.r.t. the parameters in :attr:`grad_weights`.  Layers that are never
+        trained may leave this unimplemented.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support backward()")
+
+    def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(inputs, training=training)
+
+    # ------------------------------------------------------------------ #
+    # Parameter access
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> np.ndarray:
+        """Return a copy of the layer parameters (empty array if none)."""
+        return np.zeros((0,), dtype=FLOAT_DTYPE)
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Overwrite the layer parameters with ``weights`` (same shape)."""
+        if np.asarray(weights).size != 0:
+            raise ShapeError(f"layer {self.name!r} has no parameters to set")
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of trainable parameters owned by this layer."""
+        return int(self.get_weights().size) if self.has_parameters else 0
+
+    @property
+    def parameter_bytes(self) -> int:
+        """Size of the parameters in bytes (float32 words)."""
+        return self.parameter_count * 4
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def signature(self) -> LayerSignature:
+        """Return a static description of this (built) layer."""
+        self._require_built()
+        return LayerSignature(
+            name=self.name,
+            kind=type(self).__name__,
+            input_shape=self.input_shape,
+            output_shape=self.output_shape,
+            parameter_count=self.parameter_count,
+        )
+
+    def __repr__(self) -> str:
+        if self.built:
+            return (
+                f"{type(self).__name__}(name={self.name!r}, "
+                f"input_shape={self._input_shape}, output_shape={self._output_shape})"
+            )
+        return f"{type(self).__name__}(name={self.name!r}, unbuilt)"

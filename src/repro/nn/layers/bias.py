@@ -1,0 +1,85 @@
+"""Bias layer.
+
+The paper (Sec. IV-E) treats the bias of convolution and dense layers as its
+own layer with the relationship ``output = input + parameters``.  The bias is
+a 1-D tensor broadcast along the last axis of the input: for a convolution the
+same bias value is added to every spatial position of a filter's output, for a
+dense layer each output column has its own bias value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.layers.base import Layer
+from repro.types import FLOAT_DTYPE, Shape
+
+__all__ = ["Bias"]
+
+
+class Bias(Layer):
+    """Adds a per-channel (last axis) bias: ``Y = X + b``."""
+
+    has_parameters = True
+    structurally_invertible = True
+
+    def __init__(self, name: Optional[str] = None, seed: Optional[int] = None):
+        super().__init__(name=name)
+        self.seed = seed
+        self.values: Optional[np.ndarray] = None
+
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) < 1:
+            raise ShapeError("Bias requires at least a 1-D per-sample input")
+        return input_shape
+
+    def _build(self, input_shape: Shape) -> None:
+        channels = input_shape[-1]
+        # Real networks initialize biases to zero; a tiny random component keeps
+        # recovery tests from trivially passing on all-zero parameters.
+        rng = np.random.default_rng(self.seed)
+        self.values = (rng.uniform(-0.01, 0.01, size=(channels,))).astype(FLOAT_DTYPE)
+
+    @property
+    def channels(self) -> int:
+        """Number of bias values (size of the last input axis)."""
+        return self.input_shape[-1]
+
+    @property
+    def replication_factor(self) -> int:
+        """How many times each bias value appears in one sample's output."""
+        count = 1
+        for dim in self.input_shape[:-1]:
+            count *= dim
+        return count
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        assert self.values is not None
+        return (inputs + self.values).astype(FLOAT_DTYPE)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        axes = tuple(range(grad_output.ndim - 1))
+        self.grad_weights = grad_output.sum(axis=axes).astype(FLOAT_DTYPE)
+        return grad_output
+
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> np.ndarray:
+        self._require_built()
+        assert self.values is not None
+        return self.values.copy()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        self._require_built()
+        weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+        assert self.values is not None
+        if weights.shape != self.values.shape:
+            raise ShapeError(
+                f"Bias {self.name!r} expected weights of shape {self.values.shape}, "
+                f"got {weights.shape}"
+            )
+        self.values = weights.copy()

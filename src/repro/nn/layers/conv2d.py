@@ -1,0 +1,197 @@
+"""2-D convolution layer (no bias; bias is modelled as a separate layer).
+
+The filter tensor has shape ``(F1, F2, Z, Y)`` -- filter height, filter width,
+input channels, output filters -- matching the paper's notation.  The forward
+pass is computed with im2col + matrix multiplication, which is also exactly the
+formulation MILR's parameter solving and inversion use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import LayerConfigurationError, ShapeError
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer
+from repro.nn.tensor_utils import (
+    col2im,
+    conv_output_length,
+    im2col,
+    pad_input,
+)
+from repro.types import FLOAT_DTYPE, Shape
+
+__all__ = ["Conv2D"]
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise LayerConfigurationError(f"expected a pair, got {value!r}")
+        return (int(value[0]), int(value[1]))
+    return (int(value), int(value))
+
+
+class Conv2D(Layer):
+    """2-D convolution ``(B, M, M, Z) -> (B, G, G, Y)``.
+
+    Args:
+        filters: Number of output filters ``Y``.
+        kernel_size: Filter spatial size ``F`` (int or pair).
+        stride: Convolution stride (int or pair).
+        padding: ``"valid"`` or ``"same"``.
+        initializer: Weight initializer name.
+        seed: Seed for deterministic initialization.
+        name: Optional layer name.
+    """
+
+    has_parameters = True
+    # Conv inversion needs Y >= F^2 Z or dummy filters; the MILR planner makes
+    # that decision, so structurally the layer is considered invertible.
+    structurally_invertible = True
+
+    def __init__(
+        self,
+        filters: int,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: str = "valid",
+        initializer: str = "he_normal",
+        seed: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if filters <= 0:
+            raise LayerConfigurationError(f"filters must be positive, got {filters}")
+        if padding not in ("valid", "same"):
+            raise LayerConfigurationError(f"padding must be 'valid' or 'same', got {padding!r}")
+        self.filters = int(filters)
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        if self.stride[0] <= 0 or self.stride[1] <= 0:
+            raise LayerConfigurationError(f"stride must be positive, got {self.stride}")
+        self.padding = padding
+        self.initializer = initializer
+        self.seed = seed
+        self.kernel: Optional[np.ndarray] = None
+        self._last_patches: Optional[np.ndarray] = None
+        self._last_padded_shape: Optional[tuple[int, int, int, int]] = None
+        self._last_pad_amounts: Optional[tuple[tuple[int, int], tuple[int, int]]] = None
+
+    # ------------------------------------------------------------------ #
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 3:
+            raise ShapeError(f"Conv2D expects (H, W, C) inputs, got {input_shape}")
+        height, width, _ = input_shape
+        out_h = conv_output_length(height, self.kernel_size[0], self.stride[0], self.padding)
+        out_w = conv_output_length(width, self.kernel_size[1], self.stride[1], self.padding)
+        return (out_h, out_w, self.filters)
+
+    def _build(self, input_shape: Shape) -> None:
+        channels = input_shape[2]
+        f1, f2 = self.kernel_size
+        fan_in = f1 * f2 * channels
+        fan_out = f1 * f2 * self.filters
+        rng = np.random.default_rng(self.seed)
+        init = get_initializer(self.initializer)
+        self.kernel = init((f1, f2, channels, self.filters), rng, fan_in=fan_in, fan_out=fan_out)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def input_channels(self) -> int:
+        """Number of input channels ``Z``."""
+        return self.input_shape[2]
+
+    @property
+    def receptive_field_size(self) -> int:
+        """``F1 * F2 * Z`` -- unknowns per output pixel during inversion."""
+        f1, f2 = self.kernel_size
+        return f1 * f2 * self.input_channels
+
+    @property
+    def output_positions(self) -> int:
+        """``G1 * G2`` -- equations per filter during parameter solving."""
+        out_h, out_w, _ = self.output_shape
+        return out_h * out_w
+
+    def kernel_matrix(self) -> np.ndarray:
+        """Return the kernel reshaped to ``(F1*F2*Z, Y)`` for matmul form."""
+        self._require_built()
+        assert self.kernel is not None
+        return self.kernel.reshape(self.receptive_field_size, self.filters)
+
+    def extract_patches(self, inputs: np.ndarray) -> np.ndarray:
+        """Return the im2col patch tensor ``(B, G1, G2, F1*F2*Z)`` for ``inputs``."""
+        inputs = self._check_input(inputs)
+        padded, _ = pad_input(inputs, self.kernel_size, self.stride, self.padding)
+        return im2col(padded, self.kernel_size, self.stride)
+
+    def padded_input_shape(self, batch: int) -> tuple[int, int, int, int]:
+        """Return the shape of the padded input for a batch of ``batch`` samples."""
+        height, width, channels = self.input_shape
+        if self.padding == "valid":
+            return (batch, height, width, channels)
+        dummy = np.zeros((1, height, width, channels), dtype=FLOAT_DTYPE)
+        padded, _ = pad_input(dummy, self.kernel_size, self.stride, self.padding)
+        return (batch, padded.shape[1], padded.shape[2], channels)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        assert self.kernel is not None
+        padded, pad_amounts = pad_input(inputs, self.kernel_size, self.stride, self.padding)
+        patches = im2col(padded, self.kernel_size, self.stride)
+        if training:
+            self._last_patches = patches
+            self._last_padded_shape = padded.shape
+            self._last_pad_amounts = pad_amounts
+        batch, out_h, out_w, _ = patches.shape
+        flat = patches.reshape(batch * out_h * out_w, -1)
+        out = flat @ self.kernel_matrix()
+        return out.reshape(batch, out_h, out_w, self.filters).astype(FLOAT_DTYPE)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_patches is None or self._last_padded_shape is None:
+            raise ShapeError("backward() called before a training-mode forward()")
+        assert self.kernel is not None
+        batch, out_h, out_w, _ = grad_output.shape
+        grad_flat = grad_output.reshape(batch * out_h * out_w, self.filters)
+        patches_flat = self._last_patches.reshape(batch * out_h * out_w, -1)
+        grad_kernel_matrix = patches_flat.T @ grad_flat
+        self.grad_weights = grad_kernel_matrix.reshape(self.kernel.shape).astype(FLOAT_DTYPE)
+        grad_patches_flat = grad_flat @ self.kernel_matrix().T
+        grad_patches = grad_patches_flat.reshape(batch, out_h, out_w, -1)
+        grad_padded = col2im(
+            grad_patches,
+            self._last_padded_shape,
+            self.kernel_size,
+            self.stride,
+            reduce="sum",
+        )
+        assert self._last_pad_amounts is not None
+        (top, bottom), (left, right) = self._last_pad_amounts
+        height = grad_padded.shape[1]
+        width = grad_padded.shape[2]
+        grad_input = grad_padded[
+            :, top : height - bottom if bottom else height, left : width - right if right else width, :
+        ]
+        return grad_input.astype(FLOAT_DTYPE)
+
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> np.ndarray:
+        self._require_built()
+        assert self.kernel is not None
+        return self.kernel.copy()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        self._require_built()
+        weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+        assert self.kernel is not None
+        if weights.shape != self.kernel.shape:
+            raise ShapeError(
+                f"Conv2D {self.name!r} expected weights of shape {self.kernel.shape}, "
+                f"got {weights.shape}"
+            )
+        self.kernel = weights.copy()

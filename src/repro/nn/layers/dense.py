@@ -1,0 +1,106 @@
+"""Fully connected (dense) layer without bias.
+
+The paper treats the bias term of a dense layer as a separate :class:`Bias`
+layer with its own input/output/parameter relationship, so this layer is a
+pure matrix multiplication ``Y = X @ W`` with ``X (M, N)``, ``W (N, P)`` and
+``Y (M, P)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer
+from repro.types import FLOAT_DTYPE, Shape
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Dense layer ``Y = X @ W``.
+
+    Args:
+        units: Output feature count ``P``.
+        initializer: Name of the weight initializer.
+        seed: Seed for parameter initialization (deterministic builds).
+        name: Optional layer name.
+    """
+
+    has_parameters = True
+    structurally_invertible = True
+
+    def __init__(
+        self,
+        units: int,
+        initializer: str = "glorot_uniform",
+        seed: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if units <= 0:
+            raise ShapeError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.initializer = initializer
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None
+        self._last_input: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 1:
+            raise ShapeError(
+                f"Dense expects a flat per-sample input, got shape {input_shape}"
+            )
+        return (self.units,)
+
+    def _build(self, input_shape: Shape) -> None:
+        features = input_shape[0]
+        rng = np.random.default_rng(self.seed)
+        init = get_initializer(self.initializer)
+        self.weights = init((features, self.units), rng, fan_in=features, fan_out=self.units)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        assert self.weights is not None
+        if training:
+            self._last_input = inputs
+        return inputs @ self.weights
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise ShapeError("backward() called before a training-mode forward()")
+        assert self.weights is not None
+        self.grad_weights = (self._last_input.T @ grad_output).astype(FLOAT_DTYPE)
+        return (grad_output @ self.weights.T).astype(FLOAT_DTYPE)
+
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> np.ndarray:
+        self._require_built()
+        assert self.weights is not None
+        return self.weights.copy()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        self._require_built()
+        weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+        assert self.weights is not None
+        if weights.shape != self.weights.shape:
+            raise ShapeError(
+                f"Dense {self.name!r} expected weights of shape {self.weights.shape}, "
+                f"got {weights.shape}"
+            )
+        self.weights = weights.copy()
+
+    @property
+    def features_in(self) -> int:
+        """Input feature count ``N``."""
+        return self.input_shape[0]
+
+    @property
+    def features_out(self) -> int:
+        """Output feature count ``P``."""
+        return self.units

@@ -1,0 +1,121 @@
+"""Pooling layers.
+
+Pooling layers are the canonical example of a non-invertible, parameter-free
+layer in the paper: they lose information, so MILR must store a full input
+checkpoint before them (Sec. IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import LayerConfigurationError, ShapeError
+from repro.nn.layers.base import Layer
+from repro.nn.tensor_utils import pool_patches
+from repro.types import FLOAT_DTYPE, Shape
+
+__all__ = ["MaxPool2D", "AvgPool2D"]
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise LayerConfigurationError(f"expected a pair, got {value!r}")
+        return (int(value[0]), int(value[1]))
+    return (int(value), int(value))
+
+
+class _Pool2D(Layer):
+    """Shared machinery for max and average pooling."""
+
+    has_parameters = False
+    structurally_invertible = False
+
+    def __init__(
+        self,
+        pool_size: int | tuple[int, int] = 2,
+        stride: Optional[int | tuple[int, int]] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        self.pool_size = _pair(pool_size)
+        self.stride = _pair(stride) if stride is not None else self.pool_size
+        if min(self.pool_size) <= 0 or min(self.stride) <= 0:
+            raise LayerConfigurationError("pool_size and stride must be positive")
+        self._last_input: Optional[np.ndarray] = None
+        self._last_argmax: Optional[np.ndarray] = None
+
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 3:
+            raise ShapeError(f"pooling expects (H, W, C) inputs, got {input_shape}")
+        height, width, channels = input_shape
+        p1, p2 = self.pool_size
+        s1, s2 = self.stride
+        if height < p1 or width < p2:
+            raise ShapeError(
+                f"input ({height},{width}) smaller than pool window ({p1},{p2})"
+            )
+        out_h = (height - p1) // s1 + 1
+        out_w = (width - p2) // s2 + 1
+        return (out_h, out_w, channels)
+
+    def _windows(self, inputs: np.ndarray) -> np.ndarray:
+        return pool_patches(inputs, self.pool_size, self.stride)
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over non-overlapping (by default) spatial windows."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        windows = self._windows(inputs)
+        if training:
+            self._last_input = inputs
+            self._last_argmax = windows.argmax(axis=3)
+        return windows.max(axis=3).astype(FLOAT_DTYPE)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None or self._last_argmax is None:
+            raise ShapeError("backward() called before a training-mode forward()")
+        batch, out_h, out_w, channels = grad_output.shape
+        p1, p2 = self.pool_size
+        s1, s2 = self.stride
+        grad_input = np.zeros_like(self._last_input, dtype=np.float64)
+        argmax = self._last_argmax
+        for i in range(out_h):
+            for j in range(out_w):
+                flat_idx = argmax[:, i, j, :]  # (batch, channels)
+                rows = flat_idx // p2 + i * s1
+                cols = flat_idx % p2 + j * s2
+                for b in range(batch):
+                    for c in range(channels):
+                        grad_input[b, rows[b, c], cols[b, c], c] += grad_output[b, i, j, c]
+        return grad_input.astype(FLOAT_DTYPE)
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over spatial windows."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        windows = self._windows(inputs)
+        if training:
+            self._last_input = inputs
+        return windows.mean(axis=3).astype(FLOAT_DTYPE)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise ShapeError("backward() called before a training-mode forward()")
+        batch, out_h, out_w, channels = grad_output.shape
+        p1, p2 = self.pool_size
+        s1, s2 = self.stride
+        grad_input = np.zeros_like(self._last_input, dtype=np.float64)
+        share = 1.0 / (p1 * p2)
+        for i in range(out_h):
+            for j in range(out_w):
+                grad_input[:, i * s1 : i * s1 + p1, j * s2 : j * s2 + p2, :] += (
+                    grad_output[:, i : i + 1, j : j + 1, :] * share
+                )
+        return grad_input.astype(FLOAT_DTYPE)

@@ -1,0 +1,146 @@
+"""Structural layers: flatten, dropout, explicit input and zero padding.
+
+The paper groups these as "other layers" (Sec. IV-E-d): they carry no
+parameters.  Flatten and padding only reshape data, so a backward pass simply
+restores the original shape; dropout is a pure pass-through at inference time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import LayerConfigurationError, ShapeError
+from repro.nn.layers.base import Layer
+from repro.types import FLOAT_DTYPE, Shape
+
+__all__ = ["Flatten", "Dropout", "InputLayer", "ZeroPadding2D"]
+
+
+class Flatten(Layer):
+    """Reshape ``(B, *dims)`` to ``(B, prod(dims))`` without losing data."""
+
+    has_parameters = False
+    structurally_invertible = True
+
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output.reshape((grad_output.shape[0],) + self.input_shape)
+
+    def invert(self, outputs: np.ndarray) -> np.ndarray:
+        """Restore the original per-sample shape (exact inverse)."""
+        outputs = np.asarray(outputs, dtype=FLOAT_DTYPE)
+        return outputs.reshape((outputs.shape[0],) + self.input_shape)
+
+
+class Dropout(Layer):
+    """Standard inverted dropout; identity at inference time."""
+
+    has_parameters = False
+    structurally_invertible = True
+    is_passthrough = True
+
+    def __init__(self, rate: float = 0.5, seed: Optional[int] = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise LayerConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._last_mask: Optional[np.ndarray] = None
+
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        if not training or self.rate == 0.0:
+            return inputs
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(inputs.shape) < keep).astype(FLOAT_DTYPE) / keep
+        self._last_mask = mask
+        return (inputs * mask).astype(FLOAT_DTYPE)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_mask is None:
+            return grad_output
+        return (grad_output * self._last_mask).astype(FLOAT_DTYPE)
+
+
+class InputLayer(Layer):
+    """Explicit input layer; validates shape and passes data through."""
+
+    has_parameters = False
+    structurally_invertible = True
+    is_passthrough = True
+
+    def __init__(self, shape: Shape, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.declared_shape = tuple(int(dim) for dim in shape)
+
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        if tuple(input_shape) != self.declared_shape:
+            raise ShapeError(
+                f"InputLayer declared shape {self.declared_shape}, got {tuple(input_shape)}"
+            )
+        return input_shape
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        return self._check_input(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class ZeroPadding2D(Layer):
+    """Pad the spatial axes of a ``(B, H, W, C)`` tensor with zeros."""
+
+    has_parameters = False
+    structurally_invertible = True
+
+    def __init__(self, padding: int | tuple[int, int] = 1, name: Optional[str] = None):
+        super().__init__(name=name)
+        if isinstance(padding, tuple):
+            self.pad_h, self.pad_w = int(padding[0]), int(padding[1])
+        else:
+            self.pad_h = self.pad_w = int(padding)
+        if self.pad_h < 0 or self.pad_w < 0:
+            raise LayerConfigurationError("padding amounts must be non-negative")
+
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 3:
+            raise ShapeError(f"ZeroPadding2D expects (H, W, C) inputs, got {input_shape}")
+        height, width, channels = input_shape
+        return (height + 2 * self.pad_h, width + 2 * self.pad_w, channels)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        return np.pad(
+            inputs,
+            ((0, 0), (self.pad_h, self.pad_h), (self.pad_w, self.pad_w), (0, 0)),
+            mode="constant",
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.invert(grad_output)
+
+    def invert(self, outputs: np.ndarray) -> np.ndarray:
+        """Strip the padding (exact inverse for the interior region)."""
+        outputs = np.asarray(outputs, dtype=FLOAT_DTYPE)
+        height = outputs.shape[1]
+        width = outputs.shape[2]
+        return outputs[
+            :,
+            self.pad_h : height - self.pad_h if self.pad_h else height,
+            self.pad_w : width - self.pad_w if self.pad_w else width,
+            :,
+        ]

@@ -1,0 +1,181 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.exceptions import NotBuiltError, ShapeError
+from repro.nn.layers.base import Layer
+from repro.types import FLOAT_DTYPE, LayerSignature, Shape, ShapeLike, as_shape
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A linear stack of layers.
+
+    Args:
+        layers: Layers in execution order.
+        name: Optional model name.
+
+    The model must be built against a per-sample input shape before use, e.g.
+    ``model.build((28, 28, 1))``.  Forward execution, training hooks, weight
+    (de)serialization, per-layer intermediate capture (needed by MILR) and a
+    Keras-style summary are provided.
+    """
+
+    def __init__(self, layers: Optional[Iterable[Layer]] = None, name: str = "sequential"):
+        self.name = name
+        self.layers: list[Layer] = list(layers) if layers is not None else []
+        self.built = False
+        self._input_shape: Optional[Shape] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, layer: Layer) -> None:
+        """Append ``layer`` to the stack (model must not be built yet)."""
+        if self.built:
+            raise NotBuiltError("cannot add layers to an already-built model")
+        self.layers.append(layer)
+
+    def build(self, input_shape: ShapeLike) -> "Sequential":
+        """Build every layer against the per-sample ``input_shape``."""
+        shape = as_shape(input_shape)
+        self._input_shape = shape
+        current = shape
+        names: set[str] = set()
+        for layer in self.layers:
+            layer.build(current)
+            current = layer.output_shape
+            if layer.name in names:
+                raise ShapeError(f"duplicate layer name {layer.name!r} in model {self.name!r}")
+            names.add(layer.name)
+        self.built = True
+        return self
+
+    @property
+    def input_shape(self) -> Shape:
+        if not self.built or self._input_shape is None:
+            raise NotBuiltError(f"model {self.name!r} has not been built")
+        return self._input_shape
+
+    @property
+    def output_shape(self) -> Shape:
+        if not self.built or not self.layers:
+            raise NotBuiltError(f"model {self.name!r} has not been built")
+        return self.layers[-1].output_shape
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def predict(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run a full forward pass over a batch."""
+        if not self.built:
+            raise NotBuiltError(f"model {self.name!r} has not been built")
+        outputs = np.asarray(inputs, dtype=FLOAT_DTYPE)
+        for layer in self.layers:
+            outputs = layer.forward(outputs, training=training)
+        return outputs
+
+    def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.predict(inputs, training=training)
+
+    def forward_collect(self, inputs: np.ndarray) -> list[np.ndarray]:
+        """Run a forward pass and return every layer's output (in order).
+
+        Element ``i`` of the returned list is the output of ``self.layers[i]``.
+        MILR uses this to materialize golden inputs/outputs for each layer.
+        """
+        if not self.built:
+            raise NotBuiltError(f"model {self.name!r} has not been built")
+        outputs: list[np.ndarray] = []
+        current = np.asarray(inputs, dtype=FLOAT_DTYPE)
+        for layer in self.layers:
+            current = layer.forward(current, training=False)
+            outputs.append(current)
+        return outputs
+
+    def forward_from(self, inputs: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Run layers ``start`` (inclusive) through ``stop`` (exclusive)."""
+        current = np.asarray(inputs, dtype=FLOAT_DTYPE)
+        for layer in self.layers[start:stop]:
+            current = layer.forward(current, training=False)
+        return current
+
+    def classify(self, inputs: np.ndarray) -> np.ndarray:
+        """Return argmax class predictions for a batch."""
+        return np.argmax(self.predict(inputs), axis=-1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray, batch_size: int = 256) -> float:
+        """Classification accuracy of the model on ``(inputs, labels)``."""
+        labels = np.asarray(labels)
+        correct = 0
+        total = labels.shape[0]
+        for start in range(0, total, batch_size):
+            batch = inputs[start : start + batch_size]
+            predictions = self.classify(batch)
+            correct += int(np.sum(predictions == labels[start : start + batch_size]))
+        return correct / max(total, 1)
+
+    # ------------------------------------------------------------------ #
+    # Weights
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> dict[str, np.ndarray]:
+        """Return a name → parameter-array mapping for all parameterized layers."""
+        return {
+            layer.name: layer.get_weights() for layer in self.layers if layer.has_parameters
+        }
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        """Load a mapping produced by :meth:`get_weights`."""
+        for layer in self.layers:
+            if layer.has_parameters and layer.name in weights:
+                layer.set_weights(weights[layer.name])
+
+    def parameter_count(self) -> int:
+        """Total number of trainable parameters in the model."""
+        return sum(layer.parameter_count for layer in self.layers)
+
+    def parameter_bytes(self) -> int:
+        """Total parameter size in bytes (float32 words)."""
+        return self.parameter_count() * 4
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer_index(self, name: str) -> int:
+        """Return the position of the layer called ``name``."""
+        for index, layer in enumerate(self.layers):
+            if layer.name == name:
+                return index
+        raise KeyError(f"no layer named {name!r} in model {self.name!r}")
+
+    def get_layer(self, name: str) -> Layer:
+        """Return the layer called ``name``."""
+        return self.layers[self.layer_index(name)]
+
+    def signatures(self) -> list[LayerSignature]:
+        """Return static signatures of all layers (model must be built)."""
+        return [layer.signature() for layer in self.layers]
+
+    def summary(self) -> str:
+        """Return a human readable architecture table (like Tables I-III)."""
+        if not self.built:
+            raise NotBuiltError(f"model {self.name!r} has not been built")
+        lines = [f"Model: {self.name}", f"{'Layer':<28}{'Output Shape':<20}{'Trainable':>12}"]
+        lines.append("-" * 60)
+        for layer in self.layers:
+            shape = str(layer.output_shape)
+            lines.append(f"{layer.name:<28}{shape:<20}{layer.parameter_count:>12,}")
+        lines.append("-" * 60)
+        lines.append(f"Total trainable parameters: {self.parameter_count():,}")
+        return "\n".join(lines)

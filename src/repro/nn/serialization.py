@@ -1,0 +1,58 @@
+"""Model weight (de)serialization.
+
+Weights are stored with :func:`numpy.savez_compressed` keyed by layer name.
+This is used by experiments to cache trained networks so the expensive training
+step runs only once per configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.nn.model import Sequential
+
+__all__ = ["save_model_weights", "load_model_weights"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_model_weights(model: Sequential, path: PathLike) -> None:
+    """Save all parameterized layers of ``model`` to ``path`` (.npz)."""
+    weights = model.get_weights()
+    if not weights:
+        raise SerializationError(f"model {model.name!r} has no parameters to save")
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(os.fspath(path), **weights)
+
+
+def load_model_weights(model: Sequential, path: PathLike) -> None:
+    """Load weights saved by :func:`save_model_weights` into ``model``.
+
+    Every parameterized layer of the model must be present in the archive and
+    have a matching shape; otherwise a :class:`SerializationError` is raised.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise SerializationError(f"weight file not found: {path}")
+    with np.load(path) as archive:
+        stored = {key: archive[key] for key in archive.files}
+    for layer in model.layers:
+        if not layer.has_parameters:
+            continue
+        if layer.name not in stored:
+            raise SerializationError(
+                f"weight archive {path} is missing parameters for layer {layer.name!r}"
+            )
+        expected = layer.get_weights().shape
+        if stored[layer.name].shape != expected:
+            raise SerializationError(
+                f"layer {layer.name!r} expects weights of shape {expected}, archive has "
+                f"{stored[layer.name].shape}"
+            )
+    model.set_weights(stored)

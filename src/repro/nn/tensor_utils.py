@@ -1,0 +1,175 @@
+"""Tensor manipulation helpers shared by convolution and pooling layers.
+
+The central pieces are :func:`im2col` and :func:`col2im`, which lower a 2-D
+convolution to a matrix multiplication over extracted patches.  MILR's
+convolution parameter solving and inversion operate directly on the patch
+matrix, so these helpers are used both by inference and by the recovery code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.types import FLOAT_DTYPE
+
+__all__ = [
+    "conv_output_length",
+    "pad_same_amounts",
+    "pad_input",
+    "unpad_input",
+    "im2col",
+    "col2im",
+    "pool_patches",
+]
+
+
+def conv_output_length(input_length: int, filter_length: int, stride: int, padding: str) -> int:
+    """Return the spatial output length of a convolution along one axis.
+
+    Args:
+        input_length: Input size along the axis.
+        filter_length: Filter size along the axis.
+        stride: Stride along the axis.
+        padding: ``"valid"`` or ``"same"``.
+    """
+    if padding == "valid":
+        if input_length < filter_length:
+            raise ShapeError(
+                f"input length {input_length} smaller than filter {filter_length} with valid padding"
+            )
+        return (input_length - filter_length) // stride + 1
+    if padding == "same":
+        return (input_length + stride - 1) // stride
+    raise ShapeError(f"unknown padding mode {padding!r}")
+
+
+def pad_same_amounts(input_length: int, filter_length: int, stride: int) -> tuple[int, int]:
+    """Return ``(pad_before, pad_after)`` for 'same' padding along one axis."""
+    output_length = (input_length + stride - 1) // stride
+    pad_total = max((output_length - 1) * stride + filter_length - input_length, 0)
+    pad_before = pad_total // 2
+    pad_after = pad_total - pad_before
+    return pad_before, pad_after
+
+
+def pad_input(
+    inputs: np.ndarray, filter_size: tuple[int, int], stride: tuple[int, int], padding: str
+) -> tuple[np.ndarray, tuple[tuple[int, int], tuple[int, int]]]:
+    """Zero-pad a ``(B, H, W, C)`` tensor according to the padding mode.
+
+    Returns the padded tensor and the per-axis padding amounts so callers can
+    later strip the padding again (:func:`unpad_input`).
+    """
+    if inputs.ndim != 4:
+        raise ShapeError(f"expected a 4-D (B,H,W,C) tensor, got shape {inputs.shape}")
+    if padding == "valid":
+        return inputs, ((0, 0), (0, 0))
+    if padding != "same":
+        raise ShapeError(f"unknown padding mode {padding!r}")
+    pad_h = pad_same_amounts(inputs.shape[1], filter_size[0], stride[0])
+    pad_w = pad_same_amounts(inputs.shape[2], filter_size[1], stride[1])
+    padded = np.pad(inputs, ((0, 0), pad_h, pad_w, (0, 0)), mode="constant")
+    return padded, (pad_h, pad_w)
+
+
+def unpad_input(
+    padded: np.ndarray, pad_amounts: tuple[tuple[int, int], tuple[int, int]]
+) -> np.ndarray:
+    """Inverse of :func:`pad_input`: strip the recorded padding."""
+    (top, bottom), (left, right) = pad_amounts
+    height = padded.shape[1]
+    width = padded.shape[2]
+    return padded[:, top : height - bottom if bottom else height, left : width - right if right else width, :]
+
+
+def im2col(
+    inputs: np.ndarray, filter_size: tuple[int, int], stride: tuple[int, int]
+) -> np.ndarray:
+    """Extract convolution patches from a (pre-padded) ``(B, H, W, C)`` tensor.
+
+    Returns an array of shape ``(B, G1, G2, F1*F2*C)`` where ``G1``/``G2`` are
+    the output spatial dimensions.  The last axis is ordered
+    ``(f1, f2, channel)`` row-major, matching how :class:`Conv2D` flattens its
+    filter tensor.
+    """
+    if inputs.ndim != 4:
+        raise ShapeError(f"expected a 4-D (B,H,W,C) tensor, got shape {inputs.shape}")
+    f1, f2 = filter_size
+    s1, s2 = stride
+    batch, height, width, channels = inputs.shape
+    if height < f1 or width < f2:
+        raise ShapeError(
+            f"input spatial size ({height},{width}) smaller than filter ({f1},{f2})"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(inputs, (f1, f2), axis=(1, 2))
+    # windows: (B, H-f1+1, W-f2+1, C, f1, f2) -> apply stride, reorder to (f1, f2, C)
+    windows = windows[:, ::s1, ::s2, :, :, :]
+    windows = np.transpose(windows, (0, 1, 2, 4, 5, 3))
+    out_h, out_w = windows.shape[1], windows.shape[2]
+    patches = windows.reshape(batch, out_h, out_w, f1 * f2 * channels)
+    return np.ascontiguousarray(patches)
+
+
+def col2im(
+    patches: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    filter_size: tuple[int, int],
+    stride: tuple[int, int],
+    reduce: str = "mean",
+) -> np.ndarray:
+    """Fold a patch tensor back into an input tensor.
+
+    This is used by convolution *inversion*: each patch contains a
+    reconstruction of one receptive field, and overlapping reconstructions are
+    combined.  With ``reduce="mean"`` overlapping values are averaged (robust
+    to small numeric noise); ``reduce="sum"`` returns the raw accumulation
+    (useful for gradient computation).
+
+    Args:
+        patches: ``(B, G1, G2, F1*F2*C)`` patch tensor.
+        input_shape: The padded input shape ``(B, H, W, C)`` to reconstruct.
+        filter_size: ``(F1, F2)``.
+        stride: ``(S1, S2)``.
+        reduce: ``"mean"`` or ``"sum"``.
+    """
+    if reduce not in ("mean", "sum"):
+        raise ValueError(f"reduce must be 'mean' or 'sum', got {reduce!r}")
+    batch, height, width, channels = input_shape
+    f1, f2 = filter_size
+    s1, s2 = stride
+    out_h, out_w = patches.shape[1], patches.shape[2]
+    patches = patches.reshape(batch, out_h, out_w, f1, f2, channels)
+    accum = np.zeros(input_shape, dtype=np.float64)
+    counts = np.zeros((height, width), dtype=np.float64)
+    for i in range(out_h):
+        row = i * s1
+        for j in range(out_w):
+            col = j * s2
+            accum[:, row : row + f1, col : col + f2, :] += patches[:, i, j]
+            counts[row : row + f1, col : col + f2] += 1.0
+    if reduce == "mean":
+        counts = np.maximum(counts, 1.0)
+        accum /= counts[None, :, :, None]
+    return accum.astype(FLOAT_DTYPE)
+
+
+def pool_patches(
+    inputs: np.ndarray, pool_size: tuple[int, int], stride: tuple[int, int]
+) -> np.ndarray:
+    """Extract pooling windows from ``(B, H, W, C)``.
+
+    Returns ``(B, G1, G2, P1*P2, C)`` so that max/avg reductions can be taken
+    over axis 3 while keeping channels separate.
+    """
+    if inputs.ndim != 4:
+        raise ShapeError(f"expected a 4-D (B,H,W,C) tensor, got shape {inputs.shape}")
+    p1, p2 = pool_size
+    s1, s2 = stride
+    windows = np.lib.stride_tricks.sliding_window_view(inputs, (p1, p2), axis=(1, 2))
+    windows = windows[:, ::s1, ::s2, :, :, :]
+    # (B, G1, G2, C, p1, p2) -> (B, G1, G2, p1*p2, C)
+    windows = np.transpose(windows, (0, 1, 2, 4, 5, 3))
+    batch, g1, g2 = windows.shape[:3]
+    channels = windows.shape[-1]
+    return np.ascontiguousarray(windows.reshape(batch, g1, g2, p1 * p2, channels))

@@ -1,0 +1,26 @@
+"""Training machinery: losses, optimizers, metrics and the trainer loop."""
+
+from repro.nn.training.losses import (
+    CategoricalCrossEntropy,
+    Loss,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.training.metrics import accuracy_score, confusion_matrix, top_k_accuracy
+from repro.nn.training.optimizers import SGD, Adam, Optimizer
+from repro.nn.training.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "CategoricalCrossEntropy",
+    "SoftmaxCrossEntropy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "TrainingHistory",
+    "accuracy_score",
+    "top_k_accuracy",
+    "confusion_matrix",
+]

@@ -1,0 +1,105 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.types import FLOAT_DTYPE
+
+__all__ = ["Loss", "MeanSquaredError", "CategoricalCrossEntropy", "SoftmaxCrossEntropy"]
+
+_EPSILON = 1e-7
+
+
+def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    labels = np.asarray(labels).astype(np.int64).reshape(-1)
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ShapeError(
+            f"labels must be in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=FLOAT_DTYPE)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+class Loss(ABC):
+    """Base class: a loss returns a scalar value and a gradient w.r.t. predictions."""
+
+    @abstractmethod
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss over the batch."""
+
+    @abstractmethod
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. ``predictions``."""
+
+    def _targets_like(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Coerce integer class labels into one-hot targets matching predictions."""
+        targets = np.asarray(targets)
+        if targets.ndim == predictions.ndim and targets.shape == predictions.shape:
+            return targets.astype(FLOAT_DTYPE)
+        if targets.ndim == 1 and predictions.ndim == 2:
+            return _one_hot(targets, predictions.shape[1])
+        raise ShapeError(
+            f"cannot align targets of shape {targets.shape} with predictions "
+            f"of shape {predictions.shape}"
+        )
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error over all elements."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = self._targets_like(predictions, targets)
+        diff = predictions.astype(np.float64) - targets.astype(np.float64)
+        return float(np.mean(diff * diff))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = self._targets_like(predictions, targets)
+        scale = 2.0 / predictions.size
+        return (scale * (predictions - targets)).astype(FLOAT_DTYPE)
+
+
+class CategoricalCrossEntropy(Loss):
+    """Cross entropy on probability predictions (model ends in a Softmax layer)."""
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = self._targets_like(predictions, targets)
+        clipped = np.clip(predictions.astype(np.float64), _EPSILON, 1.0)
+        return float(-np.mean(np.sum(targets * np.log(clipped), axis=-1)))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = self._targets_like(predictions, targets)
+        clipped = np.clip(predictions.astype(np.float64), _EPSILON, 1.0)
+        batch = predictions.shape[0]
+        return (-(targets / clipped) / batch).astype(FLOAT_DTYPE)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Numerically stable softmax + cross entropy on raw logits.
+
+    Use this when the model does *not* end in a Softmax layer; the combined
+    gradient ``softmax(logits) - targets`` avoids the poorly conditioned
+    separate softmax gradient.
+    """
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits.astype(np.float64) - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = self._targets_like(predictions, targets)
+        probabilities = np.clip(self._softmax(predictions), _EPSILON, 1.0)
+        return float(-np.mean(np.sum(targets * np.log(probabilities), axis=-1)))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = self._targets_like(predictions, targets)
+        probabilities = self._softmax(predictions)
+        batch = predictions.shape[0]
+        return ((probabilities - targets) / batch).astype(FLOAT_DTYPE)

@@ -1,0 +1,55 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+__all__ = ["accuracy_score", "top_k_accuracy", "confusion_matrix"]
+
+
+def accuracy_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose argmax prediction matches the label.
+
+    ``predictions`` may be class indices (1-D) or per-class scores (2-D).
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels).reshape(-1)
+    if predictions.ndim == 2:
+        predictions = np.argmax(predictions, axis=-1)
+    if predictions.shape[0] != labels.shape[0]:
+        raise ShapeError(
+            f"predictions ({predictions.shape[0]}) and labels ({labels.shape[0]}) differ in length"
+        )
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))
+
+
+def top_k_accuracy(scores: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label is within the top-``k`` scored classes."""
+    scores = np.asarray(scores)
+    labels = np.asarray(labels).reshape(-1)
+    if scores.ndim != 2:
+        raise ShapeError(f"scores must be 2-D (batch, classes), got shape {scores.shape}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    k = min(k, scores.shape[1])
+    top_k = np.argsort(scores, axis=-1)[:, -k:]
+    hits = np.any(top_k == labels[:, None], axis=-1)
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(hits))
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return the ``(num_classes, num_classes)`` confusion matrix (rows = truth)."""
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = np.argmax(predictions, axis=-1)
+    labels = np.asarray(labels).reshape(-1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for truth, predicted in zip(labels, predictions):
+        matrix[int(truth), int(predicted)] += 1
+    return matrix

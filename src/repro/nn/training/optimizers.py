@@ -1,0 +1,96 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.types import FLOAT_DTYPE
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Base optimizer: applies parameter updates keyed by a stable slot name."""
+
+    def __init__(self, learning_rate: float = 0.01):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+
+    @abstractmethod
+    def update(self, slot: str, weights: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Return the new value of ``weights`` given ``gradient``."""
+
+    def reset(self) -> None:
+        """Clear any per-slot optimizer state (momentum, moments, ...)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def update(self, slot: str, weights: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        gradient = gradient.astype(np.float64)
+        if self.momentum > 0.0:
+            velocity = self._velocity.get(slot)
+            if velocity is None:
+                velocity = np.zeros_like(gradient)
+            velocity = self.momentum * velocity - self.learning_rate * gradient
+            self._velocity[slot] = velocity
+            return (weights.astype(np.float64) + velocity).astype(FLOAT_DTYPE)
+        return (weights.astype(np.float64) - self.learning_rate * gradient).astype(FLOAT_DTYPE)
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._first_moment: dict[str, np.ndarray] = {}
+        self._second_moment: dict[str, np.ndarray] = {}
+        self._steps: dict[str, int] = {}
+
+    def update(self, slot: str, weights: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        gradient = gradient.astype(np.float64)
+        m = self._first_moment.get(slot)
+        v = self._second_moment.get(slot)
+        if m is None or v is None:
+            m = np.zeros_like(gradient)
+            v = np.zeros_like(gradient)
+        step = self._steps.get(slot, 0) + 1
+        m = self.beta1 * m + (1.0 - self.beta1) * gradient
+        v = self.beta2 * v + (1.0 - self.beta2) * gradient * gradient
+        m_hat = m / (1.0 - self.beta1**step)
+        v_hat = v / (1.0 - self.beta2**step)
+        update = self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        self._first_moment[slot] = m
+        self._second_moment[slot] = v
+        self._steps[slot] = step
+        return (weights.astype(np.float64) - update).astype(FLOAT_DTYPE)
+
+    def reset(self) -> None:
+        self._first_moment.clear()
+        self._second_moment.clear()
+        self._steps.clear()

@@ -1,0 +1,119 @@
+"""Mini-batch training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.model import Sequential
+from repro.nn.training.losses import Loss, SoftmaxCrossEntropy
+from repro.nn.training.metrics import accuracy_score
+from repro.nn.training.optimizers import Adam, Optimizer
+
+__all__ = ["Trainer", "TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss/accuracy curves produced by :class:`Trainer.fit`."""
+
+    loss: list[float] = field(default_factory=list)
+    accuracy: list[float] = field(default_factory=list)
+    validation_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.loss)
+
+    def final_accuracy(self) -> float:
+        """Accuracy of the last epoch (validation if available, else training)."""
+        if self.validation_accuracy:
+            return self.validation_accuracy[-1]
+        if self.accuracy:
+            return self.accuracy[-1]
+        return 0.0
+
+
+class Trainer:
+    """Trains a :class:`Sequential` model with mini-batch gradient descent.
+
+    Args:
+        model: The model to train (must already be built).
+        loss: Loss function; defaults to softmax cross entropy on logits.
+        optimizer: Parameter update rule; defaults to Adam.
+        shuffle_seed: Seed for the per-epoch shuffling, for reproducible runs.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: Optional[Loss] = None,
+        optimizer: Optional[Optimizer] = None,
+        shuffle_seed: Optional[int] = 0,
+    ):
+        self.model = model
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self.optimizer = optimizer if optimizer is not None else Adam()
+        self._rng = np.random.default_rng(shuffle_seed)
+
+    # ------------------------------------------------------------------ #
+    def train_batch(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Run one forward/backward/update step and return the batch loss."""
+        predictions = self.model.predict(inputs, training=True)
+        loss_value = self.loss.value(predictions, labels)
+        gradient = self.loss.gradient(predictions, labels)
+        for layer in reversed(self.model.layers):
+            gradient = layer.backward(gradient)
+            if layer.has_parameters and layer.grad_weights is not None:
+                new_weights = self.optimizer.update(
+                    layer.name, layer.get_weights(), layer.grad_weights
+                )
+                layer.set_weights(new_weights)
+        return loss_value
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 32,
+        validation_data: Optional[tuple[np.ndarray, np.ndarray]] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``(inputs, labels)``."""
+        inputs = np.asarray(inputs)
+        labels = np.asarray(labels)
+        if inputs.shape[0] != labels.shape[0]:
+            raise ShapeError(
+                f"inputs ({inputs.shape[0]}) and labels ({labels.shape[0]}) differ in length"
+            )
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        history = TrainingHistory()
+        sample_count = inputs.shape[0]
+        for _ in range(epochs):
+            order = self._rng.permutation(sample_count)
+            epoch_losses: list[float] = []
+            for start in range(0, sample_count, batch_size):
+                batch_idx = order[start : start + batch_size]
+                epoch_losses.append(self.train_batch(inputs[batch_idx], labels[batch_idx]))
+            train_accuracy = accuracy_score(self.model.predict(inputs), labels)
+            history.loss.append(float(np.mean(epoch_losses)))
+            history.accuracy.append(train_accuracy)
+            if validation_data is not None:
+                val_inputs, val_labels = validation_data
+                history.validation_accuracy.append(
+                    accuracy_score(self.model.predict(val_inputs), val_labels)
+                )
+            if verbose:  # pragma: no cover - console convenience only
+                message = (
+                    f"epoch {history.epochs}: loss={history.loss[-1]:.4f} "
+                    f"acc={train_accuracy:.4f}"
+                )
+                if history.validation_accuracy:
+                    message += f" val_acc={history.validation_accuracy[-1]:.4f}"
+                print(message)
+        return history

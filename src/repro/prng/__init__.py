@@ -1,0 +1,14 @@
+"""Seeded pseudo-random tensor generation.
+
+MILR relies on seeded pseudo-random number generators in three places:
+
+* the known input used during the error-detection forward pass,
+* dummy parameters appended to make a layer invertible,
+* dummy inputs appended to make parameter solving well determined.
+
+Only the seed needs to be stored; the tensors are regenerated on demand.
+"""
+
+from repro.prng.generator import SeededTensorGenerator, derive_seed
+
+__all__ = ["SeededTensorGenerator", "derive_seed"]

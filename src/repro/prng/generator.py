@@ -1,0 +1,95 @@
+"""Deterministic, seed-addressable tensor generation.
+
+The generator must produce *identical* tensors every time it is asked for the
+same (seed, purpose, shape) triple: MILR regenerates detection inputs and dummy
+data long after initialization, potentially in a different process.  We
+therefore derive a child seed from a stable hash of the purpose string and use
+a fresh :class:`numpy.random.Generator` per request instead of sharing stateful
+generators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.types import FLOAT_DTYPE, ShapeLike, as_shape
+
+__all__ = ["derive_seed", "SeededTensorGenerator"]
+
+_SEED_MODULUS = 2**63 - 1
+
+
+def derive_seed(master_seed: int, purpose: str) -> int:
+    """Derive a stable child seed from ``master_seed`` and a purpose label.
+
+    The derivation uses SHA-256 so that distinct purposes ("detection-input",
+    "dummy-filters/layer3", ...) map to uncorrelated seeds, and the result is
+    identical across processes and Python versions (unlike ``hash``).
+    """
+    digest = hashlib.sha256(f"{master_seed}:{purpose}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % _SEED_MODULUS
+
+
+class SeededTensorGenerator:
+    """Generates reproducible pseudo-random tensors addressed by purpose.
+
+    Args:
+        master_seed: The single seed that must be stored in error-resistant
+            memory.  Every tensor the generator produces is a pure function of
+            this seed and the request arguments.
+        low: Lower bound of the uniform distribution used for tensors.
+        high: Upper bound of the uniform distribution used for tensors.
+
+    The uniform range defaults to ``[-1, 1)`` which keeps activations in the
+    detection pass well scaled for typical CNN weight magnitudes.
+    """
+
+    def __init__(self, master_seed: int = 0, low: float = -1.0, high: float = 1.0):
+        if high <= low:
+            raise ValueError(f"high ({high}) must be greater than low ({low})")
+        self._master_seed = int(master_seed)
+        self._low = float(low)
+        self._high = float(high)
+
+    @property
+    def master_seed(self) -> int:
+        """The stored master seed."""
+        return self._master_seed
+
+    def seed_for(self, purpose: str) -> int:
+        """Return the derived child seed for ``purpose``."""
+        return derive_seed(self._master_seed, purpose)
+
+    def uniform(self, purpose: str, shape: ShapeLike) -> np.ndarray:
+        """Return a float32 tensor of ``shape`` drawn uniformly from [low, high)."""
+        shape = as_shape(shape)
+        rng = np.random.default_rng(self.seed_for(purpose))
+        values = rng.uniform(self._low, self._high, size=shape)
+        return values.astype(FLOAT_DTYPE)
+
+    def standard_normal(self, purpose: str, shape: ShapeLike) -> np.ndarray:
+        """Return a float32 tensor of ``shape`` drawn from N(0, 1)."""
+        shape = as_shape(shape)
+        rng = np.random.default_rng(self.seed_for(purpose))
+        return rng.standard_normal(size=shape).astype(FLOAT_DTYPE)
+
+    def detection_input(self, shape: ShapeLike, batch: int = 1) -> np.ndarray:
+        """Return the golden detection-phase input tensor of ``(batch, *shape)``."""
+        shape = (int(batch),) + as_shape(shape)
+        return self.uniform("detection-input", shape)
+
+    def dummy_parameters(self, layer_name: str, shape: ShapeLike) -> np.ndarray:
+        """Return dummy parameters for ``layer_name`` (e.g. extra filters/columns)."""
+        return self.uniform(f"dummy-parameters/{layer_name}", shape)
+
+    def dummy_inputs(self, layer_name: str, shape: ShapeLike) -> np.ndarray:
+        """Return dummy input rows/patches for ``layer_name``."""
+        return self.uniform(f"dummy-inputs/{layer_name}", shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SeededTensorGenerator(master_seed={self._master_seed}, "
+            f"low={self._low}, high={self._high})"
+        )

@@ -1,0 +1,89 @@
+"""Shared type aliases and small value objects used across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+import numpy as np
+
+#: Canonical floating point dtype used for all parameters and activations.
+#: The paper operates on 32-bit floats; keeping everything in float32 ensures
+#: the bit-level fault model (32 bits per weight) matches the arithmetic.
+FLOAT_DTYPE = np.float32
+
+#: Integer dtype used when viewing float32 weights as raw bit patterns.
+BITS_DTYPE = np.uint32
+
+#: Number of bits in one weight word.
+BITS_PER_WEIGHT = 32
+
+#: A shape is a tuple of ints; layer APIs accept any int sequence.
+Shape = tuple[int, ...]
+ShapeLike = Union[Sequence[int], Shape]
+
+ArrayLike = Union[np.ndarray, Sequence[float], float]
+
+
+def as_shape(shape: ShapeLike) -> Shape:
+    """Normalize a shape-like sequence into a tuple of plain ints."""
+    return tuple(int(dim) for dim in shape)
+
+
+def as_float_array(values: ArrayLike) -> np.ndarray:
+    """Convert ``values`` to a C-contiguous float32 ndarray."""
+    return np.ascontiguousarray(np.asarray(values, dtype=FLOAT_DTYPE))
+
+
+@dataclass(frozen=True)
+class LayerSignature:
+    """Static description of a layer used by planners and reports.
+
+    Attributes:
+        name: Unique layer name within its model.
+        kind: Layer class name (``"Conv2D"``, ``"Dense"``, ...).
+        input_shape: Per-sample input shape (no batch dimension).
+        output_shape: Per-sample output shape (no batch dimension).
+        parameter_count: Number of trainable parameters owned by the layer.
+    """
+
+    name: str
+    kind: str
+    input_shape: Shape
+    output_shape: Shape
+    parameter_count: int
+
+
+@dataclass
+class StorageReport:
+    """Byte-level accounting of protection overheads for one model.
+
+    All quantities are in bytes.  ``breakdown`` maps a human readable item
+    name (e.g. ``"partial_checkpoints"``) to its size.
+    """
+
+    weights_bytes: int = 0
+    total_bytes: int = 0
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    def add(self, item: str, nbytes: int) -> None:
+        """Add ``nbytes`` under ``item`` and update the total."""
+        nbytes = int(nbytes)
+        self.breakdown[item] = self.breakdown.get(item, 0) + nbytes
+        self.total_bytes += nbytes
+
+    @property
+    def total_megabytes(self) -> float:
+        """Total overhead in decimal megabytes (paper reports MB)."""
+        return self.total_bytes / 1e6
+
+    @property
+    def weights_megabytes(self) -> float:
+        """Size of the raw weights in decimal megabytes."""
+        return self.weights_bytes / 1e6
+
+    def fraction_of_weights(self) -> float:
+        """Overhead expressed as a fraction of the raw weight size."""
+        if self.weights_bytes == 0:
+            return 0.0
+        return self.total_bytes / self.weights_bytes

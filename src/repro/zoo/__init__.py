@@ -1,0 +1,25 @@
+"""Model zoo: the paper's evaluation networks and reduced-scale variants."""
+
+from repro.zoo.networks import (
+    NetworkSpec,
+    build_cifar_large_network,
+    build_cifar_small_network,
+    build_mnist_network,
+    build_reduced_cifar_large_network,
+    build_reduced_cifar_network,
+    build_reduced_mnist_network,
+    network_table,
+    paper_layer_table,
+)
+
+__all__ = [
+    "NetworkSpec",
+    "build_mnist_network",
+    "build_cifar_small_network",
+    "build_cifar_large_network",
+    "build_reduced_mnist_network",
+    "build_reduced_cifar_network",
+    "build_reduced_cifar_large_network",
+    "network_table",
+    "paper_layer_table",
+]

@@ -1,0 +1,212 @@
+"""The paper's three evaluation networks (Tables I-III) and reduced variants.
+
+Every convolution and dense layer is followed by an explicit :class:`Bias`
+layer and a ReLU activation, exactly as the paper describes ("a bias and ReLu
+activation layer after each dense and convolution layer"), because MILR treats
+the bias as its own layer with its own algebraic relationship.
+
+The reduced variants keep the same structural motifs (conv blocks, pooling,
+flatten, dense head with biases and ReLUs) but shrink filter counts and dense
+widths so that training and the linear-algebra recovery paths run in seconds
+on a laptop-class CPU.  Accuracy experiments default to the reduced variants;
+storage and architecture experiments use the paper-exact networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.nn import (
+    Bias,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.types import Shape
+
+__all__ = [
+    "NetworkSpec",
+    "build_mnist_network",
+    "build_cifar_small_network",
+    "build_cifar_large_network",
+    "build_reduced_mnist_network",
+    "build_reduced_cifar_network",
+    "build_reduced_cifar_large_network",
+    "network_table",
+    "paper_layer_table",
+]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Description of a zoo network."""
+
+    name: str
+    input_shape: Shape
+    builder: Callable[[], Sequential]
+    paper_table: str
+
+
+def _conv_block(
+    model: Sequential, filters: int, kernel: int, padding: str, prefix: str, seed: int
+) -> None:
+    """Conv2D + Bias + ReLU, named consistently."""
+    model.add(Conv2D(filters, kernel, padding=padding, seed=seed, name=f"{prefix}_conv"))
+    model.add(Bias(name=f"{prefix}_bias", seed=seed + 1))
+    model.add(ReLU(name=f"{prefix}_relu"))
+
+
+def _dense_block(model: Sequential, units: int, prefix: str, seed: int, relu: bool = True) -> None:
+    """Dense + Bias (+ ReLU), named consistently."""
+    model.add(Dense(units, seed=seed, name=f"{prefix}_dense"))
+    model.add(Bias(name=f"{prefix}_bias", seed=seed + 1))
+    if relu:
+        model.add(ReLU(name=f"{prefix}_relu"))
+
+
+def build_mnist_network(seed: int = 10) -> Sequential:
+    """Paper Table I: the MNIST network (valid-padding convolutions)."""
+    model = Sequential(name="mnist")
+    _conv_block(model, 32, 3, "valid", "block1", seed)
+    _conv_block(model, 32, 3, "valid", "block2", seed + 10)
+    model.add(MaxPool2D(2, name="pool1"))
+    _conv_block(model, 64, 3, "valid", "block3", seed + 20)
+    model.add(Flatten(name="flatten"))
+    _dense_block(model, 256, "head1", seed + 30)
+    _dense_block(model, 10, "head2", seed + 40, relu=False)
+    model.build((28, 28, 1))
+    return model
+
+
+def build_cifar_small_network(seed: int = 20) -> Sequential:
+    """Paper Table II: the CIFAR-10 small network (same-padding convolutions)."""
+    model = Sequential(name="cifar_small")
+    _conv_block(model, 32, 3, "same", "block1", seed)
+    _conv_block(model, 32, 3, "same", "block2", seed + 10)
+    model.add(MaxPool2D(2, name="pool1"))
+    _conv_block(model, 64, 3, "same", "block3", seed + 20)
+    _conv_block(model, 64, 3, "same", "block4", seed + 30)
+    model.add(MaxPool2D(2, name="pool2"))
+    _conv_block(model, 128, 3, "same", "block5", seed + 40)
+    _conv_block(model, 128, 3, "same", "block6", seed + 50)
+    _conv_block(model, 128, 3, "same", "block7", seed + 60)
+    model.add(MaxPool2D(2, name="pool3"))
+    model.add(Flatten(name="flatten"))
+    _dense_block(model, 128, "head1", seed + 70)
+    _dense_block(model, 10, "head2", seed + 80, relu=False)
+    model.build((32, 32, 3))
+    return model
+
+
+def build_cifar_large_network(seed: int = 30) -> Sequential:
+    """Paper Table III: the CIFAR-10 large network (FAWCA-style, 5x5 filters)."""
+    model = Sequential(name="cifar_large")
+    _conv_block(model, 96, 5, "same", "block1", seed)
+    model.add(MaxPool2D(2, name="pool1"))
+    _conv_block(model, 96, 5, "same", "block2", seed + 10)
+    model.add(MaxPool2D(2, name="pool2"))
+    _conv_block(model, 80, 5, "same", "block3", seed + 20)
+    _conv_block(model, 64, 5, "same", "block4", seed + 30)
+    _conv_block(model, 64, 5, "same", "block5", seed + 40)
+    _conv_block(model, 96, 5, "same", "block6", seed + 50)
+    model.add(Flatten(name="flatten"))
+    _dense_block(model, 256, "head1", seed + 60)
+    _dense_block(model, 10, "head2", seed + 70, relu=False)
+    model.build((32, 32, 3))
+    return model
+
+
+def build_reduced_mnist_network(seed: int = 40) -> Sequential:
+    """Reduced MNIST-style network used by the fast accuracy experiments."""
+    model = Sequential(name="mnist_reduced")
+    _conv_block(model, 8, 3, "valid", "block1", seed)
+    _conv_block(model, 8, 3, "valid", "block2", seed + 10)
+    model.add(MaxPool2D(2, name="pool1"))
+    model.add(Flatten(name="flatten"))
+    _dense_block(model, 32, "head1", seed + 20)
+    _dense_block(model, 10, "head2", seed + 30, relu=False)
+    model.build((28, 28, 1))
+    return model
+
+
+def build_reduced_cifar_network(seed: int = 50) -> Sequential:
+    """Reduced CIFAR-style network used by the fast accuracy experiments."""
+    model = Sequential(name="cifar_reduced")
+    _conv_block(model, 12, 3, "same", "block1", seed)
+    model.add(MaxPool2D(2, name="pool1"))
+    _conv_block(model, 16, 3, "same", "block2", seed + 10)
+    model.add(MaxPool2D(2, name="pool2"))
+    model.add(Flatten(name="flatten"))
+    _dense_block(model, 48, "head1", seed + 20)
+    _dense_block(model, 10, "head2", seed + 30, relu=False)
+    model.build((32, 32, 3))
+    return model
+
+
+def build_reduced_cifar_large_network(seed: int = 60) -> Sequential:
+    """Reduced stand-in for the CIFAR-10 large network (Table III).
+
+    It keeps the large network's distinguishing traits at small scale: 5x5
+    filters, a deeper all-convolutional middle section whose later layers use
+    partial recoverability (``G^2 < F^2 Z``), and a wider dense head.
+    """
+    model = Sequential(name="cifar_reduced_large")
+    _conv_block(model, 16, 5, "same", "block1", seed)
+    model.add(MaxPool2D(2, name="pool1"))
+    _conv_block(model, 16, 5, "same", "block2", seed + 10)
+    model.add(MaxPool2D(2, name="pool2"))
+    _conv_block(model, 12, 3, "same", "block3", seed + 20)
+    _conv_block(model, 16, 3, "same", "block4", seed + 30)
+    model.add(Flatten(name="flatten"))
+    _dense_block(model, 64, "head1", seed + 40)
+    _dense_block(model, 10, "head2", seed + 50, relu=False)
+    model.build((32, 32, 3))
+    return model
+
+
+_SPECS = {
+    "mnist": NetworkSpec("mnist", (28, 28, 1), build_mnist_network, "Table I"),
+    "cifar_small": NetworkSpec("cifar_small", (32, 32, 3), build_cifar_small_network, "Table II"),
+    "cifar_large": NetworkSpec("cifar_large", (32, 32, 3), build_cifar_large_network, "Table III"),
+    "mnist_reduced": NetworkSpec("mnist_reduced", (28, 28, 1), build_reduced_mnist_network, "-"),
+    "cifar_reduced": NetworkSpec("cifar_reduced", (32, 32, 3), build_reduced_cifar_network, "-"),
+    "cifar_reduced_large": NetworkSpec(
+        "cifar_reduced_large", (32, 32, 3), build_reduced_cifar_large_network, "-"
+    ),
+}
+
+
+def network_table() -> dict[str, NetworkSpec]:
+    """All registered zoo networks keyed by name."""
+    return dict(_SPECS)
+
+
+def paper_layer_table(model: Sequential) -> list[dict[str, object]]:
+    """Rows matching the paper's architecture tables (Tables I-III).
+
+    The paper's "Trainable" column counts a layer's kernel *and* bias
+    together, so this helper merges each Bias layer into the preceding
+    convolution/dense layer and skips activation layers.
+    """
+    rows: list[dict[str, object]] = []
+    for layer in model.layers:
+        kind = type(layer).__name__
+        if kind in ("Conv2D", "Dense"):
+            rows.append(
+                {
+                    "layer": kind,
+                    "output_shape": layer.output_shape,
+                    "trainable": layer.parameter_count,
+                }
+            )
+        elif kind == "Bias" and rows:
+            rows[-1]["trainable"] = int(rows[-1]["trainable"]) + layer.parameter_count
+        elif kind in ("MaxPool2D", "AvgPool2D"):
+            rows.append(
+                {"layer": "Max Pooling", "output_shape": layer.output_shape, "trainable": 0}
+            )
+    return rows

@@ -1,0 +1,100 @@
+"""Tests for the availability / minimum-accuracy trade-off model (Eq. 6, Fig. 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AvailabilityModel, dram_error_interval_seconds
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture
+def model():
+    return AvailabilityModel(
+        detection_seconds=0.01,
+        recovery_seconds=1.0,
+        error_interval_seconds=3600.0,
+        detections_per_period=2,
+        yearly_accuracy_floor=0.5,
+    )
+
+
+class TestDramErrorInterval:
+    def test_larger_models_fail_more_often(self):
+        small = dram_error_interval_seconds(1_000_000)
+        large = dram_error_interval_seconds(10_000_000)
+        assert large < small
+
+    def test_positive(self):
+        assert dram_error_interval_seconds(6_680_000) > 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ExperimentError):
+            dram_error_interval_seconds(0)
+
+
+class TestAvailabilityModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(ExperimentError):
+            AvailabilityModel(-1.0, 1.0, 100.0)
+        with pytest.raises(ExperimentError):
+            AvailabilityModel(1.0, 1.0, 0.0)
+        with pytest.raises(ExperimentError):
+            AvailabilityModel(1.0, 1.0, 100.0, detections_per_period=0)
+        with pytest.raises(ExperimentError):
+            AvailabilityModel(1.0, 1.0, 100.0, yearly_accuracy_floor=2.0)
+
+    def test_accuracy_degrades_linearly(self, model):
+        assert model.accuracy_after_errors(0) == 1.0
+        half_year = model.errors_per_year / 2
+        assert model.accuracy_after_errors(half_year) == pytest.approx(0.75)
+        assert model.accuracy_after_errors(model.errors_per_year) == pytest.approx(0.5)
+
+    def test_accuracy_never_below_floor(self, model):
+        assert model.accuracy_after_errors(model.errors_per_year * 100) == pytest.approx(0.5)
+
+    def test_maintenance_overhead(self, model):
+        assert model.maintenance_overhead_seconds() == pytest.approx(1.02)
+
+    def test_period_shorter_than_overhead_rejected(self, model):
+        with pytest.raises(ExperimentError):
+            model.evaluate_period(0.5)
+
+    def test_longer_period_raises_availability_lowers_accuracy(self, model):
+        short = model.evaluate_period(100.0)
+        long = model.evaluate_period(100_000.0)
+        assert long.availability > short.availability
+        assert long.minimum_accuracy <= short.minimum_accuracy
+
+    def test_trade_off_curve_monotone(self, model):
+        curve = model.trade_off_curve(points=20)
+        availabilities = [point.availability for point in curve]
+        accuracies = [point.minimum_accuracy for point in curve]
+        assert availabilities == sorted(availabilities)
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_curve_needs_two_points(self, model):
+        with pytest.raises(ExperimentError):
+            model.trade_off_curve(points=1)
+
+    def test_user_a_and_b_queries_consistent(self, model):
+        # Asking for the accuracy at the availability we computed for a given
+        # accuracy target must give back at least that accuracy target.
+        target_accuracy = 0.999
+        availability = model.availability_for_accuracy(target_accuracy)
+        assert 0.0 < availability < 1.0
+        accuracy = model.accuracy_for_availability(availability)
+        assert accuracy >= target_accuracy - 1e-6
+
+    def test_accuracy_for_higher_availability_is_lower(self, model):
+        assert model.accuracy_for_availability(0.9999) <= model.accuracy_for_availability(0.99)
+
+    def test_invalid_query_arguments(self, model):
+        with pytest.raises(ExperimentError):
+            model.availability_for_accuracy(1.5)
+        with pytest.raises(ExperimentError):
+            model.accuracy_for_availability(1.0)
+
+    def test_zero_degradation_gives_full_availability(self):
+        model = AvailabilityModel(0.01, 1.0, 3600.0, yearly_accuracy_floor=1.0)
+        assert model.availability_for_accuracy(0.99999) == 1.0

@@ -1,0 +1,55 @@
+"""Tests for plain-text report formatting."""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, format_storage_table, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_contains_headers_and_values(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.125}])
+        assert "a" in text and "b" in text
+        assert "4.1250" in text
+
+    def test_title_included(self):
+        assert format_table([{"x": 1}], title="My Table").startswith("My Table")
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        lines = text.splitlines()
+        assert lines[0].strip() == "b"
+        assert "a" not in lines[0]
+
+    def test_precision(self):
+        text = format_table([{"x": 0.123456}], precision=2)
+        assert "0.12" in text and "0.1235" not in text
+
+    def test_missing_column_value_rendered_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+
+class TestFormatStorageTable:
+    def test_contains_paper_columns(self):
+        rows = [
+            {
+                "network": "mnist",
+                "backup_weights_mb": 6.68,
+                "ecc_mb": 1.46,
+                "milr_mb": 6.81,
+                "ecc_and_milr_mb": 8.27,
+            }
+        ]
+        text = format_storage_table(rows, "Table V")
+        assert "Table V" in text
+        assert "6.68" in text and "8.27" in text
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series("error_rate", "accuracy", [(1e-5, 1.0), (1e-3, 0.4)])
+        assert "error_rate" in text and "accuracy" in text
+        assert "0.4000" in text

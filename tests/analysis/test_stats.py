@@ -1,0 +1,73 @@
+"""Tests for box-plot statistics and normalized accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import BoxPlotStats, normalized_accuracy, summarize_runs
+
+
+class TestNormalizedAccuracy:
+    def test_ratio(self):
+        assert normalized_accuracy(0.5, 1.0) == 0.5
+
+    def test_perfect(self):
+        assert normalized_accuracy(0.848, 0.848) == pytest.approx(1.0)
+
+    def test_zero_baseline_falls_back_to_raw(self):
+        assert normalized_accuracy(0.3, 0.0) == 0.3
+
+    def test_can_exceed_one(self):
+        # Recovery occasionally lands slightly above the noisy baseline.
+        assert normalized_accuracy(0.9, 0.85) > 1.0
+
+
+class TestBoxPlotStats:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxPlotStats.from_samples([])
+
+    def test_single_sample(self):
+        stats = BoxPlotStats.from_samples([0.7])
+        assert stats.median == 0.7
+        assert stats.minimum == stats.maximum == 0.7
+        assert stats.outliers == ()
+
+    def test_quartiles_of_known_data(self):
+        stats = BoxPlotStats.from_samples([1, 2, 3, 4, 5])
+        assert stats.median == 3
+        assert stats.first_quartile == 2
+        assert stats.third_quartile == 4
+
+    def test_outlier_detection(self):
+        samples = [1.0] * 20 + [100.0]
+        stats = BoxPlotStats.from_samples(samples)
+        assert 100.0 in stats.outliers
+        assert stats.upper_whisker == 1.0
+
+    def test_whiskers_clipped_to_data(self):
+        samples = list(np.random.default_rng(0).normal(0, 1, 200))
+        stats = BoxPlotStats.from_samples(samples)
+        assert stats.lower_whisker >= stats.minimum
+        assert stats.upper_whisker <= stats.maximum
+
+    def test_mean_and_count(self):
+        stats = BoxPlotStats.from_samples([0.0, 1.0])
+        assert stats.mean == 0.5
+        assert stats.count == 2
+
+    def test_as_dict_keys(self):
+        stats = BoxPlotStats.from_samples([1, 2, 3])
+        assert set(stats.as_dict()) == {"count", "min", "q1", "median", "q3", "max", "mean"}
+
+
+class TestSummarizeRuns:
+    def test_summarizes_each_key(self):
+        summary = summarize_runs({1e-3: [0.9, 1.0], 1e-4: [1.0, 1.0]})
+        assert set(summary) == {"0.001", "0.0001"}
+        assert summary["0.001"].median == pytest.approx(0.95)
+
+    def test_sorted_keys(self):
+        summary = summarize_runs({2: [1], 1: [2]})
+        assert list(summary) == ["1", "2"]

@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MILRConfig, MILRProtector
+from repro.data import make_mnist_like, train_test_split
+from repro.nn import (
+    Bias,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.nn.training import Adam, Trainer
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_dense_model() -> Sequential:
+    """A small dense network: Dense -> Bias -> ReLU -> Dense -> Bias."""
+    model = Sequential(
+        [
+            Dense(16, seed=1, name="d1"),
+            Bias(name="b1", seed=2),
+            ReLU(name="r1"),
+            Dense(8, seed=3, name="d2"),
+            Bias(name="b2", seed=4),
+        ],
+        name="tiny_dense",
+    )
+    model.build((12,))
+    return model
+
+
+@pytest.fixture
+def tiny_conv_model() -> Sequential:
+    """A small CNN exercising conv, bias, relu, pooling, flatten and dense layers."""
+    model = Sequential(
+        [
+            Conv2D(6, 3, padding="valid", seed=1, name="c1"),
+            Bias(name="cb1", seed=2),
+            ReLU(name="r1"),
+            MaxPool2D(2, name="p1"),
+            Flatten(name="f1"),
+            Dense(10, seed=3, name="d1"),
+            Bias(name="db1", seed=4),
+        ],
+        name="tiny_conv",
+    )
+    model.build((10, 10, 2))
+    return model
+
+
+@pytest.fixture
+def partial_conv_model() -> Sequential:
+    """A conv layer with G^2 < F^2 Z, forcing partial recoverability."""
+    model = Sequential(
+        [Conv2D(4, 3, padding="valid", seed=5, name="c1"), Bias(name="b1", seed=6)],
+        name="partial_conv",
+    )
+    model.build((6, 6, 8))
+    return model
+
+
+@pytest.fixture
+def protected_conv(tiny_conv_model) -> tuple[Sequential, MILRProtector]:
+    """A tiny conv model with MILR initialized."""
+    protector = MILRProtector(tiny_conv_model, MILRConfig(master_seed=7))
+    protector.initialize()
+    return tiny_conv_model, protector
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_network():
+    """A very small trained classifier used by integration tests.
+
+    Session-scoped because training (even a tiny network) costs a couple of
+    seconds; tests must not mutate the returned model's weights without
+    restoring them.
+    """
+    dataset = make_mnist_like(samples_per_class=40, seed=5)
+    train_set, test_set = train_test_split(dataset, test_fraction=0.25, seed=5)
+    model = Sequential(
+        [
+            Conv2D(6, 3, padding="valid", seed=11, name="c1"),
+            Bias(name="cb1", seed=12),
+            ReLU(name="r1"),
+            MaxPool2D(2, name="p1"),
+            Flatten(name="f1"),
+            Dense(32, seed=13, name="d1"),
+            Bias(name="db1", seed=14),
+            ReLU(name="r2"),
+            Dense(10, seed=15, name="d2"),
+            Bias(name="db2", seed=16),
+        ],
+        name="trained_tiny",
+    )
+    model.build((28, 28, 1))
+    trainer = Trainer(model, optimizer=Adam(learning_rate=0.004), shuffle_seed=3)
+    trainer.fit(train_set.images, train_set.labels, epochs=8, batch_size=32)
+    baseline = model.accuracy(test_set.images, test_set.labels)
+    return {
+        "model": model,
+        "test_images": test_set.images,
+        "test_labels": test_set.labels,
+        "baseline_accuracy": baseline,
+    }

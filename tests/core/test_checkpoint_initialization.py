@@ -1,0 +1,161 @@
+"""Tests for the checkpoint store and the initialization phase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MILRConfig
+from repro.core.checkpoint import CheckpointStore
+from repro.core.initialization import build_checkpoint_store, partial_checkpoint_of
+from repro.core.passes import linearized_collect, linearized_forward
+from repro.core.planner import plan_model
+from repro.exceptions import CheckpointError
+from repro.prng import SeededTensorGenerator
+
+
+@pytest.fixture
+def config():
+    return MILRConfig(master_seed=17)
+
+
+@pytest.fixture
+def prng(config):
+    return SeededTensorGenerator(config.master_seed)
+
+
+class TestCheckpointStoreAccessors:
+    def test_missing_partial_checkpoint(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError):
+            store.partial_checkpoint(0)
+
+    def test_missing_input_checkpoint(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError):
+            store.input_checkpoint(3)
+
+    def test_missing_final_output(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError):
+            store.require_final_output()
+
+    def test_missing_dummy_outputs(self):
+        store = CheckpointStore()
+        with pytest.raises(CheckpointError):
+            store.dummy_row_outputs(1)
+        with pytest.raises(CheckpointError):
+            store.dummy_column_outputs(1)
+        with pytest.raises(CheckpointError):
+            store.dummy_filter_outputs(1)
+        with pytest.raises(CheckpointError):
+            store.crc_codes_for(1)
+
+    def test_storage_report_empty(self):
+        report = CheckpointStore().storage_report(weights_bytes=100)
+        assert report.weights_bytes == 100
+        assert report.total_bytes == 8  # just the master seed
+
+
+class TestLinearizedPasses:
+    def test_linearized_forward_skips_activations(self, tiny_dense_model, prng):
+        plan = plan_model(tiny_dense_model)
+        x = prng.uniform("test", (2, 12))
+        linear = linearized_forward(tiny_dense_model, plan, x, 0, len(tiny_dense_model.layers))
+        # Manual: dense, bias, (skip relu), dense, bias.
+        manual = x
+        for name in ("d1", "b1", "d2", "b2"):
+            manual = tiny_dense_model.get_layer(name).forward(manual)
+        np.testing.assert_allclose(linear, manual, rtol=1e-6)
+
+    def test_linearized_collect_lengths(self, tiny_conv_model, prng):
+        plan = plan_model(tiny_conv_model)
+        x = prng.uniform("test", (1,) + tiny_conv_model.input_shape)
+        activations = linearized_collect(tiny_conv_model, plan, x)
+        assert len(activations) == len(tiny_conv_model.layers) + 1
+        np.testing.assert_array_equal(activations[0], x)
+
+    def test_collect_consistent_with_forward(self, tiny_conv_model, prng):
+        plan = plan_model(tiny_conv_model)
+        x = prng.uniform("test", (1,) + tiny_conv_model.input_shape)
+        activations = linearized_collect(tiny_conv_model, plan, x)
+        via_forward = linearized_forward(
+            tiny_conv_model, plan, x, 0, len(tiny_conv_model.layers)
+        )
+        np.testing.assert_allclose(activations[-1], via_forward, rtol=1e-6)
+
+
+class TestBuildCheckpointStore:
+    def test_partial_checkpoints_for_every_parameterized_layer(
+        self, tiny_conv_model, config, prng
+    ):
+        plan = plan_model(tiny_conv_model, config)
+        store = build_checkpoint_store(tiny_conv_model, plan, config, prng)
+        expected = {p.index for p in plan.parameterized_layers()}
+        assert set(store.partial_checkpoints) == expected
+
+    def test_input_checkpoints_match_plan(self, tiny_conv_model, config, prng):
+        plan = plan_model(tiny_conv_model, config)
+        store = build_checkpoint_store(tiny_conv_model, plan, config, prng)
+        expected = {index for index in plan.checkpoint_indices if index != 0}
+        assert set(store.input_checkpoints) == expected
+
+    def test_final_output_stored(self, tiny_conv_model, config, prng):
+        plan = plan_model(tiny_conv_model, config)
+        store = build_checkpoint_store(tiny_conv_model, plan, config, prng)
+        assert store.final_output is not None
+        assert store.final_output.shape == (1, 10)
+
+    def test_dense_dummy_outputs_consistent_with_weights(self, tiny_dense_model, config, prng):
+        plan = plan_model(tiny_dense_model, config)
+        store = build_checkpoint_store(tiny_dense_model, plan, config, prng)
+        d1 = tiny_dense_model.get_layer("d1")
+        dummy_rows = prng.dummy_inputs("d1/solve-rows", (12, 12))
+        expected = dummy_rows.astype(np.float64) @ d1.get_weights().astype(np.float64)
+        np.testing.assert_allclose(store.dummy_row_outputs(0), expected, rtol=1e-5)
+
+    def test_conv_partial_layer_stores_crc_codes(self, partial_conv_model, config, prng):
+        plan = plan_model(partial_conv_model, config)
+        store = build_checkpoint_store(partial_conv_model, plan, config, prng)
+        codes = store.crc_codes_for(0)
+        assert len(codes) == 9  # 3x3 filter positions
+
+    def test_bias_partial_checkpoint_is_sum(self, tiny_conv_model, config, prng):
+        plan = plan_model(tiny_conv_model, config)
+        store = build_checkpoint_store(tiny_conv_model, plan, config, prng)
+        bias_index = tiny_conv_model.layer_index("cb1")
+        bias = tiny_conv_model.get_layer("cb1")
+        assert store.partial_checkpoint(bias_index)[0] == pytest.approx(
+            float(bias.get_weights().sum()), rel=1e-6
+        )
+
+    def test_storage_report_breakdown_keys(self, tiny_conv_model, config, prng):
+        plan = plan_model(tiny_conv_model, config)
+        store = build_checkpoint_store(tiny_conv_model, plan, config, prng)
+        report = store.storage_report(weights_bytes=tiny_conv_model.parameter_bytes())
+        for key in (
+            "master_seed",
+            "partial_checkpoints",
+            "input_checkpoints",
+            "final_output",
+            "dense_dummy_row_outputs",
+        ):
+            assert key in report.breakdown
+        assert report.total_bytes > 0
+
+    def test_partial_checkpoint_of_rejects_parameter_free_layer(self, tiny_conv_model, prng):
+        relu = tiny_conv_model.get_layer("r1")
+        with pytest.raises(CheckpointError):
+            partial_checkpoint_of(relu, 2, prng, MILRConfig())
+
+    def test_store_is_deterministic(self, tiny_conv_model, config, prng):
+        plan = plan_model(tiny_conv_model, config)
+        store_a = build_checkpoint_store(tiny_conv_model, plan, config, prng)
+        store_b = build_checkpoint_store(
+            tiny_conv_model, plan, config, SeededTensorGenerator(config.master_seed)
+        )
+        np.testing.assert_array_equal(store_a.final_output, store_b.final_output)
+        for index in store_a.partial_checkpoints:
+            np.testing.assert_array_equal(
+                store_a.partial_checkpoints[index], store_b.partial_checkpoints[index]
+            )

@@ -1,0 +1,40 @@
+"""Tests for MILRConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MILRConfig
+
+
+class TestMILRConfig:
+    def test_defaults_are_valid(self):
+        config = MILRConfig()
+        assert config.master_seed == 2021
+        assert config.crc_group_size == 4
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            MILRConfig(detection_rtol=-1.0)
+
+    def test_zero_detection_batch_rejected(self):
+        with pytest.raises(ValueError):
+            MILRConfig(detection_batch=0)
+
+    def test_invalid_crc_bits(self):
+        with pytest.raises(ValueError):
+            MILRConfig(crc_bits=16)
+
+    def test_invalid_crc_group(self):
+        with pytest.raises(ValueError):
+            MILRConfig(crc_group_size=0)
+
+    def test_frozen(self):
+        config = MILRConfig()
+        with pytest.raises(AttributeError):
+            config.master_seed = 5  # type: ignore[misc]
+
+    def test_custom_values(self):
+        config = MILRConfig(master_seed=7, prefer_partial_conv_recovery=False)
+        assert config.master_seed == 7
+        assert config.prefer_partial_conv_recovery is False

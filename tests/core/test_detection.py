@@ -1,0 +1,121 @@
+"""Tests for the MILR error-detection phase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MILRConfig, MILRProtector
+from repro.memory import inject_rber, inject_whole_weight
+from repro.memory.bitops import flip_bits
+
+
+class TestCleanDetection:
+    def test_clean_model_reports_no_errors(self, protected_conv):
+        _, protector = protected_conv
+        report = protector.detect()
+        assert not report.any_errors
+        assert report.erroneous_layers == []
+
+    def test_one_result_per_parameterized_layer(self, protected_conv):
+        model, protector = protected_conv
+        report = protector.detect()
+        parameterized = [layer for layer in model.layers if layer.has_parameters]
+        assert len(report.results) == len(parameterized)
+
+    def test_detection_is_repeatable(self, protected_conv):
+        _, protector = protected_conv
+        first = protector.detect()
+        second = protector.detect()
+        assert first.erroneous_layers == second.erroneous_layers
+
+    def test_result_for_unknown_index(self, protected_conv):
+        _, protector = protected_conv
+        report = protector.detect()
+        with pytest.raises(KeyError):
+            report.result_for(999)
+
+
+class TestCorruptedDetection:
+    def test_single_msb_flip_detected_in_conv(self, protected_conv, rng):
+        model, protector = protected_conv
+        layer = model.get_layer("c1")
+        weights = layer.get_weights()
+        corrupted = flip_bits(weights, np.array([0]), np.array([30]))  # exponent bit
+        layer.set_weights(corrupted)
+        report = protector.detect()
+        assert model.layer_index("c1") in report.erroneous_layers
+
+    def test_whole_weight_errors_detected_in_dense(self, protected_conv, rng):
+        model, protector = protected_conv
+        layer = model.get_layer("d1")
+        corrupted, _ = inject_whole_weight(layer.get_weights(), 0.05, rng)
+        layer.set_weights(corrupted)
+        report = protector.detect()
+        assert model.layer_index("d1") in report.erroneous_layers
+
+    def test_bias_error_detected_via_sum(self, protected_conv):
+        model, protector = protected_conv
+        layer = model.get_layer("cb1")
+        weights = layer.get_weights()
+        weights[2] += np.float32(0.5)
+        layer.set_weights(weights)
+        report = protector.detect()
+        assert model.layer_index("cb1") in report.erroneous_layers
+
+    def test_only_corrupted_layer_flagged(self, protected_conv, rng):
+        model, protector = protected_conv
+        layer = model.get_layer("c1")
+        corrupted, _ = inject_whole_weight(layer.get_weights(), 0.1, rng)
+        layer.set_weights(corrupted)
+        report = protector.detect()
+        assert report.erroneous_layers == [model.layer_index("c1")]
+
+    def test_tiny_lsb_flip_may_be_missed(self, protected_conv):
+        # The paper's detection is lightweight: errors must have a meaningful
+        # impact on the layer output.  Flipping the least significant mantissa
+        # bit produces a deviation far below the detection tolerance.
+        model, protector = protected_conv
+        layer = model.get_layer("c1")
+        weights = layer.get_weights()
+        corrupted = flip_bits(weights, np.array([0]), np.array([0]))
+        layer.set_weights(corrupted)
+        report = protector.detect()
+        result = report.result_for(model.layer_index("c1"))
+        assert result.max_relative_deviation < 1e-3
+
+    def test_detection_max_relative_deviation_reported(self, protected_conv, rng):
+        model, protector = protected_conv
+        layer = model.get_layer("c1")
+        corrupted, _ = inject_whole_weight(layer.get_weights(), 0.2, rng)
+        layer.set_weights(corrupted)
+        report = protector.detect()
+        result = report.result_for(model.layer_index("c1"))
+        assert result.erroneous
+        assert result.max_relative_deviation > 1e-3
+
+
+class TestPartialConvLocalization:
+    def test_suspect_mask_produced_for_partial_layers(self, partial_conv_model, rng):
+        protector = MILRProtector(partial_conv_model, MILRConfig(master_seed=3))
+        protector.initialize()
+        layer = partial_conv_model.get_layer("c1")
+        original = layer.get_weights()
+        corrupted = original.copy()
+        corrupted[1, 1, 2, 1] += 1.0
+        layer.set_weights(corrupted)
+        report = protector.detect()
+        result = report.result_for(0)
+        assert result.erroneous
+        assert result.suspect_mask is not None
+        assert result.suspect_mask[1, 1, 2, 1]
+        assert result.suspect_count >= 1
+
+    def test_full_conv_has_no_suspect_mask(self, protected_conv, rng):
+        model, protector = protected_conv
+        layer = model.get_layer("c1")
+        corrupted, _ = inject_whole_weight(layer.get_weights(), 0.1, rng)
+        layer.set_weights(corrupted)
+        report = protector.detect()
+        result = report.result_for(model.layer_index("c1"))
+        assert result.suspect_mask is None

@@ -1,0 +1,48 @@
+"""Tests for storage-overhead accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MILRProtector
+from repro.core.overhead import compare_storage_overheads, ecc_overhead_bytes
+
+
+class TestECCOverhead:
+    def test_seven_bits_per_word(self, tiny_conv_model):
+        expected = tiny_conv_model.parameter_count() * 7 / 8
+        assert ecc_overhead_bytes(tiny_conv_model) == pytest.approx(expected)
+
+
+class TestStorageComparison:
+    def test_comparison_fields(self, protected_conv):
+        model, protector = protected_conv
+        comparison = compare_storage_overheads(model, protector.store, "tiny")
+        assert comparison.backup_weights_bytes == model.parameter_bytes()
+        assert comparison.ecc_bytes == pytest.approx(ecc_overhead_bytes(model))
+        assert comparison.milr_bytes == protector.storage_report().total_bytes
+        assert comparison.ecc_and_milr_bytes == pytest.approx(
+            comparison.ecc_bytes + comparison.milr_bytes
+        )
+
+    def test_as_row_units_are_megabytes(self, protected_conv):
+        model, protector = protected_conv
+        row = protector.storage_comparison("tiny").as_row()
+        assert row["backup_weights_mb"] == pytest.approx(model.parameter_bytes() / 1e6)
+        assert set(row) == {
+            "network",
+            "backup_weights_mb",
+            "ecc_mb",
+            "milr_mb",
+            "ecc_and_milr_mb",
+        }
+
+    def test_saving_vs_backup(self, protected_conv):
+        model, protector = protected_conv
+        comparison = protector.storage_comparison()
+        expected = 1.0 - comparison.milr_bytes / comparison.backup_weights_bytes
+        assert comparison.milr_saving_vs_backup == pytest.approx(expected)
+
+    def test_default_network_name_is_model_name(self, protected_conv):
+        model, protector = protected_conv
+        assert protector.storage_comparison().network == model.name

@@ -1,0 +1,151 @@
+"""Tests for the MILR initialization planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MILRConfig
+from repro.core.planner import InversionStrategy, RecoveryStrategy, plan_model
+from repro.exceptions import LayerConfigurationError
+from repro.nn import Bias, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+
+class TestPlanGeneral:
+    def test_requires_built_model(self):
+        model = Sequential([Dense(4, seed=0)])
+        with pytest.raises(LayerConfigurationError):
+            plan_model(model)
+
+    def test_one_plan_per_layer(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        assert len(plan.layer_plans) == len(tiny_conv_model.layers)
+
+    def test_network_input_is_always_a_checkpoint(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        assert 0 in plan.checkpoint_indices
+
+    def test_pooling_forces_input_checkpoint(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        pool_index = tiny_conv_model.layer_index("p1")
+        assert pool_index in plan.checkpoint_indices
+        assert plan.plan_for(pool_index).inversion_strategy is InversionStrategy.CHECKPOINT
+
+    def test_parameterized_layers_listed(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        names = {plan_.name for plan_ in plan.parameterized_layers()}
+        assert names == {"c1", "cb1", "d1", "db1"}
+
+    def test_preceding_and_succeeding_checkpoints(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        layer_count = len(tiny_conv_model.layers)
+        dense_index = tiny_conv_model.layer_index("d1")
+        pool_index = tiny_conv_model.layer_index("p1")
+        assert plan.preceding_checkpoint(dense_index) == pool_index
+        assert plan.succeeding_checkpoint(dense_index, layer_count) == layer_count
+        assert plan.preceding_checkpoint(0) == 0
+        assert plan.succeeding_checkpoint(0, layer_count) == pool_index
+
+
+class TestDensePlanning:
+    def test_dense_strategies(self, tiny_dense_model):
+        plan = plan_model(tiny_dense_model)
+        dense_plan = plan.plan_for(0)
+        assert dense_plan.recovery_strategy is RecoveryStrategy.DENSE_FULL
+        assert dense_plan.inversion_strategy is InversionStrategy.DENSE
+
+    def test_expanding_dense_needs_no_dummy_columns(self, tiny_dense_model):
+        # d1: 12 -> 16 so P >= N and inversion needs no dummy columns.
+        plan = plan_model(tiny_dense_model)
+        assert plan.plan_for(0).dummy_parameter_columns == 0
+
+    def test_contracting_dense_needs_dummy_columns(self, tiny_dense_model):
+        # d2: 16 -> 8 so 8 dummy columns are needed for inversion.
+        plan = plan_model(tiny_dense_model)
+        d2_plan = plan.plan_for(tiny_dense_model.layer_index("d2"))
+        assert d2_plan.dummy_parameter_columns == 8
+
+    def test_dense_solving_uses_self_contained_dummy_rows(self, tiny_dense_model):
+        plan = plan_model(tiny_dense_model)
+        # N = 12 dummy rows: a complete system independent of the golden pair.
+        assert plan.plan_for(0).dummy_input_rows == 12
+
+    def test_partial_checkpoint_size_is_output_width(self, tiny_dense_model):
+        plan = plan_model(tiny_dense_model)
+        assert plan.plan_for(0).partial_checkpoint_values == 16
+
+    def test_dummy_output_accounting(self, tiny_dense_model):
+        plan = plan_model(tiny_dense_model)
+        d1_plan = plan.plan_for(0)
+        # 12 dummy rows x 16 outputs (no dummy columns needed).
+        assert d1_plan.dummy_output_values == 12 * 16
+        assert d1_plan.extra_storage_bytes == (16 + 12 * 16) * 4
+
+
+class TestConvPlanning:
+    def test_full_recovery_when_enough_positions(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        conv_plan = plan.plan_for(0)
+        # c1: G^2 = 64, F^2 Z = 18 so a full solve is possible.
+        assert conv_plan.recovery_strategy is RecoveryStrategy.CONV_FULL
+        assert not conv_plan.stores_crc_codes
+
+    def test_partial_recovery_when_underdetermined(self, partial_conv_model):
+        plan = plan_model(partial_conv_model)
+        conv_plan = plan.plan_for(0)
+        assert conv_plan.recovery_strategy is RecoveryStrategy.CONV_PARTIAL
+        assert conv_plan.stores_crc_codes
+
+    def test_partial_recovery_can_be_disabled(self, partial_conv_model):
+        config = MILRConfig(prefer_partial_conv_recovery=False)
+        plan = plan_model(partial_conv_model, config)
+        conv_plan = plan.plan_for(0)
+        assert conv_plan.recovery_strategy is RecoveryStrategy.CONV_FULL
+        assert conv_plan.dummy_output_values > 0
+
+    def test_dummy_filters_for_inversion(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        conv_plan = plan.plan_for(0)
+        # c1 has 6 filters but F^2 Z = 18, so inversion needs 12 dummy filters
+        # (their outputs are 64 values each = 768, cheaper than the 200-value
+        # input checkpoint? no -- the checkpoint is cheaper, so it is used).
+        assert conv_plan.dummy_filters in (0, 12)
+        if conv_plan.dummy_filters == 0:
+            assert conv_plan.inversion_strategy is InversionStrategy.CHECKPOINT
+
+    def test_invertible_conv_needs_nothing(self):
+        model = Sequential([Conv2D(32, 3, padding="valid", seed=0, name="c")])
+        model.build((8, 8, 2))
+        plan = plan_model(model)
+        conv_plan = plan.plan_for(0)
+        # Y = 32 >= F^2 Z = 18: invertible without dummy filters.
+        assert conv_plan.dummy_filters == 0
+        assert conv_plan.inversion_strategy is InversionStrategy.CONV
+
+    def test_partial_checkpoint_is_one_value_per_filter(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        assert plan.plan_for(0).partial_checkpoint_values == 6
+
+
+class TestBiasAndOthersPlanning:
+    def test_bias_plan(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        bias_plan = plan.plan_for(tiny_conv_model.layer_index("cb1"))
+        assert bias_plan.recovery_strategy is RecoveryStrategy.BIAS_SUBTRACT
+        assert bias_plan.partial_checkpoint_values == 1
+
+    def test_bias_full_copy_detection_option(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model, MILRConfig(bias_detection_uses_sum=False))
+        bias_plan = plan.plan_for(tiny_conv_model.layer_index("cb1"))
+        assert bias_plan.partial_checkpoint_values == 6
+
+    def test_relu_is_identity(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        relu_plan = plan.plan_for(tiny_conv_model.layer_index("r1"))
+        assert relu_plan.recovery_strategy is RecoveryStrategy.NONE
+        assert relu_plan.inversion_strategy is InversionStrategy.IDENTITY
+
+    def test_flatten_is_reshape(self, tiny_conv_model):
+        plan = plan_model(tiny_conv_model)
+        flatten_plan = plan.plan_for(tiny_conv_model.layer_index("f1"))
+        assert flatten_plan.inversion_strategy is InversionStrategy.RESHAPE
+        assert not flatten_plan.needs_input_checkpoint

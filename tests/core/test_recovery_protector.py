@@ -1,0 +1,169 @@
+"""Tests for the recovery engine and the MILRProtector facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MILRConfig, MILRProtector
+from repro.core.planner import RecoveryStrategy
+from repro.exceptions import DetectionError, RecoveryError
+from repro.memory import inject_rber, inject_whole_layer, inject_whole_weight
+
+
+def _corrupt_and_recover(model, protector, layer_name, rng, rate=0.1):
+    """Corrupt one layer with whole-weight errors and run detect+recover."""
+    layer = model.get_layer(layer_name)
+    original = layer.get_weights()
+    corrupted, _ = inject_whole_weight(original, rate, rng)
+    layer.set_weights(corrupted)
+    detection, recovery = protector.detect_and_recover()
+    return original, detection, recovery
+
+
+class TestProtectorLifecycle:
+    def test_methods_require_initialization(self, tiny_conv_model):
+        protector = MILRProtector(tiny_conv_model)
+        with pytest.raises(DetectionError):
+            protector.detect()
+        with pytest.raises(DetectionError):
+            protector.storage_report()
+
+    def test_initialize_returns_plan(self, tiny_conv_model):
+        protector = MILRProtector(tiny_conv_model)
+        plan = protector.initialize()
+        assert protector.initialized
+        assert len(plan.layer_plans) == len(tiny_conv_model.layers)
+
+    def test_detect_and_recover_clean_model(self, protected_conv):
+        _, protector = protected_conv
+        detection, recovery = protector.detect_and_recover()
+        assert not detection.any_errors
+        assert recovery is None
+
+    def test_storage_report_positive(self, protected_conv):
+        _, protector = protected_conv
+        report = protector.storage_report()
+        assert report.total_bytes > 0
+        assert report.weights_bytes > 0
+
+    def test_storage_comparison(self, protected_conv):
+        model, protector = protected_conv
+        comparison = protector.storage_comparison("tiny")
+        assert comparison.network == "tiny"
+        assert comparison.backup_weights_bytes == model.parameter_bytes()
+        assert comparison.ecc_and_milr_bytes > comparison.milr_bytes
+
+
+class TestSingleLayerRecovery:
+    @pytest.mark.parametrize("layer_name", ["c1", "cb1", "d1", "db1"])
+    def test_each_layer_recovers_exactly(self, protected_conv, rng, layer_name):
+        model, protector = protected_conv
+        # Bias layers only hold a handful of values; a high whole-weight rate
+        # guarantees at least one of them is actually corrupted.
+        original, detection, recovery = _corrupt_and_recover(
+            model, protector, layer_name, rng, rate=0.6
+        )
+        assert model.layer_index(layer_name) in detection.erroneous_layers
+        assert recovery is not None
+        recovered = model.get_layer(layer_name).get_weights()
+        np.testing.assert_allclose(recovered, original, rtol=1e-3, atol=1e-4)
+
+    def test_model_outputs_restored(self, protected_conv, rng):
+        model, protector = protected_conv
+        x = np.random.default_rng(0).random((4,) + model.input_shape).astype(np.float32)
+        baseline = model.predict(x)
+        _corrupt_and_recover(model, protector, "c1", rng)
+        np.testing.assert_allclose(model.predict(x), baseline, rtol=1e-3, atol=1e-4)
+
+    def test_recovery_report_contents(self, protected_conv, rng):
+        model, protector = protected_conv
+        _, _, recovery = _corrupt_and_recover(model, protector, "d1", rng)
+        assert recovery.recovered_layers == [model.layer_index("d1")]
+        result = recovery.results[0]
+        assert result.strategy is RecoveryStrategy.DENSE_FULL
+        assert result.fully_determined
+        assert result.elapsed_seconds >= 0.0
+        assert recovery.elapsed_seconds >= result.elapsed_seconds
+
+    def test_recover_layer_without_parameters_raises(self, protected_conv):
+        model, protector = protected_conv
+        relu_index = model.layer_index("r1")
+        with pytest.raises(RecoveryError):
+            protector.recovery_engine.recover_layer(relu_index)
+
+    def test_detection_after_recovery_is_clean(self, protected_conv, rng):
+        model, protector = protected_conv
+        _corrupt_and_recover(model, protector, "c1", rng)
+        follow_up = protector.detect()
+        assert not follow_up.any_errors
+
+
+class TestWholeLayerRecovery:
+    def test_conv_whole_layer_recovered(self, protected_conv, rng):
+        model, protector = protected_conv
+        layer = model.get_layer("c1")
+        original = layer.get_weights()
+        corrupted, _ = inject_whole_layer(original, rng)
+        layer.set_weights(corrupted)
+        detection, recovery = protector.detect_and_recover()
+        assert recovery is not None and recovery.all_fully_determined
+        np.testing.assert_allclose(layer.get_weights(), original, rtol=1e-3, atol=1e-3)
+
+    def test_dense_whole_layer_recovered(self, protected_conv, rng):
+        model, protector = protected_conv
+        layer = model.get_layer("d1")
+        original = layer.get_weights()
+        corrupted, _ = inject_whole_layer(original, rng)
+        layer.set_weights(corrupted)
+        protector.detect_and_recover()
+        np.testing.assert_allclose(layer.get_weights(), original, rtol=1e-3, atol=1e-3)
+
+    def test_partial_conv_whole_layer_not_fully_determined(self, partial_conv_model, rng):
+        protector = MILRProtector(partial_conv_model, MILRConfig(master_seed=5))
+        protector.initialize()
+        layer = partial_conv_model.get_layer("c1")
+        corrupted, _ = inject_whole_layer(layer.get_weights(), rng)
+        layer.set_weights(corrupted)
+        detection, recovery = protector.detect_and_recover()
+        assert recovery is not None
+        conv_results = [r for r in recovery.results if r.index == 0]
+        assert conv_results and not conv_results[0].fully_determined
+
+
+class TestMultiLayerRecovery:
+    def test_two_layers_between_different_checkpoints_recover_exactly(
+        self, protected_conv, rng
+    ):
+        # c1 (before the pooling checkpoint) and d1 (after it) are separated by
+        # a checkpoint, so both recover exactly even when corrupted together.
+        model, protector = protected_conv
+        originals = {name: model.get_layer(name).get_weights() for name in ("c1", "d1")}
+        for name in ("c1", "d1"):
+            corrupted, _ = inject_whole_weight(model.get_layer(name).get_weights(), 0.1, rng)
+            model.get_layer(name).set_weights(corrupted)
+        detection, recovery = protector.detect_and_recover()
+        assert set(detection.erroneous_layers) == {
+            model.layer_index("c1"),
+            model.layer_index("d1"),
+        }
+        for name, original in originals.items():
+            np.testing.assert_allclose(
+                model.get_layer(name).get_weights(), original, rtol=1e-3, atol=1e-4
+            )
+
+    def test_many_erroneous_layers_still_improve_accuracy(self, protected_conv, rng):
+        # When several layers between the same pair of checkpoints are
+        # corrupted, exact recovery is not guaranteed (paper Sec. V-B), but
+        # recovery should still bring the outputs much closer to the original.
+        model, protector = protected_conv
+        x = np.random.default_rng(1).random((8,) + model.input_shape).astype(np.float32)
+        baseline = model.predict(x)
+        for layer in model.layers:
+            if layer.has_parameters:
+                corrupted, _ = inject_rber(layer.get_weights(), 0.02, rng)
+                layer.set_weights(corrupted)
+        corrupted_error = float(np.mean(np.abs(model.predict(x) - baseline)))
+        protector.detect_and_recover()
+        recovered_error = float(np.mean(np.abs(model.predict(x) - baseline)))
+        assert recovered_error <= corrupted_error

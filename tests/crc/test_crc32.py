@@ -1,0 +1,57 @@
+"""Tests for the CRC primitives."""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.crc import crc32_bytes, crc32_words, crc8_bytes
+
+
+class TestCRC32:
+    def test_matches_zlib(self):
+        for payload in (b"", b"a", b"123456789", b"hello world" * 10):
+            assert crc32_bytes(payload) == zlib.crc32(payload)
+
+    def test_check_value(self):
+        # The CRC-32/IEEE check value for "123456789".
+        assert crc32_bytes(b"123456789") == 0xCBF43926
+
+    def test_accepts_numpy_arrays(self):
+        data = np.arange(16, dtype=np.uint8)
+        assert crc32_bytes(data) == zlib.crc32(data.tobytes())
+
+    def test_different_data_differs(self):
+        assert crc32_bytes(b"abc") != crc32_bytes(b"abd")
+
+    def test_crc32_words_sensitive_to_any_float(self):
+        values = np.random.default_rng(0).standard_normal(10).astype(np.float32)
+        original = crc32_words(values)
+        modified = values.copy()
+        modified[7] += np.float32(1e-6)
+        assert crc32_words(modified) != original
+
+    def test_crc32_words_deterministic(self):
+        values = np.random.default_rng(1).standard_normal(5).astype(np.float32)
+        assert crc32_words(values) == crc32_words(values.copy())
+
+
+class TestCRC8:
+    def test_known_value(self):
+        # CRC-8 (poly 0x07, init 0) check value for "123456789" is 0xF4.
+        assert crc8_bytes(b"123456789") == 0xF4
+
+    def test_empty(self):
+        assert crc8_bytes(b"") == 0
+
+    def test_range(self):
+        for payload in (b"a", b"xyz", bytes(range(50))):
+            assert 0 <= crc8_bytes(payload) <= 0xFF
+
+    def test_sensitivity(self):
+        assert crc8_bytes(b"\x00\x01") != crc8_bytes(b"\x00\x02")
+
+    def test_accepts_numpy_arrays(self):
+        data = np.arange(8, dtype=np.uint8)
+        assert crc8_bytes(data) == crc8_bytes(data.tobytes())

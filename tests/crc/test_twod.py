@@ -1,0 +1,136 @@
+"""Tests for the two-dimensional CRC weight-localization scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crc import TwoDimensionalCRC
+from repro.exceptions import ShapeError
+
+
+@pytest.fixture
+def scheme():
+    return TwoDimensionalCRC(group_size=4, crc_bits=8)
+
+
+@pytest.fixture
+def matrix():
+    return np.random.default_rng(0).standard_normal((8, 12)).astype(np.float32)
+
+
+@pytest.fixture
+def kernel():
+    return np.random.default_rng(1).standard_normal((3, 3, 8, 6)).astype(np.float32)
+
+
+class TestConstruction:
+    def test_invalid_group_size(self):
+        with pytest.raises(ShapeError):
+            TwoDimensionalCRC(group_size=0)
+
+    def test_invalid_crc_bits(self):
+        with pytest.raises(ShapeError):
+            TwoDimensionalCRC(crc_bits=16)
+
+
+class TestMatrixEncoding:
+    def test_code_shapes(self, scheme, matrix):
+        codes = scheme.encode_matrix(matrix)
+        assert codes.row_codes.shape == (8, 3)
+        assert codes.col_codes.shape == (2, 12)
+
+    def test_rejects_non_2d(self, scheme):
+        with pytest.raises(ShapeError):
+            scheme.encode_matrix(np.zeros((2, 2, 2), dtype=np.float32))
+
+    def test_storage_bytes(self, scheme, matrix):
+        codes = scheme.encode_matrix(matrix)
+        assert codes.storage_bytes == 8 * 3 + 2 * 12
+
+    def test_crc32_storage_bytes(self, matrix):
+        scheme32 = TwoDimensionalCRC(group_size=4, crc_bits=32)
+        codes = scheme32.encode_matrix(matrix)
+        assert codes.storage_bytes == (8 * 3 + 2 * 12) * 4
+
+    def test_clean_matrix_has_no_suspects(self, scheme, matrix):
+        codes = scheme.encode_matrix(matrix)
+        result = scheme.localize_matrix(matrix, codes)
+        assert result.suspect_count == 0
+        assert not result.any_mismatch
+
+
+class TestLocalization:
+    def test_single_error_localized(self, scheme, matrix):
+        codes = scheme.encode_matrix(matrix)
+        corrupted = matrix.copy()
+        corrupted[3, 7] += 1.0
+        result = scheme.localize_matrix(corrupted, codes)
+        assert result.suspect_mask[3, 7]
+        # 2-D intersection of one row group and one column group: at most
+        # group_size^2 candidates.
+        assert result.suspect_count <= 16
+
+    def test_error_never_missed(self, scheme, matrix):
+        codes = scheme.encode_matrix(matrix)
+        rng = np.random.default_rng(5)
+        corrupted = matrix.copy()
+        error_positions = [(1, 2), (6, 11), (0, 0)]
+        for row, col in error_positions:
+            corrupted[row, col] = rng.standard_normal()
+        result = scheme.localize_matrix(corrupted, codes)
+        for row, col in error_positions:
+            assert result.suspect_mask[row, col]
+
+    def test_false_positive_rate_is_bounded(self, scheme):
+        # With a single corrupted weight, the suspects are confined to the
+        # intersection of one row group and one column group.
+        rng = np.random.default_rng(7)
+        matrix = rng.standard_normal((16, 16)).astype(np.float32)
+        codes = scheme.encode_matrix(matrix)
+        corrupted = matrix.copy()
+        corrupted[5, 9] *= -2.0
+        result = scheme.localize_matrix(corrupted, codes)
+        assert result.suspect_count <= scheme.group_size * scheme.group_size
+
+    def test_mismatch_counters(self, scheme, matrix):
+        codes = scheme.encode_matrix(matrix)
+        corrupted = matrix.copy()
+        corrupted[2, 3] += 1.0
+        result = scheme.localize_matrix(corrupted, codes)
+        assert result.mismatched_row_groups >= 1
+        assert result.mismatched_col_groups >= 1
+
+
+class TestKernelEncoding:
+    def test_number_of_slices(self, scheme, kernel):
+        codes = scheme.encode_kernel(kernel)
+        assert len(codes) == 9
+
+    def test_rejects_non_4d(self, scheme):
+        with pytest.raises(ShapeError):
+            scheme.encode_kernel(np.zeros((3, 3, 4), dtype=np.float32))
+
+    def test_clean_kernel_no_suspects(self, scheme, kernel):
+        codes = scheme.encode_kernel(kernel)
+        mask = scheme.localize_kernel(kernel, codes)
+        assert mask.shape == kernel.shape
+        assert not mask.any()
+
+    def test_corrupted_weights_flagged(self, scheme, kernel):
+        codes = scheme.encode_kernel(kernel)
+        corrupted = kernel.copy()
+        corrupted[1, 2, 5, 3] += 2.0
+        corrupted[0, 0, 0, 0] -= 1.0
+        mask = scheme.localize_kernel(corrupted, codes)
+        assert mask[1, 2, 5, 3]
+        assert mask[0, 0, 0, 0]
+
+    def test_wrong_code_count_rejected(self, scheme, kernel):
+        codes = scheme.encode_kernel(kernel)
+        with pytest.raises(ShapeError):
+            scheme.localize_kernel(kernel, codes[:-1])
+
+    def test_kernel_storage_bytes(self, scheme, kernel):
+        codes = scheme.encode_kernel(kernel)
+        assert scheme.kernel_storage_bytes(codes) == sum(code.storage_bytes for code in codes)

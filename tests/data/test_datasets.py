@@ -1,0 +1,89 @@
+"""Tests for the Dataset container and splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, train_test_split
+from repro.exceptions import DatasetError
+
+
+def _dataset(samples: int = 20, classes: int = 4) -> Dataset:
+    rng = np.random.default_rng(0)
+    return Dataset(
+        images=rng.random((samples, 8, 8, 1)).astype(np.float32),
+        labels=rng.integers(0, classes, size=samples),
+        num_classes=classes,
+        name="test",
+    )
+
+
+class TestDataset:
+    def test_length_and_shape(self):
+        dataset = _dataset()
+        assert len(dataset) == 20
+        assert dataset.image_shape == (8, 8, 1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((3, 4, 4, 1)), np.zeros(2), num_classes=2)
+
+    def test_num_classes_validated(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((3, 4, 4, 1)), np.zeros(3), num_classes=1)
+
+    def test_subset(self):
+        dataset = _dataset()
+        subset = dataset.subset(np.array([0, 2, 4]))
+        assert len(subset) == 3
+        np.testing.assert_array_equal(subset.labels, dataset.labels[[0, 2, 4]])
+
+    def test_take(self):
+        assert len(_dataset().take(5)) == 5
+
+    def test_take_more_than_available(self):
+        assert len(_dataset(samples=3).take(10)) == 3
+
+    def test_batches_cover_everything(self):
+        dataset = _dataset(samples=10)
+        batches = list(dataset.batches(4))
+        assert [b[0].shape[0] for b in batches] == [4, 4, 2]
+        total = np.concatenate([b[1] for b in batches])
+        np.testing.assert_array_equal(total, dataset.labels)
+
+    def test_batches_invalid_size(self):
+        with pytest.raises(DatasetError):
+            list(_dataset().batches(0))
+
+    def test_class_counts_sum(self):
+        dataset = _dataset()
+        assert dataset.class_counts().sum() == len(dataset)
+
+    def test_images_cast_to_float32(self):
+        dataset = Dataset(np.zeros((2, 4, 4, 1), dtype=np.float64), np.zeros(2), num_classes=2)
+        assert dataset.images.dtype == np.float32
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        train, test = train_test_split(_dataset(samples=20), test_fraction=0.25, seed=1)
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_disjoint_and_complete(self):
+        dataset = _dataset(samples=30)
+        dataset.labels[:] = np.arange(30)  # make samples identifiable
+        train, test = train_test_split(dataset, test_fraction=0.2, seed=2)
+        combined = np.sort(np.concatenate([train.labels, test.labels]))
+        np.testing.assert_array_equal(combined, np.arange(30))
+
+    def test_deterministic(self):
+        dataset = _dataset()
+        a_train, _ = train_test_split(dataset, seed=3)
+        b_train, _ = train_test_split(dataset, seed=3)
+        np.testing.assert_array_equal(a_train.labels, b_train.labels)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            train_test_split(_dataset(), test_fraction=1.0)

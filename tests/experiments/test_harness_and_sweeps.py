@@ -1,0 +1,156 @@
+"""Tests for the protection-scheme harness and the sweep experiments.
+
+These use a very small trained network (session fixture) so that whole sweeps
+run in a few seconds while still exercising the real code paths end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MILRConfig, MILRProtector
+from repro.exceptions import ExperimentError
+from repro.experiments import ProtectionScheme, run_rber_sweep, run_whole_weight_sweep
+from repro.experiments.harness import ErrorModel, ExperimentSetting, run_protection_trial
+from repro.experiments.injection import snapshot_weights
+from repro.experiments.model_provider import TrainedNetwork
+
+
+@pytest.fixture(scope="module")
+def network(trained_tiny_network):
+    return TrainedNetwork(
+        name="trained_tiny",
+        model=trained_tiny_network["model"],
+        test_images=trained_tiny_network["test_images"],
+        test_labels=trained_tiny_network["test_labels"],
+        baseline_accuracy=trained_tiny_network["baseline_accuracy"],
+    )
+
+
+@pytest.fixture(scope="module")
+def protector(network):
+    protector = MILRProtector(network.model, MILRConfig(master_seed=31))
+    protector.initialize()
+    return protector
+
+
+class TestRunProtectionTrial:
+    def test_restores_clean_weights(self, network, protector):
+        clean = snapshot_weights(network.model)
+        run_protection_trial(
+            network,
+            protector,
+            clean,
+            ProtectionScheme.MILR,
+            ErrorModel.RBER,
+            1e-3,
+            np.random.default_rng(0),
+        )
+        for name, weights in clean.items():
+            np.testing.assert_array_equal(network.model.get_layer(name).get_weights(), weights)
+
+    def test_none_scheme_reports_degradation_at_high_rate(self, network, protector):
+        clean = snapshot_weights(network.model)
+        trial = run_protection_trial(
+            network,
+            protector,
+            clean,
+            ProtectionScheme.NONE,
+            ErrorModel.RBER,
+            5e-3,
+            np.random.default_rng(1),
+        )
+        assert trial.normalized_accuracy <= 1.05
+
+    def test_milr_recovers_whole_weight_errors(self, network, protector):
+        clean = snapshot_weights(network.model)
+        trial = run_protection_trial(
+            network,
+            protector,
+            clean,
+            ProtectionScheme.MILR,
+            ErrorModel.WHOLE_WEIGHT,
+            5e-3,
+            np.random.default_rng(2),
+        )
+        assert trial.normalized_accuracy >= 0.95
+        assert trial.detected_layers >= 1
+        assert trial.recovered_layers >= 1
+
+    def test_ecc_rejected_for_whole_weight_model(self, network, protector):
+        clean = snapshot_weights(network.model)
+        with pytest.raises(ExperimentError):
+            run_protection_trial(
+                network,
+                protector,
+                clean,
+                ProtectionScheme.ECC,
+                ErrorModel.WHOLE_WEIGHT,
+                1e-3,
+                np.random.default_rng(3),
+            )
+
+    def test_uninitialized_protector_rejected(self, network):
+        fresh = MILRProtector(network.model)
+        with pytest.raises(ExperimentError):
+            run_protection_trial(
+                network,
+                fresh,
+                snapshot_weights(network.model),
+                ProtectionScheme.NONE,
+                ErrorModel.RBER,
+                1e-4,
+                np.random.default_rng(4),
+            )
+
+
+class TestSweeps:
+    def test_rber_sweep_structure(self, network):
+        setting = ExperimentSetting(
+            network_name="ignored",
+            error_rates=(1e-5, 1e-3),
+            trials=2,
+            schemes=(ProtectionScheme.NONE, ProtectionScheme.MILR),
+            seed=7,
+        )
+        result = run_rber_sweep(setting, network=network)
+        assert set(result.samples) == {ProtectionScheme.NONE, ProtectionScheme.MILR}
+        for scheme_samples in result.samples.values():
+            assert set(scheme_samples) == {1e-5, 1e-3}
+            for samples in scheme_samples.values():
+                assert len(samples) == 2
+
+    def test_rber_sweep_milr_beats_none_at_high_rate(self, network):
+        setting = ExperimentSetting(
+            error_rates=(2e-3,),
+            trials=3,
+            schemes=(ProtectionScheme.NONE, ProtectionScheme.MILR),
+            seed=11,
+        )
+        result = run_rber_sweep(setting, network=network)
+        none_median = result.median_curve(ProtectionScheme.NONE)[0][1]
+        milr_median = result.median_curve(ProtectionScheme.MILR)[0][1]
+        assert milr_median >= none_median
+
+    def test_rber_sweep_rows(self, network):
+        setting = ExperimentSetting(
+            error_rates=(1e-4,), trials=2, schemes=(ProtectionScheme.MILR,), seed=3
+        )
+        result = run_rber_sweep(setting, network=network)
+        rows = result.as_rows()
+        assert rows and rows[0]["scheme"] == "milr"
+        assert "median" in rows[0]
+
+    def test_whole_weight_sweep_milr_recovers(self, network):
+        setting = ExperimentSetting(error_rates=(1e-3,), trials=2, seed=13)
+        result = run_whole_weight_sweep(setting, network=network)
+        milr_median = result.median_curve(ProtectionScheme.MILR)[0][1]
+        none_median = result.median_curve(ProtectionScheme.NONE)[0][1]
+        assert milr_median >= none_median
+        assert milr_median >= 0.9
+
+    def test_whole_weight_sweep_only_none_and_milr(self, network):
+        setting = ExperimentSetting(error_rates=(1e-4,), trials=1, seed=17)
+        result = run_whole_weight_sweep(setting, network=network)
+        assert set(result.samples) == {ProtectionScheme.NONE, ProtectionScheme.MILR}

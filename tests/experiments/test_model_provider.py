@@ -1,0 +1,58 @@
+"""Tests for the trained-network provider and its weight cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.model_provider import get_trained_network
+
+
+class TestGetTrainedNetwork:
+    def test_unknown_network(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            get_trained_network("unknown_net", cache_dir=tmp_path)
+
+    def test_trains_and_reaches_above_chance_accuracy(self, tmp_path):
+        network = get_trained_network(
+            "mnist_reduced", samples_per_class=30, epochs=5, cache_dir=tmp_path, seed=1
+        )
+        # Ten classes: chance level is 0.1; a short training run must land
+        # comfortably above it (the full experiments train longer).
+        assert network.baseline_accuracy >= 0.5
+        assert network.test_images.shape[1:] == (28, 28, 1)
+
+    def test_cache_reused(self, tmp_path):
+        first = get_trained_network(
+            "mnist_reduced", samples_per_class=20, epochs=2, cache_dir=tmp_path, seed=2
+        )
+        cached_files = list(tmp_path.glob("*.npz"))
+        assert len(cached_files) == 1
+        second = get_trained_network(
+            "mnist_reduced", samples_per_class=20, epochs=2, cache_dir=tmp_path, seed=2
+        )
+        np.testing.assert_array_equal(
+            first.model.get_weights()["head1_dense"],
+            second.model.get_weights()["head1_dense"],
+        )
+
+    def test_force_retrain_ignores_cache(self, tmp_path):
+        get_trained_network(
+            "mnist_reduced", samples_per_class=20, epochs=1, cache_dir=tmp_path, seed=3
+        )
+        network = get_trained_network(
+            "mnist_reduced",
+            samples_per_class=20,
+            epochs=1,
+            cache_dir=tmp_path,
+            seed=3,
+            force_retrain=True,
+        )
+        assert network.baseline_accuracy >= 0.0
+
+    def test_normalized_accuracy_of_clean_model_is_one(self, tmp_path):
+        network = get_trained_network(
+            "mnist_reduced", samples_per_class=20, epochs=2, cache_dir=tmp_path, seed=4
+        )
+        assert network.normalized_accuracy() == pytest.approx(1.0)

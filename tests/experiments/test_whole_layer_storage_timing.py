@@ -1,0 +1,134 @@
+"""Tests for the whole-layer, storage, timing and availability experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AvailabilityModel
+from repro.core.planner import RecoveryStrategy
+from repro.experiments.availability_tradeoff import availability_tradeoff_curves
+from repro.experiments.model_provider import TrainedNetwork
+from repro.experiments.storage import storage_overhead_for
+from repro.experiments.timing import (
+    measure_prediction_and_identification,
+    recovery_time_curve,
+)
+from repro.experiments.whole_layer import run_whole_layer_experiment
+from repro.exceptions import ExperimentError
+from repro.zoo import build_reduced_mnist_network
+
+
+@pytest.fixture(scope="module")
+def network(trained_tiny_network):
+    return TrainedNetwork(
+        name="trained_tiny",
+        model=trained_tiny_network["model"],
+        test_images=trained_tiny_network["test_images"],
+        test_labels=trained_tiny_network["test_labels"],
+        baseline_accuracy=trained_tiny_network["baseline_accuracy"],
+    )
+
+
+class TestWholeLayerExperiment:
+    @pytest.fixture(scope="class")
+    def results(self, network):
+        return run_whole_layer_experiment(network=network, seed=0)
+
+    def test_one_row_per_parameterized_layer(self, results, network):
+        parameterized = [layer for layer in network.model.layers if layer.has_parameters]
+        assert len(results) == len(parameterized)
+
+    def test_fully_recoverable_layers_restore_accuracy(self, results):
+        for row in results:
+            if row.recoverable and row.strategy is not RecoveryStrategy.CONV_PARTIAL:
+                assert row.accuracy_after_milr >= 0.95
+
+    def test_main_layers_hurt_more_than_bias(self, results):
+        conv_dense_damage = [
+            row.accuracy_no_recovery for row in results if row.layer_kind in ("Conv2D", "Dense")
+        ]
+        bias_damage = [row.accuracy_no_recovery for row in results if row.layer_kind == "Bias"]
+        assert min(conv_dense_damage) <= min(bias_damage)
+
+    def test_weights_restored_after_experiment(self, results, network):
+        # The experiment must leave the trained model untouched.
+        assert network.normalized_accuracy() == pytest.approx(1.0, abs=1e-6)
+
+    def test_as_row_format(self, results):
+        row = results[0].as_row()
+        assert set(row) == {"layer", "kind", "none", "milr"}
+
+
+class TestStorageExperiment:
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ExperimentError):
+            storage_overhead_for("does_not_exist")
+
+    def test_reduced_network_storage(self):
+        comparison = storage_overhead_for("mnist_reduced")
+        assert comparison.backup_weights_bytes > 0
+        assert comparison.milr_bytes > 0
+        assert comparison.ecc_bytes == pytest.approx(comparison.backup_weights_bytes * 7 / 32)
+
+
+class TestTimingExperiment:
+    def test_timing_row_fields(self):
+        row = measure_prediction_and_identification(
+            "mnist_reduced", batch_size=8, repeats=1, model=build_reduced_mnist_network()
+        )
+        assert row.single_prediction_seconds > 0
+        assert row.batch_per_sample_seconds > 0
+        assert row.identification_seconds > 0
+        # Batching amortizes per-sample cost.
+        assert row.batch_per_sample_seconds < row.single_prediction_seconds
+
+    def test_identification_same_order_as_prediction(self):
+        row = measure_prediction_and_identification(
+            "mnist_reduced", batch_size=8, repeats=1, model=build_reduced_mnist_network()
+        )
+        assert row.identification_seconds < row.single_prediction_seconds * 50
+
+    def test_recovery_time_curve_structure(self):
+        points = recovery_time_curve(
+            "mnist_reduced", error_counts=(10, 200), model=build_reduced_mnist_network(), seed=1
+        )
+        assert [point.injected_errors for point in points] == [10, 200]
+        assert all(point.recovery_seconds > 0 for point in points)
+        assert points[1].recovered_layers >= points[0].recovered_layers
+
+    def test_recovery_curve_rejects_too_many_errors(self):
+        model = build_reduced_mnist_network()
+        with pytest.raises(ExperimentError):
+            recovery_time_curve(
+                "mnist_reduced", error_counts=(10**9,), model=model
+            )
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ExperimentError):
+            measure_prediction_and_identification("nope")
+
+
+class TestAvailabilityExperiment:
+    def test_curves_structure(self):
+        tradeoffs = availability_tradeoff_curves(
+            ("mnist_reduced",), curve_points=8, recovery_error_count=20
+        )
+        assert len(tradeoffs) == 1
+        tradeoff = tradeoffs[0]
+        assert isinstance(tradeoff.model, AvailabilityModel)
+        assert len(tradeoff.curve) == 8
+        assert 0.0 <= tradeoff.availability_at_user_a <= 1.0
+        assert 0.0 <= tradeoff.accuracy_at_user_b <= 1.0
+
+    def test_curve_trade_off_direction(self):
+        tradeoff = availability_tradeoff_curves(
+            ("mnist_reduced",), curve_points=8, recovery_error_count=20
+        )[0]
+        availabilities = [point.availability for point in tradeoff.curve]
+        accuracies = [point.minimum_accuracy for point in tradeoff.curve]
+        assert availabilities == sorted(availabilities)
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ExperimentError):
+            availability_tradeoff_curves(("nope",))

@@ -1,0 +1,127 @@
+"""End-to-end integration tests: train, protect, attack, self-heal, re-score.
+
+These mirror the paper's evaluation loop on a miniature scale: a trained
+classifier is subjected to the three error workloads (RBER bit flips,
+whole-weight errors, whole-layer corruption) and MILR's detection + recovery
+must restore the classification accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import normalized_accuracy
+from repro.core import MILRConfig, MILRProtector
+from repro.experiments.injection import (
+    ECCProtectedModel,
+    corrupt_layer_completely,
+    corrupt_model_rber,
+    corrupt_model_whole_weight,
+    restore_weights,
+    snapshot_weights,
+)
+from repro.memory import XTSMemoryModel
+
+
+@pytest.fixture()
+def setup(trained_tiny_network):
+    model = trained_tiny_network["model"]
+    protector = MILRProtector(model, MILRConfig(master_seed=99))
+    protector.initialize()
+    clean = snapshot_weights(model)
+    yield {
+        "model": model,
+        "protector": protector,
+        "clean": clean,
+        "images": trained_tiny_network["test_images"],
+        "labels": trained_tiny_network["test_labels"],
+        "baseline": trained_tiny_network["baseline_accuracy"],
+    }
+    restore_weights(model, clean)
+
+
+def _normalized(setup_dict) -> float:
+    model = setup_dict["model"]
+    accuracy = model.accuracy(setup_dict["images"], setup_dict["labels"])
+    return normalized_accuracy(accuracy, setup_dict["baseline"])
+
+
+class TestRBERSelfHealing:
+    def test_moderate_rber_recovered(self, setup):
+        corrupt_model_rber(setup["model"], 2e-4, np.random.default_rng(0))
+        detection, recovery = setup["protector"].detect_and_recover()
+        assert _normalized(setup) >= 0.95
+
+    def test_high_rber_still_improves(self, setup):
+        corrupt_model_rber(setup["model"], 2e-3, np.random.default_rng(1))
+        degraded = _normalized(setup)
+        setup["protector"].detect_and_recover()
+        assert _normalized(setup) >= degraded
+
+
+class TestWholeWeightSelfHealing:
+    def test_whole_weight_errors_recovered(self, setup):
+        corrupt_model_whole_weight(setup["model"], 2e-3, np.random.default_rng(2))
+        degraded = _normalized(setup)
+        detection, recovery = setup["protector"].detect_and_recover()
+        assert recovery is not None
+        assert _normalized(setup) >= max(degraded, 0.95)
+
+    def test_xts_block_corruption_recovered(self, setup):
+        # Ciphertext-space errors become whole-block plaintext garbage; MILR
+        # must recover the affected layers (this is the PSEC scenario).
+        xts = XTSMemoryModel(seed=3)
+        rng = np.random.default_rng(3)
+        for layer in setup["model"].layers:
+            if layer.has_parameters:
+                corrupted, _ = xts.corrupt_plaintext(layer.get_weights(), 2e-4, rng)
+                layer.set_weights(corrupted)
+        setup["protector"].detect_and_recover()
+        assert _normalized(setup) >= 0.95
+
+
+class TestWholeLayerSelfHealing:
+    def test_targeted_attack_on_dense_layer(self, setup):
+        # Security-attack scenario: an attacker overwrites one whole layer.
+        corrupt_layer_completely(setup["model"], "d2", np.random.default_rng(4))
+        degraded = _normalized(setup)
+        detection, recovery = setup["protector"].detect_and_recover()
+        assert detection.any_errors
+        assert _normalized(setup) >= max(degraded, 0.95)
+
+    def test_every_layer_attack_is_detected(self, setup):
+        for name in ("c1", "cb1", "d1", "db1", "d2", "db2"):
+            corrupt_layer_completely(setup["model"], name, np.random.default_rng(5))
+            detection = setup["protector"].detect()
+            assert setup["model"].layer_index(name) in detection.erroneous_layers
+            restore_weights(setup["model"], setup["clean"])
+
+
+class TestECCPlusMILR:
+    def test_combined_protection_pipeline(self, setup):
+        # ECC first (corrects single-bit errors), then MILR handles the rest.
+        ecc = ECCProtectedModel(setup["model"], setup["clean"])
+        ecc.inject_codeword_bit_flips(5e-4, np.random.default_rng(6))
+        ecc.scrub_into_model()
+        setup["protector"].detect_and_recover()
+        assert _normalized(setup) >= 0.95
+
+
+class TestRepeatedCycles:
+    def test_multiple_error_recovery_cycles(self, setup):
+        # The protector must stay consistent over repeated corrupt/heal cycles
+        # (initialization runs only once, as in the paper).
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            corrupt_model_whole_weight(setup["model"], 1e-3, rng)
+            setup["protector"].detect_and_recover()
+        assert _normalized(setup) >= 0.95
+
+    def test_detection_clean_after_each_cycle(self, setup):
+        rng = np.random.default_rng(8)
+        for _ in range(2):
+            corrupt_model_whole_weight(setup["model"], 1e-3, rng)
+            setup["protector"].detect_and_recover()
+            follow_up = setup["protector"].detect()
+            assert not follow_up.any_errors

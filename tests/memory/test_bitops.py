@@ -1,0 +1,109 @@
+"""Tests for float32 <-> bit manipulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultInjectionError
+from repro.memory.bitops import (
+    bits_to_floats,
+    count_bit_differences,
+    flip_bit_positions,
+    flip_bits,
+    floats_to_bits,
+)
+
+
+class TestFloatBitConversion:
+    def test_roundtrip(self):
+        values = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        np.testing.assert_array_equal(bits_to_floats(floats_to_bits(values)), values)
+
+    def test_known_value(self):
+        assert floats_to_bits(np.array([1.0], dtype=np.float32))[0] == 0x3F800000
+
+    def test_zero(self):
+        assert floats_to_bits(np.array([0.0], dtype=np.float32))[0] == 0
+
+    def test_shape_preserved(self):
+        values = np.zeros((3, 4, 5), dtype=np.float32)
+        assert floats_to_bits(values).shape == (3, 4, 5)
+
+    def test_returns_copy(self):
+        values = np.ones(4, dtype=np.float32)
+        bits = floats_to_bits(values)
+        bits[0] = 0
+        assert values[0] == 1.0
+
+
+class TestFlipBitPositions:
+    def test_single_flip(self):
+        assert flip_bit_positions(0, [0]) == 1
+
+    def test_double_flip_cancels(self):
+        assert flip_bit_positions(0b1010, [1, 1]) == 0b1010
+
+    def test_sign_bit(self):
+        word = int(floats_to_bits(np.array([1.0], dtype=np.float32))[0])
+        flipped = flip_bit_positions(word, [31])
+        assert bits_to_floats(np.array([flipped], dtype=np.uint32))[0] == -1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(FaultInjectionError):
+            flip_bit_positions(0, [32])
+
+
+class TestFlipBits:
+    def test_flips_requested_bits(self):
+        values = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        flipped = flip_bits(values, np.array([0]), np.array([31]))
+        assert flipped[0] == -1.0
+        assert flipped[1] == 2.0
+
+    def test_repeated_index_flips_cumulatively(self):
+        values = np.array([1.0], dtype=np.float32)
+        flipped = flip_bits(values, np.array([0, 0]), np.array([31, 31]))
+        assert flipped[0] == 1.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(FaultInjectionError):
+            flip_bits(np.ones(2, dtype=np.float32), np.array([0]), np.array([0, 1]))
+
+    def test_index_out_of_range(self):
+        with pytest.raises(FaultInjectionError):
+            flip_bits(np.ones(2, dtype=np.float32), np.array([2]), np.array([0]))
+
+    def test_bit_position_out_of_range(self):
+        with pytest.raises(FaultInjectionError):
+            flip_bits(np.ones(2, dtype=np.float32), np.array([0]), np.array([32]))
+
+    def test_original_untouched(self):
+        values = np.ones(3, dtype=np.float32)
+        flip_bits(values, np.array([1]), np.array([5]))
+        np.testing.assert_array_equal(values, np.ones(3, dtype=np.float32))
+
+    def test_multidimensional_input(self):
+        values = np.ones((2, 2), dtype=np.float32)
+        flipped = flip_bits(values, np.array([3]), np.array([31]))
+        assert flipped[1, 1] == -1.0
+
+
+class TestCountBitDifferences:
+    def test_zero_for_identical(self):
+        values = np.random.default_rng(0).standard_normal(10).astype(np.float32)
+        assert count_bit_differences(values, values.copy()) == 0
+
+    def test_counts_single_flip(self):
+        values = np.ones(4, dtype=np.float32)
+        flipped = flip_bits(values, np.array([2]), np.array([7]))
+        assert count_bit_differences(values, flipped) == 1
+
+    def test_counts_full_inversion(self):
+        values = np.zeros(2, dtype=np.float32)
+        inverted = bits_to_floats(~floats_to_bits(values))
+        assert count_bit_differences(values, inverted) == 64
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FaultInjectionError):
+            count_bit_differences(np.zeros(2, dtype=np.float32), np.zeros(3, dtype=np.float32))

@@ -1,0 +1,161 @@
+"""Tests for the (39,32) SECDED codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ECCError
+from repro.memory.bitops import bits_to_floats, floats_to_bits
+from repro.memory.ecc import (
+    CHECK_BITS_PER_WORD,
+    SECDEDCodec,
+    SECDEDProtectedWeights,
+    SECDEDWordStatus,
+)
+
+
+@pytest.fixture
+def codec():
+    return SECDEDCodec()
+
+
+@pytest.fixture
+def words():
+    return np.random.default_rng(0).integers(0, 2**32, size=200, dtype=np.uint64).astype(np.uint32)
+
+
+class TestEncode:
+    def test_check_byte_shape(self, codec, words):
+        assert codec.encode_words(words).shape == words.shape
+
+    def test_check_bits_constant(self, codec):
+        assert codec.check_bits_per_word == 7
+        assert CHECK_BITS_PER_WORD == 7
+
+    def test_overhead_bytes(self, codec):
+        assert codec.overhead_bytes_per_word == pytest.approx(7 / 8)
+
+    def test_encode_floats_matches_words(self, codec):
+        values = np.random.default_rng(1).standard_normal(50).astype(np.float32)
+        np.testing.assert_array_equal(
+            codec.encode_floats(values), codec.encode_words(floats_to_bits(values))
+        )
+
+    def test_deterministic(self, codec, words):
+        np.testing.assert_array_equal(codec.encode_words(words), codec.encode_words(words))
+
+
+class TestDecode:
+    def test_clean_words_pass(self, codec, words):
+        check = codec.encode_words(words)
+        decoded, statuses = codec.decode_words(words, check)
+        np.testing.assert_array_equal(decoded, words)
+        assert all(status is SECDEDWordStatus.CLEAN for status in statuses)
+
+    @pytest.mark.parametrize("bit", [0, 1, 7, 15, 23, 31])
+    def test_corrects_any_single_data_bit(self, codec, words, bit):
+        check = codec.encode_words(words)
+        corrupted = words.copy()
+        corrupted[5] ^= np.uint32(1) << np.uint32(bit)
+        decoded, statuses = codec.decode_words(corrupted, check)
+        np.testing.assert_array_equal(decoded, words)
+        assert statuses[5] is SECDEDWordStatus.CORRECTED
+
+    def test_corrects_every_bit_position_exhaustively(self, codec):
+        word = np.array([0xDEADBEEF], dtype=np.uint32)
+        check = codec.encode_words(word)
+        for bit in range(32):
+            corrupted = word ^ (np.uint32(1) << np.uint32(bit))
+            decoded, statuses = codec.decode_words(corrupted, check)
+            assert decoded[0] == word[0], f"failed to correct bit {bit}"
+            assert statuses[0] is SECDEDWordStatus.CORRECTED
+
+    def test_detects_double_bit_error(self, codec, words):
+        check = codec.encode_words(words)
+        corrupted = words.copy()
+        corrupted[3] ^= np.uint32((1 << 4) | (1 << 20))
+        decoded, statuses = codec.decode_words(corrupted, check)
+        assert statuses[3] is SECDEDWordStatus.DETECTED_UNCORRECTABLE
+        # Uncorrectable words are returned unmodified (no mis-correction).
+        assert decoded[3] == corrupted[3]
+
+    def test_check_bit_error_leaves_data_intact(self, codec, words):
+        check = codec.encode_words(words)
+        corrupted_check = check.copy()
+        corrupted_check[7] ^= 1  # flip one Hamming parity bit
+        decoded, statuses = codec.decode_words(words, corrupted_check)
+        np.testing.assert_array_equal(decoded, words)
+        assert statuses[7] in (
+            SECDEDWordStatus.PARITY_BIT_ERROR,
+            SECDEDWordStatus.CORRECTED,
+        )
+
+    def test_overall_parity_bit_error(self, codec, words):
+        check = codec.encode_words(words)
+        corrupted_check = check.copy()
+        corrupted_check[2] ^= 1 << 6  # the overall parity bit
+        decoded, statuses = codec.decode_words(words, corrupted_check)
+        np.testing.assert_array_equal(decoded, words)
+        assert statuses[2] is SECDEDWordStatus.PARITY_BIT_ERROR
+
+    def test_length_mismatch(self, codec, words):
+        with pytest.raises(ECCError):
+            codec.decode_words(words, np.zeros(3, dtype=np.uint8))
+
+    def test_decode_floats_roundtrip(self, codec):
+        values = np.random.default_rng(2).standard_normal((5, 4)).astype(np.float32)
+        check = codec.encode_floats(values)
+        corrupted = values.copy()
+        bits = floats_to_bits(corrupted).ravel()
+        bits[6] ^= np.uint32(1) << np.uint32(13)
+        corrupted = bits_to_floats(bits).reshape(values.shape)
+        decoded, _ = codec.decode_floats(corrupted, check)
+        np.testing.assert_array_equal(decoded, values)
+
+
+class TestSECDEDProtectedWeights:
+    def test_read_raw_matches_original(self):
+        weights = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        protected = SECDEDProtectedWeights(weights)
+        np.testing.assert_array_equal(protected.read_raw(), weights)
+
+    def test_overhead_bytes(self):
+        protected = SECDEDProtectedWeights(np.zeros(64, dtype=np.float32))
+        assert protected.overhead_bytes == pytest.approx(64 * 7 / 8)
+
+    def test_scrub_clean(self):
+        weights = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        protected = SECDEDProtectedWeights(weights)
+        corrected, report = protected.scrub()
+        np.testing.assert_array_equal(corrected, weights)
+        assert report.clean_words == 100
+
+    def test_single_bit_errors_all_corrected(self):
+        weights = np.random.default_rng(1).standard_normal(2000).astype(np.float32)
+        protected = SECDEDProtectedWeights(weights)
+        flips = protected.inject_codeword_bit_flips(1e-4, np.random.default_rng(2))
+        corrected, report = protected.scrub()
+        assert flips > 0
+        # At this rate double-bit-per-word errors are very unlikely, so the
+        # scrub should restore the original weights exactly.
+        if report.uncorrectable_words == 0:
+            np.testing.assert_array_equal(corrected, weights)
+
+    def test_high_rate_leaves_uncorrectable_words(self):
+        weights = np.random.default_rng(1).standard_normal(2000).astype(np.float32)
+        protected = SECDEDProtectedWeights(weights)
+        protected.inject_codeword_bit_flips(0.05, np.random.default_rng(3))
+        _, report = protected.scrub()
+        assert report.uncorrectable_words > 0
+
+    def test_invalid_rate(self):
+        protected = SECDEDProtectedWeights(np.zeros(4, dtype=np.float32))
+        with pytest.raises(ECCError):
+            protected.inject_codeword_bit_flips(2.0, np.random.default_rng(0))
+
+    def test_shape_preserved(self):
+        weights = np.zeros((3, 3, 2, 4), dtype=np.float32)
+        protected = SECDEDProtectedWeights(weights)
+        corrected, _ = protected.scrub()
+        assert corrected.shape == weights.shape

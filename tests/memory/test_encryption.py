@@ -1,0 +1,82 @@
+"""Tests for the AES-XTS ciphertext/plaintext error-amplification model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultInjectionError
+from repro.memory import XTSMemoryModel
+from repro.memory.encryption import WEIGHTS_PER_BLOCK
+
+
+class TestXTSMemoryModel:
+    def test_block_count(self):
+        assert XTSMemoryModel.block_count(0) == 0
+        assert XTSMemoryModel.block_count(4) == 1
+        assert XTSMemoryModel.block_count(5) == 2
+
+    def test_zero_rate_changes_nothing(self, rng):
+        weights = np.random.default_rng(0).standard_normal(64).astype(np.float32)
+        model = XTSMemoryModel()
+        corrupted, report = model.corrupt_plaintext(weights, 0.0, rng)
+        np.testing.assert_array_equal(corrupted, weights)
+        assert report.affected_blocks == 0
+
+    def test_invalid_rate(self, rng):
+        model = XTSMemoryModel()
+        with pytest.raises(FaultInjectionError):
+            model.corrupt_plaintext(np.zeros(4, dtype=np.float32), 1.5, rng)
+
+    def test_one_ciphertext_error_corrupts_whole_block(self):
+        weights = np.random.default_rng(1).standard_normal(64).astype(np.float32)
+        model = XTSMemoryModel(seed=0)
+        # Use a high enough rate to guarantee at least one affected block.
+        corrupted, report = model.corrupt_plaintext(weights, 5e-3, np.random.default_rng(2))
+        assert report.affected_blocks >= 1
+        for block_start in range(0, 64, WEIGHTS_PER_BLOCK):
+            block_changed = np.any(
+                corrupted[block_start : block_start + WEIGHTS_PER_BLOCK]
+                != weights[block_start : block_start + WEIGHTS_PER_BLOCK]
+            )
+            if block_changed:
+                # The paper's point: the whole encryption block is garbage, so
+                # typically all four weights of the block change, far more than
+                # the single ciphertext bit that was hit.
+                changed = np.sum(
+                    corrupted[block_start : block_start + WEIGHTS_PER_BLOCK]
+                    != weights[block_start : block_start + WEIGHTS_PER_BLOCK]
+                )
+                assert changed >= 3
+
+    def test_affected_weight_indices_reported(self):
+        weights = np.random.default_rng(1).standard_normal(32).astype(np.float32)
+        model = XTSMemoryModel(seed=0)
+        corrupted, report = model.corrupt_plaintext(weights, 1e-2, np.random.default_rng(3))
+        changed = np.flatnonzero(corrupted != weights)
+        assert set(changed).issubset(set(report.affected_weight_indices.tolist()))
+
+    def test_unaffected_blocks_preserved(self):
+        weights = np.random.default_rng(4).standard_normal(400).astype(np.float32)
+        model = XTSMemoryModel(seed=1)
+        corrupted, report = model.corrupt_plaintext(weights, 1e-3, np.random.default_rng(5))
+        untouched = np.setdiff1d(np.arange(weights.size), report.affected_weight_indices)
+        np.testing.assert_array_equal(corrupted[untouched], weights[untouched])
+
+    def test_block_error_rate(self):
+        weights = np.zeros(40, dtype=np.float32)
+        model = XTSMemoryModel()
+        _, report = model.corrupt_plaintext(weights, 0.5, np.random.default_rng(0))
+        assert report.block_error_rate == report.affected_blocks / report.total_blocks
+
+    def test_shape_preserved(self):
+        weights = np.zeros((3, 5, 2), dtype=np.float32)
+        model = XTSMemoryModel()
+        corrupted, _ = model.corrupt_plaintext(weights, 0.01, np.random.default_rng(0))
+        assert corrupted.shape == weights.shape
+
+    def test_empty_weights(self, rng):
+        model = XTSMemoryModel()
+        corrupted, report = model.corrupt_plaintext(np.zeros(0, dtype=np.float32), 0.5, rng)
+        assert corrupted.size == 0
+        assert report.total_blocks == 0

@@ -1,0 +1,120 @@
+"""Tests for the three fault-injection workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultInjectionError
+from repro.memory import inject_rber, inject_whole_layer, inject_whole_weight
+from repro.memory.bitops import count_bit_differences
+
+
+@pytest.fixture
+def weights():
+    return np.random.default_rng(0).standard_normal(5000).astype(np.float32)
+
+
+class TestInjectRBER:
+    def test_zero_rate_changes_nothing(self, weights, rng):
+        corrupted, report = inject_rber(weights, 0.0, rng)
+        np.testing.assert_array_equal(corrupted, weights)
+        assert report.flipped_bits == 0
+        assert report.affected_weights == 0
+
+    def test_invalid_rate(self, weights, rng):
+        with pytest.raises(FaultInjectionError):
+            inject_rber(weights, 1.5, rng)
+
+    def test_flip_count_matches_report(self, weights, rng):
+        corrupted, report = inject_rber(weights, 1e-3, rng)
+        assert count_bit_differences(weights, corrupted) == report.flipped_bits
+
+    def test_flip_count_close_to_expectation(self, weights, rng):
+        _, report = inject_rber(weights, 1e-2, rng)
+        expected = weights.size * 32 * 1e-2
+        assert expected * 0.7 < report.flipped_bits < expected * 1.3
+
+    def test_affected_indices_are_valid(self, weights, rng):
+        corrupted, report = inject_rber(weights, 1e-3, rng)
+        changed = np.flatnonzero(corrupted != weights)
+        # Every changed weight must be reported (the reverse need not hold:
+        # e.g. a mantissa flip on an inf stays inf).
+        assert set(changed).issubset(set(report.affected_indices.tolist()))
+
+    def test_original_untouched(self, weights, rng):
+        snapshot = weights.copy()
+        inject_rber(weights, 1e-2, rng)
+        np.testing.assert_array_equal(weights, snapshot)
+
+    def test_weight_error_rate_property(self, weights, rng):
+        _, report = inject_rber(weights, 1e-3, rng)
+        assert report.weight_error_rate == report.affected_weights / weights.size
+
+    def test_empty_array(self, rng):
+        corrupted, report = inject_rber(np.zeros(0, dtype=np.float32), 0.5, rng)
+        assert corrupted.size == 0
+        assert report.total_weights == 0
+
+    def test_rate_one_flips_every_bit(self, rng):
+        weights = np.ones(16, dtype=np.float32)
+        corrupted, report = inject_rber(weights, 1.0, rng)
+        assert report.flipped_bits == 16 * 32
+        assert count_bit_differences(weights, corrupted) == 16 * 32
+
+    def test_multidimensional_shape_preserved(self, rng):
+        weights = np.ones((3, 3, 2, 4), dtype=np.float32)
+        corrupted, _ = inject_rber(weights, 0.01, rng)
+        assert corrupted.shape == weights.shape
+
+
+class TestInjectWholeWeight:
+    def test_all_bits_of_selected_weights_flip(self, weights, rng):
+        corrupted, report = inject_whole_weight(weights, 0.01, rng)
+        assert report.flipped_bits == report.affected_weights * 32
+        for index in report.affected_indices[:10]:
+            assert count_bit_differences(weights[index : index + 1], corrupted[index : index + 1]) == 32
+
+    def test_unselected_weights_untouched(self, weights, rng):
+        corrupted, report = inject_whole_weight(weights, 0.01, rng)
+        untouched = np.setdiff1d(np.arange(weights.size), report.affected_indices)
+        np.testing.assert_array_equal(corrupted[untouched], weights[untouched])
+
+    def test_selection_rate_close_to_q(self, weights, rng):
+        _, report = inject_whole_weight(weights, 0.05, rng)
+        assert 0.02 < report.weight_error_rate < 0.09
+
+    def test_zero_rate(self, weights, rng):
+        corrupted, report = inject_whole_weight(weights, 0.0, rng)
+        np.testing.assert_array_equal(corrupted, weights)
+        assert report.affected_weights == 0
+
+    def test_invalid_rate(self, weights, rng):
+        with pytest.raises(FaultInjectionError):
+            inject_whole_weight(weights, -0.1, rng)
+
+
+class TestInjectWholeLayer:
+    def test_every_value_changes(self, weights, rng):
+        corrupted, report = inject_whole_layer(weights, rng)
+        assert np.all(corrupted != weights)
+        assert report.affected_weights == weights.size
+
+    def test_values_within_scale(self, weights, rng):
+        corrupted, _ = inject_whole_layer(weights, rng, scale=0.5)
+        assert np.max(np.abs(corrupted)) <= 0.6
+
+    def test_shape_preserved(self, rng):
+        weights = np.ones((4, 4, 3, 8), dtype=np.float32)
+        corrupted, _ = inject_whole_layer(weights, rng)
+        assert corrupted.shape == weights.shape
+
+    def test_empty_layer(self, rng):
+        corrupted, report = inject_whole_layer(np.zeros(0, dtype=np.float32), rng)
+        assert corrupted.size == 0
+        assert report.total_weights == 0
+
+    def test_deterministic_given_rng(self, weights):
+        a, _ = inject_whole_layer(weights, np.random.default_rng(5))
+        b, _ = inject_whole_layer(weights, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)

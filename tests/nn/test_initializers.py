@@ -1,0 +1,46 @@
+"""Tests for weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import get_initializer, glorot_uniform, he_normal, uniform, zeros
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestInitializers:
+    def test_glorot_bounds(self, rng):
+        weights = glorot_uniform((100, 100), rng, fan_in=100, fan_out=100)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_glorot_dtype(self, rng):
+        assert glorot_uniform((3, 3), rng, 3, 3).dtype == np.float32
+
+    def test_he_normal_scale(self, rng):
+        weights = he_normal((200, 200), rng, fan_in=200, fan_out=200)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 200), rel=0.15)
+
+    def test_zeros(self, rng):
+        assert np.all(zeros((5, 5), rng, 5, 5) == 0.0)
+
+    def test_uniform_bounds(self, rng):
+        weights = uniform((1000,), rng, 1, 1)
+        assert np.all(np.abs(weights) <= 0.05)
+
+    def test_get_initializer_known(self):
+        assert get_initializer("he_normal") is he_normal
+
+    def test_get_initializer_unknown(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            get_initializer("nope")
+
+    def test_shapes_preserved(self, rng):
+        for name in ("glorot_uniform", "he_normal", "zeros", "uniform"):
+            init = get_initializer(name)
+            assert init((2, 3, 4), rng, 6, 4).shape == (2, 3, 4)

@@ -1,0 +1,137 @@
+"""Tests for Bias and Activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LayerConfigurationError, ShapeError
+from repro.nn.layers import Activation, Bias, ReLU, Softmax
+
+
+class TestBias:
+    def test_output_shape_preserved(self):
+        layer = Bias(seed=0)
+        layer.build((4, 4, 3))
+        assert layer.output_shape == (4, 4, 3)
+
+    def test_parameter_count_is_channels(self):
+        layer = Bias(seed=0)
+        layer.build((4, 4, 3))
+        assert layer.parameter_count == 3
+        assert layer.channels == 3
+
+    def test_replication_factor(self):
+        layer = Bias(seed=0)
+        layer.build((4, 4, 3))
+        assert layer.replication_factor == 16
+
+    def test_forward_adds_per_channel(self):
+        layer = Bias(seed=0)
+        layer.build((2, 2, 3))
+        layer.set_weights(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        x = np.zeros((1, 2, 2, 3), dtype=np.float32)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0, 0], [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(out[0, 1, 1], [1.0, 2.0, 3.0])
+
+    def test_forward_dense_style(self):
+        layer = Bias(seed=0)
+        layer.build((4,))
+        layer.set_weights(np.arange(4, dtype=np.float32))
+        out = layer.forward(np.ones((2, 4), dtype=np.float32))
+        np.testing.assert_array_equal(out[1], [1.0, 2.0, 3.0, 4.0])
+
+    def test_backward_sums_gradient(self):
+        layer = Bias(seed=0)
+        layer.build((2, 2, 3))
+        grad = np.ones((2, 2, 2, 3), dtype=np.float32)
+        grad_in = layer.backward(grad)
+        np.testing.assert_array_equal(grad_in, grad)
+        np.testing.assert_array_equal(layer.grad_weights, [8.0, 8.0, 8.0])
+
+    def test_set_weights_wrong_shape(self):
+        layer = Bias(seed=0)
+        layer.build((2, 2, 3))
+        with pytest.raises(ShapeError):
+            layer.set_weights(np.zeros(4, dtype=np.float32))
+
+    def test_initial_values_small(self):
+        layer = Bias(seed=1)
+        layer.build((8,))
+        assert np.max(np.abs(layer.get_weights())) <= 0.01
+
+
+class TestActivation:
+    def test_unknown_function(self):
+        with pytest.raises(LayerConfigurationError):
+            Activation("swish")
+
+    def test_relu_forward(self):
+        layer = ReLU()
+        layer.build((4,))
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0, -3.0]], dtype=np.float32))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0, 0.0]])
+
+    def test_relu_backward_masks_negative(self):
+        layer = ReLU()
+        layer.build((3,))
+        layer.forward(np.array([[-1.0, 1.0, 2.0]], dtype=np.float32), training=True)
+        grad = layer.backward(np.ones((1, 3), dtype=np.float32))
+        np.testing.assert_array_equal(grad, [[0.0, 1.0, 1.0]])
+
+    def test_linear_is_identity(self):
+        layer = Activation("linear")
+        layer.build((5,))
+        x = np.random.default_rng(0).random((2, 5)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_sigmoid_range(self):
+        layer = Activation("sigmoid")
+        layer.build((4,))
+        out = layer.forward(np.array([[-10.0, -1.0, 1.0, 10.0]], dtype=np.float32))
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_tanh_matches_numpy(self):
+        layer = Activation("tanh")
+        layer.build((3,))
+        x = np.array([[-1.0, 0.0, 1.0]], dtype=np.float32)
+        np.testing.assert_allclose(layer.forward(x), np.tanh(x), rtol=1e-6)
+
+    def test_softmax_rows_sum_to_one(self):
+        layer = Softmax()
+        layer.build((6,))
+        x = np.random.default_rng(1).random((4, 6)).astype(np.float32) * 10
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_softmax_large_logits_stable(self):
+        layer = Softmax()
+        layer.build((3,))
+        out = layer.forward(np.array([[1000.0, 0.0, -1000.0]], dtype=np.float32))
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_sigmoid_gradient_matches_numerical(self):
+        layer = Activation("sigmoid")
+        layer.build((4,))
+        x = np.random.default_rng(2).random((3, 4)).astype(np.float32)
+        out = layer.forward(x, training=True)
+        analytic = layer.backward(np.ones_like(out))
+        epsilon = 1e-3
+        numeric = (1.0 / (1.0 + np.exp(-(x + epsilon))) - 1.0 / (1.0 + np.exp(-(x - epsilon)))) / (
+            2 * epsilon
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-2, atol=1e-3)
+
+    def test_backward_before_forward_raises(self):
+        layer = ReLU()
+        layer.build((2,))
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_no_parameters(self):
+        layer = ReLU()
+        layer.build((2,))
+        assert layer.parameter_count == 0
+        assert layer.get_weights().size == 0

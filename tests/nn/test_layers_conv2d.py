@@ -1,0 +1,181 @@
+"""Tests for the Conv2D layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LayerConfigurationError, ShapeError
+from repro.nn.layers import Conv2D
+
+
+def direct_convolution(inputs, kernel):
+    """Reference valid-padding stride-1 convolution (slow but obviously correct)."""
+    batch, height, width, _ = inputs.shape
+    f1, f2, _, filters = kernel.shape
+    out_h, out_w = height - f1 + 1, width - f2 + 1
+    output = np.zeros((batch, out_h, out_w, filters), dtype=np.float64)
+    for b in range(batch):
+        for i in range(out_h):
+            for j in range(out_w):
+                window = inputs[b, i : i + f1, j : j + f2, :]
+                for k in range(filters):
+                    output[b, i, j, k] = np.sum(window * kernel[:, :, :, k])
+    return output
+
+
+class TestConv2DConstruction:
+    def test_invalid_filters(self):
+        with pytest.raises(LayerConfigurationError):
+            Conv2D(0, 3)
+
+    def test_invalid_padding(self):
+        with pytest.raises(LayerConfigurationError):
+            Conv2D(4, 3, padding="reflect")
+
+    def test_invalid_stride(self):
+        with pytest.raises(LayerConfigurationError):
+            Conv2D(4, 3, stride=0)
+
+    def test_requires_3d_input(self):
+        layer = Conv2D(4, 3)
+        with pytest.raises(ShapeError):
+            layer.build((10,))
+
+    def test_kernel_shape(self):
+        layer = Conv2D(5, 3, seed=0)
+        layer.build((8, 8, 2))
+        assert layer.get_weights().shape == (3, 3, 2, 5)
+
+    def test_output_shape_valid(self):
+        layer = Conv2D(5, 3, padding="valid", seed=0)
+        layer.build((8, 8, 2))
+        assert layer.output_shape == (6, 6, 5)
+
+    def test_output_shape_same(self):
+        layer = Conv2D(5, 3, padding="same", seed=0)
+        layer.build((8, 8, 2))
+        assert layer.output_shape == (8, 8, 5)
+
+    def test_output_shape_stride(self):
+        layer = Conv2D(5, 3, stride=2, padding="valid", seed=0)
+        layer.build((9, 9, 1))
+        assert layer.output_shape == (4, 4, 5)
+
+    def test_parameter_count_matches_paper_first_layer(self):
+        # Table I first layer: 3x3x1x32 = 288 kernel weights (bias separate).
+        layer = Conv2D(32, 3, padding="valid", seed=0)
+        layer.build((28, 28, 1))
+        assert layer.parameter_count == 288
+
+    def test_derived_quantities(self):
+        layer = Conv2D(4, 3, seed=0)
+        layer.build((6, 6, 8))
+        assert layer.receptive_field_size == 72
+        assert layer.output_positions == 16
+        assert layer.input_channels == 8
+
+
+class TestConv2DForward:
+    def test_matches_direct_convolution_valid(self):
+        rng = np.random.default_rng(0)
+        layer = Conv2D(4, 3, padding="valid", seed=1)
+        layer.build((7, 7, 2))
+        x = rng.random((2, 7, 7, 2)).astype(np.float32)
+        np.testing.assert_allclose(
+            layer.forward(x), direct_convolution(x, layer.get_weights()), rtol=1e-4, atol=1e-5
+        )
+
+    def test_same_padding_matches_padded_valid(self):
+        rng = np.random.default_rng(1)
+        layer = Conv2D(3, 3, padding="same", seed=2)
+        layer.build((6, 6, 1))
+        x = rng.random((1, 6, 6, 1)).astype(np.float32)
+        padded = np.pad(x, ((0, 0), (1, 1), (1, 1), (0, 0)))
+        np.testing.assert_allclose(
+            layer.forward(x), direct_convolution(padded, layer.get_weights()), rtol=1e-4, atol=1e-5
+        )
+
+    def test_kernel_matrix_consistent_with_forward(self):
+        rng = np.random.default_rng(2)
+        layer = Conv2D(4, 3, padding="valid", seed=3)
+        layer.build((6, 6, 2))
+        x = rng.random((1, 6, 6, 2)).astype(np.float32)
+        patches = layer.extract_patches(x)
+        manual = patches.reshape(-1, layer.receptive_field_size) @ layer.kernel_matrix()
+        np.testing.assert_allclose(layer.forward(x).reshape(-1, 4), manual, rtol=1e-5)
+
+    def test_rejects_wrong_channels(self):
+        layer = Conv2D(4, 3, seed=0)
+        layer.build((6, 6, 2))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((1, 6, 6, 3), dtype=np.float32))
+
+    def test_padded_input_shape(self):
+        layer = Conv2D(4, 3, padding="same", seed=0)
+        layer.build((6, 6, 2))
+        assert layer.padded_input_shape(2) == (2, 8, 8, 2)
+
+
+class TestConv2DBackward:
+    def test_gradient_shapes(self):
+        layer = Conv2D(3, 3, padding="valid", seed=1)
+        layer.build((6, 6, 2))
+        x = np.random.default_rng(0).random((2, 6, 6, 2)).astype(np.float32)
+        out = layer.forward(x, training=True)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert layer.grad_weights.shape == layer.get_weights().shape
+
+    def test_kernel_gradient_matches_numerical(self):
+        layer = Conv2D(2, 2, padding="valid", seed=4)
+        layer.build((4, 4, 1))
+        x = np.random.default_rng(3).random((1, 4, 4, 1)).astype(np.float32)
+        kernel = layer.get_weights()
+
+        def loss_for(k):
+            return float(np.sum(direct_convolution(x, k) ** 2))
+
+        out = layer.forward(x, training=True)
+        layer.backward(2.0 * out)
+        epsilon = 1e-3
+        numeric = np.zeros_like(kernel)
+        it = np.nditer(kernel, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            perturbed = kernel.copy()
+            perturbed[idx] += epsilon
+            upper = loss_for(perturbed)
+            perturbed[idx] -= 2 * epsilon
+            lower = loss_for(perturbed)
+            numeric[idx] = (upper - lower) / (2 * epsilon)
+            it.iternext()
+        np.testing.assert_allclose(layer.grad_weights, numeric, rtol=5e-2, atol=5e-2)
+
+    def test_same_padding_backward_shape(self):
+        layer = Conv2D(3, 3, padding="same", seed=1)
+        layer.build((5, 5, 2))
+        x = np.random.default_rng(0).random((2, 5, 5, 2)).astype(np.float32)
+        out = layer.forward(x, training=True)
+        assert layer.backward(np.ones_like(out)).shape == x.shape
+
+    def test_backward_before_forward_raises(self):
+        layer = Conv2D(3, 3, seed=1)
+        layer.build((5, 5, 2))
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 3, 3, 3), dtype=np.float32))
+
+
+class TestConv2DWeights:
+    def test_set_weights_roundtrip(self):
+        layer = Conv2D(4, 3, seed=1)
+        layer.build((6, 6, 2))
+        new_kernel = np.random.default_rng(5).random((3, 3, 2, 4)).astype(np.float32)
+        layer.set_weights(new_kernel)
+        np.testing.assert_array_equal(layer.get_weights(), new_kernel)
+
+    def test_set_weights_wrong_shape(self):
+        layer = Conv2D(4, 3, seed=1)
+        layer.build((6, 6, 2))
+        with pytest.raises(ShapeError):
+            layer.set_weights(np.zeros((3, 3, 2, 5), dtype=np.float32))

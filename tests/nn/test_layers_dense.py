@@ -1,0 +1,132 @@
+"""Tests for the Dense layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotBuiltError, ShapeError
+from repro.nn.layers import Dense
+
+
+class TestDenseConstruction:
+    def test_invalid_units(self):
+        with pytest.raises(ShapeError):
+            Dense(0)
+
+    def test_requires_flat_input(self):
+        layer = Dense(4)
+        with pytest.raises(ShapeError):
+            layer.build((3, 3, 1))
+
+    def test_build_allocates_weights(self):
+        layer = Dense(4, seed=0)
+        layer.build((6,))
+        assert layer.get_weights().shape == (6, 4)
+
+    def test_not_built_error(self):
+        layer = Dense(4)
+        with pytest.raises(NotBuiltError):
+            _ = layer.output_shape
+
+    def test_parameter_count(self):
+        layer = Dense(5, seed=0)
+        layer.build((7,))
+        assert layer.parameter_count == 35
+        assert layer.parameter_bytes == 140
+
+    def test_features_properties(self):
+        layer = Dense(5, seed=0)
+        layer.build((7,))
+        assert layer.features_in == 7
+        assert layer.features_out == 5
+
+    def test_deterministic_initialization(self):
+        a = Dense(4, seed=9)
+        b = Dense(4, seed=9)
+        a.build((6,))
+        b.build((6,))
+        np.testing.assert_array_equal(a.get_weights(), b.get_weights())
+
+
+class TestDenseForward:
+    def test_matches_matmul(self):
+        layer = Dense(3, seed=1)
+        layer.build((4,))
+        x = np.random.default_rng(0).random((5, 4)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward(x), x @ layer.get_weights(), rtol=1e-6)
+
+    def test_output_shape(self):
+        layer = Dense(3, seed=1)
+        layer.build((4,))
+        assert layer.forward(np.zeros((2, 4), dtype=np.float32)).shape == (2, 3)
+
+    def test_rejects_wrong_shape(self):
+        layer = Dense(3, seed=1)
+        layer.build((4,))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 5), dtype=np.float32))
+
+
+class TestDenseBackward:
+    def test_gradient_shapes(self):
+        layer = Dense(3, seed=1)
+        layer.build((4,))
+        x = np.random.default_rng(0).random((6, 4)).astype(np.float32)
+        layer.forward(x, training=True)
+        grad_in = layer.backward(np.ones((6, 3), dtype=np.float32))
+        assert grad_in.shape == (6, 4)
+        assert layer.grad_weights.shape == (4, 3)
+
+    def test_gradient_matches_numerical(self):
+        layer = Dense(2, seed=2)
+        layer.build((3,))
+        x = np.random.default_rng(1).random((4, 3)).astype(np.float32)
+        weights = layer.get_weights()
+
+        def loss_for(w):
+            return float(np.sum((x @ w) ** 2))
+
+        layer.forward(x, training=True)
+        predictions = x @ weights
+        analytic = layer.backward(2.0 * predictions)
+        epsilon = 1e-3
+        numeric = np.zeros_like(weights)
+        for i in range(weights.shape[0]):
+            for j in range(weights.shape[1]):
+                perturbed = weights.copy()
+                perturbed[i, j] += epsilon
+                upper = loss_for(perturbed)
+                perturbed[i, j] -= 2 * epsilon
+                lower = loss_for(perturbed)
+                numeric[i, j] = (upper - lower) / (2 * epsilon)
+        np.testing.assert_allclose(layer.grad_weights, numeric, rtol=1e-2, atol=1e-2)
+        assert analytic.shape == x.shape
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, seed=2)
+        layer.build((3,))
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 2), dtype=np.float32))
+
+
+class TestDenseWeights:
+    def test_set_weights_roundtrip(self):
+        layer = Dense(3, seed=1)
+        layer.build((4,))
+        new_weights = np.random.default_rng(2).random((4, 3)).astype(np.float32)
+        layer.set_weights(new_weights)
+        np.testing.assert_array_equal(layer.get_weights(), new_weights)
+
+    def test_set_weights_wrong_shape(self):
+        layer = Dense(3, seed=1)
+        layer.build((4,))
+        with pytest.raises(ShapeError):
+            layer.set_weights(np.zeros((3, 4), dtype=np.float32))
+
+    def test_get_weights_returns_copy(self):
+        layer = Dense(3, seed=1)
+        layer.build((4,))
+        weights = layer.get_weights()
+        weights[:] = 0.0
+        assert not np.all(layer.get_weights() == 0.0)

@@ -1,0 +1,160 @@
+"""Tests for pooling and structural (flatten/dropout/input/padding) layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LayerConfigurationError, ShapeError
+from repro.nn.layers import AvgPool2D, Dropout, Flatten, InputLayer, MaxPool2D, ZeroPadding2D
+
+
+class TestMaxPool2D:
+    def test_output_shape(self):
+        layer = MaxPool2D(2)
+        layer.build((8, 8, 3))
+        assert layer.output_shape == (4, 4, 3)
+
+    def test_forward_takes_window_max(self):
+        layer = MaxPool2D(2)
+        layer.build((2, 2, 1))
+        x = np.array([[[[1.0], [5.0]], [[3.0], [2.0]]]], dtype=np.float32)
+        assert layer.forward(x)[0, 0, 0, 0] == 5.0
+
+    def test_channels_independent(self):
+        layer = MaxPool2D(2)
+        layer.build((2, 2, 2))
+        x = np.zeros((1, 2, 2, 2), dtype=np.float32)
+        x[0, :, :, 0] = [[1, 2], [3, 4]]
+        x[0, :, :, 1] = [[8, 7], [6, 5]]
+        out = layer.forward(x)
+        assert out[0, 0, 0, 0] == 4.0
+        assert out[0, 0, 0, 1] == 8.0
+
+    def test_backward_routes_to_argmax(self):
+        layer = MaxPool2D(2)
+        layer.build((2, 2, 1))
+        x = np.array([[[[1.0], [5.0]], [[3.0], [2.0]]]], dtype=np.float32)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[[[2.0]]]], dtype=np.float32))
+        assert grad[0, 0, 1, 0] == 2.0
+        assert grad.sum() == 2.0
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(LayerConfigurationError):
+            MaxPool2D(0)
+
+    def test_window_larger_than_input(self):
+        layer = MaxPool2D(4)
+        with pytest.raises(ShapeError):
+            layer.build((2, 2, 1))
+
+    def test_not_structurally_invertible(self):
+        assert MaxPool2D(2).structurally_invertible is False
+
+
+class TestAvgPool2D:
+    def test_forward_takes_window_mean(self):
+        layer = AvgPool2D(2)
+        layer.build((2, 2, 1))
+        x = np.array([[[[1.0], [2.0]], [[3.0], [6.0]]]], dtype=np.float32)
+        assert layer.forward(x)[0, 0, 0, 0] == pytest.approx(3.0)
+
+    def test_backward_distributes_evenly(self):
+        layer = AvgPool2D(2)
+        layer.build((2, 2, 1))
+        x = np.ones((1, 2, 2, 1), dtype=np.float32)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[[[4.0]]]], dtype=np.float32))
+        np.testing.assert_allclose(grad[0, :, :, 0], np.ones((2, 2)))
+
+
+class TestFlatten:
+    def test_shape(self):
+        layer = Flatten()
+        layer.build((3, 4, 2))
+        assert layer.output_shape == (24,)
+
+    def test_roundtrip_with_invert(self):
+        layer = Flatten()
+        layer.build((3, 4, 2))
+        x = np.random.default_rng(0).random((2, 3, 4, 2)).astype(np.float32)
+        flat = layer.forward(x)
+        np.testing.assert_array_equal(layer.invert(flat), x)
+
+    def test_backward_restores_shape(self):
+        layer = Flatten()
+        layer.build((3, 4, 2))
+        grad = np.ones((5, 24), dtype=np.float32)
+        assert layer.backward(grad).shape == (5, 3, 4, 2)
+
+
+class TestDropout:
+    def test_invalid_rate(self):
+        with pytest.raises(LayerConfigurationError):
+            Dropout(1.0)
+
+    def test_inference_is_identity(self):
+        layer = Dropout(0.5, seed=0)
+        layer.build((10,))
+        x = np.random.default_rng(0).random((4, 10)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_some_values(self):
+        layer = Dropout(0.5, seed=0)
+        layer.build((1000,))
+        x = np.ones((1, 1000), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        dropped = np.sum(out == 0.0)
+        assert 300 < dropped < 700
+
+    def test_training_preserves_expectation(self):
+        layer = Dropout(0.3, seed=1)
+        layer.build((5000,))
+        x = np.ones((1, 5000), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, rel=0.1)
+
+
+class TestInputLayer:
+    def test_passthrough(self):
+        layer = InputLayer((4,))
+        layer.build((4,))
+        x = np.random.default_rng(0).random((2, 4)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_shape_mismatch(self):
+        layer = InputLayer((4,))
+        with pytest.raises(ShapeError):
+            layer.build((5,))
+
+
+class TestZeroPadding2D:
+    def test_output_shape(self):
+        layer = ZeroPadding2D(2)
+        layer.build((4, 4, 3))
+        assert layer.output_shape == (8, 8, 3)
+
+    def test_forward_pads_zeros(self):
+        layer = ZeroPadding2D(1)
+        layer.build((2, 2, 1))
+        x = np.ones((1, 2, 2, 1), dtype=np.float32)
+        out = layer.forward(x)
+        assert out.shape == (1, 4, 4, 1)
+        assert out[0, 0, 0, 0] == 0.0
+        assert out[0, 1, 1, 0] == 1.0
+
+    def test_invert_strips_padding(self):
+        layer = ZeroPadding2D((1, 2))
+        layer.build((3, 3, 2))
+        x = np.random.default_rng(0).random((2, 3, 3, 2)).astype(np.float32)
+        np.testing.assert_array_equal(layer.invert(layer.forward(x)), x)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(LayerConfigurationError):
+            ZeroPadding2D(-1)
+
+    def test_requires_3d_input(self):
+        layer = ZeroPadding2D(1)
+        with pytest.raises(ShapeError):
+            layer.build((4,))

@@ -1,0 +1,119 @@
+"""Tests for the Sequential model container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotBuiltError, ShapeError
+from repro.nn import Bias, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+
+class TestBuild:
+    def test_unbuilt_model_raises(self):
+        model = Sequential([Dense(4, seed=0)])
+        with pytest.raises(NotBuiltError):
+            model.predict(np.zeros((1, 3), dtype=np.float32))
+
+    def test_build_propagates_shapes(self, tiny_conv_model):
+        assert tiny_conv_model.input_shape == (10, 10, 2)
+        assert tiny_conv_model.output_shape == (10,)
+
+    def test_add_after_build_rejected(self, tiny_dense_model):
+        with pytest.raises(NotBuiltError):
+            tiny_dense_model.add(Dense(2))
+
+    def test_duplicate_names_rejected(self):
+        model = Sequential([Dense(4, seed=0, name="dup"), ReLU(name="dup")])
+        with pytest.raises(ShapeError):
+            model.build((3,))
+
+    def test_build_returns_self(self):
+        model = Sequential([Dense(4, seed=0)])
+        assert model.build((3,)) is model
+
+
+class TestExecution:
+    def test_predict_shape(self, tiny_conv_model):
+        x = np.random.default_rng(0).random((3, 10, 10, 2)).astype(np.float32)
+        assert tiny_conv_model.predict(x).shape == (3, 10)
+
+    def test_predict_matches_manual_chain(self, tiny_dense_model):
+        x = np.random.default_rng(0).random((4, 12)).astype(np.float32)
+        manual = x
+        for layer in tiny_dense_model.layers:
+            manual = layer.forward(manual)
+        np.testing.assert_allclose(tiny_dense_model.predict(x), manual, rtol=1e-6)
+
+    def test_forward_collect_lengths(self, tiny_conv_model):
+        x = np.random.default_rng(0).random((1, 10, 10, 2)).astype(np.float32)
+        outputs = tiny_conv_model.forward_collect(x)
+        assert len(outputs) == len(tiny_conv_model.layers)
+        assert outputs[-1].shape == (1, 10)
+
+    def test_forward_from_slices_the_network(self, tiny_dense_model):
+        x = np.random.default_rng(0).random((2, 12)).astype(np.float32)
+        first_two = tiny_dense_model.forward_from(x, 0, 2)
+        rest = tiny_dense_model.forward_from(first_two, 2, len(tiny_dense_model))
+        np.testing.assert_allclose(rest, tiny_dense_model.predict(x), rtol=1e-6)
+
+    def test_classify_returns_argmax(self, tiny_conv_model):
+        x = np.random.default_rng(0).random((3, 10, 10, 2)).astype(np.float32)
+        predictions = tiny_conv_model.classify(x)
+        scores = tiny_conv_model.predict(x)
+        np.testing.assert_array_equal(predictions, scores.argmax(axis=1))
+
+    def test_accuracy_on_known_labels(self, tiny_conv_model):
+        x = np.random.default_rng(0).random((6, 10, 10, 2)).astype(np.float32)
+        labels = tiny_conv_model.classify(x)
+        assert tiny_conv_model.accuracy(x, labels) == 1.0
+
+    def test_callable(self, tiny_dense_model):
+        x = np.random.default_rng(0).random((2, 12)).astype(np.float32)
+        np.testing.assert_array_equal(tiny_dense_model(x), tiny_dense_model.predict(x))
+
+
+class TestWeights:
+    def test_get_weights_only_parameterized_layers(self, tiny_conv_model):
+        weights = tiny_conv_model.get_weights()
+        assert set(weights) == {"c1", "cb1", "d1", "db1"}
+
+    def test_set_weights_roundtrip(self, tiny_conv_model):
+        x = np.random.default_rng(0).random((2, 10, 10, 2)).astype(np.float32)
+        before = tiny_conv_model.predict(x)
+        snapshot = tiny_conv_model.get_weights()
+        tiny_conv_model.get_layer("c1").set_weights(
+            np.zeros_like(snapshot["c1"])
+        )
+        assert not np.allclose(tiny_conv_model.predict(x), before)
+        tiny_conv_model.set_weights(snapshot)
+        np.testing.assert_allclose(tiny_conv_model.predict(x), before, rtol=1e-6)
+
+    def test_parameter_count(self, tiny_conv_model):
+        expected = sum(layer.parameter_count for layer in tiny_conv_model.layers)
+        assert tiny_conv_model.parameter_count() == expected
+        assert tiny_conv_model.parameter_bytes() == expected * 4
+
+
+class TestIntrospection:
+    def test_layer_index_and_get_layer(self, tiny_conv_model):
+        assert tiny_conv_model.layer_index("c1") == 0
+        assert tiny_conv_model.get_layer("d1").name == "d1"
+
+    def test_layer_index_missing(self, tiny_conv_model):
+        with pytest.raises(KeyError):
+            tiny_conv_model.layer_index("nope")
+
+    def test_len_and_iter(self, tiny_conv_model):
+        assert len(tiny_conv_model) == 7
+        assert [layer.name for layer in tiny_conv_model][0] == "c1"
+
+    def test_signatures(self, tiny_conv_model):
+        signatures = tiny_conv_model.signatures()
+        assert signatures[0].kind == "Conv2D"
+        assert signatures[-1].output_shape == (10,)
+
+    def test_summary_contains_totals(self, tiny_conv_model):
+        summary = tiny_conv_model.summary()
+        assert "Total trainable parameters" in summary
+        assert "c1" in summary

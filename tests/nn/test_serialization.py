@@ -1,0 +1,60 @@
+"""Tests for weight save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.nn import Dense, ReLU, Sequential, load_model_weights, save_model_weights
+
+
+def _make_model(units: int = 4, seed: int = 0) -> Sequential:
+    model = Sequential([Dense(units, seed=seed, name="d1"), ReLU(name="r1")])
+    model.build((6,))
+    return model
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        model = _make_model(seed=1)
+        path = tmp_path / "weights.npz"
+        save_model_weights(model, path)
+        other = _make_model(seed=2)
+        assert not np.allclose(other.get_weights()["d1"], model.get_weights()["d1"])
+        load_model_weights(other, path)
+        np.testing.assert_array_equal(other.get_weights()["d1"], model.get_weights()["d1"])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_model_weights(_make_model(), tmp_path / "missing.npz")
+
+    def test_missing_layer_in_archive(self, tmp_path):
+        model = _make_model()
+        path = tmp_path / "weights.npz"
+        save_model_weights(model, path)
+        bigger = Sequential([Dense(4, seed=0, name="d1"), Dense(2, seed=0, name="d2")])
+        bigger.build((6,))
+        with pytest.raises(SerializationError, match="missing parameters"):
+            load_model_weights(bigger, path)
+
+    def test_shape_mismatch(self, tmp_path):
+        model = _make_model(units=4)
+        path = tmp_path / "weights.npz"
+        save_model_weights(model, path)
+        other = Sequential([Dense(5, seed=0, name="d1")])
+        other.build((6,))
+        with pytest.raises(SerializationError, match="shape"):
+            load_model_weights(other, path)
+
+    def test_model_without_parameters(self, tmp_path):
+        model = Sequential([ReLU(name="r1")])
+        model.build((4,))
+        with pytest.raises(SerializationError):
+            save_model_weights(model, tmp_path / "x.npz")
+
+    def test_creates_parent_directory(self, tmp_path):
+        model = _make_model()
+        path = tmp_path / "nested" / "dir" / "weights.npz"
+        save_model_weights(model, path)
+        assert path.exists()

@@ -1,0 +1,160 @@
+"""Tests for im2col / col2im and padding helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.tensor_utils import (
+    col2im,
+    conv_output_length,
+    im2col,
+    pad_input,
+    pad_same_amounts,
+    pool_patches,
+    unpad_input,
+)
+
+
+class TestConvOutputLength:
+    def test_valid_padding(self):
+        assert conv_output_length(28, 3, 1, "valid") == 26
+
+    def test_valid_padding_with_stride(self):
+        assert conv_output_length(10, 3, 2, "valid") == 4
+
+    def test_same_padding(self):
+        assert conv_output_length(28, 3, 1, "same") == 28
+
+    def test_same_padding_with_stride(self):
+        assert conv_output_length(9, 3, 2, "same") == 5
+
+    def test_filter_larger_than_input_valid(self):
+        with pytest.raises(ShapeError):
+            conv_output_length(2, 3, 1, "valid")
+
+    def test_unknown_padding(self):
+        with pytest.raises(ShapeError):
+            conv_output_length(8, 3, 1, "reflect")
+
+
+class TestPadSameAmounts:
+    def test_odd_filter(self):
+        assert pad_same_amounts(8, 3, 1) == (1, 1)
+
+    def test_even_filter(self):
+        before, after = pad_same_amounts(8, 2, 1)
+        assert before + after == 1
+
+    def test_stride_two(self):
+        before, after = pad_same_amounts(7, 3, 2)
+        assert (7 + before + after - 3) // 2 + 1 == 4
+
+
+class TestPadInput:
+    def test_valid_is_identity(self):
+        inputs = np.random.default_rng(0).random((2, 5, 5, 3)).astype(np.float32)
+        padded, amounts = pad_input(inputs, (3, 3), (1, 1), "valid")
+        np.testing.assert_array_equal(padded, inputs)
+        assert amounts == ((0, 0), (0, 0))
+
+    def test_same_pads_spatially(self):
+        inputs = np.ones((1, 5, 5, 2), dtype=np.float32)
+        padded, amounts = pad_input(inputs, (3, 3), (1, 1), "same")
+        assert padded.shape == (1, 7, 7, 2)
+        assert amounts == ((1, 1), (1, 1))
+        assert padded[0, 0, 0, 0] == 0.0
+
+    def test_unpad_restores_shape(self):
+        inputs = np.random.default_rng(1).random((2, 6, 6, 1)).astype(np.float32)
+        padded, amounts = pad_input(inputs, (3, 3), (1, 1), "same")
+        np.testing.assert_array_equal(unpad_input(padded, amounts), inputs)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ShapeError):
+            pad_input(np.zeros((5, 5, 3), dtype=np.float32), (3, 3), (1, 1), "same")
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        inputs = np.random.default_rng(0).random((2, 6, 6, 3)).astype(np.float32)
+        patches = im2col(inputs, (3, 3), (1, 1))
+        assert patches.shape == (2, 4, 4, 27)
+
+    def test_stride(self):
+        inputs = np.random.default_rng(0).random((1, 8, 8, 1)).astype(np.float32)
+        patches = im2col(inputs, (2, 2), (2, 2))
+        assert patches.shape == (1, 4, 4, 4)
+
+    def test_patch_content_matches_manual_extraction(self):
+        inputs = np.arange(1 * 4 * 4 * 2, dtype=np.float32).reshape(1, 4, 4, 2)
+        patches = im2col(inputs, (2, 2), (1, 1))
+        manual = inputs[0, 1:3, 2:4, :].reshape(-1)
+        np.testing.assert_array_equal(patches[0, 1, 2], manual)
+
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(3)
+        inputs = rng.random((1, 5, 5, 2)).astype(np.float32)
+        kernel = rng.random((3, 3, 2, 4)).astype(np.float32)
+        patches = im2col(inputs, (3, 3), (1, 1))
+        via_matmul = patches.reshape(-1, 18) @ kernel.reshape(18, 4)
+        via_matmul = via_matmul.reshape(1, 3, 3, 4)
+        direct = np.zeros((1, 3, 3, 4), dtype=np.float64)
+        for i in range(3):
+            for j in range(3):
+                window = inputs[0, i : i + 3, j : j + 3, :]
+                for k in range(4):
+                    direct[0, i, j, k] = np.sum(window * kernel[:, :, :, k])
+        np.testing.assert_allclose(via_matmul, direct, rtol=1e-5)
+
+    def test_rejects_small_input(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((1, 2, 2, 1), dtype=np.float32), (3, 3), (1, 1))
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((4, 4, 1), dtype=np.float32), (2, 2), (1, 1))
+
+
+class TestCol2Im:
+    def test_roundtrip_mean_reduction(self):
+        inputs = np.random.default_rng(2).random((1, 5, 5, 2)).astype(np.float32)
+        patches = im2col(inputs, (3, 3), (1, 1))
+        reconstructed = col2im(patches, inputs.shape, (3, 3), (1, 1), reduce="mean")
+        np.testing.assert_allclose(reconstructed, inputs, rtol=1e-5, atol=1e-6)
+
+    def test_roundtrip_non_overlapping(self):
+        inputs = np.random.default_rng(2).random((2, 4, 4, 3)).astype(np.float32)
+        patches = im2col(inputs, (2, 2), (2, 2))
+        reconstructed = col2im(patches, inputs.shape, (2, 2), (2, 2), reduce="mean")
+        np.testing.assert_allclose(reconstructed, inputs, rtol=1e-6)
+
+    def test_sum_reduction_counts_overlaps(self):
+        inputs = np.ones((1, 3, 3, 1), dtype=np.float32)
+        patches = im2col(inputs, (2, 2), (1, 1))
+        summed = col2im(patches, inputs.shape, (2, 2), (1, 1), reduce="sum")
+        # The centre pixel is covered by all four 2x2 windows.
+        assert summed[0, 1, 1, 0] == pytest.approx(4.0)
+
+    def test_invalid_reduce(self):
+        patches = np.zeros((1, 1, 1, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            col2im(patches, (1, 2, 2, 1), (2, 2), (1, 1), reduce="max")
+
+
+class TestPoolPatches:
+    def test_shape(self):
+        inputs = np.random.default_rng(0).random((2, 6, 6, 3)).astype(np.float32)
+        windows = pool_patches(inputs, (2, 2), (2, 2))
+        assert windows.shape == (2, 3, 3, 4, 3)
+
+    def test_max_matches_manual(self):
+        inputs = np.random.default_rng(1).random((1, 4, 4, 2)).astype(np.float32)
+        windows = pool_patches(inputs, (2, 2), (2, 2))
+        manual = inputs[0, 2:4, 0:2, 1].max()
+        assert windows[0, 1, 0, :, 1].max() == pytest.approx(manual)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ShapeError):
+            pool_patches(np.zeros((4, 4, 1), dtype=np.float32), (2, 2), (2, 2))

@@ -1,0 +1,218 @@
+"""Tests for losses, optimizers, metrics and the training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import Bias, Dense, ReLU, Sequential
+from repro.nn.training import (
+    SGD,
+    Adam,
+    CategoricalCrossEntropy,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+    Trainer,
+    accuracy_score,
+    confusion_matrix,
+    top_k_accuracy,
+)
+
+
+class TestLosses:
+    def test_mse_zero_for_equal(self):
+        loss = MeanSquaredError()
+        x = np.ones((3, 4), dtype=np.float32)
+        assert loss.value(x, x) == 0.0
+
+    def test_mse_value(self):
+        loss = MeanSquaredError()
+        predictions = np.zeros((1, 2), dtype=np.float32)
+        targets = np.array([[1.0, 1.0]], dtype=np.float32)
+        assert loss.value(predictions, targets) == pytest.approx(1.0)
+
+    def test_mse_gradient_direction(self):
+        loss = MeanSquaredError()
+        predictions = np.array([[2.0]], dtype=np.float32)
+        targets = np.array([[0.0]], dtype=np.float32)
+        assert loss.gradient(predictions, targets)[0, 0] > 0
+
+    def test_cce_accepts_integer_labels(self):
+        loss = CategoricalCrossEntropy()
+        predictions = np.array([[0.9, 0.05, 0.05]], dtype=np.float32)
+        assert loss.value(predictions, np.array([0])) == pytest.approx(-np.log(0.9), rel=1e-4)
+
+    def test_cce_rejects_bad_labels(self):
+        loss = CategoricalCrossEntropy()
+        with pytest.raises(ShapeError):
+            loss.value(np.ones((2, 3), dtype=np.float32) / 3, np.array([3, 0]))
+
+    def test_softmax_ce_matches_manual(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[2.0, 1.0, 0.0]], dtype=np.float32)
+        probabilities = np.exp(logits) / np.exp(logits).sum()
+        assert loss.value(logits, np.array([0])) == pytest.approx(
+            -np.log(probabilities[0, 0]), rel=1e-4
+        )
+
+    def test_softmax_ce_gradient_sums_to_zero(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.random.default_rng(0).random((4, 5)).astype(np.float32)
+        gradient = loss.gradient(logits, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(gradient.sum(axis=1), np.zeros(4), atol=1e-6)
+
+    def test_softmax_ce_gradient_matches_numerical(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.random.default_rng(1).random((2, 3)).astype(np.float64)
+        labels = np.array([1, 2])
+        analytic = loss.gradient(logits.astype(np.float32), labels)
+        epsilon = 1e-4
+        numeric = np.zeros_like(logits)
+        for i in range(2):
+            for j in range(3):
+                up = logits.copy()
+                up[i, j] += epsilon
+                down = logits.copy()
+                down[i, j] -= epsilon
+                numeric[i, j] = (
+                    loss.value(up.astype(np.float32), labels)
+                    - loss.value(down.astype(np.float32), labels)
+                ) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-2, atol=1e-4)
+
+    def test_target_shape_mismatch(self):
+        loss = MeanSquaredError()
+        with pytest.raises(ShapeError):
+            loss.value(np.ones((2, 3), dtype=np.float32), np.ones((2, 4), dtype=np.float32))
+
+
+class TestOptimizers:
+    def test_sgd_moves_against_gradient(self):
+        optimizer = SGD(learning_rate=0.1)
+        weights = np.ones(3, dtype=np.float32)
+        updated = optimizer.update("w", weights, np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(updated, 0.9 * np.ones(3), rtol=1e-6)
+
+    def test_sgd_momentum_accumulates(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        weights = np.zeros(1, dtype=np.float32)
+        gradient = np.ones(1, dtype=np.float32)
+        first = optimizer.update("w", weights, gradient)
+        second = optimizer.update("w", first, gradient)
+        assert (weights[0] - first[0]) < (first[0] - second[0])
+
+    def test_sgd_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+    def test_adam_first_step_magnitude(self):
+        optimizer = Adam(learning_rate=0.001)
+        weights = np.zeros(4, dtype=np.float32)
+        updated = optimizer.update("w", weights, np.full(4, 10.0, dtype=np.float32))
+        np.testing.assert_allclose(np.abs(updated), np.full(4, 0.001), rtol=1e-3)
+
+    def test_adam_per_slot_state(self):
+        optimizer = Adam()
+        a = optimizer.update("a", np.zeros(1, dtype=np.float32), np.ones(1, dtype=np.float32))
+        b = optimizer.update("b", np.zeros(1, dtype=np.float32), np.ones(1, dtype=np.float32))
+        np.testing.assert_allclose(a, b)
+
+    def test_reset_clears_state(self):
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        optimizer.update("w", np.zeros(1, dtype=np.float32), np.ones(1, dtype=np.float32))
+        optimizer.reset()
+        assert optimizer._velocity == {}
+
+    def test_adam_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+
+class TestMetrics:
+    def test_accuracy_from_scores(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8]], dtype=np.float32)
+        assert accuracy_score(scores, np.array([0, 1])) == 1.0
+
+    def test_accuracy_from_labels(self):
+        assert accuracy_score(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            accuracy_score(np.array([0, 1]), np.array([0]))
+
+    def test_top_k(self):
+        scores = np.array([[0.1, 0.2, 0.7], [0.5, 0.3, 0.2]], dtype=np.float32)
+        assert top_k_accuracy(scores, np.array([1, 1]), k=2) == pytest.approx(1.0)
+        assert top_k_accuracy(scores, np.array([0, 2]), k=1) == pytest.approx(0.0)
+
+    def test_top_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.ones((1, 3), dtype=np.float32), np.array([0]), k=0)
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]), num_classes=2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+
+class TestTrainer:
+    def _separable_data(self):
+        rng = np.random.default_rng(0)
+        class0 = rng.normal(loc=-1.0, scale=0.3, size=(40, 8))
+        class1 = rng.normal(loc=1.0, scale=0.3, size=(40, 8))
+        inputs = np.concatenate([class0, class1]).astype(np.float32)
+        labels = np.concatenate([np.zeros(40), np.ones(40)]).astype(np.int64)
+        return inputs, labels
+
+    def _model(self):
+        model = Sequential(
+            [Dense(8, seed=1, name="d1"), Bias(name="b1", seed=2), ReLU(), Dense(2, seed=3, name="d2")]
+        )
+        model.build((8,))
+        return model
+
+    def test_loss_decreases(self):
+        inputs, labels = self._separable_data()
+        model = self._model()
+        trainer = Trainer(model, optimizer=Adam(learning_rate=0.01), shuffle_seed=0)
+        history = trainer.fit(inputs, labels, epochs=5, batch_size=16)
+        assert history.loss[-1] < history.loss[0]
+
+    def test_reaches_high_accuracy_on_separable_data(self):
+        inputs, labels = self._separable_data()
+        model = self._model()
+        trainer = Trainer(model, optimizer=Adam(learning_rate=0.02), shuffle_seed=0)
+        history = trainer.fit(inputs, labels, epochs=10, batch_size=16)
+        assert history.accuracy[-1] >= 0.95
+
+    def test_validation_accuracy_recorded(self):
+        inputs, labels = self._separable_data()
+        model = self._model()
+        trainer = Trainer(model, shuffle_seed=0)
+        history = trainer.fit(
+            inputs, labels, epochs=2, batch_size=16, validation_data=(inputs, labels)
+        )
+        assert len(history.validation_accuracy) == 2
+        assert history.final_accuracy() == history.validation_accuracy[-1]
+
+    def test_mismatched_lengths_rejected(self):
+        model = self._model()
+        trainer = Trainer(model)
+        with pytest.raises(ShapeError):
+            trainer.fit(np.zeros((4, 8), dtype=np.float32), np.zeros(3), epochs=1)
+
+    def test_invalid_batch_size(self):
+        model = self._model()
+        trainer = Trainer(model)
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((4, 8), dtype=np.float32), np.zeros(4), batch_size=0)
+
+    def test_history_epochs(self):
+        inputs, labels = self._separable_data()
+        trainer = Trainer(self._model(), shuffle_seed=0)
+        history = trainer.fit(inputs, labels, epochs=3, batch_size=32)
+        assert history.epochs == 3

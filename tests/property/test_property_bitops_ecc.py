@@ -1,0 +1,84 @@
+"""Property-based tests for bit manipulation and the SECDED codec."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.bitops import bits_to_floats, count_bit_differences, flip_bits, floats_to_bits
+from repro.memory.ecc import SECDEDCodec, SECDEDWordStatus
+
+_WORDS = st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=64)
+_FLOATS = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=32), min_size=1, max_size=64
+)
+
+
+class TestBitopsProperties:
+    @given(_FLOATS)
+    @settings(max_examples=50, deadline=None)
+    def test_float_bit_roundtrip(self, values):
+        array = np.asarray(values, dtype=np.float32)
+        np.testing.assert_array_equal(bits_to_floats(floats_to_bits(array)), array)
+
+    @given(_FLOATS, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_double_flip_is_identity(self, values, data):
+        array = np.asarray(values, dtype=np.float32)
+        index = data.draw(st.integers(min_value=0, max_value=array.size - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=31))
+        once = flip_bits(array, np.array([index]), np.array([bit]))
+        twice = flip_bits(once, np.array([index]), np.array([bit]))
+        np.testing.assert_array_equal(twice, array)
+
+    @given(_FLOATS, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_single_flip_changes_exactly_one_bit(self, values, data):
+        array = np.asarray(values, dtype=np.float32)
+        index = data.draw(st.integers(min_value=0, max_value=array.size - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=31))
+        flipped = flip_bits(array, np.array([index]), np.array([bit]))
+        assert count_bit_differences(array, flipped) == 1
+
+
+class TestSECDEDProperties:
+    @given(_WORDS)
+    @settings(max_examples=50, deadline=None)
+    def test_clean_words_decode_to_themselves(self, words):
+        words = np.asarray(words, dtype=np.uint32)
+        codec = SECDEDCodec()
+        check = codec.encode_words(words)
+        decoded, statuses = codec.decode_words(words, check)
+        np.testing.assert_array_equal(decoded, words)
+        assert all(status is SECDEDWordStatus.CLEAN for status in statuses)
+
+    @given(_WORDS, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_any_single_data_bit_error_is_corrected(self, words, data):
+        words = np.asarray(words, dtype=np.uint32)
+        codec = SECDEDCodec()
+        check = codec.encode_words(words)
+        index = data.draw(st.integers(min_value=0, max_value=words.size - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=31))
+        corrupted = words.copy()
+        corrupted[index] ^= np.uint32(1) << np.uint32(bit)
+        decoded, statuses = codec.decode_words(corrupted, check)
+        np.testing.assert_array_equal(decoded, words)
+        assert statuses[index] is SECDEDWordStatus.CORRECTED
+
+    @given(_WORDS, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_any_double_bit_error_is_detected_not_miscorrected(self, words, data):
+        words = np.asarray(words, dtype=np.uint32)
+        codec = SECDEDCodec()
+        check = codec.encode_words(words)
+        index = data.draw(st.integers(min_value=0, max_value=words.size - 1))
+        bit_a = data.draw(st.integers(min_value=0, max_value=31))
+        bit_b = data.draw(st.integers(min_value=0, max_value=31).filter(lambda b: b != bit_a))
+        corrupted = words.copy()
+        corrupted[index] ^= (np.uint32(1) << np.uint32(bit_a)) | (np.uint32(1) << np.uint32(bit_b))
+        decoded, statuses = codec.decode_words(corrupted, check)
+        assert statuses[index] is SECDEDWordStatus.DETECTED_UNCORRECTABLE
+        # No silent mis-correction into a third, wrong value.
+        assert decoded[index] == corrupted[index]

@@ -1,0 +1,84 @@
+"""Property-based tests for the 2-D CRC scheme and box-plot statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import BoxPlotStats
+from repro.crc import TwoDimensionalCRC
+
+
+class TestTwoDimensionalCRCProperties:
+    @given(
+        st.integers(min_value=5, max_value=12),
+        st.integers(min_value=5, max_value=12),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_corrupted_weight_is_always_a_suspect(self, rows, cols, data):
+        seed = data.draw(st.integers(min_value=0, max_value=1000))
+        matrix = np.random.default_rng(seed).standard_normal((rows, cols)).astype(np.float32)
+        scheme = TwoDimensionalCRC(group_size=4, crc_bits=8)
+        codes = scheme.encode_matrix(matrix)
+        row = data.draw(st.integers(min_value=0, max_value=rows - 1))
+        col = data.draw(st.integers(min_value=0, max_value=cols - 1))
+        delta = data.draw(st.floats(min_value=0.5, max_value=10.0))
+        corrupted = matrix.copy()
+        corrupted[row, col] += np.float32(delta)
+        result = scheme.localize_matrix(corrupted, codes)
+        assert result.suspect_mask[row, col]
+
+    @given(st.integers(min_value=5, max_value=16), st.integers(min_value=5, max_value=16), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_clean_matrix_never_flags_suspects(self, rows, cols, seed):
+        matrix = np.random.default_rng(seed).standard_normal((rows, cols)).astype(np.float32)
+        scheme = TwoDimensionalCRC(group_size=4, crc_bits=8)
+        codes = scheme.encode_matrix(matrix)
+        result = scheme.localize_matrix(matrix.copy(), codes)
+        assert result.suspect_count == 0
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_suspects_bounded_by_group_intersection(self, group_size, seed):
+        matrix = np.random.default_rng(seed).standard_normal((12, 12)).astype(np.float32)
+        scheme = TwoDimensionalCRC(group_size=group_size, crc_bits=8)
+        codes = scheme.encode_matrix(matrix)
+        corrupted = matrix.copy()
+        corrupted[3, 5] += 2.0
+        result = scheme.localize_matrix(corrupted, codes)
+        assert result.suspect_count <= group_size * group_size
+
+
+class TestBoxPlotStatsProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=100
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ordering_invariants(self, samples):
+        stats = BoxPlotStats.from_samples(samples)
+        assert stats.minimum <= stats.first_quartile <= stats.median
+        assert stats.median <= stats.third_quartile <= stats.maximum
+        assert stats.minimum <= stats.lower_whisker <= stats.upper_whisker <= stats.maximum
+        assert stats.count == len(samples)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_outliers_lie_outside_whiskers(self, samples):
+        stats = BoxPlotStats.from_samples(samples)
+        for outlier in stats.outliers:
+            assert outlier < stats.lower_whisker or outlier > stats.upper_whisker
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_constant_samples_have_degenerate_box(self, value, count):
+        stats = BoxPlotStats.from_samples([value] * count)
+        assert stats.minimum == stats.maximum == stats.median
+        assert stats.outliers == ()

@@ -1,0 +1,133 @@
+"""Property-based tests for layer algebra and MILR recovery invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MILRConfig, MILRProtector
+from repro.memory import inject_whole_weight
+from repro.nn import Bias, Conv2D, Dense, Flatten, ReLU, Sequential
+from repro.nn.tensor_utils import col2im, im2col
+
+
+class TestLayerAlgebraProperties:
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dense_forward_is_linear(self, features_in, units, batch, seed):
+        layer = Dense(units, seed=seed, name="d")
+        layer.build((features_in,))
+        rng = np.random.default_rng(seed)
+        a = rng.random((batch, features_in)).astype(np.float32)
+        b = rng.random((batch, features_in)).astype(np.float32)
+        combined = layer.forward((a + b).astype(np.float32))
+        separate = layer.forward(a) + layer.forward(b)
+        np.testing.assert_allclose(combined, separate, rtol=1e-4, atol=1e-4)
+
+    @given(
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_im2col_col2im_roundtrip(self, size, channels, kernel, seed):
+        inputs = np.random.default_rng(seed).random((1, size, size, channels)).astype(np.float32)
+        patches = im2col(inputs, (kernel, kernel), (1, 1))
+        reconstructed = col2im(patches, inputs.shape, (kernel, kernel), (1, 1), reduce="mean")
+        np.testing.assert_allclose(reconstructed, inputs, rtol=1e-4, atol=1e-5)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bias_forward_inverse(self, channels, batch, seed):
+        layer = Bias(seed=seed, name="b")
+        layer.build((channels,))
+        x = np.random.default_rng(seed).random((batch, channels)).astype(np.float32)
+        y = layer.forward(x)
+        np.testing.assert_allclose(y - layer.get_weights(), x, rtol=1e-5, atol=1e-6)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_relu_is_idempotent(self, seed):
+        layer = ReLU()
+        layer.build((16,))
+        x = (np.random.default_rng(seed).random((3, 16)).astype(np.float32) - 0.5) * 4
+        once = layer.forward(x)
+        twice = layer.forward(once)
+        np.testing.assert_array_equal(once, twice)
+
+
+class TestRecoveryProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.02, max_value=0.5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_dense_layer_always_recovers_from_whole_weight_errors(self, seed, rate):
+        model = Sequential(
+            [Dense(12, seed=3, name="d1"), Bias(name="b1", seed=4), ReLU(), Dense(6, seed=5, name="d2")]
+        )
+        model.build((9,))
+        protector = MILRProtector(model, MILRConfig(master_seed=41))
+        protector.initialize()
+        layer = model.get_layer("d1")
+        original = layer.get_weights()
+        corrupted, report = inject_whole_weight(original, rate, np.random.default_rng(seed))
+        layer.set_weights(corrupted)
+        detection, recovery = protector.detect_and_recover()
+        if report.affected_weights == 0:
+            assert not detection.any_errors
+            return
+        np.testing.assert_allclose(layer.get_weights(), original, rtol=1e-3, atol=1e-3)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_conv_layer_recovery_independent_of_error_pattern(self, seed):
+        model = Sequential([Conv2D(8, 3, padding="valid", seed=7, name="c"), Bias(name="b", seed=8)])
+        model.build((8, 8, 1))
+        protector = MILRProtector(model, MILRConfig(master_seed=43))
+        protector.initialize()
+        layer = model.get_layer("c")
+        original = layer.get_weights()
+        corrupted, report = inject_whole_weight(original, 0.3, np.random.default_rng(seed))
+        layer.set_weights(corrupted)
+        _, recovery = protector.detect_and_recover()
+        if report.affected_weights == 0:
+            return
+        assert recovery is not None
+        np.testing.assert_allclose(layer.get_weights(), original, rtol=1e-3, atol=1e-3)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_recovery_never_corrupts_clean_layers(self, seed):
+        model = Sequential(
+            [
+                Conv2D(8, 3, padding="valid", seed=9, name="c"),
+                Bias(name="cb", seed=10),
+                ReLU(),
+                Flatten(),
+                Dense(5, seed=11, name="d"),
+            ]
+        )
+        model.build((8, 8, 1))
+        protector = MILRProtector(model, MILRConfig(master_seed=47))
+        protector.initialize()
+        dense_original = model.get_layer("d").get_weights()
+        conv = model.get_layer("c")
+        corrupted, report = inject_whole_weight(
+            conv.get_weights(), 0.2, np.random.default_rng(seed)
+        )
+        conv.set_weights(corrupted)
+        protector.detect_and_recover()
+        # The dense layer was never corrupted; recovery must not have touched it.
+        np.testing.assert_array_equal(model.get_layer("d").get_weights(), dense_original)

@@ -1,0 +1,77 @@
+"""Tests for the experiment command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["summary", "--network", "nope"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["rber"])
+        assert args.network == "mnist_reduced"
+        assert args.trials == 3
+
+    def test_error_rates_parsed_as_floats(self):
+        args = build_parser().parse_args(["whole-weight", "--error-rates", "1e-4", "1e-3"])
+        assert args.error_rates == [1e-4, 1e-3]
+
+
+class TestCommands:
+    def test_summary_prints_architecture(self, capsys):
+        assert main(["summary", "--network", "mnist"]) == 0
+        output = capsys.readouterr().out
+        assert "Conv2D" in output
+        assert "1,669,290" in output
+
+    def test_storage_reduced_network(self, capsys):
+        assert main(["storage", "--networks", "mnist_reduced"]) == 0
+        output = capsys.readouterr().out
+        assert "milr_mb" in output
+
+    def test_whole_layer_command(self, capsys):
+        assert main(["whole-layer", "--network", "mnist_reduced"]) == 0
+        output = capsys.readouterr().out
+        assert "block1_conv" in output
+
+    def test_recovery_time_command(self, capsys):
+        assert main(["recovery-time", "--network", "mnist_reduced", "--error-counts", "10", "50"]) == 0
+        output = capsys.readouterr().out
+        assert "recovery_s" in output
+
+    def test_timing_command_reduced(self, capsys):
+        assert main(["timing", "--networks", "mnist_reduced", "--batch-size", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "identification_s" in output
+
+    def test_whole_weight_command(self, capsys):
+        assert (
+            main(
+                [
+                    "whole-weight",
+                    "--network",
+                    "mnist_reduced",
+                    "--trials",
+                    "1",
+                    "--error-rates",
+                    "1e-4",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "milr" in output
+
+    def test_availability_command(self, capsys):
+        assert main(["availability", "--networks", "mnist_reduced", "--points", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "availability@99.999%acc" in output

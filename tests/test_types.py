@@ -1,0 +1,73 @@
+"""Tests for shared type helpers and the storage report."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import (
+    FLOAT_DTYPE,
+    LayerSignature,
+    StorageReport,
+    as_float_array,
+    as_shape,
+)
+
+
+class TestAsShape:
+    def test_converts_list(self):
+        assert as_shape([1, 2, 3]) == (1, 2, 3)
+
+    def test_converts_numpy_ints(self):
+        assert as_shape(np.array([4, 5])) == (4, 5)
+
+    def test_empty(self):
+        assert as_shape([]) == ()
+
+
+class TestAsFloatArray:
+    def test_dtype(self):
+        assert as_float_array([1, 2, 3]).dtype == FLOAT_DTYPE
+
+    def test_contiguous(self):
+        array = np.arange(12, dtype=np.float64).reshape(3, 4).T
+        assert as_float_array(array).flags["C_CONTIGUOUS"]
+
+    def test_scalar_becomes_single_element_array(self):
+        result = as_float_array(2.5)
+        assert result.size == 1
+        assert result.dtype == FLOAT_DTYPE
+
+
+class TestStorageReport:
+    def test_add_accumulates_total(self):
+        report = StorageReport(weights_bytes=100)
+        report.add("a", 10)
+        report.add("b", 20)
+        report.add("a", 5)
+        assert report.total_bytes == 35
+        assert report.breakdown == {"a": 15, "b": 20}
+
+    def test_megabytes_are_decimal(self):
+        report = StorageReport()
+        report.add("x", 2_000_000)
+        assert report.total_megabytes == 2.0
+
+    def test_fraction_of_weights(self):
+        report = StorageReport(weights_bytes=200)
+        report.add("x", 100)
+        assert report.fraction_of_weights() == 0.5
+
+    def test_fraction_of_weights_zero_weights(self):
+        report = StorageReport()
+        report.add("x", 100)
+        assert report.fraction_of_weights() == 0.0
+
+    def test_weights_megabytes(self):
+        assert StorageReport(weights_bytes=4_000_000).weights_megabytes == 4.0
+
+
+class TestLayerSignature:
+    def test_frozen_fields(self):
+        signature = LayerSignature("c1", "Conv2D", (8, 8, 3), (6, 6, 4), 112)
+        assert signature.name == "c1"
+        assert signature.parameter_count == 112

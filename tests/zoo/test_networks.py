@@ -1,0 +1,124 @@
+"""Tests for the model zoo: the paper-exact architectures of Tables I-III."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.zoo import (
+    build_cifar_large_network,
+    build_cifar_small_network,
+    build_mnist_network,
+    build_reduced_cifar_network,
+    build_reduced_mnist_network,
+    network_table,
+    paper_layer_table,
+)
+
+
+class TestMNISTNetwork:
+    """Paper Table I."""
+
+    def test_total_parameters(self):
+        model = build_mnist_network()
+        assert model.parameter_count() == 320 + 9_248 + 18_496 + 1_638_656 + 2_570
+
+    def test_layer_table_matches_paper(self):
+        rows = paper_layer_table(build_mnist_network())
+        expected = [
+            ("Conv2D", (26, 26, 32), 320),
+            ("Conv2D", (24, 24, 32), 9_248),
+            ("Max Pooling", (12, 12, 32), 0),
+            ("Conv2D", (10, 10, 64), 18_496),
+            ("Dense", (256,), 1_638_656),
+            ("Dense", (10,), 2_570),
+        ]
+        assert [(r["layer"], tuple(r["output_shape"]), r["trainable"]) for r in rows] == expected
+
+    def test_input_shape(self):
+        assert build_mnist_network().input_shape == (28, 28, 1)
+
+    def test_output_is_ten_classes(self):
+        assert build_mnist_network().output_shape == (10,)
+
+
+class TestCIFARSmallNetwork:
+    """Paper Table II."""
+
+    def test_total_parameters(self):
+        model = build_cifar_small_network()
+        expected = 896 + 9_248 + 18_496 + 36_928 + 73_856 + 147_584 + 147_584 + 262_272 + 1_290
+        assert model.parameter_count() == expected
+
+    def test_layer_table_shapes(self):
+        rows = paper_layer_table(build_cifar_small_network())
+        shapes = [tuple(r["output_shape"]) for r in rows if r["layer"] == "Conv2D"]
+        assert shapes == [
+            (32, 32, 32),
+            (32, 32, 32),
+            (16, 16, 64),
+            (16, 16, 64),
+            (8, 8, 128),
+            (8, 8, 128),
+            (8, 8, 128),
+        ]
+
+    def test_dense_widths(self):
+        rows = paper_layer_table(build_cifar_small_network())
+        dense = [r for r in rows if r["layer"] == "Dense"]
+        assert [r["trainable"] for r in dense] == [262_272, 1_290]
+
+
+class TestCIFARLargeNetwork:
+    """Paper Table III."""
+
+    def test_total_parameters(self):
+        model = build_cifar_large_network()
+        expected = 7_296 + 230_496 + 192_080 + 128_064 + 102_464 + 153_696 + 1_573_120 + 2_570
+        assert model.parameter_count() == expected
+
+    def test_per_layer_trainable_counts(self):
+        rows = paper_layer_table(build_cifar_large_network())
+        conv_counts = [r["trainable"] for r in rows if r["layer"] == "Conv2D"]
+        assert conv_counts == [7_296, 230_496, 192_080, 128_064, 102_464, 153_696]
+
+    def test_dense_input_is_6144(self):
+        model = build_cifar_large_network()
+        dense = model.get_layer("head1_dense")
+        assert dense.features_in == 6_144
+
+
+class TestReducedNetworks:
+    def test_reduced_mnist_small_enough(self):
+        model = build_reduced_mnist_network()
+        assert model.parameter_count() < 100_000
+        assert model.input_shape == (28, 28, 1)
+        assert model.output_shape == (10,)
+
+    def test_reduced_cifar_small_enough(self):
+        model = build_reduced_cifar_network()
+        assert model.parameter_count() < 200_000
+        assert model.input_shape == (32, 32, 3)
+
+    def test_reduced_networks_keep_structural_motifs(self):
+        model = build_reduced_mnist_network()
+        kinds = [type(layer).__name__ for layer in model.layers]
+        assert "Conv2D" in kinds and "MaxPool2D" in kinds and "Dense" in kinds and "Bias" in kinds
+
+
+class TestNetworkTable:
+    def test_all_networks_registered(self):
+        table = network_table()
+        assert set(table) >= {"mnist", "cifar_small", "cifar_large", "mnist_reduced", "cifar_reduced"}
+
+    def test_builders_produce_built_models(self):
+        for name, spec in network_table().items():
+            if name in ("mnist_reduced", "cifar_reduced"):
+                model = spec.builder()
+                assert model.built
+                assert model.input_shape == spec.input_shape
+
+    def test_every_conv_and_dense_followed_by_bias(self):
+        model = build_reduced_cifar_network()
+        for index, layer in enumerate(model.layers):
+            if type(layer).__name__ in ("Conv2D", "Dense"):
+                assert type(model.layers[index + 1]).__name__ == "Bias"
