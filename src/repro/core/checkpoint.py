@@ -14,6 +14,7 @@ The store holds everything the paper keeps in error-resistant memory
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -23,7 +24,17 @@ from repro.crc.twod import CRCCode2D
 from repro.exceptions import CheckpointError
 from repro.types import StorageReport
 
-__all__ = ["CheckpointStore"]
+__all__ = ["CheckpointStore", "weight_fingerprint"]
+
+
+def weight_fingerprint(weights: np.ndarray) -> bytes:
+    """Cheap collision-resistant digest of a weight array's raw bytes.
+
+    Used as the CRC *version* of a layer: two arrays share a fingerprint
+    exactly when their bit patterns are identical, so detection passes can
+    skip re-encoding layers whose weights have not changed.
+    """
+    return hashlib.blake2b(np.ascontiguousarray(weights).tobytes(), digest_size=16).digest()
 
 _BYTES_PER_VALUE = 4
 #: Bytes charged for storing the master seed.
@@ -52,6 +63,9 @@ class CheckpointStore:
     conv_dummy_filter_outputs: dict[int, np.ndarray] = field(default_factory=dict)
     #: 2-D CRC codes for convolution layers using partial recoverability.
     crc_codes: dict[int, list[CRCCode2D]] = field(default_factory=dict)
+    #: Fingerprint of the weights each CRC code set was computed from (the
+    #: code *version*); lets detection skip re-encoding unchanged layers.
+    crc_weight_fingerprints: dict[int, bytes] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Accessors with useful error messages
@@ -100,6 +114,10 @@ class CheckpointStore:
             return self.crc_codes[index]
         except KeyError as exc:
             raise CheckpointError(f"no CRC codes stored for layer {index}") from exc
+
+    def crc_fingerprint_for(self, index: int) -> Optional[bytes]:
+        """Fingerprint of the weights layer ``index``'s CRC codes encode, if any."""
+        return self.crc_weight_fingerprints.get(index)
 
     # ------------------------------------------------------------------ #
     # Storage accounting

@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.checkpoint import CheckpointStore
+from repro.core.checkpoint import CheckpointStore, weight_fingerprint
 from repro.core.config import MILRConfig
 from repro.core.initialization import conv_probe_position, detection_input_for
 from repro.core.planner import MILRPlan, RecoveryStrategy
@@ -62,10 +62,21 @@ class DetectionReport:
         return bool(self.erroneous_layers)
 
     def result_for(self, index: int) -> LayerDetectionResult:
-        for result in self.results:
-            if result.index == index:
-                return result
-        raise KeyError(f"no detection result for layer index {index}")
+        """Look up a layer's result by layer index via a lazily built map.
+
+        The map is rebuilt whenever the ``results`` list changed (appended,
+        replaced or reordered entries), detected by element identity so a
+        lookup never returns a stale result object.
+        """
+        snapshot = tuple(map(id, self.results))
+        cached = self.__dict__.get("_by_index")
+        if cached is None or cached[0] != snapshot:
+            cached = (snapshot, {result.index: result for result in self.results})
+            self.__dict__["_by_index"] = cached
+        try:
+            return cached[1][index]
+        except KeyError:
+            raise KeyError(f"no detection result for layer index {index}") from None
 
 
 class DetectionEngine:
@@ -87,6 +98,43 @@ class DetectionEngine:
         self._crc = TwoDimensionalCRC(
             group_size=config.crc_group_size, crc_bits=config.crc_bits
         )
+        #: Memoized PRNG detection inputs keyed by ``(index, shape, batch)``.
+        #: The PRNG stream is deterministic per key, so regenerating the same
+        #: tensor on every pass is pure waste in repeated-detection sweeps.
+        self._detection_inputs: dict[tuple[int, tuple[int, ...], int], np.ndarray] = {}
+        #: CRC-version cache: last localization per layer, keyed by the
+        #: fingerprint of the weights it was computed from.
+        self._localize_cache: dict[int, tuple[bytes, np.ndarray]] = {}
+
+    def _detection_input(self, index: int, input_shape: tuple[int, ...]) -> np.ndarray:
+        key = (index, tuple(input_shape), self._config.detection_batch)
+        cached = self._detection_inputs.get(key)
+        if cached is None:
+            cached = detection_input_for(
+                index, input_shape, self._prng, self._config.detection_batch
+            )
+            self._detection_inputs[key] = cached
+        return cached
+
+    def _localize(self, index: int, layer: Conv2D) -> np.ndarray:
+        """Localize suspect weights, skipping re-encoding when possible.
+
+        If the layer's weights are bit-identical to the weights its stored CRC
+        codes were computed from, no group can mismatch and the all-clear mask
+        is returned without recomputing a single CRC.  Otherwise the batched
+        localization runs once per distinct weight version and is replayed
+        from cache on repeated passes over the same (still corrupted) weights.
+        """
+        weights = layer.get_weights()
+        fingerprint = weight_fingerprint(weights)
+        if fingerprint == self._store.crc_fingerprint_for(index):
+            return np.zeros(weights.shape, dtype=bool)
+        cached = self._localize_cache.get(index)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        mask = self._crc.localize_kernel(weights, self._store.crc_codes_for(index))
+        self._localize_cache[index] = (fingerprint, mask)
+        return mask
 
     # ------------------------------------------------------------------ #
     def _mismatch(self, current: np.ndarray, reference: np.ndarray) -> tuple[bool, float]:
@@ -105,14 +153,10 @@ class DetectionEngine:
         layer_plan = self._plan.plan_for(index)
         reference = self._store.partial_checkpoint(index)
         if isinstance(layer, Dense):
-            det_in = detection_input_for(
-                index, layer.input_shape, self._prng, self._config.detection_batch
-            )
+            det_in = self._detection_input(index, layer.input_shape)
             current = layer.forward(det_in)[0]
         elif isinstance(layer, Conv2D):
-            det_in = detection_input_for(
-                index, layer.input_shape, self._prng, self._config.detection_batch
-            )
+            det_in = self._detection_input(index, layer.input_shape)
             row, col = conv_probe_position(layer)
             current = layer.forward(det_in)[0, row, col, :]
         elif isinstance(layer, Bias):
@@ -138,8 +182,7 @@ class DetectionEngine:
             and layer_plan.recovery_strategy is RecoveryStrategy.CONV_PARTIAL
             and layer_plan.stores_crc_codes
         ):
-            codes = self._store.crc_codes_for(index)
-            result.suspect_mask = self._crc.localize_kernel(layer.get_weights(), codes)
+            result.suspect_mask = self._localize(index, layer)
         return result
 
     def detect(self) -> DetectionReport:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.checkpoint import CheckpointStore
+from repro.core.checkpoint import CheckpointStore, weight_fingerprint
 from repro.core.config import MILRConfig
 from repro.core.passes import linearized_collect
 from repro.core.planner import InversionStrategy, MILRPlan, RecoveryStrategy
@@ -145,7 +145,9 @@ def build_checkpoint_store(
                     batch, out_h, out_w, layer_plan.dummy_filters
                 )
             if layer_plan.stores_crc_codes:
-                store.crc_codes[index] = crc.encode_kernel(layer.get_weights())
+                golden_weights = layer.get_weights()
+                store.crc_codes[index] = crc.encode_kernel(golden_weights)
+                store.crc_weight_fingerprints[index] = weight_fingerprint(golden_weights)
             if (
                 layer_plan.recovery_strategy is RecoveryStrategy.CONV_FULL
                 and layer.output_positions < layer.receptive_field_size

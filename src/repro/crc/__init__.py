@@ -6,13 +6,16 @@ recoverability can restrict the system of equations to only the corrupted
 unknowns (paper Sec. IV-B-c).
 """
 
-from repro.crc.crc32 import crc32_bytes, crc32_words, crc8_bytes
-from repro.crc.twod import TwoDimensionalCRC, WeightLocalizationResult
+from repro.crc.crc32 import crc32_bytes, crc32_groups, crc32_words, crc8_bytes, crc8_groups
+from repro.crc.twod import CRCCode2D, TwoDimensionalCRC, WeightLocalizationResult
 
 __all__ = [
     "crc32_bytes",
+    "crc32_groups",
     "crc32_words",
     "crc8_bytes",
+    "crc8_groups",
+    "CRCCode2D",
     "TwoDimensionalCRC",
     "WeightLocalizationResult",
 ]

@@ -8,6 +8,14 @@ recomputed; a weight is reported as erroneous when *both* the horizontal group
 and the vertical group containing it mismatch.  The intersection may include
 false positives (reported conservatively), but never misses a corrupted weight
 whose group CRCs changed.
+
+The encode/localize hot paths are batched: all groups of a matrix (or of every
+``(Z, Y)`` slice of a whole 4-D kernel) are laid out as one ``(N, K)`` byte
+block and fed to :func:`~repro.crc.crc32.crc8_groups` /
+:func:`~repro.crc.crc32.crc32_groups`, which run ``K`` vectorized table
+lookups instead of ``N * K`` Python-level iterations.  The original per-group
+scalar implementation is kept as ``*_scalar`` methods; it is the reference the
+equivalence tests and the detection-throughput benchmark compare against.
 """
 
 from __future__ import annotations
@@ -16,11 +24,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.crc.crc32 import crc32_bytes, crc8_bytes
+from repro.crc.crc32 import crc8_bytes, crc8_groups, crc32_bytes, crc32_groups
 from repro.exceptions import ShapeError
 from repro.types import FLOAT_DTYPE
 
 __all__ = ["TwoDimensionalCRC", "CRCCode2D", "WeightLocalizationResult"]
+
+#: Bytes per stored weight.
+_WEIGHT_BYTES = np.dtype(FLOAT_DTYPE).itemsize
 
 
 @dataclass
@@ -76,16 +87,65 @@ class TwoDimensionalCRC:
         self.group_size = int(group_size)
         self.crc_bits = int(crc_bits)
         self._crc = crc8_bytes if crc_bits == 8 else crc32_bytes
+        self._crc_groups = crc8_groups if crc_bits == 8 else crc32_groups
         self._dtype = np.uint8 if crc_bits == 8 else np.uint32
 
     # ------------------------------------------------------------------ #
-    # 2-D matrices
+    # Batched group encoding
     # ------------------------------------------------------------------ #
     def _group_count(self, length: int) -> int:
         return (length + self.group_size - 1) // self.group_size
 
+    def _encode_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Group CRCs along the last axis of a contiguous ``(R, C)`` matrix.
+
+        Returns ``(R, ceil(C / group_size))`` codes.  Full-size groups are
+        encoded in one batched call; the ragged tail groups (when ``C`` is not
+        a multiple of ``group_size``) in a second one.
+        """
+        rows, cols = matrix.shape
+        full = cols // self.group_size
+        tail = cols - full * self.group_size
+        codes = np.zeros((rows, full + (1 if tail else 0)), dtype=self._dtype)
+        byte_rows = np.ascontiguousarray(matrix).view(np.uint8).reshape(rows, cols * _WEIGHT_BYTES)
+        group_bytes = self.group_size * _WEIGHT_BYTES
+        if full:
+            block = byte_rows[:, : full * group_bytes].reshape(rows * full, group_bytes)
+            codes[:, :full] = self._crc_groups(block).reshape(rows, full)
+        if tail:
+            codes[:, full] = self._crc_groups(byte_rows[:, full * group_bytes :])
+        return codes
+
+    def _encode_kernel_arrays(self, kernel: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched row/column codes for a whole ``(F1, F2, Z, Y)`` kernel.
+
+        Returns ``(row_codes, col_codes)`` of shapes ``(F1, F2, Z, RG)`` and
+        ``(F1, F2, CG, Y)`` where ``RG``/``CG`` are the per-slice group counts.
+        """
+        f1_size, f2_size, z_size, y_size = kernel.shape
+        row_codes = self._encode_rows(
+            np.ascontiguousarray(kernel).reshape(f1_size * f2_size * z_size, y_size)
+        ).reshape(f1_size, f2_size, z_size, -1)
+        transposed = np.ascontiguousarray(kernel.transpose(0, 1, 3, 2))
+        col_codes = self._encode_rows(
+            transposed.reshape(f1_size * f2_size * y_size, z_size)
+        ).reshape(f1_size, f2_size, y_size, -1)
+        return row_codes, col_codes.transpose(0, 1, 3, 2)
+
+    # ------------------------------------------------------------------ #
+    # 2-D matrices
+    # ------------------------------------------------------------------ #
     def encode_matrix(self, matrix: np.ndarray) -> CRCCode2D:
         """Compute row-group and column-group CRCs for a 2-D float32 matrix."""
+        matrix = np.asarray(matrix, dtype=FLOAT_DTYPE)
+        if matrix.ndim != 2:
+            raise ShapeError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        row_codes = self._encode_rows(matrix)
+        col_codes = self._encode_rows(np.ascontiguousarray(matrix.T)).T
+        return CRCCode2D(row_codes=row_codes, col_codes=np.ascontiguousarray(col_codes))
+
+    def encode_matrix_scalar(self, matrix: np.ndarray) -> CRCCode2D:
+        """Per-group scalar reference implementation of :meth:`encode_matrix`."""
         matrix = np.asarray(matrix, dtype=FLOAT_DTYPE)
         if matrix.ndim != 2:
             raise ShapeError(f"expected a 2-D matrix, got shape {matrix.shape}")
@@ -124,26 +184,71 @@ class TwoDimensionalCRC:
     # ------------------------------------------------------------------ #
     # 4-D convolution kernels
     # ------------------------------------------------------------------ #
+    def _check_kernel(self, kernel: np.ndarray) -> np.ndarray:
+        kernel = np.asarray(kernel, dtype=FLOAT_DTYPE)
+        if kernel.ndim != 4:
+            raise ShapeError(f"expected a 4-D kernel, got shape {kernel.shape}")
+        return kernel
+
     def encode_kernel(self, kernel: np.ndarray) -> list[CRCCode2D]:
         """Encode each ``(Z, Y)`` slice of an ``(F1, F2, Z, Y)`` kernel.
 
         Returns codes ordered by ``(f1, f2)`` row-major (``F1 * F2`` entries).
+        All slices are encoded in one batched pass per axis.
         """
-        kernel = np.asarray(kernel, dtype=FLOAT_DTYPE)
-        if kernel.ndim != 4:
-            raise ShapeError(f"expected a 4-D kernel, got shape {kernel.shape}")
+        kernel = self._check_kernel(kernel)
+        row_codes, col_codes = self._encode_kernel_arrays(kernel)
+        f1_size, f2_size = kernel.shape[:2]
+        return [
+            CRCCode2D(
+                row_codes=row_codes[f1, f2].copy(),
+                col_codes=np.ascontiguousarray(col_codes[f1, f2]),
+            )
+            for f1 in range(f1_size)
+            for f2 in range(f2_size)
+        ]
+
+    def encode_kernel_scalar(self, kernel: np.ndarray) -> list[CRCCode2D]:
+        """Per-slice scalar reference implementation of :meth:`encode_kernel`."""
+        kernel = self._check_kernel(kernel)
         codes: list[CRCCode2D] = []
         f1_size, f2_size = kernel.shape[:2]
         for f1 in range(f1_size):
             for f2 in range(f2_size):
-                codes.append(self.encode_matrix(kernel[f1, f2]))
+                codes.append(self.encode_matrix_scalar(kernel[f1, f2]))
         return codes
+
+    def _stacked_reference_codes(
+        self, codes: list[CRCCode2D], kernel_shape: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        f1_size, f2_size = kernel_shape[:2]
+        if len(codes) != f1_size * f2_size:
+            raise ShapeError(
+                f"expected {f1_size * f2_size} code slices, got {len(codes)}"
+            )
+        ref_rows = np.stack([code.row_codes for code in codes]).reshape(
+            f1_size, f2_size, *codes[0].row_codes.shape
+        )
+        ref_cols = np.stack([code.col_codes for code in codes]).reshape(
+            f1_size, f2_size, *codes[0].col_codes.shape
+        )
+        return ref_rows, ref_cols
 
     def localize_kernel(self, kernel: np.ndarray, codes: list[CRCCode2D]) -> np.ndarray:
         """Return a boolean suspect mask with the kernel's full 4-D shape."""
-        kernel = np.asarray(kernel, dtype=FLOAT_DTYPE)
-        if kernel.ndim != 4:
-            raise ShapeError(f"expected a 4-D kernel, got shape {kernel.shape}")
+        kernel = self._check_kernel(kernel)
+        ref_rows, ref_cols = self._stacked_reference_codes(codes, kernel.shape)
+        cur_rows, cur_cols = self._encode_kernel_arrays(kernel)
+        z_size, y_size = kernel.shape[2:]
+        row_mismatch = cur_rows != ref_rows  # (F1, F2, Z, RG)
+        col_mismatch = cur_cols != ref_cols  # (F1, F2, CG, Y)
+        row_mask = np.repeat(row_mismatch, self.group_size, axis=3)[..., :y_size]
+        col_mask = np.repeat(col_mismatch, self.group_size, axis=2)[:, :, :z_size, :]
+        return row_mask & col_mask
+
+    def localize_kernel_scalar(self, kernel: np.ndarray, codes: list[CRCCode2D]) -> np.ndarray:
+        """Per-slice scalar reference implementation of :meth:`localize_kernel`."""
+        kernel = self._check_kernel(kernel)
         f1_size, f2_size = kernel.shape[:2]
         if len(codes) != f1_size * f2_size:
             raise ShapeError(
@@ -153,8 +258,13 @@ class TwoDimensionalCRC:
         index = 0
         for f1 in range(f1_size):
             for f2 in range(f2_size):
-                result = self.localize_matrix(kernel[f1, f2], codes[index])
-                mask[f1, f2] = result.suspect_mask
+                current = self.encode_matrix_scalar(kernel[f1, f2])
+                row_mismatch = current.row_codes != codes[index].row_codes
+                col_mismatch = current.col_codes != codes[index].col_codes
+                z_size, y_size = kernel.shape[2:]
+                row_mask = np.repeat(row_mismatch, self.group_size, axis=1)[:, :y_size]
+                col_mask = np.repeat(col_mismatch, self.group_size, axis=0)[:z_size, :]
+                mask[f1, f2] = row_mask & col_mask
                 index += 1
         return mask
 

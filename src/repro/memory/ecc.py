@@ -108,9 +108,9 @@ class SECDEDCodec:
         data_bits = _unpack_words(words)
         hamming = (data_bits @ _COVERAGE.T) % 2  # (N, 6)
         overall = (data_bits.sum(axis=1) + hamming.sum(axis=1)) % 2
-        check = np.zeros(data_bits.shape[0], dtype=np.uint8)
-        for i in range(_HAMMING_PARITY_BITS):
-            check |= (hamming[:, i].astype(np.uint8) << i)
+        check = (hamming.astype(np.uint8) << np.arange(_HAMMING_PARITY_BITS, dtype=np.uint8)).sum(
+            axis=1, dtype=np.uint8
+        )
         check |= (overall.astype(np.uint8) << _HAMMING_PARITY_BITS)
         return check
 
@@ -139,9 +139,7 @@ class SECDEDCodec:
         ).astype(np.uint8)
         stored_overall = ((check >> _HAMMING_PARITY_BITS) & 1).astype(np.uint8)
         syndrome_bits = (recomputed_hamming ^ stored_hamming).astype(np.int64)
-        syndrome = np.zeros(words.shape[0], dtype=np.int64)
-        for i in range(_HAMMING_PARITY_BITS):
-            syndrome |= syndrome_bits[:, i] << i
+        syndrome = (syndrome_bits << np.arange(_HAMMING_PARITY_BITS, dtype=np.int64)).sum(axis=1)
         overall_recomputed = (
             data_bits.sum(axis=1) + stored_hamming.sum(axis=1) + stored_overall
         ) % 2
@@ -157,13 +155,13 @@ class SECDEDCodec:
             valid = error_positions < 64
             data_bit_index = np.where(valid, _POSITION_TO_DATA_BIT[np.minimum(error_positions, 63)], -1)
             rows = np.flatnonzero(single)
-            for row, bit_index in zip(rows, data_bit_index):
-                if bit_index >= 0:
-                    corrected_bits[row, bit_index] ^= 1
-                    statuses[row] = SECDEDWordStatus.CORRECTED
-                else:
-                    # The flipped bit was one of the Hamming parity bits.
-                    statuses[row] = SECDEDWordStatus.PARITY_BIT_ERROR
+            # Each row appears at most once, so a fancy-indexed XOR covers all
+            # correctable words in one vectorized update.
+            fixable = data_bit_index >= 0
+            corrected_bits[rows[fixable], data_bit_index[fixable]] ^= 1
+            statuses[rows[fixable]] = SECDEDWordStatus.CORRECTED
+            # The remaining flipped bits were Hamming parity bits themselves.
+            statuses[rows[~fixable]] = SECDEDWordStatus.PARITY_BIT_ERROR
         # Error confined to the overall parity bit itself.
         parity_only = overall_fails & (syndrome == 0)
         statuses[parity_only] = SECDEDWordStatus.PARITY_BIT_ERROR
@@ -228,11 +226,19 @@ class SECDEDProtectedWeights:
         positions = rng.choice(total_bits, size=flip_count, replace=False)
         word_index = positions // CODEWORD_BITS
         bit_index = positions % CODEWORD_BITS
-        for word, bit in zip(word_index, bit_index):
-            if bit < 32:
-                self._words[word] ^= np.uint32(1) << np.uint32(bit)
-            else:
-                self._check[word] ^= np.uint8(1) << np.uint8(bit - 32)
+        # A word can be hit several times (different bits), so accumulate the
+        # per-word XOR masks with an unbuffered scatter rather than a loop.
+        in_data = bit_index < 32
+        np.bitwise_xor.at(
+            self._words,
+            word_index[in_data],
+            (np.uint32(1) << bit_index[in_data].astype(np.uint32)),
+        )
+        np.bitwise_xor.at(
+            self._check,
+            word_index[~in_data],
+            (np.uint8(1) << (bit_index[~in_data] - 32).astype(np.uint8)),
+        )
         return flip_count
 
     def scrub(self) -> tuple[np.ndarray, ScrubReport]:

@@ -111,6 +111,46 @@ def im2col(
     return np.ascontiguousarray(patches)
 
 
+#: Cached scatter indices and overlap counts per fold geometry, keyed by
+#: ``(height, width, filter_size, stride, out_h, out_w)``.  The geometry set a
+#: process touches is tiny (one entry per distinct conv configuration), so the
+#: cache is unbounded.
+_FOLD_PLAN_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _fold_plan(
+    height: int,
+    width: int,
+    filter_size: tuple[int, int],
+    stride: tuple[int, int],
+    out_h: int,
+    out_w: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(flat_indices, counts)`` for folding patches back to the input.
+
+    ``flat_indices`` has shape ``(out_h, out_w, F1, F2)`` and maps each patch
+    element to its flat position in the ``(H, W)`` plane; ``counts`` is the
+    ``(H, W)`` overlap count of every input position (clipped to at least 1).
+    """
+    key = (height, width, filter_size, stride, out_h, out_w)
+    cached = _FOLD_PLAN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    f1, f2 = filter_size
+    s1, s2 = stride
+    rows = np.arange(out_h)[:, None] * s1 + np.arange(f1)[None, :]  # (out_h, F1)
+    cols = np.arange(out_w)[:, None] * s2 + np.arange(f2)[None, :]  # (out_w, F2)
+    flat_indices = (
+        rows[:, None, :, None] * width + cols[None, :, None, :]
+    )  # (out_h, out_w, F1, F2)
+    counts = np.zeros(height * width, dtype=np.float64)
+    np.add.at(counts, flat_indices.ravel(), 1.0)
+    counts = np.maximum(counts, 1.0).reshape(height, width)
+    plan = (flat_indices.reshape(-1), counts)
+    _FOLD_PLAN_CACHE[key] = plan
+    return plan
+
+
 def col2im(
     patches: np.ndarray,
     input_shape: tuple[int, int, int, int],
@@ -126,6 +166,10 @@ def col2im(
     to small numeric noise); ``reduce="sum"`` returns the raw accumulation
     (useful for gradient computation).
 
+    The fold is a single ``np.add.at`` scatter over precomputed flat indices;
+    the index plan and the overlap-count plane are cached per geometry, so
+    repeated inversions of the same layer pay the index construction once.
+
     Args:
         patches: ``(B, G1, G2, F1*F2*C)`` patch tensor.
         input_shape: The padded input shape ``(B, H, W, C)`` to reconstruct.
@@ -137,19 +181,17 @@ def col2im(
         raise ValueError(f"reduce must be 'mean' or 'sum', got {reduce!r}")
     batch, height, width, channels = input_shape
     f1, f2 = filter_size
-    s1, s2 = stride
     out_h, out_w = patches.shape[1], patches.shape[2]
-    patches = patches.reshape(batch, out_h, out_w, f1, f2, channels)
-    accum = np.zeros(input_shape, dtype=np.float64)
-    counts = np.zeros((height, width), dtype=np.float64)
-    for i in range(out_h):
-        row = i * s1
-        for j in range(out_w):
-            col = j * s2
-            accum[:, row : row + f1, col : col + f2, :] += patches[:, i, j]
-            counts[row : row + f1, col : col + f2] += 1.0
+    flat_indices, counts = _fold_plan(height, width, filter_size, stride, out_h, out_w)
+    # (B, out_h, out_w, F1, F2, C) -> (out_h*out_w*F1*F2, B, C) so every patch
+    # element scatters into its (H*W) plane position for all batches/channels.
+    contributions = np.moveaxis(
+        patches.reshape(batch, out_h, out_w, f1, f2, channels), 0, -2
+    ).reshape(-1, batch, channels)
+    accum = np.zeros((height * width, batch, channels), dtype=np.float64)
+    np.add.at(accum, flat_indices, contributions)
+    accum = np.moveaxis(accum.reshape(height, width, batch, channels), 2, 0)
     if reduce == "mean":
-        counts = np.maximum(counts, 1.0)
         accum /= counts[None, :, :, None]
     return accum.astype(FLOAT_DTYPE)
 

@@ -35,6 +35,117 @@ class TestCleanDetection:
         with pytest.raises(KeyError):
             report.result_for(999)
 
+    def test_result_for_sees_results_appended_after_lookup(self, protected_conv):
+        # The O(1) index map must be rebuilt when results are appended after
+        # a lookup has already primed it.
+        from repro.core.detection import LayerDetectionResult
+
+        _, protector = protected_conv
+        report = protector.detect()
+        first_index = report.results[0].index
+        assert report.result_for(first_index) is report.results[0]
+        extra = LayerDetectionResult(index=999, name="extra", kind="dense", erroneous=False)
+        report.results.append(extra)
+        assert report.result_for(999) is extra
+
+    def test_result_for_sees_in_place_replacement(self, protected_conv):
+        # Replacing an entry keeps the list length constant; the index map
+        # must still be invalidated (identity-based, not length-based).
+        from repro.core.detection import LayerDetectionResult
+
+        _, protector = protected_conv
+        report = protector.detect()
+        first_index = report.results[0].index
+        assert report.result_for(first_index) is report.results[0]
+        replacement = LayerDetectionResult(
+            index=first_index, name="replaced", kind="dense", erroneous=True
+        )
+        report.results[0] = replacement
+        assert report.result_for(first_index) is replacement
+
+
+class TestDetectionCaches:
+    def test_detection_inputs_not_redrawn_on_second_pass(self, protected_conv, monkeypatch):
+        _, protector = protected_conv
+        engine = protector.detection_engine
+        calls = []
+        original_uniform = engine._prng.uniform
+
+        def counting_uniform(*args, **kwargs):
+            calls.append(args)
+            return original_uniform(*args, **kwargs)
+
+        monkeypatch.setattr(engine._prng, "uniform", counting_uniform)
+        first = protector.detect()
+        drawn_during_first = len(calls)
+        second = protector.detect()
+        assert len(calls) == drawn_during_first, "second pass re-drew detection inputs"
+        assert first.erroneous_layers == second.erroneous_layers
+        assert [r.index for r in first.results] == [r.index for r in second.results]
+        assert [r.max_relative_deviation for r in first.results] == [
+            r.max_relative_deviation for r in second.results
+        ]
+
+    def test_localization_not_reencoded_for_unchanged_weights(
+        self, partial_conv_model, monkeypatch
+    ):
+        protector = MILRProtector(partial_conv_model, MILRConfig(master_seed=3))
+        protector.initialize()
+        layer = partial_conv_model.get_layer("c1")
+        corrupted = layer.get_weights()
+        corrupted[1, 1, 2, 1] += 1.0
+        layer.set_weights(corrupted)
+        engine = protector.detection_engine
+        calls = []
+        original_localize = engine._crc.localize_kernel
+
+        def counting_localize(*args, **kwargs):
+            calls.append(args)
+            return original_localize(*args, **kwargs)
+
+        monkeypatch.setattr(engine._crc, "localize_kernel", counting_localize)
+        first = protector.detect()
+        assert len(calls) == 1
+        second = protector.detect()
+        assert len(calls) == 1, "second pass re-encoded unchanged corrupted weights"
+        assert np.array_equal(first.result_for(0).suspect_mask, second.result_for(0).suspect_mask)
+
+    def test_localization_skipped_when_weights_match_golden(
+        self, partial_conv_model, monkeypatch
+    ):
+        # A layer flagged erroneous whose weights are bit-identical to the
+        # encode-time weights cannot have CRC mismatches: the engine returns
+        # the all-clear mask without recomputing a single CRC.
+        protector = MILRProtector(partial_conv_model, MILRConfig(master_seed=3))
+        protector.initialize()
+        engine = protector.detection_engine
+
+        def failing_localize(*args, **kwargs):
+            raise AssertionError("localize_kernel should not run for golden weights")
+
+        monkeypatch.setattr(engine._crc, "localize_kernel", failing_localize)
+        layer = partial_conv_model.get_layer("c1")
+        mask = engine._localize(0, layer)
+        assert mask.shape == layer.get_weights().shape
+        assert not mask.any()
+
+    def test_localization_recomputed_after_weights_change_again(self, partial_conv_model):
+        protector = MILRProtector(partial_conv_model, MILRConfig(master_seed=3))
+        protector.initialize()
+        layer = partial_conv_model.get_layer("c1")
+        original = layer.get_weights()
+        first_corrupted = original.copy()
+        first_corrupted[1, 1, 2, 1] += 1.0
+        layer.set_weights(first_corrupted)
+        first = protector.detect()
+        assert first.result_for(0).suspect_mask[1, 1, 2, 1]
+        second_corrupted = original.copy()
+        second_corrupted[0, 0, 1, 3] += 1.0
+        layer.set_weights(second_corrupted)
+        second = protector.detect()
+        assert second.result_for(0).suspect_mask[0, 0, 1, 3]
+        assert not second.result_for(0).suspect_mask[1, 1, 2, 1]
+
 
 class TestCorruptedDetection:
     def test_single_msb_flip_detected_in_conv(self, protected_conv, rng):

@@ -6,7 +6,9 @@ import zlib
 
 import numpy as np
 
-from repro.crc import crc32_bytes, crc32_words, crc8_bytes
+import pytest
+
+from repro.crc import crc32_bytes, crc32_groups, crc32_words, crc8_bytes, crc8_groups
 
 
 class TestCRC32:
@@ -55,3 +57,48 @@ class TestCRC8:
     def test_accepts_numpy_arrays(self):
         data = np.arange(8, dtype=np.uint8)
         assert crc8_bytes(data) == crc8_bytes(data.tobytes())
+
+
+class TestBatchedGroups:
+    """The batched group CRCs must be bit-identical to the scalar reference."""
+
+    #: Group lengths covering empty groups, single bytes, weight-group sizes
+    #: (4 floats = 16 bytes) and ragged tails.
+    LENGTHS = (0, 1, 3, 4, 12, 15, 16, 17)
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_crc8_groups_match_scalar(self, length):
+        rng = np.random.default_rng(length)
+        block = rng.integers(0, 256, size=(37, length), dtype=np.uint8)
+        batched = crc8_groups(block)
+        assert batched.dtype == np.uint8
+        assert batched.shape == (37,)
+        for row in range(block.shape[0]):
+            assert int(batched[row]) == crc8_bytes(block[row].tobytes())
+
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_crc32_groups_match_scalar_and_zlib(self, length):
+        rng = np.random.default_rng(100 + length)
+        block = rng.integers(0, 256, size=(23, length), dtype=np.uint8)
+        batched = crc32_groups(block)
+        assert batched.dtype == np.uint32
+        for row in range(block.shape[0]):
+            payload = block[row].tobytes()
+            assert int(batched[row]) == crc32_bytes(payload) == zlib.crc32(payload)
+
+    def test_empty_block(self):
+        assert crc8_groups(np.zeros((0, 5), dtype=np.uint8)).shape == (0,)
+        assert crc32_groups(np.zeros((0, 5), dtype=np.uint8)).shape == (0,)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            crc8_groups(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            crc32_groups(np.zeros((2, 2, 2), dtype=np.uint8))
+
+    @pytest.mark.parametrize("length", (0, 1, 2, 7, 63, 64, 65, 1000))
+    def test_crc32_bytes_matches_zlib_on_random_strings(self, length):
+        payload = np.random.default_rng(length).integers(
+            0, 256, size=length, dtype=np.uint8
+        ).tobytes()
+        assert crc32_bytes(payload) == zlib.crc32(payload)

@@ -134,3 +134,48 @@ class TestKernelEncoding:
     def test_kernel_storage_bytes(self, scheme, kernel):
         codes = scheme.encode_kernel(kernel)
         assert scheme.kernel_storage_bytes(codes) == sum(code.storage_bytes for code in codes)
+
+
+class TestBatchedScalarEquivalence:
+    """The batched pipeline must be bit-identical to the scalar reference."""
+
+    #: (rows, cols) shapes including ragged tails on either axis.
+    MATRIX_SHAPES = ((8, 12), (7, 13), (1, 1), (5, 4), (4, 5), (9, 3), (3, 9))
+
+    @pytest.mark.parametrize("crc_bits", [8, 32])
+    @pytest.mark.parametrize("group_size", [1, 3, 4, 5])
+    def test_encode_matrix_matches_scalar(self, crc_bits, group_size):
+        scheme = TwoDimensionalCRC(group_size=group_size, crc_bits=crc_bits)
+        rng = np.random.default_rng(crc_bits * 10 + group_size)
+        for shape in self.MATRIX_SHAPES:
+            matrix = rng.standard_normal(shape).astype(np.float32)
+            fast = scheme.encode_matrix(matrix)
+            slow = scheme.encode_matrix_scalar(matrix)
+            assert np.array_equal(fast.row_codes, slow.row_codes), shape
+            assert np.array_equal(fast.col_codes, slow.col_codes), shape
+
+    @pytest.mark.parametrize("crc_bits", [8, 32])
+    def test_encode_kernel_matches_scalar(self, crc_bits):
+        scheme = TwoDimensionalCRC(group_size=4, crc_bits=crc_bits)
+        kernel = np.random.default_rng(2).standard_normal((3, 2, 7, 9)).astype(np.float32)
+        fast = scheme.encode_kernel(kernel)
+        slow = scheme.encode_kernel_scalar(kernel)
+        assert len(fast) == len(slow)
+        for fast_code, slow_code in zip(fast, slow):
+            assert np.array_equal(fast_code.row_codes, slow_code.row_codes)
+            assert np.array_equal(fast_code.col_codes, slow_code.col_codes)
+
+    @pytest.mark.parametrize("crc_bits", [8, 32])
+    def test_localize_kernel_matches_scalar(self, crc_bits):
+        scheme = TwoDimensionalCRC(group_size=4, crc_bits=crc_bits)
+        rng = np.random.default_rng(3)
+        kernel = rng.standard_normal((2, 3, 6, 11)).astype(np.float32)
+        codes = scheme.encode_kernel(kernel)
+        corrupted = kernel.copy()
+        corrupted[0, 0, 0, 0] += 1.0
+        corrupted[1, 2, 5, 10] -= 2.0
+        corrupted[0, 1, 3, 7] *= -1.0
+        fast_mask = scheme.localize_kernel(corrupted, codes)
+        slow_mask = scheme.localize_kernel_scalar(corrupted, codes)
+        assert np.array_equal(fast_mask, slow_mask)
+        assert fast_mask[0, 0, 0, 0] and fast_mask[1, 2, 5, 10] and fast_mask[0, 1, 3, 7]

@@ -142,6 +142,45 @@ class TestCol2Im:
         with pytest.raises(ValueError):
             col2im(patches, (1, 2, 2, 1), (2, 2), (1, 1), reduce="max")
 
+    @staticmethod
+    def _col2im_loop_reference(patches, input_shape, filter_size, stride, reduce):
+        """The pre-vectorization double loop, kept as a test oracle."""
+        batch, height, width, channels = input_shape
+        f1, f2 = filter_size
+        s1, s2 = stride
+        out_h, out_w = patches.shape[1], patches.shape[2]
+        patches = patches.reshape(batch, out_h, out_w, f1, f2, channels)
+        accum = np.zeros(input_shape, dtype=np.float64)
+        counts = np.zeros((height, width), dtype=np.float64)
+        for i in range(out_h):
+            for j in range(out_w):
+                accum[:, i * s1 : i * s1 + f1, j * s2 : j * s2 + f2, :] += patches[:, i, j]
+                counts[i * s1 : i * s1 + f1, j * s2 : j * s2 + f2] += 1.0
+        if reduce == "mean":
+            accum /= np.maximum(counts, 1.0)[None, :, :, None]
+        return accum.astype(np.float32)
+
+    @pytest.mark.parametrize("reduce", ["mean", "sum"])
+    def test_scatter_matches_loop_reference(self, reduce):
+        # Odd geometries: uneven strides, rectangular filters, positions the
+        # windows never reach.
+        rng = np.random.default_rng(9)
+        cases = [
+            ((2, 8, 8, 3), (3, 3), (1, 1)),
+            ((1, 9, 7, 2), (3, 2), (2, 2)),
+            ((3, 10, 10, 4), (5, 5), (3, 3)),
+            ((2, 4, 4, 1), (4, 4), (4, 4)),
+            ((2, 6, 5, 2), (2, 3), (1, 2)),
+        ]
+        for input_shape, filter_size, stride in cases:
+            inputs = rng.standard_normal(input_shape).astype(np.float32)
+            patches = im2col(inputs, filter_size, stride)
+            got = col2im(patches, input_shape, filter_size, stride, reduce=reduce)
+            want = self._col2im_loop_reference(
+                patches, input_shape, filter_size, stride, reduce
+            )
+            np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-6)
+
 
 class TestPoolPatches:
     def test_shape(self):
