@@ -1,0 +1,78 @@
+"""Service throughput: background scrubbing must not tax inference.
+
+The availability model only holds if the scrubber's detection duty cycle is
+small (``Td / tau``).  This benchmark pushes a fixed number of single-sample
+requests through the batching engine with the scrubber off and again with the
+scrubber on at the default scrub period, and asserts the throughput loss stays
+under 20%.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.analysis.reporting import format_table
+from repro.service import SelfHealingService, ServiceConfig
+from repro.types import FLOAT_DTYPE
+
+REQUESTS = 400
+#: Maximum tolerated throughput loss with the scrubber on (ISSUE criterion).
+MAX_OVERHEAD = 0.20
+
+
+def _drive(scrub: bool) -> float:
+    """Requests/second for one service run (scrubber on or off)."""
+    service = SelfHealingService(ServiceConfig())
+    entry = service.load_model("mnist_reduced")
+    pool = (
+        np.random.default_rng(0)
+        .random((32,) + entry.model.input_shape)
+        .astype(FLOAT_DTYPE)
+    )
+    service.start(scrub=scrub)
+    try:
+        # Warm the worker/caches before timing.
+        service.submit(entry.name, pool[0]).result(timeout=10.0)
+        started = time.perf_counter()
+        requests = [
+            service.submit(entry.name, pool[i % len(pool)]) for i in range(REQUESTS)
+        ]
+        for request in requests:
+            request.result(timeout=30.0)
+        elapsed = time.perf_counter() - started
+    finally:
+        service.stop()
+    return REQUESTS / elapsed
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_bench_service_throughput(benchmark):
+    rps_off = _drive(scrub=False)
+    rps_on = _drive(scrub=True)
+    overhead = 1.0 - rps_on / rps_off
+
+    print_header("Inference throughput with and without the background scrubber")
+    print(
+        format_table(
+            [
+                {"scrubber": "off", "requests_per_s": rps_off},
+                {"scrubber": "on", "requests_per_s": rps_on},
+                {"scrubber": "overhead", "requests_per_s": overhead},
+            ],
+            title=f"{REQUESTS} single-sample requests, default scrub period "
+            f"{ServiceConfig().scrub_period_seconds}s",
+            precision=3,
+        )
+    )
+
+    benchmark.extra_info["rps_scrub_off"] = rps_off
+    benchmark.extra_info["rps_scrub_on"] = rps_on
+    benchmark(lambda: None)  # timing happened above; keep the fixture happy
+
+    assert overhead < MAX_OVERHEAD, (
+        f"scrubber overhead {overhead:.1%} exceeds the {MAX_OVERHEAD:.0%} budget"
+    )

@@ -23,6 +23,7 @@ defaults and helpers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -101,6 +102,55 @@ class AvailabilityModel:
         self.error_interval_seconds = float(error_interval_seconds)
         self.detections_per_period = int(detections_per_period)
         self.yearly_accuracy_floor = float(yearly_accuracy_floor)
+
+    @classmethod
+    def from_observations(
+        cls,
+        detection_seconds_samples: Sequence[float],
+        recovery_seconds_samples: Sequence[float],
+        *,
+        error_interval_seconds: Optional[float] = None,
+        observed_errors: Optional[int] = None,
+        observation_seconds: Optional[float] = None,
+        detections_per_period: int = 2,
+        yearly_accuracy_floor: float = 0.0,
+    ) -> "AvailabilityModel":
+        """Build the model from *measured* detection/recovery times.
+
+        This is the constructor used by the online service runtime: instead of
+        the offline timing experiments it takes the detection and recovery
+        durations an :class:`~repro.service.SLATracker` actually observed.
+
+        The error-arrival rate comes from ``error_interval_seconds`` when
+        given; otherwise it is estimated as ``observation_seconds /
+        observed_errors``.  When no error was observed during the window the
+        window length itself is used as a conservative lower bound on the mean
+        time between errors ("at most one error per observation window").
+        """
+        detection_seconds = (
+            float(np.mean(detection_seconds_samples)) if len(detection_seconds_samples) else 0.0
+        )
+        recovery_seconds = (
+            float(np.mean(recovery_seconds_samples)) if len(recovery_seconds_samples) else 0.0
+        )
+        if error_interval_seconds is None:
+            if observation_seconds is None or observation_seconds <= 0:
+                raise ExperimentError(
+                    "from_observations needs error_interval_seconds or a positive "
+                    "observation_seconds"
+                )
+            errors = int(observed_errors or 0)
+            if errors > 0:
+                error_interval_seconds = observation_seconds / errors
+            else:
+                error_interval_seconds = observation_seconds
+        return cls(
+            detection_seconds=detection_seconds,
+            recovery_seconds=recovery_seconds,
+            error_interval_seconds=error_interval_seconds,
+            detections_per_period=detections_per_period,
+            yearly_accuracy_floor=yearly_accuracy_floor,
+        )
 
     # ------------------------------------------------------------------ #
     @property

@@ -12,6 +12,15 @@ the paper's artifacts and prints a plain-text table:
 * ``recovery-time``  — Figure 11
 * ``availability``   — Figure 12
 * ``summary``        — architecture tables (Tables I–III)
+
+Two commands run the *online* self-healing service instead of an offline
+experiment:
+
+* ``serve``          — serve synthetic traffic with the background scrubber on
+  and report throughput/latency plus the live SLA figures
+* ``soak``           — the fault-pressure scenario (Fig. 12's live
+  counterpart): Poisson bit flips against live weights under continuous
+  inference, with detection/recovery/bit-exactness and availability reported
 """
 
 from __future__ import annotations
@@ -106,6 +115,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--networks", nargs="+", default=list(_REDUCED_NETWORKS), choices=sorted(network_table())
     )
     availability.add_argument("--points", type=int, default=25)
+
+    def add_service_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--network", default="mnist_reduced", choices=sorted(network_table())
+        )
+        sub.add_argument("--duration", type=float, default=3.0, help="seconds of traffic")
+        sub.add_argument(
+            "--scrub-period", type=float, default=0.25, help="scrubber period (seconds)"
+        )
+        sub.add_argument(
+            "--request-interval",
+            type=float,
+            default=0.002,
+            help="seconds between submitted requests",
+        )
+        sub.add_argument(
+            "--trained",
+            action="store_true",
+            help="serve trained weights (trains on a cold cache) instead of "
+            "freshly initialized ones",
+        )
+        sub.add_argument("--seed", type=int, default=0)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve synthetic traffic with the self-healing runtime"
+    )
+    add_service_arguments(serve)
+
+    soak = subparsers.add_parser(
+        "soak", help="fault-pressure soak scenario (live Figure 12 counterpart)"
+    )
+    add_service_arguments(soak)
+    soak.add_argument(
+        "--fault-interval",
+        type=float,
+        default=0.2,
+        help="mean seconds between Poisson bit-flip arrivals",
+    )
+    soak.add_argument(
+        "--max-faults", type=int, default=None, help="stop after this many error events"
+    )
     return parser
 
 
@@ -233,6 +283,81 @@ def _print_availability(args: argparse.Namespace) -> None:
     print(format_table(rows, title="Availability / accuracy trade-off", precision=6))
 
 
+def _print_serve(args: argparse.Namespace) -> None:
+    import time
+
+    import numpy as np
+
+    from repro.service import SelfHealingService, ServiceConfig
+    from repro.service.runtime import latency_percentile
+    from repro.types import FLOAT_DTYPE
+
+    service = SelfHealingService(ServiceConfig(scrub_period_seconds=args.scrub_period))
+    entry = service.load_model(args.network, trained=args.trained, seed=args.seed)
+    pool = (
+        np.random.default_rng(args.seed)
+        .random((32,) + entry.model.input_shape)
+        .astype(FLOAT_DTYPE)
+    )
+    requests = []
+    with service:
+        deadline = time.perf_counter() + args.duration
+        cursor = 0
+        while time.perf_counter() < deadline:
+            requests.append(service.submit(entry.name, pool[cursor % len(pool)]))
+            cursor += 1
+            time.sleep(args.request_interval)
+        for request in requests:
+            request.result(timeout=30.0)
+    latencies = [request.latency_seconds or 0.0 for request in requests]
+    throughput = len(requests) / args.duration
+    rows = [
+        {
+            "requests": len(requests),
+            "rps": throughput,
+            "mean_ms": 1e3 * sum(latencies) / max(len(latencies), 1),
+            "p99_ms": 1e3 * latency_percentile(latencies, 99),
+        }
+    ]
+    print(format_table(rows, title=f"Serving {args.network} (scrubber on)", precision=3))
+    print(
+        format_table(
+            [service.sla_report(entry.name).as_row()],
+            title="Live SLA (measured Td/Tr in the paper's availability model)",
+            precision=6,
+        )
+    )
+
+
+def _print_soak(args: argparse.Namespace) -> None:
+    from repro.service import run_soak
+
+    result = run_soak(
+        network=args.network,
+        duration_seconds=args.duration,
+        mean_fault_interval_seconds=args.fault_interval,
+        max_fault_events=args.max_faults,
+        scrub_period_seconds=args.scrub_period,
+        request_interval_seconds=args.request_interval,
+        trained=args.trained,
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            [result.as_row()],
+            title=f"Soak scenario on {args.network} (Poisson bit-flip pressure)",
+            precision=4,
+        )
+    )
+    print(
+        format_table(
+            [result.sla.as_row()],
+            title="Availability / minimum accuracy (live Figure 12 counterpart)",
+            precision=6,
+        )
+    )
+
+
 _HANDLERS = {
     "summary": _print_summary,
     "storage": _print_storage,
@@ -242,6 +367,8 @@ _HANDLERS = {
     "timing": _print_timing,
     "recovery-time": _print_recovery_time,
     "availability": _print_availability,
+    "serve": _print_serve,
+    "soak": _print_soak,
 }
 
 

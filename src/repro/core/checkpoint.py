@@ -66,6 +66,11 @@ class CheckpointStore:
     #: Fingerprint of the weights each CRC code set was computed from (the
     #: code *version*); lets detection skip re-encoding unchanged layers.
     crc_weight_fingerprints: dict[int, bytes] = field(default_factory=dict)
+    #: Golden weight fingerprint of every parameterized layer, taken at
+    #: initialization while the weights are known error-free.  Like the master
+    #: seed this lives in error-resistant memory (16 bytes per layer) and lets
+    #: an online runtime *verify* that a recovery restored a layer bit-exactly.
+    golden_weight_fingerprints: dict[int, bytes] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Accessors with useful error messages
@@ -119,6 +124,14 @@ class CheckpointStore:
         """Fingerprint of the weights layer ``index``'s CRC codes encode, if any."""
         return self.crc_weight_fingerprints.get(index)
 
+    def golden_fingerprint_for(self, index: int) -> bytes:
+        try:
+            return self.golden_weight_fingerprints[index]
+        except KeyError as exc:
+            raise CheckpointError(
+                f"no golden weight fingerprint stored for layer {index}"
+            ) from exc
+
     # ------------------------------------------------------------------ #
     # Storage accounting
     # ------------------------------------------------------------------ #
@@ -156,5 +169,9 @@ class CheckpointStore:
             sum(
                 sum(code.storage_bytes for code in codes) for codes in self.crc_codes.values()
             ),
+        )
+        report.add(
+            "weight_fingerprints",
+            sum(len(digest) for digest in self.golden_weight_fingerprints.values()),
         )
         return report

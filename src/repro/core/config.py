@@ -31,6 +31,13 @@ class MILRConfig:
             parameter solve would be under-determined (``G^2 < F^2 Z``) use
             2-D-CRC-based partial recoverability rather than storing dummy
             inputs, mirroring the paper's choice for the larger networks.
+        always_store_conv_crc: Store the 2-D CRC codes for *every* convolution
+            layer, not only the ones whose recovery strategy requires them.
+            The online service runtime enables this: the codes both localize
+            corrupted weights and verify bit-flip corrections without touching
+            any neighbouring layer, which lets the scrubber heal several
+            adjacent corrupted layers that would otherwise deadlock each
+            other's checkpoint-based recovery passes.
         bias_detection_uses_sum: Detect bias-layer errors with the stored
             parameter sum (paper Sec. IV-E-c); disabling it stores a full copy
             of the bias instead (more storage, exact detection).
@@ -44,6 +51,7 @@ class MILRConfig:
     detection_batch: int = 1
     solver_rcond: float | None = None
     prefer_partial_conv_recovery: bool = True
+    always_store_conv_crc: bool = False
     bias_detection_uses_sum: bool = True
 
     def __post_init__(self) -> None:

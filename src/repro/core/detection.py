@@ -10,8 +10,9 @@ recomputed to localize the individual erroneous weights.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.core.config import MILRConfig
 from repro.core.initialization import conv_probe_position, detection_input_for
 from repro.core.planner import MILRPlan, RecoveryStrategy
 from repro.crc.twod import TwoDimensionalCRC
+from repro.exceptions import DetectionError
 from repro.nn.layers import Bias, Conv2D, Dense
 from repro.nn.model import Sequential
 from repro.prng import SeededTensorGenerator
@@ -105,15 +107,24 @@ class DetectionEngine:
         #: CRC-version cache: last localization per layer, keyed by the
         #: fingerprint of the weights it was computed from.
         self._localize_cache: dict[int, tuple[bytes, np.ndarray]] = {}
+        #: Guards the two memo caches above.  A background scrubber thread may
+        #: run :meth:`detect` concurrently with another detection pass (or with
+        #: weight mutation), so cache reads and writes must be atomic.  The
+        #: cached tensors themselves are treated as immutable once stored.
+        self._cache_lock = threading.Lock()
 
     def _detection_input(self, index: int, input_shape: tuple[int, ...]) -> np.ndarray:
         key = (index, tuple(input_shape), self._config.detection_batch)
-        cached = self._detection_inputs.get(key)
+        with self._cache_lock:
+            cached = self._detection_inputs.get(key)
         if cached is None:
             cached = detection_input_for(
                 index, input_shape, self._prng, self._config.detection_batch
             )
-            self._detection_inputs[key] = cached
+            with self._cache_lock:
+                # A concurrent pass may have stored the same key already; the
+                # PRNG stream is deterministic, so either tensor is identical.
+                cached = self._detection_inputs.setdefault(key, cached)
         return cached
 
     def _localize(self, index: int, layer: Conv2D) -> np.ndarray:
@@ -129,11 +140,13 @@ class DetectionEngine:
         fingerprint = weight_fingerprint(weights)
         if fingerprint == self._store.crc_fingerprint_for(index):
             return np.zeros(weights.shape, dtype=bool)
-        cached = self._localize_cache.get(index)
+        with self._cache_lock:
+            cached = self._localize_cache.get(index)
         if cached is not None and cached[0] == fingerprint:
             return cached[1]
         mask = self._crc.localize_kernel(weights, self._store.crc_codes_for(index))
-        self._localize_cache[index] = (fingerprint, mask)
+        with self._cache_lock:
+            self._localize_cache[index] = (fingerprint, mask)
         return mask
 
     # ------------------------------------------------------------------ #
@@ -185,9 +198,27 @@ class DetectionEngine:
             result.suspect_mask = self._localize(index, layer)
         return result
 
-    def detect(self) -> DetectionReport:
-        """Run detection over every parameterized layer and return the report."""
+    def detect(self, layer_indices: Optional[Iterable[int]] = None) -> DetectionReport:
+        """Run detection and return the report.
+
+        Args:
+            layer_indices: When given, only these layers are checked (they
+                must be parameterized layers).  This is the incremental path
+                used by background scrubbers, which slice the model into small
+                chunks so inference can interleave between detection slices.
+                When ``None`` every parameterized layer is checked.
+        """
+        plans = self._plan.parameterized_layers()
+        if layer_indices is not None:
+            wanted = set(layer_indices)
+            known = {plan.index for plan in plans}
+            unknown = wanted - known
+            if unknown:
+                raise DetectionError(
+                    f"layers {sorted(unknown)} are not parameterized detection targets"
+                )
+            plans = [plan for plan in plans if plan.index in wanted]
         report = DetectionReport()
-        for layer_plan in self._plan.parameterized_layers():
+        for layer_plan in plans:
             report.results.append(self._detect_layer(layer_plan.index))
         return report

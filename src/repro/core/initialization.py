@@ -86,6 +86,9 @@ def build_checkpoint_store(
         store.partial_checkpoints[layer_plan.index] = partial_checkpoint_of(
             layer, layer_plan.index, prng, config
         )
+        store.golden_weight_fingerprints[layer_plan.index] = weight_fingerprint(
+            layer.get_weights()
+        )
 
     # ---------------------------------------------------------------- #
     # Golden recovery pass: activations entering every layer + final output.
@@ -144,7 +147,7 @@ def build_checkpoint_store(
                 store.conv_dummy_filter_outputs[index] = dummy_out.reshape(
                     batch, out_h, out_w, layer_plan.dummy_filters
                 )
-            if layer_plan.stores_crc_codes:
+            if layer_plan.stores_crc_codes or config.always_store_conv_crc:
                 golden_weights = layer.get_weights()
                 store.crc_codes[index] = crc.encode_kernel(golden_weights)
                 store.crc_weight_fingerprints[index] = weight_fingerprint(golden_weights)

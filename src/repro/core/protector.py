@@ -12,7 +12,7 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.checkpoint import CheckpointStore
 from repro.core.config import MILRConfig
@@ -70,11 +70,17 @@ class MILRProtector:
             raise DetectionError("MILRProtector.initialize() must be called first")
 
     # ------------------------------------------------------------------ #
-    def detect(self) -> DetectionReport:
-        """Run the error-detection phase over every parameterized layer."""
+    def detect(self, layer_indices: Optional[Iterable[int]] = None) -> DetectionReport:
+        """Run the error-detection phase.
+
+        By default every parameterized layer is checked; passing
+        ``layer_indices`` restricts the pass to a subset, which lets an online
+        scrubber interleave short detection slices with inference instead of
+        stopping the world for a full pass.
+        """
         self._require_initialized()
         assert self._detection_engine is not None
-        return self._detection_engine.detect()
+        return self._detection_engine.detect(layer_indices=layer_indices)
 
     def recover(self, detection_report: DetectionReport) -> RecoveryReport:
         """Run the error-recovery phase for the layers flagged in the report."""

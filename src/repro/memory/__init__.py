@@ -26,6 +26,7 @@ from repro.memory.ecc import SECDEDCodec, SECDEDProtectedWeights, SECDEDWordStat
 from repro.memory.encryption import XTSMemoryModel
 from repro.memory.fault_injection import (
     FaultInjectionReport,
+    inject_bit_flips,
     inject_rber,
     inject_whole_layer,
     inject_whole_weight,
@@ -42,6 +43,7 @@ __all__ = [
     "XTSMemoryModel",
     "FaultInjectionReport",
     "inject_rber",
+    "inject_bit_flips",
     "inject_whole_weight",
     "inject_whole_layer",
 ]

@@ -23,6 +23,7 @@ from repro.types import BITS_DTYPE, BITS_PER_WEIGHT, FLOAT_DTYPE
 __all__ = [
     "FaultInjectionReport",
     "inject_rber",
+    "inject_bit_flips",
     "inject_whole_weight",
     "inject_whole_layer",
 ]
@@ -82,6 +83,65 @@ def inject_rber(
     affected = np.unique(weight_indices)
     report = FaultInjectionReport(
         flipped_bits=flip_count,
+        affected_weights=int(affected.size),
+        total_weights=total_weights,
+        affected_indices=affected.astype(np.int64),
+    )
+    return corrupted, report
+
+
+def inject_bit_flips(
+    weights: np.ndarray,
+    rng: np.random.Generator,
+    flips: int = 1,
+    bit_positions: "tuple[int, ...] | None" = None,
+    min_magnitude: float = 0.0,
+) -> tuple[np.ndarray, FaultInjectionReport]:
+    """Flip an exact number of bits in randomly chosen, distinct weights.
+
+    This is the arrival-process workload of the self-healing service runtime:
+    a Poisson driver calls it once per error event with a small ``flips``
+    count, instead of sweeping a whole array with an error *rate*.
+
+    Args:
+        weights: Target array (not modified; a corrupted copy is returned).
+        rng: Source of randomness.
+        flips: Number of bits to flip; each lands in a distinct weight.
+        bit_positions: Candidate bit positions (0 = mantissa LSB, 31 = sign).
+            Restricting flips to high-order bits guarantees the corruption is
+            visible to MILR's tolerance-based detection; ``None`` allows all
+            32 positions.
+        min_magnitude: Only weights with ``|w| >= min_magnitude`` are targeted
+            (falls back to all weights when none qualify), again so that a
+            relative change is large enough to observe at the layer output.
+    """
+    weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+    total_weights = int(weights.size)
+    if flips < 1:
+        raise FaultInjectionError(f"flips must be at least 1, got {flips}")
+    if total_weights == 0:
+        return weights.copy(), FaultInjectionReport(total_weights=0)
+    if bit_positions is None:
+        positions = np.arange(BITS_PER_WEIGHT)
+    else:
+        positions = np.asarray(sorted(set(int(b) for b in bit_positions)))
+        if positions.size == 0 or positions.min() < 0 or positions.max() >= BITS_PER_WEIGHT:
+            raise FaultInjectionError(
+                f"bit_positions must be within [0, {BITS_PER_WEIGHT}), got {bit_positions}"
+            )
+    eligible = np.flatnonzero(np.abs(weights.ravel()) >= min_magnitude)
+    if eligible.size == 0:
+        eligible = np.arange(total_weights)
+    flips = min(flips, int(eligible.size))
+    weight_indices = rng.choice(eligible, size=flips, replace=False)
+    chosen_bits = rng.choice(positions, size=flips, replace=True)
+    bits = floats_to_bits(weights).ravel()
+    masks = (np.uint32(1) << chosen_bits.astype(BITS_DTYPE)).astype(BITS_DTYPE)
+    bits[weight_indices] = np.bitwise_xor(bits[weight_indices], masks)
+    corrupted = bits_to_floats(bits).reshape(weights.shape)
+    affected = np.unique(weight_indices)
+    report = FaultInjectionReport(
+        flipped_bits=flips,
         affected_weights=int(affected.size),
         total_weights=total_weights,
         affected_indices=affected.astype(np.int64),

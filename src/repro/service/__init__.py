@@ -1,0 +1,61 @@
+"""Self-healing inference service runtime (the paper's Sec. V-E made live).
+
+This package turns the one-shot ``MILRProtector.detect()/recover()`` API into
+an *online* system: protected models keep serving batched inference while a
+background scrubber periodically detects errors, quarantines corrupted
+layers, and heals them -- the availability model of the paper (Fig. 12)
+evaluated with measured detection/recovery times instead of assumptions.
+
+* :mod:`repro.service.registry` -- managed models with quarantine state
+* :mod:`repro.service.engine` -- batching inference engine with latency
+  accounting
+* :mod:`repro.service.scrubber` -- periodic sliced detection + recovery
+  dispatch
+* :mod:`repro.service.repair` -- verified bit-exact repair refinement
+* :mod:`repro.service.sla` -- live availability / minimum-accuracy tracking
+* :mod:`repro.service.pressure` -- Poisson bit-flip fault driver
+* :mod:`repro.service.runtime` -- the :class:`SelfHealingService` facade and
+  the :func:`run_soak` scenario harness
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.engine import InferenceEngine, InferenceRequest
+from repro.service.pressure import DEFAULT_BIT_POSITIONS, FaultEvent, FaultPressureDriver
+from repro.service.registry import ManagedModel, ModelRegistry, RequestStats
+from repro.service.repair import (
+    RepairOutcome,
+    crc_guided_kernel_repair,
+    estimate_guided_repair,
+    refine_recovered_weights,
+    snap_to_bit_flips,
+    sparse_bias_repair,
+    sparse_kernel_repair,
+)
+from repro.service.runtime import SelfHealingService, SoakResult, run_soak
+from repro.service.scrubber import Scrubber
+from repro.service.sla import SLAReport, SLATracker
+
+__all__ = [
+    "ServiceConfig",
+    "ModelRegistry",
+    "ManagedModel",
+    "RequestStats",
+    "InferenceEngine",
+    "InferenceRequest",
+    "Scrubber",
+    "SLATracker",
+    "SLAReport",
+    "FaultPressureDriver",
+    "FaultEvent",
+    "DEFAULT_BIT_POSITIONS",
+    "RepairOutcome",
+    "crc_guided_kernel_repair",
+    "estimate_guided_repair",
+    "refine_recovered_weights",
+    "snap_to_bit_flips",
+    "sparse_bias_repair",
+    "sparse_kernel_repair",
+    "SelfHealingService",
+    "SoakResult",
+    "run_soak",
+]

@@ -1,0 +1,89 @@
+"""Configuration of the self-healing inference service runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the service runtime (batching, scrubbing, repair, SLA).
+
+    Attributes:
+        max_batch: Inference requests are queued individually and executed as
+            batches of up to this many samples; smaller batches are padded to
+            this size so every forward pass has a fixed shape.
+        batch_timeout_seconds: How long a worker waits for additional requests
+            to fill a batch before executing a partial one.
+        scrub_period_seconds: Period of the background detection scrubber.
+            The default follows the availability model: detection on the
+            reduced networks costs ~1 ms, so a 0.25 s period keeps the
+            detection duty cycle (and hence the availability loss) below 1%.
+        scrub_chunk_layers: Number of parameterized layers checked per
+            detection slice.  Smaller chunks hold the model lock for shorter
+            stretches, letting inference interleave with scrubbing.
+        repair_rtol: Relative tolerance used by the bit-exact repair step when
+            deciding whether a stored (possibly corrupted) weight agrees with
+            the solver's recovered estimate.
+        repair_atol: Absolute companion to ``repair_rtol``.
+        repair_max_flips: Maximum number of simultaneous bit flips per weight
+            the repair step searches for when snapping a corrupted word back
+            to the solver estimate.
+        sparse_repair_max_support: Per-filter support bound of the
+            residual-guided sparse kernel repair (max simultaneously corrupted
+            kernel rows it can isolate).
+        max_recovery_attempts: After this many recovery attempts that still
+            fail verification, a layer is released from quarantine in
+            *degraded* state (best-effort weights, counted in the SLA report)
+            so one unhealable layer cannot pin availability to zero.
+        quarantine_wait_seconds: How long an inference worker waits for a
+            quarantined model to become healthy before failing its requests.
+        yearly_accuracy_floor: Accuracy-degradation floor fed into the
+            availability model (normalized accuracy after one year of
+            unrecovered errors).
+        recovery_async: Run recovery jobs on a dedicated worker thread so the
+            scrubber keeps checking other models/layers while one heals.
+        store_conv_crc: Initialize managed models with 2-D CRC codes on every
+            convolution layer (``MILRConfig.always_store_conv_crc``).  The
+            codes make convolution repair self-contained -- corrupted words
+            are localized and their bit-flip corrections verified without
+            golden passes through (possibly corrupted) neighbour layers.
+    """
+
+    max_batch: int = 8
+    batch_timeout_seconds: float = 0.002
+    scrub_period_seconds: float = 0.25
+    scrub_chunk_layers: int = 4
+    repair_rtol: float = 1e-3
+    repair_atol: float = 1e-5
+    repair_max_flips: int = 2
+    sparse_repair_max_support: int = 8
+    max_recovery_attempts: int = 3
+    quarantine_wait_seconds: float = 30.0
+    yearly_accuracy_floor: float = 0.5
+    recovery_async: bool = True
+    store_conv_crc: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.batch_timeout_seconds < 0:
+            raise ValueError("batch_timeout_seconds must be non-negative")
+        if self.scrub_period_seconds <= 0:
+            raise ValueError("scrub_period_seconds must be positive")
+        if self.scrub_chunk_layers < 1:
+            raise ValueError("scrub_chunk_layers must be at least 1")
+        if self.repair_rtol < 0 or self.repair_atol < 0:
+            raise ValueError("repair tolerances must be non-negative")
+        if self.repair_max_flips < 1:
+            raise ValueError("repair_max_flips must be at least 1")
+        if self.sparse_repair_max_support < 1:
+            raise ValueError("sparse_repair_max_support must be at least 1")
+        if self.max_recovery_attempts < 1:
+            raise ValueError("max_recovery_attempts must be at least 1")
+        if self.quarantine_wait_seconds <= 0:
+            raise ValueError("quarantine_wait_seconds must be positive")
+        if not 0.0 <= self.yearly_accuracy_floor <= 1.0:
+            raise ValueError("yearly_accuracy_floor must be in [0, 1]")

@@ -1,0 +1,250 @@
+"""Batching inference engine.
+
+Requests arrive one sample at a time (as they would from network handlers),
+are queued per model, and a dedicated worker thread per model drains the
+queue into padded fixed-shape batches executed through
+:meth:`Sequential.predict`.  Every request carries wall-clock latency
+accounting from enqueue to completion.
+
+Worker loop contract: a batch only executes while the model's quarantine set
+is empty.  The worker takes the model lock, waits on the health condition if
+needed, and runs the forward pass under the lock -- so recovery never rewrites
+weights mid-batch and no request is answered through a quarantined layer.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ExperimentError, ShapeError
+from repro.service.config import ServiceConfig
+from repro.service.registry import ManagedModel, ModelRegistry
+from repro.types import FLOAT_DTYPE
+
+__all__ = ["InferenceRequest", "InferenceEngine"]
+
+#: Sentinel that tells a worker to drain out.
+_STOP = object()
+
+
+class InferenceRequest:
+    """A single-sample prediction request with latency accounting."""
+
+    __slots__ = (
+        "model_name",
+        "sample",
+        "enqueued_at",
+        "completed_at",
+        "latency_seconds",
+        "_done",
+        "_result",
+        "_error",
+    )
+
+    def __init__(self, model_name: str, sample: np.ndarray):
+        self.model_name = model_name
+        self.sample = sample
+        self.enqueued_at = time.perf_counter()
+        self.completed_at: Optional[float] = None
+        self.latency_seconds: Optional[float] = None
+        self._done = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    def _complete(self, result: np.ndarray) -> None:
+        self.completed_at = time.perf_counter()
+        self.latency_seconds = self.completed_at - self.enqueued_at
+        self._result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self.completed_at = time.perf_counter()
+        self.latency_seconds = self.completed_at - self.enqueued_at
+        self._error = error
+        self._done.set()
+
+    # ------------------------------------------------------------------ #
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    @property
+    def failed(self) -> bool:
+        return self._done.is_set() and self._error is not None
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the prediction is available and return it."""
+        if not self._done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"request against model {self.model_name!r} did not complete "
+                f"within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+class InferenceEngine:
+    """Queues single-sample requests and serves them as padded batches."""
+
+    def __init__(self, registry: ModelRegistry, config: Optional[ServiceConfig] = None):
+        self._registry = registry
+        self._config = config or registry.config
+        self._queues: dict[str, "queue.Queue"] = {}
+        self._workers: dict[str, threading.Thread] = {}
+        self._running = False
+        self._lock = threading.Lock()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn one worker thread per registered model."""
+        with self._lock:
+            if self._running:
+                return
+            self._running = True
+            for entry in self._registry:
+                self._start_worker(entry)
+
+    def add_worker(self, entry: ManagedModel) -> None:
+        """Start serving a model registered after :meth:`start` was called."""
+        with self._lock:
+            if self._running and entry.name not in self._workers:
+                self._start_worker(entry)
+
+    def _start_worker(self, entry: ManagedModel) -> None:
+        q: "queue.Queue" = queue.Queue()
+        worker = threading.Thread(
+            target=self._worker_loop,
+            args=(entry, q),
+            name=f"infer-{entry.name}",
+            daemon=True,
+        )
+        self._queues[entry.name] = q
+        self._workers[entry.name] = worker
+        entry.tracker.start()
+        worker.start()
+
+    def stop(self) -> None:
+        """Stop all workers, failing any requests still queued behind the stop."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            queues = dict(self._queues)
+            workers = dict(self._workers)
+            self._queues.clear()
+            self._workers.clear()
+        for q in queues.values():
+            q.put(_STOP)
+        for name, worker in workers.items():
+            worker.join(timeout=30.0)
+            if worker.is_alive():
+                # The worker is wedged past the join timeout (e.g. deep in a
+                # quarantine wait).  Leave its queue alone: draining here could
+                # consume the _STOP sentinel it still needs to terminate.
+                continue
+            # Anything enqueued after the sentinel is failed, not dropped.
+            q = queues[name]
+            while True:
+                try:
+                    item = q.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    item._fail(ExperimentError("inference engine stopped"))
+
+    # ------------------------------------------------------------------ #
+    def submit(self, model_name: str, sample: np.ndarray) -> InferenceRequest:
+        """Enqueue one sample; returns a request handle with ``result()``."""
+        entry = self._registry.get(model_name)
+        sample = np.asarray(sample, dtype=FLOAT_DTYPE)
+        if sample.shape != entry.model.input_shape:
+            raise ShapeError(
+                f"model {model_name!r} expects per-sample shape "
+                f"{entry.model.input_shape}, got {sample.shape}"
+            )
+        request = InferenceRequest(model_name, sample)
+        # Enqueue under the engine lock: a concurrent stop() (which also takes
+        # the lock) can then never drain-and-join between our running check
+        # and the put, which would strand the request until its timeout.
+        with self._lock:
+            if not self._running:
+                raise ExperimentError("inference engine is not running")
+            q = self._queues.get(model_name)
+            if q is None:
+                raise ExperimentError(f"no worker running for model {model_name!r}")
+            q.put(request)
+        return request
+
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, entry: ManagedModel, q: "queue.Queue") -> None:
+        config = self._config
+        while True:
+            item = q.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            deadline = time.perf_counter() + config.batch_timeout_seconds
+            stopping = False
+            while len(batch) < config.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    extra = q.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    stopping = True
+                    break
+                batch.append(extra)
+            self._execute(entry, batch)
+            if stopping:
+                return
+
+    def _execute(self, entry: ManagedModel, batch: list[InferenceRequest]) -> None:
+        config = self._config
+        try:
+            with entry.lock:
+                if not entry.wait_healthy(timeout=config.quarantine_wait_seconds):
+                    raise ExperimentError(
+                        f"model {entry.name!r} stayed quarantined for more than "
+                        f"{config.quarantine_wait_seconds}s"
+                    )
+                if not entry.is_healthy():  # pragma: no cover - invariant guard
+                    entry.stats.served_during_quarantine += len(batch)
+                stacked = np.stack([request.sample for request in batch])
+                if stacked.shape[0] < config.max_batch:
+                    pad = np.zeros(
+                        (config.max_batch - stacked.shape[0],) + stacked.shape[1:],
+                        dtype=stacked.dtype,
+                    )
+                    stacked = np.concatenate([stacked, pad], axis=0)
+                outputs = entry.model.predict(stacked)[: len(batch)]
+                entry.stats.batches_executed += 1
+        except BaseException as error:  # noqa: BLE001 - forwarded to requests
+            with entry.lock:
+                entry.stats.requests_failed += len(batch)
+            for request in batch:
+                request._fail(error)
+            return
+        for request, output in zip(batch, outputs):
+            request._complete(output)
+        with entry.lock:
+            entry.stats.requests_completed += len(batch)
+            for request in batch:
+                latency = request.latency_seconds or 0.0
+                entry.stats.total_latency_seconds += latency
+                entry.stats.max_latency_seconds = max(
+                    entry.stats.max_latency_seconds, latency
+                )

@@ -1,0 +1,195 @@
+"""Poisson fault-pressure driver for soak scenarios.
+
+Replays the paper's memory-error arrival model against live registered
+models: error events arrive as a Poisson process (exponential inter-arrival
+times), and each event flips a small number of bits in a randomly chosen
+parameterized layer via :func:`repro.memory.fault_injection.inject_bit_flips`.
+
+By default flips land in high-order bits (exponent/sign) of non-negligible
+weights so every event is observable by MILR's tolerance-based detection --
+the regime soak tests assert "every corruption is detected" in.  Passing
+``bit_positions=range(32)`` and ``min_magnitude=0.0`` reproduces the paper's
+fully random RBER-style flips instead.
+
+Each event is recorded as a :class:`FaultEvent`, giving soak harnesses the
+ground truth to check detection coverage against.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import FaultInjectionError
+from repro.memory.fault_injection import inject_bit_flips
+from repro.service.registry import ManagedModel, ModelRegistry
+
+__all__ = ["FaultEvent", "FaultPressureDriver", "DEFAULT_BIT_POSITIONS"]
+
+#: Exponent and sign bits of an IEEE-754 float32 word: flips here change the
+#: weight by at least a factor of two, which MILR detection always observes.
+DEFAULT_BIT_POSITIONS: tuple[int, ...] = tuple(range(23, 32))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Ground truth for one injected error event."""
+
+    timestamp: float
+    model_name: str
+    layer_index: int
+    layer_name: str
+    flipped_bits: int
+    affected_weight_indices: tuple[int, ...]
+
+
+class FaultPressureDriver:
+    """Injects Poisson bit-flip arrivals into registered models."""
+
+    def __init__(
+        self,
+        target: Union[ModelRegistry, ManagedModel, Iterable[ManagedModel]],
+        mean_interval_seconds: float = 0.5,
+        seed: int = 0,
+        flips_per_event: int = 1,
+        bit_positions: Sequence[int] = DEFAULT_BIT_POSITIONS,
+        min_magnitude: float = 1e-3,
+        max_events: Optional[int] = None,
+        ensure_detectable: bool = True,
+        max_attempts: int = 50,
+    ):
+        if mean_interval_seconds <= 0:
+            raise FaultInjectionError("mean_interval_seconds must be positive")
+        if flips_per_event < 1:
+            raise FaultInjectionError("flips_per_event must be at least 1")
+        if isinstance(target, ManagedModel):
+            self._entries: list[ManagedModel] = [target]
+        elif isinstance(target, ModelRegistry):
+            self._entries = list(target)
+        else:
+            self._entries = list(target)
+        if not self._entries:
+            raise FaultInjectionError("fault driver needs at least one managed model")
+        self.mean_interval_seconds = float(mean_interval_seconds)
+        self.flips_per_event = int(flips_per_event)
+        self.bit_positions = tuple(bit_positions)
+        self.min_magnitude = float(min_magnitude)
+        self.max_events = max_events
+        #: Verify (under the model lock) that MILR detection actually flags
+        #: each injected corruption; undetectable flips -- e.g. a flip landing
+        #: on a weight whose detection-input coefficient is ~0, or a low-order
+        #: flip below the detection tolerance -- are reverted and re-drawn.
+        #: This gives soak harnesses exact ground truth; production error
+        #: arrivals (``ensure_detectable=False``) keep the paper's behaviour
+        #: where sub-tolerance errors deliberately go unnoticed.
+        self.ensure_detectable = ensure_detectable
+        self.max_attempts = int(max_attempts)
+        #: Events that were drawn but reverted as undetectable.
+        self.skipped_undetectable = 0
+        self._rng = np.random.default_rng(seed)
+        self._events: list[FaultEvent] = []
+        self._events_lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def events(self) -> list[FaultEvent]:
+        """Snapshot of all injected events so far."""
+        with self._events_lock:
+            return list(self._events)
+
+    def injected_layers(self, model_name: str) -> set[int]:
+        """Layer indices of ``model_name`` hit by at least one event."""
+        with self._events_lock:
+            return {
+                event.layer_index
+                for event in self._events
+                if event.model_name == model_name
+            }
+
+    # ------------------------------------------------------------------ #
+    def inject_once(self) -> Optional[FaultEvent]:
+        """Inject one error event now (also usable without the thread).
+
+        Returns ``None`` only when ``ensure_detectable`` is set and no
+        detectable corruption was found within ``max_attempts`` draws.
+        """
+        entry = self._entries[int(self._rng.integers(len(self._entries)))]
+        attempts = self.max_attempts if self.ensure_detectable else 1
+        for _ in range(attempts):
+            index = int(
+                entry.parameterized_indices[
+                    int(self._rng.integers(len(entry.parameterized_indices)))
+                ]
+            )
+            layer = entry.model.layers[index]
+            # The lock makes the corruption atomic with respect to batches and
+            # recovery -- a bit flip lands between forward passes, never inside
+            # one (the simulator's stand-in for word-granular memory writes).
+            with entry.lock:
+                weights = layer.get_weights()
+                corrupted, report = inject_bit_flips(
+                    weights,
+                    self._rng,
+                    flips=self.flips_per_event,
+                    bit_positions=self.bit_positions,
+                    min_magnitude=self.min_magnitude,
+                )
+                layer.set_weights(corrupted)
+                if self.ensure_detectable:
+                    check = entry.protector.detect(layer_indices=[index])
+                    if index not in check.erroneous_layers:
+                        layer.set_weights(weights)
+                        self.skipped_undetectable += 1
+                        continue
+            event = FaultEvent(
+                timestamp=time.perf_counter(),
+                model_name=entry.name,
+                layer_index=index,
+                layer_name=layer.name,
+                flipped_bits=report.flipped_bits,
+                affected_weight_indices=tuple(int(i) for i in report.affected_indices),
+            )
+            with self._events_lock:
+                self._events.append(event)
+            return event
+        return None
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="fault-pressure", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the driver stopped after reaching ``max_events``."""
+        with self._events_lock:
+            count = len(self._events)
+        return self.max_events is not None and count >= self.max_events
+
+    def _loop(self) -> None:
+        while not self._stop_event.is_set():
+            if self.max_events is not None:
+                with self._events_lock:
+                    if len(self._events) >= self.max_events:
+                        return
+            wait = float(self._rng.exponential(self.mean_interval_seconds))
+            if self._stop_event.wait(wait):
+                return
+            self.inject_once()

@@ -1,0 +1,234 @@
+"""Model registry: protected models plus their live serving state.
+
+A :class:`ManagedModel` bundles everything the runtime needs to serve one
+model under fault pressure: the model itself, its initialized
+:class:`~repro.core.protector.MILRProtector`, a lock that serializes
+weight-coherent operations (batch execution, detection slices, recovery,
+fault injection), the quarantine set of layers with detected-but-unrecovered
+errors, and an :class:`~repro.service.sla.SLATracker`.
+
+Quarantine is the serving contract: while any layer of a model is
+quarantined, inference workers for that model wait on the health condition
+instead of executing batches, so no request is ever answered by a forward
+pass through a layer known to be corrupted.  Models are independent -- a
+quarantined model never blocks the others in the registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from dataclasses import replace as dataclass_replace
+from typing import Iterable, Iterator, Optional
+
+from repro.core.config import MILRConfig
+from repro.core.protector import MILRProtector
+from repro.exceptions import ExperimentError
+from repro.nn.model import Sequential
+from repro.service.config import ServiceConfig
+from repro.service.sla import SLATracker
+
+__all__ = ["RequestStats", "ManagedModel", "ModelRegistry"]
+
+
+@dataclass
+class RequestStats:
+    """Aggregate per-model request accounting (guarded by the model lock)."""
+
+    requests_completed: int = 0
+    requests_failed: int = 0
+    batches_executed: int = 0
+    total_latency_seconds: float = 0.0
+    max_latency_seconds: float = 0.0
+    #: Requests that executed while the quarantine set was non-empty.  The
+    #: runtime's invariant is that this stays zero; it is counted (rather than
+    #: asserted) so violations are observable in production.
+    served_during_quarantine: int = 0
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        if self.requests_completed == 0:
+            return 0.0
+        return self.total_latency_seconds / self.requests_completed
+
+
+class ManagedModel:
+    """One protected model registered with the service runtime."""
+
+    def __init__(
+        self,
+        name: str,
+        model: Sequential,
+        protector: MILRProtector,
+        tracker: Optional[SLATracker] = None,
+    ):
+        if not protector.initialized:
+            raise ExperimentError(
+                f"model {name!r} must have an initialized MILRProtector"
+            )
+        self.name = name
+        self.model = model
+        self.protector = protector
+        self.tracker = tracker or SLATracker(name, model.parameter_bytes())
+        #: Serializes weight-coherent operations on this model.
+        self.lock = threading.RLock()
+        self._healthy = threading.Condition(self.lock)
+        self._quarantined: set[int] = set()
+        #: Every layer index that was ever quarantined (detection ground truth
+        #: for soak harnesses; never cleared).
+        self.ever_quarantined: set[int] = set()
+        #: Quarantined layers with a recovery job already dispatched.
+        self.dispatched: set[int] = set()
+        #: Consecutive failed recovery attempts per quarantined layer.
+        self.recovery_attempts: dict[int, int] = {}
+        #: Layers released in degraded state (best-effort weights that still
+        #: fail detection), keyed to the weight fingerprint that was accepted;
+        #: a later fault changes the fingerprint and re-opens recovery.
+        self.degraded: dict[int, bytes] = {}
+        #: The stored (corrupted) bits a degraded layer had before its failed
+        #: recovery -- preserved so a later re-opened repair can still reach
+        #: the golden words by bit-flip search.
+        self.degraded_originals: dict[int, "object"] = {}
+        self.stats = RequestStats()
+        assert protector.plan is not None
+        self.parameterized_indices: list[int] = [
+            plan.index for plan in protector.plan.parameterized_layers()
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Quarantine management
+    # ------------------------------------------------------------------ #
+    @property
+    def quarantined(self) -> set[int]:
+        """Snapshot of the quarantined layer indices."""
+        with self.lock:
+            return set(self._quarantined)
+
+    def quarantine(self, layer_indices: Iterable[int]) -> None:
+        """Mark layers as known-corrupted; serving pauses until they heal."""
+        indices = set(layer_indices)
+        if not indices:
+            return
+        with self.lock:
+            if not self._quarantined:
+                self.tracker.mark_unavailable()
+            self._quarantined.update(indices)
+            self.ever_quarantined.update(indices)
+
+    def clear_quarantine(self, layer_indices: Iterable[int]) -> None:
+        """Lift quarantine from recovered layers; wakes waiting workers."""
+        with self.lock:
+            self._quarantined.difference_update(layer_indices)
+            if not self._quarantined:
+                self.tracker.mark_available()
+                self._healthy.notify_all()
+
+    def is_healthy(self) -> bool:
+        with self.lock:
+            return not self._quarantined
+
+    def wait_healthy(self, timeout: Optional[float] = None) -> bool:
+        """Block until the quarantine set is empty (or the timeout expires).
+
+        Must be called while holding :attr:`lock`; waiting releases the lock
+        so the scrubber's recovery job can heal the model.
+        """
+        return self._healthy.wait_for(lambda: not self._quarantined, timeout=timeout)
+
+
+class ModelRegistry:
+    """Name-keyed collection of managed models."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self._lock = threading.Lock()
+        self._models: dict[str, ManagedModel] = {}
+
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        model: Sequential,
+        milr_config: Optional[MILRConfig] = None,
+        protector: Optional[MILRProtector] = None,
+    ) -> ManagedModel:
+        """Wrap a built model (initializing MILR protection if needed).
+
+        When the registry initializes the protector itself,
+        ``ServiceConfig.store_conv_crc`` upgrades the MILR config so every
+        convolution layer stores 2-D CRC codes (self-contained online repair).
+        An already-initialized ``protector`` is taken as-is.
+        """
+        if protector is None:
+            if self.config.store_conv_crc:
+                milr_config = dataclass_replace(
+                    milr_config or MILRConfig(), always_store_conv_crc=True
+                )
+            protector = MILRProtector(model, milr_config)
+        if not protector.initialized:
+            protector.initialize()
+        entry = ManagedModel(name, model, protector)
+        with self._lock:
+            if name in self._models:
+                raise ExperimentError(f"model {name!r} is already registered")
+            self._models[name] = entry
+        return entry
+
+    def load(
+        self,
+        network_name: str,
+        name: Optional[str] = None,
+        trained: bool = False,
+        milr_config: Optional[MILRConfig] = None,
+        **train_kwargs,
+    ) -> ManagedModel:
+        """Build (or load from the weight cache) a zoo network and register it.
+
+        With ``trained=True`` the weights come from
+        :func:`~repro.experiments.model_provider.get_trained_network` (training
+        on a cache miss); otherwise the freshly initialized network is used,
+        which is sufficient for protection/soak mechanics.
+        """
+        from repro.zoo import network_table
+
+        specs = network_table()
+        if network_name not in specs:
+            raise ExperimentError(
+                f"unknown network {network_name!r}; available: {sorted(specs)}"
+            )
+        if trained:
+            from repro.experiments.model_provider import get_trained_network
+
+            model = get_trained_network(network_name, **train_kwargs).model
+        else:
+            model = specs[network_name].builder()
+        return self.register(name or network_name, model, milr_config=milr_config)
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> ManagedModel:
+        with self._lock:
+            try:
+                return self._models[name]
+            except KeyError as exc:
+                raise ExperimentError(f"no model registered as {name!r}") from exc
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._models.pop(name, None)
+
+    def __iter__(self) -> Iterator[ManagedModel]:
+        with self._lock:
+            entries = list(self._models.values())
+        return iter(entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models

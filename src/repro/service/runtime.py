@@ -1,0 +1,365 @@
+"""Self-healing inference service facade and the soak harness.
+
+:class:`SelfHealingService` wires the registry, the batching inference
+engine and the background scrubber together behind a small lifecycle API::
+
+    service = SelfHealingService()
+    service.load_model("mnist_reduced")
+    service.start()
+    request = service.submit("mnist_reduced", sample)
+    probabilities = request.result(timeout=1.0)
+    ...
+    service.stop()
+
+:func:`run_soak` is the headless fault-pressure scenario shared by the
+``repro soak`` CLI command, the end-to-end tests and the example script: it
+serves continuous synthetic traffic while a Poisson driver flips bits in the
+live weights, then drains, verifies bit-exact restoration against a golden
+snapshot, and reports the live availability figures (the paper's Fig. 12
+counterpart measured instead of assumed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import MILRConfig
+from repro.exceptions import ExperimentError
+from repro.nn.model import Sequential
+from repro.service.config import ServiceConfig
+from repro.service.engine import InferenceEngine, InferenceRequest
+from repro.service.pressure import FaultEvent, FaultPressureDriver
+from repro.service.registry import ManagedModel, ModelRegistry
+from repro.service.scrubber import Scrubber
+from repro.service.sla import SLAReport
+from repro.types import FLOAT_DTYPE
+
+__all__ = ["SelfHealingService", "SoakResult", "run_soak", "latency_percentile"]
+
+
+class SelfHealingService:
+    """Protected models + batching inference + background scrubbing."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.registry = ModelRegistry(self.config)
+        self.engine = InferenceEngine(self.registry, self.config)
+        self.scrubber = Scrubber(self.registry, self.config)
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Model management
+    # ------------------------------------------------------------------ #
+    def add_model(
+        self,
+        name: str,
+        model: Sequential,
+        milr_config: Optional[MILRConfig] = None,
+    ) -> ManagedModel:
+        """Register (and protect) an already-built model."""
+        entry = self.registry.register(name, model, milr_config=milr_config)
+        if self._started:
+            self.engine.add_worker(entry)
+        return entry
+
+    def load_model(
+        self,
+        network_name: str,
+        name: Optional[str] = None,
+        trained: bool = False,
+        milr_config: Optional[MILRConfig] = None,
+        **train_kwargs,
+    ) -> ManagedModel:
+        """Load a zoo network (optionally trained) into the registry."""
+        entry = self.registry.load(
+            network_name,
+            name=name,
+            trained=trained,
+            milr_config=milr_config,
+            **train_kwargs,
+        )
+        if self._started:
+            self.engine.add_worker(entry)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self, scrub: bool = True) -> None:
+        """Start serving (and, unless disabled, background scrubbing)."""
+        if self._started:
+            return
+        self.engine.start()
+        if scrub:
+            self.scrubber.start()
+        self._started = True
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self.scrubber.stop()
+        self.engine.stop()
+        self._started = False
+
+    def __enter__(self) -> "SelfHealingService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def submit(self, model_name: str, sample: np.ndarray) -> InferenceRequest:
+        """Queue one sample for prediction."""
+        return self.engine.submit(model_name, sample)
+
+    def predict(
+        self, model_name: str, samples: np.ndarray, timeout: float = 30.0
+    ) -> np.ndarray:
+        """Synchronous convenience: submit every row and gather the results."""
+        requests = [self.submit(model_name, sample) for sample in samples]
+        return np.stack([request.result(timeout=timeout) for request in requests])
+
+    # ------------------------------------------------------------------ #
+    # Maintenance and reporting
+    # ------------------------------------------------------------------ #
+    def scrub_now(self, model_name: Optional[str] = None) -> None:
+        """Run one synchronous detection sweep (all models by default)."""
+        if model_name is None:
+            self.scrubber.scrub_all()
+        else:
+            self.scrubber.scrub_model(self.registry.get(model_name))
+
+    def sla_report(
+        self,
+        model_name: str,
+        scrub_period_seconds: Optional[float] = None,
+        error_interval_seconds: Optional[float] = None,
+    ) -> SLAReport:
+        entry = self.registry.get(model_name)
+        return entry.tracker.report(
+            scrub_period_seconds or self.config.scrub_period_seconds,
+            error_interval_seconds=error_interval_seconds,
+            yearly_accuracy_floor=self.config.yearly_accuracy_floor,
+        )
+
+    def sla_reports(self) -> list[SLAReport]:
+        return [self.sla_report(name) for name in self.registry.names()]
+
+
+# ---------------------------------------------------------------------- #
+# Soak harness
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SoakResult:
+    """Outcome of one :func:`run_soak` scenario."""
+
+    network: str
+    duration_seconds: float
+    fault_events: tuple[FaultEvent, ...]
+    #: Layers the driver actually corrupted (ground truth).
+    injected_layers: frozenset[int]
+    #: Layers the scrubber ever quarantined (detection coverage).
+    detected_layers: frozenset[int]
+    requests_completed: int
+    requests_failed: int
+    served_during_quarantine: int
+    throughput_rps: float
+    mean_latency_seconds: float
+    p50_latency_seconds: float
+    p99_latency_seconds: float
+    #: Whether every parameterized layer ended bit-identical to its golden
+    #: pre-soak weights.
+    bit_exact: bool
+    #: Whether the post-soak drain reached two consecutive clean detections.
+    converged: bool
+    sla: SLAReport
+
+    @property
+    def all_errors_detected(self) -> bool:
+        """Every corrupted layer was eventually flagged by the scrubber."""
+        return self.injected_layers <= self.detected_layers
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "network": self.network,
+            "duration_s": self.duration_seconds,
+            "faults": len(self.fault_events),
+            "detected": self.all_errors_detected,
+            "bit_exact": self.bit_exact,
+            "requests": self.requests_completed,
+            "rps": self.throughput_rps,
+            "p99_ms": self.p99_latency_seconds * 1e3,
+            "availability": self.sla.availability,
+            "min_accuracy": self.sla.minimum_accuracy,
+            "observed_avail": self.sla.observed_availability,
+        }
+
+
+def latency_percentile(latencies: "list[float]", q: float) -> float:
+    """Percentile (0-100) of a latency sample list; 0.0 when empty."""
+    if not latencies:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies), q))
+
+
+def run_soak(
+    network: str = "mnist_reduced",
+    duration_seconds: float = 3.0,
+    mean_fault_interval_seconds: float = 0.15,
+    max_fault_events: Optional[int] = None,
+    scrub_period_seconds: float = 0.1,
+    request_interval_seconds: float = 0.002,
+    trained: bool = False,
+    seed: int = 0,
+    flips_per_event: int = 1,
+    service_config: Optional[ServiceConfig] = None,
+    drain_timeout_seconds: float = 60.0,
+    milr_config: Optional[MILRConfig] = None,
+) -> SoakResult:
+    """Serve continuous traffic under Poisson bit-flip pressure, then drain.
+
+    The scenario: one protected model serves synthetic single-sample traffic
+    through the batching engine while a :class:`FaultPressureDriver` corrupts
+    live weights and the scrubber detects/quarantines/recovers in the
+    background.  After ``duration_seconds`` (or ``max_fault_events``) the
+    driver stops, the service drains until two consecutive full detection
+    passes come back clean, and the final weights are compared bit-for-bit
+    against a golden pre-soak snapshot.
+    """
+    if duration_seconds <= 0:
+        raise ExperimentError("duration_seconds must be positive")
+    config = service_config or ServiceConfig()
+    config = replace(config, scrub_period_seconds=scrub_period_seconds)
+    service = SelfHealingService(config)
+    entry = service.load_model(network, trained=trained, milr_config=milr_config)
+
+    golden = {
+        index: entry.model.layers[index].get_weights()
+        for index in entry.parameterized_indices
+    }
+
+    # Synthetic request traffic: a small pool of PRNG samples reused round-robin.
+    rng = np.random.default_rng(seed)
+    pool = rng.random((32,) + entry.model.input_shape).astype(FLOAT_DTYPE)
+    requests: list[InferenceRequest] = []
+    traffic_stop = threading.Event()
+
+    def _traffic() -> None:
+        cursor = 0
+        while not traffic_stop.is_set():
+            try:
+                requests.append(service.submit(entry.name, pool[cursor % len(pool)]))
+            except ExperimentError:
+                return
+            cursor += 1
+            traffic_stop.wait(request_interval_seconds)
+
+    driver = FaultPressureDriver(
+        entry,
+        mean_interval_seconds=mean_fault_interval_seconds,
+        seed=seed,
+        flips_per_event=flips_per_event,
+        max_events=max_fault_events,
+    )
+
+    started = time.perf_counter()
+    service.start()
+    traffic_thread = threading.Thread(target=_traffic, name="soak-traffic", daemon=True)
+    traffic_thread.start()
+    driver.start()
+
+    deadline = started + duration_seconds
+    while time.perf_counter() < deadline:
+        if max_fault_events is not None and driver.exhausted:
+            break
+        time.sleep(min(0.05, duration_seconds))
+    driver.stop()
+
+    # Drain: keep scrubbing until two consecutive full passes are clean (all
+    # injected corruption detected, recovered and verified).
+    converged = False
+    clean_passes = 0
+    reopens_left = 3
+    drain_deadline = time.perf_counter() + drain_timeout_seconds
+    while time.perf_counter() < drain_deadline:
+        # Repairs that failed mid-storm (recovery passes travelling through a
+        # then-corrupted neighbour) can succeed now; give them a bounded
+        # number of fresh attempts.
+        if entry.degraded and entry.is_healthy() and reopens_left > 0:
+            reopens_left -= 1
+            service.scrubber.reopen_degraded(entry)
+        elif entry.degraded and entry.is_healthy():
+            # Out of re-open budget: accept the degraded state and stop.
+            break
+        service.scrub_now(entry.name)
+        if entry.is_healthy():
+            with entry.lock:
+                report = entry.protector.detect()
+            if not report.any_errors:
+                clean_passes += 1
+                if clean_passes >= 2:
+                    converged = True
+                    break
+                continue
+        clean_passes = 0
+        time.sleep(min(0.02, scrub_period_seconds))
+
+    traffic_stop.set()
+    traffic_thread.join(timeout=10.0)
+    elapsed = time.perf_counter() - started
+    service.stop()
+
+    completed = 0
+    failed = 0
+    latencies: list[float] = []
+    for request in requests:
+        if not request.done():
+            failed += 1
+            continue
+        if request.failed:
+            failed += 1
+        else:
+            completed += 1
+            latencies.append(request.latency_seconds or 0.0)
+
+    bit_exact = all(
+        np.array_equal(
+            entry.model.layers[index].get_weights().view(np.uint32),
+            golden[index].view(np.uint32),
+        )
+        for index in entry.parameterized_indices
+    )
+
+    sla = entry.tracker.report(
+        config.scrub_period_seconds,
+        yearly_accuracy_floor=config.yearly_accuracy_floor,
+    )
+    return SoakResult(
+        network=network,
+        duration_seconds=elapsed,
+        fault_events=tuple(driver.events),
+        injected_layers=frozenset(driver.injected_layers(entry.name)),
+        detected_layers=frozenset(entry.ever_quarantined),
+        requests_completed=completed,
+        requests_failed=failed,
+        served_during_quarantine=entry.stats.served_during_quarantine,
+        throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
+        mean_latency_seconds=float(np.mean(latencies)) if latencies else 0.0,
+        p50_latency_seconds=latency_percentile(latencies, 50),
+        p99_latency_seconds=latency_percentile(latencies, 99),
+        bit_exact=bit_exact,
+        converged=converged,
+        sla=sla,
+    )

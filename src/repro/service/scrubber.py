@@ -1,0 +1,424 @@
+"""Background detection scrubber and recovery dispatcher.
+
+The scrubber periodically sweeps every registered model with MILR detection,
+sliced into small chunks of layers so the model lock is only held for
+sub-millisecond stretches and inference interleaves freely.  Layers with
+detected errors are quarantined (pausing that model's serving) and handed to
+a recovery worker, which re-runs detection on the quarantined subset for
+fresh CRC suspect masks, runs the MILR solvers, and then attempts the
+verified bit-exact repair (:mod:`repro.service.repair`).  Other models keep
+serving throughout.
+
+Detection slice durations and recovery durations are recorded in each model's
+:class:`~repro.service.sla.SLATracker`, which is how the live availability
+model gets its measured ``Td`` and ``Tr``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.checkpoint import weight_fingerprint
+from repro.crc.twod import TwoDimensionalCRC
+from repro.nn.layers import Bias, Conv2D, Dense
+from repro.service.config import ServiceConfig
+from repro.service.registry import ManagedModel, ModelRegistry
+from repro.service.repair import (
+    RepairOutcome,
+    crc_guided_kernel_repair,
+    estimate_guided_repair,
+    refine_recovered_weights,
+    sparse_bias_repair,
+    sparse_kernel_repair,
+)
+
+__all__ = ["Scrubber"]
+
+_STOP = object()
+
+
+class Scrubber:
+    """Periodic detection sweeps + quarantine + recovery dispatch."""
+
+    def __init__(self, registry: ModelRegistry, config: Optional[ServiceConfig] = None):
+        self._registry = registry
+        self._config = config or registry.config
+        self._stop_event = threading.Event()
+        self._scrub_thread: Optional[threading.Thread] = None
+        self._recovery_thread: Optional[threading.Thread] = None
+        self._recovery_queue: "queue.Queue" = queue.Queue()
+        self._running = False
+        #: Most recent exception swallowed by a background loop (the threads
+        #: must outlive individual failures -- a dead scrubber would leave
+        #: quarantined models stuck forever with nothing surfaced).
+        self.last_error: Optional[BaseException] = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._stop_event.clear()
+        if self._config.recovery_async:
+            self._recovery_thread = threading.Thread(
+                target=self._recovery_loop, name="scrub-recovery", daemon=True
+            )
+            self._recovery_thread.start()
+        self._scrub_thread = threading.Thread(
+            target=self._scrub_loop, name="scrubber", daemon=True
+        )
+        self._scrub_thread.start()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._stop_event.set()
+        if self._scrub_thread is not None:
+            self._scrub_thread.join(timeout=30.0)
+            self._scrub_thread = None
+        if self._recovery_thread is not None:
+            self._recovery_queue.put(_STOP)
+            self._recovery_thread.join(timeout=60.0)
+            self._recovery_thread = None
+
+    # ------------------------------------------------------------------ #
+    def _scrub_loop(self) -> None:
+        while not self._stop_event.wait(self._config.scrub_period_seconds):
+            try:
+                self.scrub_all()
+            except Exception as error:  # noqa: BLE001 - loop must survive
+                self.last_error = error
+
+    def _recovery_loop(self) -> None:
+        while True:
+            job = self._recovery_queue.get()
+            if job is _STOP:
+                return
+            entry, indices = job
+            try:
+                self._recover(entry, indices)
+            except Exception as error:  # noqa: BLE001 - loop must survive
+                self.last_error = error
+
+    # ------------------------------------------------------------------ #
+    def scrub_all(self) -> None:
+        """One full detection sweep over every registered model."""
+        for entry in self._registry:
+            self.scrub_model(entry)
+
+    def scrub_model(self, entry: ManagedModel) -> None:
+        """One full (but sliced) detection pass over one model.
+
+        Layers already quarantined are skipped -- their recovery is pending --
+        but quarantined layers without a dispatched recovery job (a previous
+        recovery attempt that did not fully converge) are re-dispatched.
+        """
+        chunk_size = self._config.scrub_chunk_layers
+        with entry.lock:
+            skip = entry.quarantined
+            targets = [i for i in entry.parameterized_indices if i not in skip]
+        total_seconds = 0.0
+        flagged: list[int] = []
+        for start in range(0, len(targets), chunk_size):
+            chunk = targets[start : start + chunk_size]
+            began = time.perf_counter()
+            with entry.lock:
+                report = entry.protector.detect(layer_indices=chunk)
+                bad = [
+                    index
+                    for index in report.erroneous_layers
+                    if not self._accepted_degraded(entry, index)
+                ]
+                # Quarantine under the same lock hold as the detection that
+                # flagged the layers -- releasing in between would let a
+                # waiting batch execute through the just-detected corruption.
+                if bad:
+                    flagged.extend(bad)
+                    entry.quarantine(bad)
+            total_seconds += time.perf_counter() - began
+        entry.tracker.record_detection(total_seconds)
+        if flagged:
+            entry.tracker.record_errors_detected(len(flagged))
+        with entry.lock:
+            pending = entry.quarantined - entry.dispatched
+            if pending:
+                entry.dispatched.update(pending)
+        if pending:
+            self.dispatch_recovery(entry, sorted(pending))
+
+    def dispatch_recovery(self, entry: ManagedModel, indices: list[int]) -> None:
+        """Queue (or run inline) a recovery job for quarantined layers."""
+        if self._config.recovery_async and self._running:
+            self._recovery_queue.put((entry, indices))
+        else:
+            self._recover(entry, indices)
+
+    # ------------------------------------------------------------------ #
+    def _accepted_degraded(self, entry: ManagedModel, index: int) -> bool:
+        """Whether ``index`` is a degraded layer whose state is unchanged.
+
+        Degraded layers (best-effort weights that recovery could not verify)
+        keep failing detection by construction; they are only re-opened when a
+        *new* fault changes their weight fingerprint.  Caller holds the lock.
+        """
+        accepted = entry.degraded.get(index)
+        if accepted is None:
+            return False
+        current = weight_fingerprint(entry.model.layers[index].get_weights())
+        if current == accepted:
+            return True
+        del entry.degraded[index]
+        return False
+
+    def reopen_degraded(self, entry: ManagedModel) -> list[int]:
+        """Re-open every degraded layer for another recovery attempt.
+
+        The stored bits each layer had before its failed recovery are restored
+        (they are what bit-exact repair needs), the degraded acceptance is
+        dropped and the attempt counters reset; the next scrub pass re-detects
+        and re-dispatches them.  Used after fault pressure subsides, when
+        repairs that failed mid-storm (e.g. through a then-corrupted
+        neighbour) can succeed.
+        """
+        with entry.lock:
+            reopened = sorted(entry.degraded)
+            for index in reopened:
+                original = entry.degraded_originals.pop(index, None)
+                if original is not None:
+                    entry.model.layers[index].set_weights(original)
+                del entry.degraded[index]
+                entry.recovery_attempts.pop(index, None)
+            # The restored bits are known-corrupted: quarantine immediately
+            # (same lock hold) so no batch is served through them while the
+            # next scrub/recovery cycle re-detects and heals.
+            entry.quarantine(reopened)
+        return reopened
+
+    @staticmethod
+    def _repair_order(entry: ManagedModel):
+        """Repair-order key: self-contained layers heal first.
+
+        Bias layers repair from their own stored checkpoint and dense layers
+        from their stored dummy system, independent of any neighbour;
+        convolution repairs travel golden activations through neighbouring
+        layers, so they go last, once those neighbours are (likely) healthy.
+        """
+
+        def key(index: int) -> tuple[int, int]:
+            layer = entry.model.layers[index]
+            if isinstance(layer, Bias):
+                rank = 0
+            elif isinstance(layer, Dense):
+                rank = 1
+            else:
+                rank = 2
+            return (rank, index)
+
+        return key
+
+    def _repair_layer(
+        self, entry: ManagedModel, index: int, corrupted: np.ndarray
+    ) -> RepairOutcome:
+        """Heal one flagged layer and attempt verified bit-exact restoration.
+
+        ``corrupted`` is the layer's stored bit pattern as first seen by this
+        recovery job -- the reference both for the sparse solve and for the
+        bit-flip snap, even on later repair rounds.  Convolution layers get
+        the residual-guided sparse repair first: deep layers' full kernel
+        solves can be under-determined (the golden input patches span a
+        low-rank subspace), while the sparse path isolates the few corrupted
+        coordinates exactly.  If it cannot explain the residual, or for any
+        non-convolution layer, the MILR solver runs and the snap refinement
+        upgrades its estimate to bit-exact when the fingerprint confirms.
+        Caller holds the model lock.
+        """
+        config = self._config
+        store = entry.protector.store
+        assert store is not None
+        layer = entry.model.layers[index]
+        fingerprint = store.golden_fingerprint_for(index)
+        if isinstance(layer, Bias):
+            repaired = sparse_bias_repair(
+                corrupted,
+                store.partial_checkpoint(index),
+                uses_sum=entry.protector.config.bias_detection_uses_sum,
+                golden_fingerprint=fingerprint,
+                rtol=config.repair_rtol,
+                atol=config.repair_atol,
+                max_flips=config.repair_max_flips,
+            )
+            if repaired is not None:
+                layer.set_weights(repaired)
+                return RepairOutcome(
+                    bit_exact=True, snapped_weights=1, kept_weights=corrupted.size - 1
+                )
+        if isinstance(layer, Conv2D):
+            if index in store.crc_codes:
+                milr_config = entry.protector.config
+                repaired, complete = crc_guided_kernel_repair(
+                    corrupted,
+                    store.crc_codes_for(index),
+                    TwoDimensionalCRC(
+                        group_size=milr_config.crc_group_size,
+                        crc_bits=milr_config.crc_bits,
+                    ),
+                    max_flips=config.repair_max_flips,
+                )
+                if complete and weight_fingerprint(repaired) == fingerprint:
+                    layer.set_weights(repaired)
+                    snapped = int(
+                        np.sum(repaired.view(np.uint32) != corrupted.view(np.uint32))
+                    )
+                    return RepairOutcome(
+                        bit_exact=True,
+                        snapped_weights=snapped,
+                        kept_weights=corrupted.size - snapped,
+                    )
+            engine = entry.protector.recovery_engine
+            golden_input = engine.golden_input_for(index)
+            golden_output = engine.golden_output_for(index)
+            patches = layer.extract_patches(golden_input)
+            estimate, complete = sparse_kernel_repair(
+                patches.reshape(-1, patches.shape[-1]),
+                golden_output.reshape(-1, layer.filters),
+                corrupted.reshape(-1, layer.filters),
+                rtol=config.repair_rtol,
+                atol=config.repair_atol,
+                max_support=config.sparse_repair_max_support,
+            )
+            if complete:
+                layer.set_weights(estimate.reshape(corrupted.shape))
+                return refine_recovered_weights(
+                    layer,
+                    corrupted,
+                    fingerprint,
+                    rtol=config.repair_rtol,
+                    atol=config.repair_atol,
+                    max_flips=config.repair_max_flips,
+                )
+        # Solver path: start from the stored bits so CRC localization (and the
+        # restricted solves it feeds) sees the actual corruption pattern.
+        layer.set_weights(corrupted)
+        report = entry.protector.detect(layer_indices=[index])
+        if report.erroneous_layers:
+            entry.protector.recover(report)
+        outcome = refine_recovered_weights(
+            layer,
+            corrupted,
+            fingerprint,
+            rtol=config.repair_rtol,
+            atol=config.repair_atol,
+            max_flips=config.repair_max_flips,
+        )
+        if outcome.bit_exact:
+            return outcome
+        # Last resort: the solver estimate may be unbiased but noisier than
+        # the snap tolerances (e.g. a bias recovered through a dense-layer
+        # inversion); retry with the noise-adaptive fingerprint search.
+        repaired = estimate_guided_repair(
+            corrupted,
+            layer.get_weights(),
+            fingerprint,
+            atol=config.repair_atol,
+            max_flips=config.repair_max_flips,
+        )
+        if repaired is not None:
+            layer.set_weights(repaired)
+            return RepairOutcome(
+                bit_exact=True,
+                snapped_weights=outcome.snapped_weights,
+                kept_weights=outcome.kept_weights,
+            )
+        return outcome
+
+    def _recover(self, entry: ManagedModel, indices: list[int]) -> None:
+        """Recover quarantined layers, then try the verified bit-exact repair.
+
+        Repairs run in layer order and are iterated for up to
+        ``max_recovery_attempts`` rounds within the job (lock held, so no new
+        faults interleave): a layer whose golden input/output passes travelled
+        through a still-corrupted neighbour in round one heals in round two,
+        after the neighbour's functional repair.  Layers still failing
+        verification at the end get their stored bits restored (so the
+        information needed for a future bit-exact repair is never destroyed)
+        and either stay quarantined for another job or -- once the cross-job
+        attempt budget is spent -- are released in degraded state, keeping the
+        best functional estimate while the original bits are stashed for
+        :meth:`reopen_degraded`.
+        """
+        config = self._config
+        began = time.perf_counter()
+        attempted_layers = 0
+        healed_layers = 0
+        bit_exact_layers = 0
+        degraded_layers = 0
+        try:
+            with entry.lock:
+                # Fresh detection over just the quarantined subset: weights may
+                # have degraded further since the scrub pass, and conv-partial
+                # layers need an up-to-date CRC suspect mask.
+                report = entry.protector.detect(layer_indices=indices)
+                flagged = report.erroneous_layers
+                cleared = [i for i in indices if i not in flagged]
+                originals = {
+                    i: entry.model.layers[i].get_weights() for i in flagged
+                }
+                outcomes: dict[int, RepairOutcome] = {}
+                still_bad = set(flagged)
+                for _ in range(config.max_recovery_attempts):
+                    if not still_bad:
+                        break
+                    for index in sorted(still_bad, key=self._repair_order(entry)):
+                        outcomes[index] = self._repair_layer(
+                            entry, index, originals[index]
+                        )
+                    verify = entry.protector.detect(layer_indices=flagged)
+                    still_bad = set(verify.erroneous_layers)
+                attempted_layers = len(flagged)
+                for index in flagged:
+                    if index not in still_bad:
+                        cleared.append(index)
+                        healed_layers += 1
+                        entry.recovery_attempts.pop(index, None)
+                        entry.degraded.pop(index, None)
+                        entry.degraded_originals.pop(index, None)
+                        if outcomes[index].bit_exact:
+                            bit_exact_layers += 1
+                        continue
+                    attempts = entry.recovery_attempts.get(index, 0) + 1
+                    entry.recovery_attempts[index] = attempts
+                    if attempts >= config.max_recovery_attempts:
+                        # Degrade: serve the best functional estimate, stash
+                        # the stored bits for a later re-opened repair.
+                        entry.degraded[index] = weight_fingerprint(
+                            entry.model.layers[index].get_weights()
+                        )
+                        entry.degraded_originals[index] = originals[index]
+                        entry.recovery_attempts.pop(index, None)
+                        cleared.append(index)
+                        degraded_layers += 1
+                    else:
+                        entry.model.layers[index].set_weights(originals[index])
+                entry.clear_quarantine(cleared)
+        finally:
+            with entry.lock:
+                entry.dispatched.difference_update(indices)
+            if attempted_layers:
+                # The duration sample covers the whole attempt (that is the
+                # maintenance time Tr measures); the layer count reports only
+                # layers that actually passed verification.
+                entry.tracker.record_recovery(
+                    time.perf_counter() - began, healed_layers, bit_exact_layers
+                )
+            if degraded_layers:
+                entry.tracker.record_degraded(degraded_layers)

@@ -1,0 +1,256 @@
+"""Live availability / minimum-accuracy accounting for the service runtime.
+
+The tracker collects what the paper's availability model (Sec. V-E, Eq. 6)
+treats as inputs -- detection time ``Td``, recovery time ``Tr`` and the error
+arrival rate -- from the *running* service instead of offline experiments, and
+feeds them back into :class:`~repro.analysis.availability.AvailabilityModel`.
+
+Two availability figures are reported:
+
+* ``observed_availability`` -- the raw duty cycle of this (possibly
+  fault-accelerated) run: ``1 - unavailable_time / elapsed``, where
+  unavailable time is detection-slice time plus quarantine downtime.
+* ``modeled availability`` -- the steady-state Fig. 12 counterpart: measured
+  ``Td``/``Tr`` combined with a realistic error-arrival interval (by default
+  the DRAM FIT-rate interval for the model's size) at the configured scrub
+  period.  Soak scenarios compress years of error arrivals into seconds, so
+  this is the number comparable to the paper's availability axis.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.availability import AvailabilityModel, dram_error_interval_seconds
+
+__all__ = ["SLAReport", "SLATracker"]
+
+
+@dataclass(frozen=True)
+class SLAReport:
+    """Snapshot of a model's service-level indicators."""
+
+    model_name: str
+    elapsed_seconds: float
+    #: Steady-state availability at the scrub period (Fig. 12 counterpart).
+    availability: float
+    #: Minimum normalized accuracy implied by the availability model.
+    minimum_accuracy: float
+    #: Raw duty cycle of this run (1 - unavailable / elapsed).
+    observed_availability: float
+    unavailable_seconds: float
+    detections: int
+    mean_detection_seconds: float
+    recoveries: int
+    mean_recovery_seconds: float
+    max_recovery_seconds: float
+    error_events_detected: int
+    layers_recovered: int
+    layers_recovered_bit_exact: int
+    #: Layers released from quarantine with best-effort (non-verified) weights.
+    layers_degraded: int
+    error_interval_seconds: float
+    scrub_period_seconds: float
+
+    def as_row(self) -> dict[str, object]:
+        """Row form used by the CLI tables."""
+        return {
+            "model": self.model_name,
+            "availability": self.availability,
+            "min_accuracy": self.minimum_accuracy,
+            "observed_avail": self.observed_availability,
+            "detections": self.detections,
+            "mean_detect_s": self.mean_detection_seconds,
+            "recoveries": self.recoveries,
+            "mean_recover_s": self.mean_recovery_seconds,
+            "errors_detected": self.error_events_detected,
+            "bit_exact": self.layers_recovered_bit_exact,
+        }
+
+
+@dataclass
+class _Samples:
+    count: int = 0
+    total: float = 0.0
+    maximum: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class SLATracker:
+    """Thread-safe collector of detection/recovery timings and downtime.
+
+    One tracker serves one managed model.  Detection slices and quarantine
+    windows both count as unavailable time, mirroring the paper's
+    ``a = 1 - (Td * I + Tr) / tau`` accounting where maintenance work displaces
+    serving.
+    """
+
+    def __init__(self, model_name: str, model_bytes: int, clock=time.perf_counter):
+        self.model_name = model_name
+        self.model_bytes = int(model_bytes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._detections = _Samples()
+        self._recoveries = _Samples()
+        self._unavailable_seconds = 0.0
+        self._quarantine_started: Optional[float] = None
+        self._error_events_detected = 0
+        self._layers_recovered = 0
+        self._layers_recovered_bit_exact = 0
+        self._layers_degraded = 0
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Begin the observation window (idempotent)."""
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self._clock()
+
+    def elapsed_seconds(self) -> float:
+        with self._lock:
+            if self._started_at is None:
+                return 0.0
+            return self._clock() - self._started_at
+
+    # ------------------------------------------------------------------ #
+    def record_detection(self, seconds: float) -> None:
+        """Record one detection pass (or one full set of detection slices).
+
+        Detection time only counts as unavailable time when no quarantine
+        window is open -- an open window already covers it wall-clock, and
+        adding both would double-count.
+        """
+        with self._lock:
+            self._detections.add(seconds)
+            if self._quarantine_started is None:
+                self._unavailable_seconds += seconds
+
+    def record_errors_detected(self, layer_count: int) -> None:
+        with self._lock:
+            self._error_events_detected += layer_count
+
+    def record_recovery(self, seconds: float, layers: int, bit_exact_layers: int) -> None:
+        with self._lock:
+            self._recoveries.add(seconds)
+            self._layers_recovered += layers
+            self._layers_recovered_bit_exact += bit_exact_layers
+
+    def record_degraded(self, layer_count: int) -> None:
+        with self._lock:
+            self._layers_degraded += layer_count
+
+    def mark_unavailable(self) -> None:
+        """A quarantine window opened (no-op if one is already open)."""
+        with self._lock:
+            if self._quarantine_started is None:
+                self._quarantine_started = self._clock()
+
+    def mark_available(self) -> None:
+        """The open quarantine window closed; its duration becomes downtime."""
+        with self._lock:
+            if self._quarantine_started is not None:
+                self._unavailable_seconds += self._clock() - self._quarantine_started
+                self._quarantine_started = None
+
+    # ------------------------------------------------------------------ #
+    def observed_availability(self) -> float:
+        elapsed = self.elapsed_seconds()
+        if elapsed <= 0:
+            return 1.0
+        with self._lock:
+            unavailable = self._unavailable_seconds
+            if self._quarantine_started is not None:
+                unavailable += self._clock() - self._quarantine_started
+        return max(0.0, min(1.0, 1.0 - unavailable / elapsed))
+
+    def availability_model(
+        self,
+        scrub_period_seconds: float,
+        error_interval_seconds: Optional[float] = None,
+        yearly_accuracy_floor: float = 0.5,
+    ) -> AvailabilityModel:
+        """Availability model from the measured ``Td``/``Tr``.
+
+        The maintenance period of the paper's model is the error interval
+        itself: between two errors the scrubber runs ``interval / period``
+        detections and (on detection) one recovery.  ``error_interval_seconds``
+        defaults to the DRAM FIT-rate interval for this model's size, which is
+        the deployment-realistic arrival rate even when the current run used a
+        fault-accelerated driver.
+        """
+        if error_interval_seconds is None:
+            error_interval_seconds = dram_error_interval_seconds(max(self.model_bytes, 1))
+        detections_per_period = max(
+            1, int(round(error_interval_seconds / scrub_period_seconds))
+        )
+        with self._lock:
+            detection_samples = [self._detections.mean] if self._detections.count else []
+            recovery_samples = [self._recoveries.mean] if self._recoveries.count else []
+        return AvailabilityModel.from_observations(
+            detection_samples,
+            recovery_samples,
+            error_interval_seconds=error_interval_seconds,
+            detections_per_period=detections_per_period,
+            yearly_accuracy_floor=yearly_accuracy_floor,
+        )
+
+    def report(
+        self,
+        scrub_period_seconds: float,
+        error_interval_seconds: Optional[float] = None,
+        yearly_accuracy_floor: float = 0.5,
+    ) -> SLAReport:
+        """Produce the live SLA snapshot (see module docstring)."""
+        if error_interval_seconds is None:
+            error_interval_seconds = dram_error_interval_seconds(max(self.model_bytes, 1))
+        model = self.availability_model(
+            scrub_period_seconds,
+            error_interval_seconds=error_interval_seconds,
+            yearly_accuracy_floor=yearly_accuracy_floor,
+        )
+        overhead = model.maintenance_overhead_seconds()
+        if error_interval_seconds > overhead:
+            availability = model.evaluate_period(error_interval_seconds).availability
+        else:
+            # Maintenance cannot keep up with the error arrival rate.
+            availability = 0.0
+        # An error goes unrecovered for at most ~one scrub period before the
+        # scrubber heals it, so the worst-case accumulated error count (the
+        # ``n`` of the paper's minimum-accuracy curve) is period / interval.
+        minimum_accuracy = model.accuracy_after_errors(
+            scrub_period_seconds / error_interval_seconds
+        )
+        elapsed = self.elapsed_seconds()
+        observed = self.observed_availability()
+        with self._lock:
+            return SLAReport(
+                model_name=self.model_name,
+                elapsed_seconds=elapsed,
+                availability=availability,
+                minimum_accuracy=minimum_accuracy,
+                observed_availability=observed,
+                unavailable_seconds=self._unavailable_seconds,
+                detections=self._detections.count,
+                mean_detection_seconds=self._detections.mean,
+                recoveries=self._recoveries.count,
+                mean_recovery_seconds=self._recoveries.mean,
+                max_recovery_seconds=self._recoveries.maximum,
+                error_events_detected=self._error_events_detected,
+                layers_recovered=self._layers_recovered,
+                layers_recovered_bit_exact=self._layers_recovered_bit_exact,
+                layers_degraded=self._layers_degraded,
+                error_interval_seconds=error_interval_seconds,
+                scrub_period_seconds=scrub_period_seconds,
+            )

@@ -98,3 +98,40 @@ class TestAvailabilityModel:
     def test_zero_degradation_gives_full_availability(self):
         model = AvailabilityModel(0.01, 1.0, 3600.0, yearly_accuracy_floor=1.0)
         assert model.availability_for_accuracy(0.99999) == 1.0
+
+
+class TestFromObservations:
+    def test_means_of_measured_samples(self):
+        model = AvailabilityModel.from_observations(
+            [0.001, 0.003],
+            [0.4, 0.6],
+            error_interval_seconds=3600.0,
+            detections_per_period=4,
+        )
+        assert model.detection_seconds == pytest.approx(0.002)
+        assert model.recovery_seconds == pytest.approx(0.5)
+        assert model.error_interval_seconds == 3600.0
+        assert model.detections_per_period == 4
+
+    def test_interval_estimated_from_observed_errors(self):
+        model = AvailabilityModel.from_observations(
+            [0.001], [0.1], observed_errors=5, observation_seconds=50.0
+        )
+        assert model.error_interval_seconds == pytest.approx(10.0)
+
+    def test_zero_errors_fall_back_to_observation_window(self):
+        model = AvailabilityModel.from_observations(
+            [0.001], [0.1], observed_errors=0, observation_seconds=120.0
+        )
+        assert model.error_interval_seconds == pytest.approx(120.0)
+
+    def test_empty_samples_mean_zero_times(self):
+        model = AvailabilityModel.from_observations(
+            [], [], error_interval_seconds=60.0
+        )
+        assert model.detection_seconds == 0.0
+        assert model.recovery_seconds == 0.0
+
+    def test_needs_some_interval_information(self):
+        with pytest.raises(ExperimentError):
+            AvailabilityModel.from_observations([0.001], [0.1])

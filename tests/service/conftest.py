@@ -1,0 +1,31 @@
+"""Shared fixtures for the service-runtime tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import SelfHealingService, ServiceConfig
+
+
+@pytest.fixture
+def sync_service():
+    """A service with synchronous (inline) recovery and a tiny conv model.
+
+    ``recovery_async=False`` makes ``scrub_now`` run detection *and* recovery
+    before returning, which keeps the unit tests deterministic.
+    """
+    service = SelfHealingService(
+        ServiceConfig(recovery_async=False, scrub_period_seconds=0.05)
+    )
+    entry = service.load_model("mnist_reduced")
+    return service, entry
+
+
+@pytest.fixture
+def golden_weights(sync_service):
+    """Golden weight snapshot of every parameterized layer."""
+    _, entry = sync_service
+    return {
+        index: entry.model.layers[index].get_weights()
+        for index in entry.parameterized_indices
+    }

@@ -1,0 +1,122 @@
+"""Tests for the model registry and the batching inference engine."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError, ShapeError
+from repro.service import ModelRegistry, SelfHealingService, ServiceConfig
+
+
+class TestModelRegistry:
+    def test_load_initializes_protection(self, sync_service):
+        _, entry = sync_service
+        assert entry.protector.initialized
+        assert entry.parameterized_indices
+        assert entry.is_healthy()
+
+    def test_conv_layers_store_crc_codes(self, sync_service):
+        """`store_conv_crc` equips every conv layer for self-contained repair."""
+        _, entry = sync_service
+        store = entry.protector.store
+        from repro.nn.layers import Conv2D
+
+        conv_indices = [
+            index
+            for index in entry.parameterized_indices
+            if isinstance(entry.model.layers[index], Conv2D)
+        ]
+        assert conv_indices
+        for index in conv_indices:
+            assert index in store.crc_codes
+            assert store.golden_fingerprint_for(index)
+
+    def test_duplicate_name_rejected(self, sync_service):
+        service, entry = sync_service
+        with pytest.raises(ExperimentError):
+            service.registry.register(entry.name, entry.model)
+
+    def test_unknown_lookups_raise(self):
+        registry = ModelRegistry()
+        with pytest.raises(ExperimentError):
+            registry.get("nope")
+        with pytest.raises(ExperimentError):
+            registry.load("not_a_network")
+
+    def test_quarantine_bookkeeping(self, sync_service):
+        _, entry = sync_service
+        index = entry.parameterized_indices[0]
+        entry.quarantine([index])
+        assert not entry.is_healthy()
+        assert index in entry.quarantined
+        assert index in entry.ever_quarantined
+        entry.clear_quarantine([index])
+        assert entry.is_healthy()
+        assert index in entry.ever_quarantined  # ground truth never clears
+
+
+class TestInferenceEngine:
+    def test_predictions_match_direct_forward(self, sync_service, rng):
+        service, entry = sync_service
+        samples = rng.random((5,) + entry.model.input_shape).astype(np.float32)
+        expected = entry.model.predict(samples)
+        with service:
+            outputs = service.predict(entry.name, samples, timeout=10.0)
+        np.testing.assert_allclose(outputs, expected, rtol=1e-6, atol=1e-7)
+
+    def test_latency_and_stats_recorded(self, sync_service, rng):
+        service, entry = sync_service
+        sample = rng.random(entry.model.input_shape).astype(np.float32)
+        with service:
+            request = service.submit(entry.name, sample)
+            request.result(timeout=10.0)
+        assert request.done() and not request.failed
+        assert request.latency_seconds is not None and request.latency_seconds > 0
+        assert entry.stats.requests_completed >= 1
+        assert entry.stats.batches_executed >= 1
+        assert entry.stats.served_during_quarantine == 0
+
+    def test_bad_shape_rejected_at_submit(self, sync_service):
+        service, entry = sync_service
+        with service:
+            with pytest.raises(ShapeError):
+                service.submit(entry.name, np.zeros((3, 3), dtype=np.float32))
+
+    def test_submit_requires_running_engine(self, sync_service, rng):
+        service, entry = sync_service
+        sample = rng.random(entry.model.input_shape).astype(np.float32)
+        with pytest.raises(ExperimentError):
+            service.submit(entry.name, sample)
+        with service:
+            service.submit(entry.name, sample).result(timeout=10.0)
+        with pytest.raises(ExperimentError):
+            service.submit(entry.name, sample)
+
+    def test_quarantine_pauses_serving_until_healthy(self, sync_service, rng):
+        service, entry = sync_service
+        index = entry.parameterized_indices[0]
+        sample = rng.random(entry.model.input_shape).astype(np.float32)
+        # Engine only -- with the scrubber running it would immediately
+        # re-verify the (phantom) quarantine and lift it.
+        service.start(scrub=False)
+        try:
+            entry.quarantine([index])
+            request = service.submit(entry.name, sample)
+            time.sleep(0.2)
+            assert not request.done()  # no request is served while quarantined
+            entry.clear_quarantine([index])
+            request.result(timeout=10.0)
+        finally:
+            service.stop()
+        assert entry.stats.served_during_quarantine == 0
+
+    def test_model_added_while_running_gets_a_worker(self, rng):
+        service = SelfHealingService(ServiceConfig(recovery_async=False))
+        with service:
+            entry = service.load_model("mnist_reduced", name="late")
+            sample = rng.random(entry.model.input_shape).astype(np.float32)
+            service.submit("late", sample).result(timeout=10.0)
+        assert entry.stats.requests_completed == 1

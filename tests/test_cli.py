@@ -25,6 +25,21 @@ class TestParser:
         args = build_parser().parse_args(["whole-weight", "--error-rates", "1e-4", "1e-3"])
         assert args.error_rates == [1e-4, 1e-3]
 
+    def test_soak_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.network == "mnist_reduced"
+        assert args.scrub_period == 0.25
+        assert args.fault_interval == 0.2
+        assert args.max_faults is None
+        assert not args.trained
+
+    def test_serve_arguments(self):
+        args = build_parser().parse_args(
+            ["serve", "--network", "cifar_reduced", "--duration", "1.5"]
+        )
+        assert args.network == "cifar_reduced"
+        assert args.duration == 1.5
+
 
 class TestCommands:
     def test_summary_prints_architecture(self, capsys):
@@ -75,3 +90,35 @@ class TestCommands:
         assert main(["availability", "--networks", "mnist_reduced", "--points", "5"]) == 0
         output = capsys.readouterr().out
         assert "availability@99.999%acc" in output
+
+    def test_serve_command(self, capsys):
+        assert (
+            main(["serve", "--duration", "0.5", "--request-interval", "0.005"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "Serving mnist_reduced" in output
+        assert "availability" in output
+
+    def test_soak_command(self, capsys):
+        assert (
+            main(
+                [
+                    "soak",
+                    "--duration",
+                    "2.0",
+                    "--fault-interval",
+                    "0.1",
+                    "--max-faults",
+                    "4",
+                    "--scrub-period",
+                    "0.1",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Soak scenario on mnist_reduced" in output
+        assert "bit_exact" in output
+        assert "min_accuracy" in output
