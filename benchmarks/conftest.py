@@ -9,9 +9,17 @@ The accuracy benchmarks run on the reduced-scale networks; the structural
 benchmarks (architectures, storage, timing) use the paper-exact networks.
 Benchmark output (the regenerated rows/series) is printed; run pytest with
 ``-s`` or ``-rA`` to see it.
+
+The throughput benchmarks additionally emit machine-readable ``BENCH_*.json``
+result files (via :func:`record_bench_results`) so the perf trajectory is
+tracked across PRs; CI uploads them as workflow artifacts.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -48,3 +56,28 @@ def print_header(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def record_bench_results(file_name: str, entries: "list[dict]") -> Path:
+    """Merge benchmark rows into a machine-readable ``BENCH_*.json`` file.
+
+    Each entry is a flat dict with at least ``op`` (unique key), ``shape``,
+    ``ns_per_op`` and ``speedup``.  Existing rows with the same ``op`` are
+    replaced, so parametrized benchmarks and repeated runs accumulate into
+    one stable file.  The output directory defaults to the working directory
+    and can be redirected with ``BENCH_OUTPUT_DIR``.
+    """
+    path = Path(os.environ.get("BENCH_OUTPUT_DIR", ".")) / file_name
+    existing: list[dict] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text()).get("results", [])
+        except (ValueError, OSError):
+            existing = []
+    merged = {entry["op"]: entry for entry in existing if isinstance(entry, dict) and "op" in entry}
+    for entry in entries:
+        merged[entry["op"]] = entry
+    path.write_text(
+        json.dumps({"results": [merged[op] for op in sorted(merged)]}, indent=2) + "\n"
+    )
+    return path

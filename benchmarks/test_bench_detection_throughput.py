@@ -16,7 +16,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import print_header
+from benchmarks.conftest import print_header, record_bench_results
 from repro.analysis.reporting import format_table
 from repro.crc.twod import TwoDimensionalCRC
 
@@ -107,6 +107,27 @@ def test_bench_detection_throughput(benchmark, crc_bits):
     ]
     print(format_table(rows, precision=6))
     print(f"combined speedup (encode + localize): {speedup:.1f}x")
+
+    bench_path = record_bench_results(
+        "BENCH_detection.json",
+        [
+            {
+                "op": f"crc{crc_bits}_encode_kernel",
+                "shape": list(KERNEL_SHAPE),
+                "ns_per_op": fast_encode * 1e9,
+                "weights_per_s": weights / fast_encode,
+                "speedup": slow_encode / fast_encode,
+            },
+            {
+                "op": f"crc{crc_bits}_localize_kernel",
+                "shape": list(KERNEL_SHAPE),
+                "ns_per_op": fast_localize * 1e9,
+                "weights_per_s": weights / fast_localize,
+                "speedup": slow_localize / fast_localize,
+            },
+        ],
+    )
+    print(f"machine-readable results appended to {bench_path}")
 
     assert speedup >= MIN_SPEEDUP, (
         f"batched CRC pipeline is only {speedup:.1f}x faster than the scalar "

@@ -14,7 +14,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import print_header
+from benchmarks.conftest import print_header, record_bench_results
 from repro.analysis.reporting import format_table
 from repro.service import SelfHealingService, ServiceConfig
 from repro.types import FLOAT_DTYPE
@@ -72,6 +72,29 @@ def test_bench_service_throughput(benchmark):
     benchmark.extra_info["rps_scrub_off"] = rps_off
     benchmark.extra_info["rps_scrub_on"] = rps_on
     benchmark(lambda: None)  # timing happened above; keep the fixture happy
+
+    input_shape = [28, 28, 1]  # mnist_reduced single-sample requests
+    bench_path = record_bench_results(
+        "BENCH_service.json",
+        [
+            {
+                "op": "serve_request_scrub_off",
+                "shape": input_shape,
+                "ns_per_op": 1e9 / rps_off,
+                "requests_per_s": rps_off,
+                "speedup": 1.0,
+            },
+            {
+                "op": "serve_request_scrub_on",
+                "shape": input_shape,
+                "ns_per_op": 1e9 / rps_on,
+                "requests_per_s": rps_on,
+                # Throughput retained relative to the scrubber-off baseline.
+                "speedup": rps_on / rps_off,
+            },
+        ],
+    )
+    print(f"machine-readable results appended to {bench_path}")
 
     assert overhead < MAX_OVERHEAD, (
         f"scrubber overhead {overhead:.1%} exceeds the {MAX_OVERHEAD:.0%} budget"

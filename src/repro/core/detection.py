@@ -1,11 +1,12 @@
 """MILR error-detection phase.
 
-For every parameterized layer the detection engine regenerates the layer's
-PRNG detection input, runs a forward pass through that layer alone, samples
-the same output values that were stored as the partial checkpoint at
-initialization, and flags the layer if they disagree.  For convolution layers
-using partial recoverability the stored 2-D CRC codes are additionally
-recomputed to localize the individual erroneous weights.
+For every parameterized layer the detection engine asks the layer's
+:class:`~repro.core.handlers.LayerProtectionHandler` to recompute the same
+probe values that were stored as the partial checkpoint at initialization
+(regenerating the PRNG detection input where one is needed) and flags the
+layer if they disagree.  Layers whose handler localizes weights (2-D-CRC
+protected kernels and parameter matrices) additionally get a per-weight
+suspect mask.
 """
 
 from __future__ import annotations
@@ -18,11 +19,10 @@ import numpy as np
 
 from repro.core.checkpoint import CheckpointStore, weight_fingerprint
 from repro.core.config import MILRConfig
-from repro.core.initialization import conv_probe_position, detection_input_for
-from repro.core.planner import MILRPlan, RecoveryStrategy
-from repro.crc.twod import TwoDimensionalCRC
+from repro.core.handlers import LayerProtectionHandler, handler_for
+from repro.core.initialization import detection_input_for
+from repro.core.planner import LayerPlan, MILRPlan
 from repro.exceptions import DetectionError
-from repro.nn.layers import Bias, Conv2D, Dense
 from repro.nn.model import Sequential
 from repro.prng import SeededTensorGenerator
 
@@ -38,7 +38,7 @@ class LayerDetectionResult:
     kind: str
     erroneous: bool
     max_relative_deviation: float = 0.0
-    #: Convolution partial recoverability: per-weight suspect mask (or None).
+    #: Per-weight suspect mask for CRC-localizing layers (or None).
     suspect_mask: Optional[np.ndarray] = None
 
     @property
@@ -97,9 +97,6 @@ class DetectionEngine:
         self._store = store
         self._config = config
         self._prng = prng
-        self._crc = TwoDimensionalCRC(
-            group_size=config.crc_group_size, crc_bits=config.crc_bits
-        )
         #: Memoized PRNG detection inputs keyed by ``(index, shape, batch)``.
         #: The PRNG stream is deterministic per key, so regenerating the same
         #: tensor on every pass is pure waste in repeated-detection sweeps.
@@ -127,14 +124,17 @@ class DetectionEngine:
                 cached = self._detection_inputs.setdefault(key, cached)
         return cached
 
-    def _localize(self, index: int, layer: Conv2D) -> np.ndarray:
+    def _localize(
+        self, index: int, layer, layer_plan: LayerPlan, handler: LayerProtectionHandler
+    ) -> np.ndarray:
         """Localize suspect weights, skipping re-encoding when possible.
 
         If the layer's weights are bit-identical to the weights its stored CRC
         codes were computed from, no group can mismatch and the all-clear mask
-        is returned without recomputing a single CRC.  Otherwise the batched
-        localization runs once per distinct weight version and is replayed
-        from cache on repeated passes over the same (still corrupted) weights.
+        is returned without recomputing a single CRC.  Otherwise the handler's
+        batched localization runs once per distinct weight version and is
+        replayed from cache on repeated passes over the same (still corrupted)
+        weights.
         """
         weights = layer.get_weights()
         fingerprint = weight_fingerprint(weights)
@@ -144,7 +144,9 @@ class DetectionEngine:
             cached = self._localize_cache.get(index)
         if cached is not None and cached[0] == fingerprint:
             return cached[1]
-        mask = self._crc.localize_kernel(weights, self._store.crc_codes_for(index))
+        mask = handler.localize_suspects(
+            layer, layer_plan, weights, self._store, self._config
+        )
         with self._cache_lock:
             self._localize_cache[index] = (fingerprint, mask)
         return mask
@@ -156,7 +158,12 @@ class DetectionEngine:
         tolerance = (
             self._config.detection_atol + self._config.detection_rtol * np.abs(reference)
         )
-        deviation = np.abs(current - reference)
+        with np.errstate(invalid="ignore", over="ignore"):
+            deviation = np.abs(current - reference)
+        # NaN-corrupted probe values produce NaN deviations, and ``nan > tol``
+        # is False -- map every non-finite deviation to inf so corruption that
+        # poisons the probe (rather than merely shifting it) is always flagged.
+        deviation = np.where(np.isfinite(deviation), deviation, np.inf)
         scale = np.maximum(np.abs(reference), 1e-12)
         max_relative = float(np.max(deviation / scale)) if deviation.size else 0.0
         return bool(np.any(deviation > tolerance)), max_relative
@@ -164,23 +171,9 @@ class DetectionEngine:
     def _detect_layer(self, index: int) -> LayerDetectionResult:
         layer = self._model.layers[index]
         layer_plan = self._plan.plan_for(index)
+        handler = handler_for(layer, index)
         reference = self._store.partial_checkpoint(index)
-        if isinstance(layer, Dense):
-            det_in = self._detection_input(index, layer.input_shape)
-            current = layer.forward(det_in)[0]
-        elif isinstance(layer, Conv2D):
-            det_in = self._detection_input(index, layer.input_shape)
-            row, col = conv_probe_position(layer)
-            current = layer.forward(det_in)[0, row, col, :]
-        elif isinstance(layer, Bias):
-            if self._config.bias_detection_uses_sum:
-                current = np.asarray([layer.get_weights().sum(dtype=np.float64)])
-            else:
-                current = layer.get_weights()
-        else:  # pragma: no cover - the plan never asks for other layer kinds
-            return LayerDetectionResult(
-                index=index, name=layer.name, kind=layer_plan.kind, erroneous=False
-            )
+        current = handler.probe(layer, index, self._detection_input, self._config)
         erroneous, max_relative = self._mismatch(current, reference)
         result = LayerDetectionResult(
             index=index,
@@ -189,13 +182,8 @@ class DetectionEngine:
             erroneous=erroneous,
             max_relative_deviation=max_relative,
         )
-        if (
-            erroneous
-            and isinstance(layer, Conv2D)
-            and layer_plan.recovery_strategy is RecoveryStrategy.CONV_PARTIAL
-            and layer_plan.stores_crc_codes
-        ):
-            result.suspect_mask = self._localize(index, layer)
+        if erroneous and handler.localizes_weights(layer, layer_plan):
+            result.suspect_mask = self._localize(index, layer, layer_plan, handler)
         return result
 
     def detect(self, layer_indices: Optional[Iterable[int]] = None) -> DetectionReport:

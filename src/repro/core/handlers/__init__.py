@@ -1,0 +1,36 @@
+"""Layer-capability protection registry: per-layer-type MILR handlers.
+
+Importing this package registers the built-in handlers (dense, convolution,
+bias, batch norm, depthwise convolution, and the parameter-free structural
+layers).  Every MILR engine dispatches through :func:`handler_for`; see
+:mod:`repro.core.handlers.base` for the protocol and
+``README.md`` ("Adding a protected layer type") for the how-to.
+"""
+
+from repro.core.handlers.base import (
+    HandlerRegistry,
+    LayerProtectionHandler,
+    PassthroughHandler,
+    handler_for,
+    register_handler,
+    registry,
+)
+
+# Built-in handlers self-register on import (decorator side effect).
+from repro.core.handlers import bias as _bias  # noqa: E402,F401
+from repro.core.handlers import batchnorm as _batchnorm  # noqa: E402,F401
+from repro.core.handlers import conv2d as _conv2d  # noqa: E402,F401
+from repro.core.handlers import dense as _dense  # noqa: E402,F401
+from repro.core.handlers import depthwise as _depthwise  # noqa: E402,F401
+from repro.core.handlers import structural as _structural  # noqa: E402,F401
+from repro.core.handlers.conv2d import conv_probe_position
+
+__all__ = [
+    "LayerProtectionHandler",
+    "PassthroughHandler",
+    "HandlerRegistry",
+    "registry",
+    "register_handler",
+    "handler_for",
+    "conv_probe_position",
+]

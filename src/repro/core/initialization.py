@@ -3,7 +3,8 @@
 The initialization phase runs once, while the network parameters are known to
 be error free.  It produces a :class:`~repro.core.checkpoint.CheckpointStore`
 containing partial checkpoints, full checkpoints, dummy outputs and CRC codes
-as decided by the planner.
+as decided by the planner.  All per-layer-type computations dispatch through
+the :mod:`repro.core.handlers` registry.
 """
 
 from __future__ import annotations
@@ -12,14 +13,11 @@ import numpy as np
 
 from repro.core.checkpoint import CheckpointStore, weight_fingerprint
 from repro.core.config import MILRConfig
+from repro.core.handlers import conv_probe_position, handler_for
 from repro.core.passes import linearized_collect
-from repro.core.planner import InversionStrategy, MILRPlan, RecoveryStrategy
-from repro.crc.twod import TwoDimensionalCRC
-from repro.exceptions import CheckpointError
-from repro.nn.layers import Bias, Conv2D, Dense
+from repro.core.planner import MILRPlan
 from repro.nn.model import Sequential
 from repro.prng import SeededTensorGenerator
-from repro.types import FLOAT_DTYPE
 
 __all__ = [
     "build_checkpoint_store",
@@ -39,34 +37,19 @@ def detection_input_for(
     return prng.uniform(f"detect/layer-{layer_index}", (batch,) + tuple(input_shape))
 
 
-def conv_probe_position(layer: Conv2D) -> tuple[int, int]:
-    """Output position sampled for the convolution partial checkpoint.
-
-    The centre position is used so that, with 'same' padding, the receptive
-    field does not include padded zeros -- every weight of the filter
-    contributes to the stored value and any weight change is observable.
-    """
-    out_h, out_w, _ = layer.output_shape
-    return (out_h // 2, out_w // 2)
-
-
 def partial_checkpoint_of(
     layer, layer_index: int, prng: SeededTensorGenerator, config: MILRConfig
 ) -> np.ndarray:
-    """Compute the partial-checkpoint reference values for one layer."""
-    if isinstance(layer, Dense):
-        det_in = detection_input_for(layer_index, layer.input_shape, prng, config.detection_batch)
-        return layer.forward(det_in)[0].copy()
-    if isinstance(layer, Conv2D):
-        det_in = detection_input_for(layer_index, layer.input_shape, prng, config.detection_batch)
-        output = layer.forward(det_in)
-        row, col = conv_probe_position(layer)
-        return output[0, row, col, :].copy()
-    if isinstance(layer, Bias):
-        if config.bias_detection_uses_sum:
-            return np.asarray([np.float64(layer.get_weights().sum(dtype=np.float64))])
-        return layer.get_weights().copy()
-    raise CheckpointError(f"layer {layer.name!r} does not take a partial checkpoint")
+    """Compute the partial-checkpoint reference values for one layer.
+
+    Parameter-free layers have no partial checkpoint; their handler raises
+    :class:`~repro.exceptions.CheckpointError`.
+    """
+
+    def regenerate(index: int, input_shape: tuple[int, ...]) -> np.ndarray:
+        return detection_input_for(index, input_shape, prng, config.detection_batch)
+
+    return handler_for(layer, layer_index).probe(layer, layer_index, regenerate, config)
 
 
 def build_checkpoint_store(
@@ -103,69 +86,13 @@ def build_checkpoint_store(
     store.final_output = activations[len(model.layers)].copy()
 
     # ---------------------------------------------------------------- #
-    # Dummy outputs and CRC codes, per layer.
+    # Dummy outputs and CRC codes, per layer (handler-owned).
     # ---------------------------------------------------------------- #
-    crc = TwoDimensionalCRC(group_size=config.crc_group_size, crc_bits=config.crc_bits)
     for layer_plan in plan.layer_plans:
         index = layer_plan.index
         layer = model.layers[index]
-        golden_input = activations[index]
-
-        if isinstance(layer, Dense):
-            weights = layer.get_weights()
-            if layer_plan.dummy_input_rows > 0:
-                dummy_rows = prng.dummy_inputs(
-                    f"{layer.name}/solve-rows",
-                    (layer_plan.dummy_input_rows, layer.features_in),
-                )
-                store.dense_dummy_row_outputs[index] = (
-                    dummy_rows.astype(np.float64) @ weights.astype(np.float64)
-                ).astype(FLOAT_DTYPE)
-            if layer_plan.dummy_parameter_columns > 0:
-                dummy_columns = prng.dummy_parameters(
-                    f"{layer.name}/invert-columns",
-                    (layer.features_in, layer_plan.dummy_parameter_columns),
-                )
-                store.dense_dummy_column_outputs[index] = (
-                    golden_input.astype(np.float64) @ dummy_columns.astype(np.float64)
-                ).astype(FLOAT_DTYPE)
-
-        elif isinstance(layer, Conv2D):
-            if layer_plan.dummy_filters > 0:
-                f1, f2 = layer.kernel_size
-                dummy_kernel = prng.dummy_parameters(
-                    f"{layer.name}/invert-filters",
-                    (f1, f2, layer.input_channels, layer_plan.dummy_filters),
-                )
-                patches = layer.extract_patches(golden_input)
-                batch, out_h, out_w, _ = patches.shape
-                flat = patches.reshape(batch * out_h * out_w, -1)
-                dummy_matrix = dummy_kernel.reshape(-1, layer_plan.dummy_filters)
-                dummy_out = (flat.astype(np.float64) @ dummy_matrix.astype(np.float64)).astype(
-                    FLOAT_DTYPE
-                )
-                store.conv_dummy_filter_outputs[index] = dummy_out.reshape(
-                    batch, out_h, out_w, layer_plan.dummy_filters
-                )
-            if layer_plan.stores_crc_codes or config.always_store_conv_crc:
-                golden_weights = layer.get_weights()
-                store.crc_codes[index] = crc.encode_kernel(golden_weights)
-                store.crc_weight_fingerprints[index] = weight_fingerprint(golden_weights)
-            if (
-                layer_plan.recovery_strategy is RecoveryStrategy.CONV_FULL
-                and layer.output_positions < layer.receptive_field_size
-            ):
-                # Full recoverability chosen despite G^2 < F^2 Z: store dummy
-                # input patch outputs so the solve becomes well determined.
-                dummy_patch_count = layer.receptive_field_size - layer.output_positions
-                dummy_patches = prng.dummy_inputs(
-                    f"{layer.name}/solve-patches",
-                    (dummy_patch_count, layer.receptive_field_size),
-                )
-                dummy_out = (
-                    dummy_patches.astype(np.float64)
-                    @ layer.kernel_matrix().astype(np.float64)
-                ).astype(FLOAT_DTYPE)
-                store.dense_dummy_row_outputs[index] = dummy_out
+        handler_for(layer, index).init_recovery_data(
+            layer, layer_plan, activations[index], store, prng, config
+        )
 
     return store

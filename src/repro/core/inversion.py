@@ -23,7 +23,6 @@ from repro.core.checkpoint import CheckpointStore
 from repro.core.planner import InversionStrategy, LayerPlan
 from repro.exceptions import NotInvertibleError, RecoveryError
 from repro.nn.layers import Bias, Conv2D, Dense
-from repro.nn.layers.structural import Flatten, ZeroPadding2D
 from repro.nn.tensor_utils import col2im, pad_same_amounts
 from repro.prng import SeededTensorGenerator
 from repro.types import FLOAT_DTYPE
@@ -147,21 +146,25 @@ def invert_layer(
     prng: SeededTensorGenerator,
     rcond: float | None = None,
 ) -> np.ndarray:
-    """Dispatch to the appropriate inversion routine for ``layer``."""
+    """Dispatch to the layer's protection handler for inversion.
+
+    The two strategy-generic cases are handled here so every handler only
+    implements its real algebra: identity layers pass the tensor through
+    untouched, and checkpoint-strategy layers (pooling, depthwise
+    convolutions, convolutions whose dummy filters would cost more than a
+    checkpoint) refuse inversion outright.
+    """
     strategy = layer_plan.inversion_strategy
     if strategy is InversionStrategy.IDENTITY:
         return np.asarray(outputs, dtype=FLOAT_DTYPE)
-    if strategy is InversionStrategy.RESHAPE:
-        if isinstance(layer, (Flatten, ZeroPadding2D)):
-            return layer.invert(np.asarray(outputs, dtype=FLOAT_DTYPE))
-        raise RecoveryError(f"layer {layer.name!r} does not support reshape inversion")
-    if strategy is InversionStrategy.BIAS:
-        return invert_bias(layer, outputs)
-    if strategy is InversionStrategy.DENSE:
-        return invert_dense(layer, layer_plan, outputs, store, prng, rcond)
-    if strategy is InversionStrategy.CONV:
-        return invert_conv(layer, layer_plan, outputs, store, prng, rcond)
-    raise NotInvertibleError(
-        f"layer {layer.name!r} ({layer_plan.kind}) is not invertible; recovery must use "
-        "its stored input checkpoint"
+    if strategy is InversionStrategy.CHECKPOINT:
+        raise NotInvertibleError(
+            f"layer {layer.name!r} ({layer_plan.kind}) is not invertible; recovery must "
+            "use its stored input checkpoint"
+        )
+    # Imported lazily: the handler modules import this module's invert_* helpers.
+    from repro.core.handlers import handler_for
+
+    return handler_for(layer, layer_plan.index).invert(
+        layer, layer_plan, outputs, store, prng, rcond
     )

@@ -10,19 +10,22 @@ For every layer the planner decides (paper Sec. III and IV):
   dummy input rows, or 2-D-CRC-based partial recoverability,
 * the per-layer storage cost of each choice, which feeds the storage-overhead
   accounting (paper Tables V, VII, IX).
+
+The per-layer-type decisions themselves live in the
+:mod:`repro.core.handlers` registry: :func:`plan_model` only walks the model
+and asks each layer's :class:`~repro.core.handlers.LayerProtectionHandler`
+for its :class:`LayerPlan`.  New layer types therefore never touch this
+module -- they register a handler and, when their algebra needs a recovery or
+inversion strategy the seed taxonomy lacks, add one with
+``RecoveryStrategy.register`` / ``InversionStrategy.register``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
-
-import numpy as np
 
 from repro.core.config import MILRConfig
 from repro.exceptions import LayerConfigurationError
-from repro.nn.layers import Bias, Conv2D, Dense, Layer
-from repro.nn.layers.pooling import _Pool2D
 from repro.nn.model import Sequential
 
 __all__ = ["RecoveryStrategy", "InversionStrategy", "LayerPlan", "MILRPlan", "plan_model"]
@@ -30,25 +33,82 @@ __all__ = ["RecoveryStrategy", "InversionStrategy", "LayerPlan", "MILRPlan", "pl
 _BYTES_PER_VALUE = 4
 
 
-class RecoveryStrategy(Enum):
+class _ExtensibleStrategy:
+    """Enum-like strategy token with an *open* member set.
+
+    Behaves like :class:`enum.Enum` for the seed members (identity
+    comparisons, ``.name`` / ``.value`` attributes) but lets handler modules
+    for new layer types add members at import time via :meth:`register`,
+    without editing this module.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: str):
+        self.name = name
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}.{self.name}: {self.value!r}>"
+
+    def __str__(self) -> str:
+        return f"{type(self).__name__}.{self.name}"
+
+    # Engine dispatch compares members with ``is``, so copies and pickle
+    # round-trips (e.g. deep-copying or caching a MILRPlan) must resolve back
+    # to the registered singleton, exactly as Enum members do.
+    def __copy__(self) -> "_ExtensibleStrategy":
+        return self
+
+    def __deepcopy__(self, memo) -> "_ExtensibleStrategy":
+        return self
+
+    def __reduce__(self):
+        return (type(self).register, (self.name, self.value))
+
+    @classmethod
+    def register(cls, name: str, value: str | None = None) -> "_ExtensibleStrategy":
+        """Return the member called ``name``, creating it if needed.
+
+        Re-registering an existing member is idempotent, but attempting to
+        rebind its ``value`` fails loudly -- two handler modules silently
+        sharing one member name would alias their semantics.
+        """
+        value = value if value is not None else name.lower()
+        member = cls.__dict__.get(name)
+        if isinstance(member, _ExtensibleStrategy):
+            if member.value != value:
+                raise ValueError(
+                    f"{cls.__name__}.{name} is already registered with value "
+                    f"{member.value!r}; refusing to rebind it to {value!r}"
+                )
+            return member
+        member = cls(name, value)
+        setattr(cls, name, member)
+        return member
+
+
+class RecoveryStrategy(_ExtensibleStrategy):
     """How a layer's parameters are recovered."""
 
-    NONE = "none"  # parameter-free layer, nothing to recover
-    DENSE_FULL = "dense_full"  # dense solve, possibly with dummy input rows
-    CONV_FULL = "conv_full"  # convolution solve with G^2 >= F^2 Z
-    CONV_PARTIAL = "conv_partial"  # 2-D CRC localization, restricted solve
-    BIAS_SUBTRACT = "bias_subtract"  # bias = output - input
+
+RecoveryStrategy.register("NONE", "none")  # parameter-free layer, nothing to recover
+RecoveryStrategy.register("DENSE_FULL", "dense_full")  # dense solve, possibly with dummy rows
+RecoveryStrategy.register("CONV_FULL", "conv_full")  # convolution solve with G^2 >= F^2 Z
+RecoveryStrategy.register("CONV_PARTIAL", "conv_partial")  # 2-D CRC localization, restricted solve
+RecoveryStrategy.register("BIAS_SUBTRACT", "bias_subtract")  # bias = output - input
 
 
-class InversionStrategy(Enum):
+class InversionStrategy(_ExtensibleStrategy):
     """How the layer is traversed during a backward (inversion) pass."""
 
-    IDENTITY = "identity"  # activations, dropout, input layers
-    RESHAPE = "reshape"  # flatten / zero padding: exact shape restoration
-    DENSE = "dense"  # linear solve, possibly with dummy parameter columns
-    CONV = "conv"  # per-patch linear solve, possibly with dummy filters
-    BIAS = "bias"  # subtract parameters
-    CHECKPOINT = "checkpoint"  # not invertible: rely on the stored input checkpoint
+
+InversionStrategy.register("IDENTITY", "identity")  # activations, dropout, input layers
+InversionStrategy.register("RESHAPE", "reshape")  # flatten / zero padding: exact restoration
+InversionStrategy.register("DENSE", "dense")  # linear solve, possibly with dummy columns
+InversionStrategy.register("CONV", "conv")  # per-patch linear solve, possibly with dummy filters
+InversionStrategy.register("BIAS", "bias")  # subtract parameters
+InversionStrategy.register("CHECKPOINT", "checkpoint")  # not invertible: stored input checkpoint
 
 
 @dataclass
@@ -127,178 +187,19 @@ class MILRPlan:
         return [plan for plan in self.layer_plans if plan.parameter_count > 0]
 
 
-def _volume(shape: tuple[int, ...]) -> int:
-    size = 1
-    for dim in shape:
-        size *= dim
-    return size
-
-
-def _plan_dense(layer: Dense, index: int, config: MILRConfig) -> LayerPlan:
-    """Plan a dense layer: Y = X (M, N) @ W (N, P)."""
-    features_in = layer.features_in
-    features_out = layer.features_out
-    detection_rows = config.detection_batch
-    plan = LayerPlan(
-        index=index,
-        name=layer.name,
-        kind="Dense",
-        parameter_count=layer.parameter_count,
-        recovery_strategy=RecoveryStrategy.DENSE_FULL,
-        inversion_strategy=InversionStrategy.DENSE,
-    )
-    # Detection: one stored output value per parameter column.
-    plan.partial_checkpoint_values = features_out
-
-    # Inversion (backward pass) requires P >= N; otherwise pad with dummy
-    # parameter columns whose outputs (for the golden recovery activation,
-    # one row) must be stored.
-    if features_out < features_in:
-        plan.dummy_parameter_columns = features_in - features_out
-        plan.dummy_output_values += 1 * plan.dummy_parameter_columns
-        plan.notes.append(
-            f"inversion needs {plan.dummy_parameter_columns} dummy parameter columns"
-        )
-
-    # Parameter solving requires M >= N rows.  The golden recovery activation
-    # only provides one row, so PRNG dummy rows (with stored outputs) supply
-    # the rest.  A full set of N dummy rows is stored -- one more than strictly
-    # necessary -- so that dense solving is *self-contained*: it never has to
-    # trust an activation that travelled through another, possibly erroneous,
-    # layer.  This is what lets MILR recover several dense layers between the
-    # same pair of checkpoints (the paper's whole-weight results at high error
-    # rates), at a storage cost of one extra output row.
-    del detection_rows
-    plan.dummy_input_rows = features_in
-    plan.dummy_output_values += plan.dummy_input_rows * features_out
-    plan.notes.append(
-        f"solving uses {plan.dummy_input_rows} self-contained dummy input rows"
-    )
-    return plan
-
-
-def _plan_conv(layer: Conv2D, index: int, config: MILRConfig) -> LayerPlan:
-    """Plan a convolution layer (F, F, Z, Y) with G^2 output positions."""
-    receptive = layer.receptive_field_size  # F^2 Z
-    filters = layer.filters  # Y
-    positions = layer.output_positions  # G^2
-    plan = LayerPlan(
-        index=index,
-        name=layer.name,
-        kind="Conv2D",
-        parameter_count=layer.parameter_count,
-        recovery_strategy=RecoveryStrategy.CONV_FULL,
-        inversion_strategy=InversionStrategy.CONV,
-    )
-    # Detection: one stored output value per filter.
-    plan.partial_checkpoint_values = filters
-
-    # Parameter solving: G^2 >= F^2 Z allows a full solve with no extra data.
-    if positions < receptive:
-        if config.prefer_partial_conv_recovery:
-            plan.recovery_strategy = RecoveryStrategy.CONV_PARTIAL
-            plan.stores_crc_codes = True
-            plan.notes.append(
-                f"partial recoverability (G^2={positions} < F^2Z={receptive}); "
-                "2-D CRC codes stored"
-            )
-        else:
-            # Full recoverability through dummy input patches: each dummy patch
-            # adds one equation per filter, so (F^2 Z - G^2) patches are needed
-            # and their outputs stored.
-            dummy_patches = receptive - positions
-            plan.dummy_output_values += dummy_patches * filters
-            plan.notes.append(
-                f"full recoverability with {dummy_patches} dummy input patches"
-            )
-
-    # Inversion: Y >= F^2 Z gives enough equations per receptive field.  If
-    # not, compare the cost of dummy filters (their outputs are G^2 values per
-    # dummy filter) against a full input checkpoint and keep the cheaper.
-    if filters < receptive:
-        dummy_filters = receptive - filters
-        dummy_filter_output_values = dummy_filters * positions
-        input_checkpoint_values = _volume(layer.input_shape)
-        if dummy_filter_output_values <= input_checkpoint_values:
-            plan.dummy_filters = dummy_filters
-            plan.dummy_output_values += dummy_filter_output_values
-            plan.notes.append(
-                f"inversion uses {dummy_filters} dummy filters "
-                f"({dummy_filter_output_values} stored outputs)"
-            )
-        else:
-            plan.inversion_strategy = InversionStrategy.CHECKPOINT
-            plan.needs_input_checkpoint = True
-            plan.input_checkpoint_values = input_checkpoint_values
-            plan.notes.append(
-                "inversion via input checkpoint (cheaper than dummy filters)"
-            )
-    return plan
-
-
-def _plan_bias(layer: Bias, index: int, config: MILRConfig) -> LayerPlan:
-    plan = LayerPlan(
-        index=index,
-        name=layer.name,
-        kind="Bias",
-        parameter_count=layer.parameter_count,
-        recovery_strategy=RecoveryStrategy.BIAS_SUBTRACT,
-        inversion_strategy=InversionStrategy.BIAS,
-    )
-    # Detection: the stored sum of all bias values (1 value) or a full copy.
-    plan.partial_checkpoint_values = 1 if config.bias_detection_uses_sum else layer.channels
-    return plan
-
-
-def _plan_parameter_free(layer: Layer, index: int) -> LayerPlan:
-    from repro.nn.layers.structural import Flatten, ZeroPadding2D
-
-    if isinstance(layer, _Pool2D):
-        inversion = InversionStrategy.CHECKPOINT
-        needs_checkpoint = True
-        checkpoint_values = _volume(layer.input_shape)
-        notes = ["pooling is non-invertible: input checkpoint stored"]
-    elif isinstance(layer, (Flatten, ZeroPadding2D)):
-        inversion = InversionStrategy.RESHAPE
-        needs_checkpoint = False
-        checkpoint_values = 0
-        notes = []
-    else:
-        # Activations, dropout, input layers: identity during recovery passes.
-        inversion = InversionStrategy.IDENTITY
-        needs_checkpoint = False
-        checkpoint_values = 0
-        notes = []
-    return LayerPlan(
-        index=index,
-        name=layer.name,
-        kind=type(layer).__name__,
-        parameter_count=0,
-        recovery_strategy=RecoveryStrategy.NONE,
-        inversion_strategy=inversion,
-        needs_input_checkpoint=needs_checkpoint,
-        input_checkpoint_values=checkpoint_values,
-        notes=notes,
-    )
-
-
 def plan_model(model: Sequential, config: MILRConfig | None = None) -> MILRPlan:
     """Analyse a built model and produce the MILR initialization plan."""
+    # Imported lazily: the handler modules import this module's plan types.
+    from repro.core.handlers import handler_for
+
     if config is None:
         config = MILRConfig()
     if not model.built:
         raise LayerConfigurationError("model must be built before planning")
     layer_plans: list[LayerPlan] = []
     for index, layer in enumerate(model.layers):
-        if isinstance(layer, Dense):
-            plan = _plan_dense(layer, index, config)
-        elif isinstance(layer, Conv2D):
-            plan = _plan_conv(layer, index, config)
-        elif isinstance(layer, Bias):
-            plan = _plan_bias(layer, index, config)
-        else:
-            plan = _plan_parameter_free(layer, index)
-        layer_plans.append(plan)
+        handler = handler_for(layer, index=index)
+        layer_plans.append(handler.plan(layer, index, config))
 
     # The network input (index 0) is always available: it is regenerated from
     # the stored seed, so it acts as a zero-cost checkpoint.

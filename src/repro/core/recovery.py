@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.checkpoint import CheckpointStore
 from repro.core.config import MILRConfig
 from repro.core.detection import DetectionReport
+from repro.core.handlers import handler_for
 from repro.core.inversion import invert_layer
 from repro.core.passes import linearized_forward
 from repro.core.planner import MILRPlan, RecoveryStrategy
@@ -118,12 +119,10 @@ class RecoveryEngine:
         return activation
 
     def _is_self_contained(self, index: int) -> bool:
-        """Whether the layer's solve uses only stored dummy data (dense layers)."""
-        layer_plan = self._plan.plan_for(index)
-        if layer_plan.recovery_strategy is not RecoveryStrategy.DENSE_FULL:
-            return False
+        """Whether the layer's solve uses only stored dummy data."""
         layer = self._model.layers[index]
-        return layer_plan.dummy_input_rows >= getattr(layer, "features_in", 2**63)
+        layer_plan = self._plan.plan_for(index)
+        return handler_for(layer, index).is_self_contained(layer, layer_plan)
 
     # ------------------------------------------------------------------ #
     def recover_layer(
@@ -136,8 +135,9 @@ class RecoveryEngine:
             raise RecoveryError(f"layer {layer.name!r} has no parameters to recover")
         started = time.perf_counter()
         if self._is_self_contained(index):
-            # Dense layers solve from their stored dummy system alone; no need
-            # to move checkpoints through (possibly erroneous) neighbours.
+            # Self-contained layers solve from their stored dummy system
+            # alone; no need to move checkpoints through (possibly erroneous)
+            # neighbours.
             golden_input = None
             golden_output = None
         else:
@@ -168,8 +168,8 @@ class RecoveryEngine:
     def recovery_order(self, erroneous_layers: list[int]) -> list[int]:
         """Order in which flagged layers are recovered.
 
-        Self-contained layers (dense layers solving purely from stored dummy
-        data) are recovered first: their result does not depend on any other
+        Self-contained layers (those solving purely from stored dummy data)
+        are recovered first: their result does not depend on any other
         layer, and once they are correct the forward/backward passes used by
         the remaining layers travel through fewer erroneous layers.  Within
         each group the paper's sequential layer order is kept.

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.checkpoint import CheckpointStore
-from repro.core.planner import LayerPlan, RecoveryStrategy
+from repro.core.planner import LayerPlan
 from repro.exceptions import RecoveryError
 from repro.nn.layers import Bias, Conv2D, Dense
 from repro.prng import SeededTensorGenerator
@@ -238,25 +238,17 @@ def solve_layer_parameters(
     suspect_mask: np.ndarray | None = None,
     rcond: float | None = None,
 ) -> SolveResult:
-    """Dispatch to the appropriate parameter solver for ``layer``."""
-    strategy = layer_plan.recovery_strategy
-    if strategy is RecoveryStrategy.DENSE_FULL:
-        return solve_dense_parameters(
-            layer, layer_plan, golden_input, golden_output, store, prng, rcond
-        )
-    if strategy is RecoveryStrategy.BIAS_SUBTRACT:
-        return solve_bias_parameters(layer, golden_input, golden_output)
-    if strategy is RecoveryStrategy.CONV_FULL:
-        return solve_conv_parameters_full(
-            layer, layer_plan, golden_input, golden_output, store, prng, rcond
-        )
-    if strategy is RecoveryStrategy.CONV_PARTIAL:
-        if suspect_mask is None:
-            # Without localization information every weight is a suspect.
-            suspect_mask = np.ones(layer.get_weights().shape, dtype=bool)
-        return solve_conv_parameters_partial(
-            layer, layer_plan, golden_input, golden_output, suspect_mask, rcond
-        )
-    raise RecoveryError(
-        f"layer {layer.name!r} has no parameter-solving strategy ({strategy})"
+    """Dispatch to the layer's protection handler for parameter solving."""
+    # Imported lazily: the handler modules import this module's solver helpers.
+    from repro.core.handlers import handler_for
+
+    return handler_for(layer, layer_plan.index).solve(
+        layer,
+        layer_plan,
+        golden_input,
+        golden_output,
+        store,
+        prng,
+        suspect_mask=suspect_mask,
+        rcond=rcond,
     )

@@ -28,6 +28,15 @@ class NotInvertibleError(ReproError):
     """A backward (inversion) pass was requested on a non-invertible layer."""
 
 
+class UnsupportedLayerError(ReproError):
+    """No :class:`LayerProtectionHandler` is registered for a layer type.
+
+    Raised during planning when a model contains a layer the protection
+    registry does not know, unless the layer declares itself pass-through
+    (``is_passthrough = True`` and no parameters).
+    """
+
+
 class RecoveryError(ReproError):
     """Parameter recovery failed (e.g. singular or under-determined system)."""
 

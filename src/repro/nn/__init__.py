@@ -16,9 +16,11 @@ model flips.
 from repro.nn.layers import (
     Activation,
     AvgPool2D,
+    BatchNorm,
     Bias,
     Conv2D,
     Dense,
+    DepthwiseConv2D,
     Dropout,
     Flatten,
     InputLayer,
@@ -34,9 +36,11 @@ from repro.nn.serialization import load_model_weights, save_model_weights
 __all__ = [
     "Activation",
     "AvgPool2D",
+    "BatchNorm",
     "Bias",
     "Conv2D",
     "Dense",
+    "DepthwiseConv2D",
     "Dropout",
     "Flatten",
     "InputLayer",

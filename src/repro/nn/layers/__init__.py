@@ -2,9 +2,11 @@
 
 from repro.nn.layers.activation import Activation, ReLU, Softmax
 from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm
 from repro.nn.layers.bias import Bias
 from repro.nn.layers.conv2d import Conv2D
 from repro.nn.layers.dense import Dense
+from repro.nn.layers.depthwise import DepthwiseConv2D
 from repro.nn.layers.pooling import AvgPool2D, MaxPool2D
 from repro.nn.layers.structural import Dropout, Flatten, InputLayer, ZeroPadding2D
 
@@ -12,7 +14,9 @@ __all__ = [
     "Layer",
     "Dense",
     "Conv2D",
+    "DepthwiseConv2D",
     "Bias",
+    "BatchNorm",
     "Activation",
     "ReLU",
     "Softmax",

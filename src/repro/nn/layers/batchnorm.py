@@ -1,0 +1,107 @@
+"""Batch-normalization layer, folded to its inference-time affine form.
+
+At inference a trained batch-normalization layer is a per-channel affine
+transform: ``y = gamma * x + beta`` along the last axis, where ``gamma``
+absorbs the learned scale and the running variance and ``beta`` the learned
+shift and the running mean.  That folded form is what a deployed network's
+weight memory actually holds, so it is also what the MILR fault model
+corrupts and what the protection handler recovers.
+
+Parameters are exposed as one ``(2, C)`` array -- row 0 the scales, row 1 the
+shifts -- so the fault-injection, fingerprinting and recovery machinery sees a
+single weight tensor like every other layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.layers.base import Layer
+from repro.types import FLOAT_DTYPE, Shape
+
+__all__ = ["BatchNorm"]
+
+
+class BatchNorm(Layer):
+    """Per-channel affine (folded batch norm): ``Y = X * gamma + beta``."""
+
+    has_parameters = True
+    structurally_invertible = True
+
+    def __init__(self, name: Optional[str] = None, seed: Optional[int] = None):
+        super().__init__(name=name)
+        self.seed = seed
+        self.gamma: Optional[np.ndarray] = None
+        self.beta: Optional[np.ndarray] = None
+        self._last_input: Optional[np.ndarray] = None
+
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) < 1:
+            raise ShapeError("BatchNorm requires at least a 1-D per-sample input")
+        return input_shape
+
+    def _build(self, input_shape: Shape) -> None:
+        channels = input_shape[-1]
+        # Folded inference parameters sit near (scale=1, shift=0); the small
+        # random component keeps recovery tests from trivially passing on
+        # degenerate all-equal parameters.
+        rng = np.random.default_rng(self.seed)
+        self.gamma = (1.0 + rng.uniform(-0.1, 0.1, size=(channels,))).astype(FLOAT_DTYPE)
+        self.beta = rng.uniform(-0.05, 0.05, size=(channels,)).astype(FLOAT_DTYPE)
+
+    @property
+    def channels(self) -> int:
+        """Number of normalized channels (size of the last input axis)."""
+        return self.input_shape[-1]
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        assert self.gamma is not None and self.beta is not None
+        if training:
+            self._last_input = inputs
+        return (inputs * self.gamma + self.beta).astype(FLOAT_DTYPE)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_input is None:
+            raise ShapeError("backward() called before a training-mode forward()")
+        assert self.gamma is not None
+        axes = tuple(range(grad_output.ndim - 1))
+        grad_gamma = (grad_output * self._last_input).sum(axis=axes)
+        grad_beta = grad_output.sum(axis=axes)
+        self.grad_weights = np.stack([grad_gamma, grad_beta]).astype(FLOAT_DTYPE)
+        return (grad_output * self.gamma).astype(FLOAT_DTYPE)
+
+    def invert(self, outputs: np.ndarray) -> np.ndarray:
+        """Exact inverse of the affine: ``x = (y - beta) / gamma``.
+
+        Corrupted scales can be zero (or non-finite) mid-recovery; the
+        division is allowed to produce inf/nan rather than raise, matching
+        how inversion through other corrupted layers degrades.
+        """
+        outputs = np.asarray(outputs, dtype=FLOAT_DTYPE)
+        assert self.gamma is not None and self.beta is not None
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            return ((outputs - self.beta) / self.gamma).astype(FLOAT_DTYPE)
+
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> np.ndarray:
+        self._require_built()
+        assert self.gamma is not None and self.beta is not None
+        return np.stack([self.gamma, self.beta])
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        self._require_built()
+        weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+        assert self.gamma is not None and self.beta is not None
+        expected = (2, self.gamma.shape[0])
+        if weights.shape != expected:
+            raise ShapeError(
+                f"BatchNorm {self.name!r} expected weights of shape {expected}, "
+                f"got {weights.shape}"
+            )
+        self.gamma = weights[0].copy()
+        self.beta = weights[1].copy()

@@ -1,0 +1,187 @@
+"""Depthwise 2-D convolution (depth multiplier 1, no bias).
+
+Each input channel is convolved with its own single ``(F1, F2)`` filter, so
+the kernel tensor is ``(F1, F2, C)`` and the output keeps the channel count.
+The forward pass reuses the im2col machinery: the patch tensor is reshaped to
+``(B, G1, G2, F1*F2, C)`` and contracted against the kernel per channel, which
+is also exactly the per-channel matmul formulation MILR's parameter solving
+operates on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import LayerConfigurationError, ShapeError
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer
+from repro.nn.tensor_utils import col2im, conv_output_length, im2col, pad_input
+from repro.types import FLOAT_DTYPE, Shape
+
+__all__ = ["DepthwiseConv2D"]
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise LayerConfigurationError(f"expected a pair, got {value!r}")
+        return (int(value[0]), int(value[1]))
+    return (int(value), int(value))
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise convolution ``(B, M, M, C) -> (B, G, G, C)``.
+
+    Args:
+        kernel_size: Filter spatial size ``F`` (int or pair).
+        stride: Convolution stride (int or pair).
+        padding: ``"valid"`` or ``"same"``.
+        initializer: Weight initializer name.
+        seed: Seed for deterministic initialization.
+        name: Optional layer name.
+    """
+
+    has_parameters = True
+    # Each output pixel carries one equation per channel against F^2 unknowns
+    # per channel, so the layer loses information; MILR recovery relies on a
+    # stored input checkpoint instead of inversion.
+    structurally_invertible = False
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: str = "valid",
+        initializer: str = "he_normal",
+        seed: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        if padding not in ("valid", "same"):
+            raise LayerConfigurationError(f"padding must be 'valid' or 'same', got {padding!r}")
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        if self.stride[0] <= 0 or self.stride[1] <= 0:
+            raise LayerConfigurationError(f"stride must be positive, got {self.stride}")
+        self.padding = padding
+        self.initializer = initializer
+        self.seed = seed
+        self.kernel: Optional[np.ndarray] = None
+        self._last_patches: Optional[np.ndarray] = None
+        self._last_padded_shape: Optional[tuple[int, int, int, int]] = None
+        self._last_pad_amounts: Optional[tuple[tuple[int, int], tuple[int, int]]] = None
+
+    # ------------------------------------------------------------------ #
+    def compute_output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 3:
+            raise ShapeError(f"DepthwiseConv2D expects (H, W, C) inputs, got {input_shape}")
+        height, width, channels = input_shape
+        out_h = conv_output_length(height, self.kernel_size[0], self.stride[0], self.padding)
+        out_w = conv_output_length(width, self.kernel_size[1], self.stride[1], self.padding)
+        return (out_h, out_w, channels)
+
+    def _build(self, input_shape: Shape) -> None:
+        channels = input_shape[2]
+        f1, f2 = self.kernel_size
+        rng = np.random.default_rng(self.seed)
+        init = get_initializer(self.initializer)
+        self.kernel = init((f1, f2, channels), rng, fan_in=f1 * f2, fan_out=f1 * f2)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def channels(self) -> int:
+        """Number of channels ``C`` (input and output)."""
+        return self.input_shape[2]
+
+    @property
+    def taps_per_channel(self) -> int:
+        """``F1 * F2`` -- unknowns per channel during parameter solving."""
+        f1, f2 = self.kernel_size
+        return f1 * f2
+
+    @property
+    def output_positions(self) -> int:
+        """``G1 * G2`` -- equations per channel during parameter solving."""
+        out_h, out_w, _ = self.output_shape
+        return out_h * out_w
+
+    def kernel_matrix(self) -> np.ndarray:
+        """Return the kernel reshaped to ``(F1*F2, C)`` for per-channel matmul."""
+        self._require_built()
+        assert self.kernel is not None
+        return self.kernel.reshape(self.taps_per_channel, self.channels)
+
+    def channel_patches(self, inputs: np.ndarray) -> np.ndarray:
+        """Return im2col patches split per channel: ``(B, G1, G2, F1*F2, C)``."""
+        inputs = self._check_input(inputs)
+        padded, _ = pad_input(inputs, self.kernel_size, self.stride, self.padding)
+        patches = im2col(padded, self.kernel_size, self.stride)
+        batch, out_h, out_w, _ = patches.shape
+        # im2col orders the last axis (f1, f2, channel) row-major, so the
+        # reshape groups the F1*F2 taps of each channel together.
+        return patches.reshape(batch, out_h, out_w, self.taps_per_channel, self.channels)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = self._check_input(inputs)
+        assert self.kernel is not None
+        padded, pad_amounts = pad_input(inputs, self.kernel_size, self.stride, self.padding)
+        patches = im2col(padded, self.kernel_size, self.stride)
+        if training:
+            self._last_patches = patches
+            self._last_padded_shape = padded.shape
+            self._last_pad_amounts = pad_amounts
+        batch, out_h, out_w, _ = patches.shape
+        split = patches.reshape(batch, out_h, out_w, self.taps_per_channel, self.channels)
+        out = np.einsum("bhwkc,kc->bhwc", split, self.kernel_matrix())
+        return out.astype(FLOAT_DTYPE)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._last_patches is None or self._last_padded_shape is None:
+            raise ShapeError("backward() called before a training-mode forward()")
+        assert self.kernel is not None
+        batch, out_h, out_w, _ = grad_output.shape
+        split = self._last_patches.reshape(
+            batch, out_h, out_w, self.taps_per_channel, self.channels
+        )
+        grad_kernel = np.einsum("bhwkc,bhwc->kc", split, grad_output)
+        self.grad_weights = grad_kernel.reshape(self.kernel.shape).astype(FLOAT_DTYPE)
+        grad_split = np.einsum("bhwc,kc->bhwkc", grad_output, self.kernel_matrix())
+        grad_patches = grad_split.reshape(batch, out_h, out_w, -1)
+        grad_padded = col2im(
+            grad_patches,
+            self._last_padded_shape,
+            self.kernel_size,
+            self.stride,
+            reduce="sum",
+        )
+        assert self._last_pad_amounts is not None
+        (top, bottom), (left, right) = self._last_pad_amounts
+        height = grad_padded.shape[1]
+        width = grad_padded.shape[2]
+        grad_input = grad_padded[
+            :,
+            top : height - bottom if bottom else height,
+            left : width - right if right else width,
+            :,
+        ]
+        return grad_input.astype(FLOAT_DTYPE)
+
+    # ------------------------------------------------------------------ #
+    def get_weights(self) -> np.ndarray:
+        self._require_built()
+        assert self.kernel is not None
+        return self.kernel.copy()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        self._require_built()
+        weights = np.asarray(weights, dtype=FLOAT_DTYPE)
+        assert self.kernel is not None
+        if weights.shape != self.kernel.shape:
+            raise ShapeError(
+                f"DepthwiseConv2D {self.name!r} expected weights of shape "
+                f"{self.kernel.shape}, got {weights.shape}"
+            )
+        self.kernel = weights.copy()

@@ -61,6 +61,7 @@ class FaultPressureDriver:
         max_events: Optional[int] = None,
         ensure_detectable: bool = True,
         max_attempts: int = 50,
+        layer_indices: Optional[Sequence[int]] = None,
     ):
         if mean_interval_seconds <= 0:
             raise FaultInjectionError("mean_interval_seconds must be positive")
@@ -88,6 +89,18 @@ class FaultPressureDriver:
         #: where sub-tolerance errors deliberately go unnoticed.
         self.ensure_detectable = ensure_detectable
         self.max_attempts = int(max_attempts)
+        #: When given, only these layer indices are targeted (every entry must
+        #: keep at least one of them).  Soak tests use this to guarantee that
+        #: specific layer types (e.g. a newly registered handler's layers)
+        #: actually see corruption.
+        self.layer_indices = None if layer_indices is None else {int(i) for i in layer_indices}
+        if self.layer_indices is not None:
+            for entry in self._entries:
+                if not self.layer_indices & set(entry.parameterized_indices):
+                    raise FaultInjectionError(
+                        f"model {entry.name!r} has no parameterized layer among "
+                        f"targeted indices {sorted(self.layer_indices)}"
+                    )
         #: Events that were drawn but reverted as undetectable.
         self.skipped_undetectable = 0
         self._rng = np.random.default_rng(seed)
@@ -120,13 +133,12 @@ class FaultPressureDriver:
         detectable corruption was found within ``max_attempts`` draws.
         """
         entry = self._entries[int(self._rng.integers(len(self._entries)))]
+        candidates = entry.parameterized_indices
+        if self.layer_indices is not None:
+            candidates = [i for i in candidates if i in self.layer_indices]
         attempts = self.max_attempts if self.ensure_detectable else 1
         for _ in range(attempts):
-            index = int(
-                entry.parameterized_indices[
-                    int(self._rng.integers(len(entry.parameterized_indices)))
-                ]
-            )
+            index = int(candidates[int(self._rng.integers(len(candidates)))])
             layer = entry.model.layers[index]
             # The lock makes the corruption atomic with respect to batches and
             # recovery -- a bit flip lands between forward passes, never inside

@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -227,6 +227,7 @@ def run_soak(
     service_config: Optional[ServiceConfig] = None,
     drain_timeout_seconds: float = 60.0,
     milr_config: Optional[MILRConfig] = None,
+    fault_layer_indices: Optional[Sequence[int]] = None,
 ) -> SoakResult:
     """Serve continuous traffic under Poisson bit-flip pressure, then drain.
 
@@ -272,6 +273,7 @@ def run_soak(
         seed=seed,
         flips_per_event=flips_per_event,
         max_events=max_fault_events,
+        layer_indices=fault_layer_indices,
     )
 
     started = time.perf_counter()

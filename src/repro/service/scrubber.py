@@ -24,17 +24,13 @@ from typing import Optional
 import numpy as np
 
 from repro.core.checkpoint import weight_fingerprint
-from repro.crc.twod import TwoDimensionalCRC
-from repro.nn.layers import Bias, Conv2D, Dense
+from repro.core.handlers import handler_for
 from repro.service.config import ServiceConfig
 from repro.service.registry import ManagedModel, ModelRegistry
 from repro.service.repair import (
     RepairOutcome,
-    crc_guided_kernel_repair,
     estimate_guided_repair,
     refine_recovered_weights,
-    sparse_bias_repair,
-    sparse_kernel_repair,
 )
 
 __all__ = ["Scrubber"]
@@ -208,21 +204,17 @@ class Scrubber:
     def _repair_order(entry: ManagedModel):
         """Repair-order key: self-contained layers heal first.
 
-        Bias layers repair from their own stored checkpoint and dense layers
-        from their stored dummy system, independent of any neighbour;
-        convolution repairs travel golden activations through neighbouring
-        layers, so they go last, once those neighbours are (likely) healthy.
+        Each layer's protection handler declares a ``repair_rank``: rank 0
+        repairs from the layer's own stored protection data (bias, batch
+        norm), rank 1 from a stored dummy system (dense), rank 2 by
+        travelling golden activations through neighbouring layers
+        (convolutions), which go last, once those neighbours are (likely)
+        healthy.
         """
 
         def key(index: int) -> tuple[int, int]:
             layer = entry.model.layers[index]
-            if isinstance(layer, Bias):
-                rank = 0
-            elif isinstance(layer, Dense):
-                rank = 1
-            else:
-                rank = 2
-            return (rank, index)
+            return (handler_for(layer, index).repair_rank, index)
 
         return key
 
@@ -233,79 +225,53 @@ class Scrubber:
 
         ``corrupted`` is the layer's stored bit pattern as first seen by this
         recovery job -- the reference both for the sparse solve and for the
-        bit-flip snap, even on later repair rounds.  Convolution layers get
-        the residual-guided sparse repair first: deep layers' full kernel
-        solves can be under-determined (the golden input patches span a
-        low-rank subspace), while the sparse path isolates the few corrupted
-        coordinates exactly.  If it cannot explain the residual, or for any
-        non-convolution layer, the MILR solver runs and the snap refinement
-        upgrades its estimate to bit-exact when the fingerprint confirms.
-        Caller holds the model lock.
+        bit-flip snap, even on later repair rounds.  The repair chain runs
+        through the layer's protection handler: first the self-contained
+        bit-exact repair from stored protection data alone (bias-sum search,
+        CRC-guided correction), then the residual-guided sparse estimate on
+        golden checkpoint passes (isolates the few corrupted coordinates
+        where a full solve would be under-determined), and finally the plain
+        MILR solver with snap refinement, which upgrades the estimate to
+        bit-exact when the golden fingerprint confirms.  Caller holds the
+        model lock.
         """
         config = self._config
         store = entry.protector.store
         assert store is not None
         layer = entry.model.layers[index]
+        layer_plan = entry.protector.plan.plan_for(index)
+        handler = handler_for(layer, index)
         fingerprint = store.golden_fingerprint_for(index)
-        if isinstance(layer, Bias):
-            repaired = sparse_bias_repair(
+        repaired = handler.checkpoint_free_repair(
+            layer,
+            layer_plan,
+            corrupted,
+            fingerprint,
+            store,
+            entry.protector.config,
+            config,
+        )
+        if repaired is not None:
+            layer.set_weights(repaired)
+            snapped = int(np.sum(repaired.view(np.uint32) != corrupted.view(np.uint32)))
+            return RepairOutcome(
+                bit_exact=True,
+                snapped_weights=snapped,
+                kept_weights=corrupted.size - snapped,
+            )
+        estimate = handler.residual_repair_estimate(
+            layer, layer_plan, corrupted, entry.protector.recovery_engine, config
+        )
+        if estimate is not None:
+            layer.set_weights(estimate)
+            return refine_recovered_weights(
+                layer,
                 corrupted,
-                store.partial_checkpoint(index),
-                uses_sum=entry.protector.config.bias_detection_uses_sum,
-                golden_fingerprint=fingerprint,
+                fingerprint,
                 rtol=config.repair_rtol,
                 atol=config.repair_atol,
                 max_flips=config.repair_max_flips,
             )
-            if repaired is not None:
-                layer.set_weights(repaired)
-                return RepairOutcome(
-                    bit_exact=True, snapped_weights=1, kept_weights=corrupted.size - 1
-                )
-        if isinstance(layer, Conv2D):
-            if index in store.crc_codes:
-                milr_config = entry.protector.config
-                repaired, complete = crc_guided_kernel_repair(
-                    corrupted,
-                    store.crc_codes_for(index),
-                    TwoDimensionalCRC(
-                        group_size=milr_config.crc_group_size,
-                        crc_bits=milr_config.crc_bits,
-                    ),
-                    max_flips=config.repair_max_flips,
-                )
-                if complete and weight_fingerprint(repaired) == fingerprint:
-                    layer.set_weights(repaired)
-                    snapped = int(
-                        np.sum(repaired.view(np.uint32) != corrupted.view(np.uint32))
-                    )
-                    return RepairOutcome(
-                        bit_exact=True,
-                        snapped_weights=snapped,
-                        kept_weights=corrupted.size - snapped,
-                    )
-            engine = entry.protector.recovery_engine
-            golden_input = engine.golden_input_for(index)
-            golden_output = engine.golden_output_for(index)
-            patches = layer.extract_patches(golden_input)
-            estimate, complete = sparse_kernel_repair(
-                patches.reshape(-1, patches.shape[-1]),
-                golden_output.reshape(-1, layer.filters),
-                corrupted.reshape(-1, layer.filters),
-                rtol=config.repair_rtol,
-                atol=config.repair_atol,
-                max_support=config.sparse_repair_max_support,
-            )
-            if complete:
-                layer.set_weights(estimate.reshape(corrupted.shape))
-                return refine_recovered_weights(
-                    layer,
-                    corrupted,
-                    fingerprint,
-                    rtol=config.repair_rtol,
-                    atol=config.repair_atol,
-                    max_flips=config.repair_max_flips,
-                )
         # Solver path: start from the stored bits so CRC localization (and the
         # restricted solves it feeds) sees the actual corruption pattern.
         layer.set_weights(corrupted)

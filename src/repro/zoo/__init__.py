@@ -1,25 +1,37 @@
-"""Model zoo: the paper's evaluation networks and reduced-scale variants."""
+"""Model zoo: the paper's evaluation networks and reduced-scale variants.
+
+Networks self-register through the :func:`register_network` decorator; the
+CLI, the experiment harnesses and the service registry all enumerate
+:func:`network_table`, so a newly decorated builder is served, soaked and
+benchmarked with no further wiring.
+"""
 
 from repro.zoo.networks import (
     NetworkSpec,
+    build_cifar_depthwise_network,
     build_cifar_large_network,
     build_cifar_small_network,
+    build_mnist_bn_network,
     build_mnist_network,
     build_reduced_cifar_large_network,
     build_reduced_cifar_network,
     build_reduced_mnist_network,
     network_table,
     paper_layer_table,
+    register_network,
 )
 
 __all__ = [
     "NetworkSpec",
+    "register_network",
     "build_mnist_network",
     "build_cifar_small_network",
     "build_cifar_large_network",
     "build_reduced_mnist_network",
     "build_reduced_cifar_network",
     "build_reduced_cifar_large_network",
+    "build_mnist_bn_network",
+    "build_cifar_depthwise_network",
     "network_table",
     "paper_layer_table",
 ]

@@ -1,15 +1,24 @@
-"""The paper's three evaluation networks (Tables I-III) and reduced variants.
+"""The paper's evaluation networks (Tables I-III), reduced variants, and the
+handler-registry exercise networks.
 
 Every convolution and dense layer is followed by an explicit :class:`Bias`
 layer and a ReLU activation, exactly as the paper describes ("a bias and ReLu
 activation layer after each dense and convolution layer"), because MILR treats
-the bias as its own layer with its own algebraic relationship.
+the bias as its own layer with its own algebraic relationship.  The ``*_bn``
+and ``*_depthwise`` networks swap some of those bias layers for folded
+:class:`BatchNorm` affines and add :class:`DepthwiseConv2D` blocks -- the
+layer types protected purely through the handler registry.
 
 The reduced variants keep the same structural motifs (conv blocks, pooling,
 flatten, dense head with biases and ReLUs) but shrink filter counts and dense
 widths so that training and the linear-algebra recovery paths run in seconds
 on a laptop-class CPU.  Accuracy experiments default to the reduced variants;
 storage and architecture experiments use the paper-exact networks.
+
+Networks self-register: decorate a builder with :func:`register_network` and
+it appears in :func:`network_table` -- and therefore in every CLI
+``choices=`` list (``summary``/``storage``/.../``serve``/``soak``) -- with no
+further wiring.
 """
 
 from __future__ import annotations
@@ -17,10 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.exceptions import ExperimentError
 from repro.nn import (
+    BatchNorm,
     Bias,
     Conv2D,
     Dense,
+    DepthwiseConv2D,
     Flatten,
     MaxPool2D,
     ReLU,
@@ -30,12 +42,15 @@ from repro.types import Shape
 
 __all__ = [
     "NetworkSpec",
+    "register_network",
     "build_mnist_network",
     "build_cifar_small_network",
     "build_cifar_large_network",
     "build_reduced_mnist_network",
     "build_reduced_cifar_network",
     "build_reduced_cifar_large_network",
+    "build_mnist_bn_network",
+    "build_cifar_depthwise_network",
     "network_table",
     "paper_layer_table",
 ]
@@ -51,12 +66,53 @@ class NetworkSpec:
     paper_table: str
 
 
+_SPECS: dict[str, NetworkSpec] = {}
+
+
+def register_network(name: str, input_shape: Shape, paper_table: str = "-"):
+    """Decorator: register a network builder in the zoo table.
+
+    ::
+
+        @register_network("mnist", (28, 28, 1), "Table I")
+        def build_mnist_network(seed: int = 10) -> Sequential:
+            ...
+
+    The builder must be callable with no arguments (defaults for seeds).
+    Registration is what makes a network appear in every CLI ``choices=``
+    list, the service registry's ``load`` lookup and the experiment
+    harnesses.
+    """
+
+    def decorate(builder: Callable[..., Sequential]):
+        if name in _SPECS:
+            raise ExperimentError(f"network {name!r} is already registered")
+        _SPECS[name] = NetworkSpec(name, tuple(input_shape), builder, paper_table)
+        return builder
+
+    return decorate
+
+
+def network_table() -> dict[str, NetworkSpec]:
+    """All registered zoo networks keyed by name."""
+    return dict(_SPECS)
+
+
 def _conv_block(
     model: Sequential, filters: int, kernel: int, padding: str, prefix: str, seed: int
 ) -> None:
     """Conv2D + Bias + ReLU, named consistently."""
     model.add(Conv2D(filters, kernel, padding=padding, seed=seed, name=f"{prefix}_conv"))
     model.add(Bias(name=f"{prefix}_bias", seed=seed + 1))
+    model.add(ReLU(name=f"{prefix}_relu"))
+
+
+def _conv_bn_block(
+    model: Sequential, filters: int, kernel: int, padding: str, prefix: str, seed: int
+) -> None:
+    """Conv2D + BatchNorm + ReLU (the bias is folded into the affine shift)."""
+    model.add(Conv2D(filters, kernel, padding=padding, seed=seed, name=f"{prefix}_conv"))
+    model.add(BatchNorm(name=f"{prefix}_bn", seed=seed + 1))
     model.add(ReLU(name=f"{prefix}_relu"))
 
 
@@ -68,6 +124,7 @@ def _dense_block(model: Sequential, units: int, prefix: str, seed: int, relu: bo
         model.add(ReLU(name=f"{prefix}_relu"))
 
 
+@register_network("mnist", (28, 28, 1), "Table I")
 def build_mnist_network(seed: int = 10) -> Sequential:
     """Paper Table I: the MNIST network (valid-padding convolutions)."""
     model = Sequential(name="mnist")
@@ -82,6 +139,7 @@ def build_mnist_network(seed: int = 10) -> Sequential:
     return model
 
 
+@register_network("cifar_small", (32, 32, 3), "Table II")
 def build_cifar_small_network(seed: int = 20) -> Sequential:
     """Paper Table II: the CIFAR-10 small network (same-padding convolutions)."""
     model = Sequential(name="cifar_small")
@@ -102,6 +160,7 @@ def build_cifar_small_network(seed: int = 20) -> Sequential:
     return model
 
 
+@register_network("cifar_large", (32, 32, 3), "Table III")
 def build_cifar_large_network(seed: int = 30) -> Sequential:
     """Paper Table III: the CIFAR-10 large network (FAWCA-style, 5x5 filters)."""
     model = Sequential(name="cifar_large")
@@ -120,6 +179,7 @@ def build_cifar_large_network(seed: int = 30) -> Sequential:
     return model
 
 
+@register_network("mnist_reduced", (28, 28, 1))
 def build_reduced_mnist_network(seed: int = 40) -> Sequential:
     """Reduced MNIST-style network used by the fast accuracy experiments."""
     model = Sequential(name="mnist_reduced")
@@ -133,6 +193,7 @@ def build_reduced_mnist_network(seed: int = 40) -> Sequential:
     return model
 
 
+@register_network("cifar_reduced", (32, 32, 3))
 def build_reduced_cifar_network(seed: int = 50) -> Sequential:
     """Reduced CIFAR-style network used by the fast accuracy experiments."""
     model = Sequential(name="cifar_reduced")
@@ -147,6 +208,7 @@ def build_reduced_cifar_network(seed: int = 50) -> Sequential:
     return model
 
 
+@register_network("cifar_reduced_large", (32, 32, 3))
 def build_reduced_cifar_large_network(seed: int = 60) -> Sequential:
     """Reduced stand-in for the CIFAR-10 large network (Table III).
 
@@ -168,34 +230,64 @@ def build_reduced_cifar_large_network(seed: int = 60) -> Sequential:
     return model
 
 
-_SPECS = {
-    "mnist": NetworkSpec("mnist", (28, 28, 1), build_mnist_network, "Table I"),
-    "cifar_small": NetworkSpec("cifar_small", (32, 32, 3), build_cifar_small_network, "Table II"),
-    "cifar_large": NetworkSpec("cifar_large", (32, 32, 3), build_cifar_large_network, "Table III"),
-    "mnist_reduced": NetworkSpec("mnist_reduced", (28, 28, 1), build_reduced_mnist_network, "-"),
-    "cifar_reduced": NetworkSpec("cifar_reduced", (32, 32, 3), build_reduced_cifar_network, "-"),
-    "cifar_reduced_large": NetworkSpec(
-        "cifar_reduced_large", (32, 32, 3), build_reduced_cifar_large_network, "-"
-    ),
-}
+@register_network("mnist_bn", (28, 28, 1))
+def build_mnist_bn_network(seed: int = 70) -> Sequential:
+    """Batch-normalized MNIST-style network (handler-registry exercise).
+
+    Every conv/dense block uses a folded :class:`BatchNorm` affine instead of
+    a plain bias, in both convolutional and dense positions, so recovery
+    passes for the neighbouring layers must invert the affine and the
+    self-healing service must repair it from its sum + CRC protection data.
+    """
+    model = Sequential(name="mnist_bn")
+    _conv_bn_block(model, 8, 3, "valid", "block1", seed)
+    _conv_bn_block(model, 8, 3, "valid", "block2", seed + 10)
+    model.add(MaxPool2D(2, name="pool1"))
+    model.add(Flatten(name="flatten"))
+    model.add(Dense(32, seed=seed + 20, name="head1_dense"))
+    model.add(BatchNorm(name="head1_bn", seed=seed + 21))
+    model.add(ReLU(name="head1_relu"))
+    _dense_block(model, 10, "head2", seed + 30, relu=False)
+    model.build((28, 28, 1))
+    return model
 
 
-def network_table() -> dict[str, NetworkSpec]:
-    """All registered zoo networks keyed by name."""
-    return dict(_SPECS)
+@register_network("cifar_depthwise", (32, 32, 3))
+def build_cifar_depthwise_network(seed: int = 80) -> Sequential:
+    """Depthwise-separable CIFAR-style network (handler-registry exercise).
+
+    The middle block is a MobileNet-style depthwise convolution followed by a
+    folded batch norm: the depthwise kernel is 2-D-CRC protected with
+    checkpoint-guided per-channel recovery, and the batch norm must be
+    inverted when the depthwise layer's golden output is reconstructed from
+    the succeeding checkpoint.
+    """
+    model = Sequential(name="cifar_depthwise")
+    _conv_block(model, 12, 3, "same", "block1", seed)
+    model.add(MaxPool2D(2, name="pool1"))
+    model.add(DepthwiseConv2D(3, padding="same", seed=seed + 10, name="block2_depthwise"))
+    model.add(BatchNorm(name="block2_bn", seed=seed + 11))
+    model.add(ReLU(name="block2_relu"))
+    model.add(MaxPool2D(2, name="pool2"))
+    model.add(Flatten(name="flatten"))
+    _dense_block(model, 48, "head1", seed + 20)
+    _dense_block(model, 10, "head2", seed + 30, relu=False)
+    model.build((32, 32, 3))
+    return model
 
 
 def paper_layer_table(model: Sequential) -> list[dict[str, object]]:
     """Rows matching the paper's architecture tables (Tables I-III).
 
     The paper's "Trainable" column counts a layer's kernel *and* bias
-    together, so this helper merges each Bias layer into the preceding
-    convolution/dense layer and skips activation layers.
+    together, so this helper merges each Bias layer (and each folded
+    BatchNorm affine) into the preceding convolution/dense layer and skips
+    activation layers.
     """
     rows: list[dict[str, object]] = []
     for layer in model.layers:
         kind = type(layer).__name__
-        if kind in ("Conv2D", "Dense"):
+        if kind in ("Conv2D", "DepthwiseConv2D", "Dense"):
             rows.append(
                 {
                     "layer": kind,
@@ -203,7 +295,7 @@ def paper_layer_table(model: Sequential) -> list[dict[str, object]]:
                     "trainable": layer.parameter_count,
                 }
             )
-        elif kind == "Bias" and rows:
+        elif kind in ("Bias", "BatchNorm") and rows:
             rows[-1]["trainable"] = int(rows[-1]["trainable"]) + layer.parameter_count
         elif kind in ("MaxPool2D", "AvgPool2D"):
             rows.append(

@@ -6,6 +6,8 @@ import numpy as np
 import pytest
 
 from repro.core import MILRConfig, MILRProtector
+from repro.core.handlers import handler_for
+from repro.crc.twod import TwoDimensionalCRC
 from repro.memory import inject_rber, inject_whole_weight
 from repro.memory.bitops import flip_bits
 
@@ -95,15 +97,14 @@ class TestDetectionCaches:
         corrupted = layer.get_weights()
         corrupted[1, 1, 2, 1] += 1.0
         layer.set_weights(corrupted)
-        engine = protector.detection_engine
         calls = []
-        original_localize = engine._crc.localize_kernel
+        original_localize = TwoDimensionalCRC.localize_kernel
 
-        def counting_localize(*args, **kwargs):
+        def counting_localize(self, *args, **kwargs):
             calls.append(args)
-            return original_localize(*args, **kwargs)
+            return original_localize(self, *args, **kwargs)
 
-        monkeypatch.setattr(engine._crc, "localize_kernel", counting_localize)
+        monkeypatch.setattr(TwoDimensionalCRC, "localize_kernel", counting_localize)
         first = protector.detect()
         assert len(calls) == 1
         second = protector.detect()
@@ -123,9 +124,10 @@ class TestDetectionCaches:
         def failing_localize(*args, **kwargs):
             raise AssertionError("localize_kernel should not run for golden weights")
 
-        monkeypatch.setattr(engine._crc, "localize_kernel", failing_localize)
+        monkeypatch.setattr(TwoDimensionalCRC, "localize_kernel", failing_localize)
         layer = partial_conv_model.get_layer("c1")
-        mask = engine._localize(0, layer)
+        plan = protector.plan.plan_for(0)
+        mask = engine._localize(0, layer, plan, handler_for(layer, 0))
         assert mask.shape == layer.get_weights().shape
         assert not mask.any()
 

@@ -1,0 +1,150 @@
+"""Tests for the BatchNorm and DepthwiseConv2D layers (nn substrate level)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn import BatchNorm, DepthwiseConv2D, Sequential
+from repro.nn.training import Adam, Trainer
+from repro.types import FLOAT_DTYPE
+
+
+class TestBatchNormLayer:
+    def test_forward_is_per_channel_affine(self):
+        layer = BatchNorm(seed=1, name="bn")
+        layer.build((4, 4, 3))
+        x = np.random.default_rng(0).random((2, 4, 4, 3)).astype(FLOAT_DTYPE)
+        y = layer.forward(x)
+        weights = layer.get_weights()
+        np.testing.assert_allclose(y, x * weights[0] + weights[1], rtol=1e-6)
+
+    def test_weights_round_trip_and_shape_check(self):
+        layer = BatchNorm(seed=2, name="bn")
+        layer.build((5,))
+        weights = layer.get_weights()
+        assert weights.shape == (2, 5)
+        replacement = weights + 0.25
+        layer.set_weights(replacement)
+        np.testing.assert_array_equal(layer.get_weights(), replacement)
+        with pytest.raises(ShapeError):
+            layer.set_weights(np.zeros((3, 5), dtype=FLOAT_DTYPE))
+
+    def test_invert_roundtrip(self):
+        layer = BatchNorm(seed=3, name="bn")
+        layer.build((6,))
+        x = np.random.default_rng(1).random((3, 6)).astype(FLOAT_DTYPE)
+        np.testing.assert_allclose(layer.invert(layer.forward(x)), x, rtol=1e-5, atol=1e-6)
+
+    def test_backward_gradients(self):
+        layer = BatchNorm(seed=4, name="bn")
+        layer.build((3,))
+        x = np.random.default_rng(2).random((5, 3)).astype(FLOAT_DTYPE)
+        layer.forward(x, training=True)
+        grad_out = np.ones((5, 3), dtype=FLOAT_DTYPE)
+        grad_in = layer.backward(grad_out)
+        weights = layer.get_weights()
+        np.testing.assert_allclose(grad_in, np.tile(weights[0], (5, 1)), rtol=1e-6)
+        np.testing.assert_allclose(layer.grad_weights[0], x.sum(axis=0), rtol=1e-5)
+        np.testing.assert_allclose(layer.grad_weights[1], np.full(3, 5.0), rtol=1e-6)
+
+    def test_parameter_count(self):
+        layer = BatchNorm(seed=5, name="bn")
+        layer.build((8, 8, 4))
+        assert layer.parameter_count == 8
+        assert layer.channels == 4
+
+
+class TestDepthwiseConv2DLayer:
+    def _reference_forward(self, inputs, kernel):
+        """Naive per-channel convolution (valid padding, stride 1)."""
+        batch, height, width, channels = inputs.shape
+        f1, f2, _ = kernel.shape
+        out = np.zeros(
+            (batch, height - f1 + 1, width - f2 + 1, channels), dtype=np.float64
+        )
+        for b in range(batch):
+            for i in range(out.shape[1]):
+                for j in range(out.shape[2]):
+                    for c in range(channels):
+                        window = inputs[b, i : i + f1, j : j + f2, c]
+                        out[b, i, j, c] = np.sum(
+                            window.astype(np.float64) * kernel[:, :, c].astype(np.float64)
+                        )
+        return out.astype(FLOAT_DTYPE)
+
+    def test_forward_matches_naive_reference(self):
+        layer = DepthwiseConv2D(3, seed=1, name="dw")
+        layer.build((6, 6, 4))
+        x = np.random.default_rng(0).random((2, 6, 6, 4)).astype(FLOAT_DTYPE)
+        expected = self._reference_forward(x, layer.get_weights())
+        np.testing.assert_allclose(layer.forward(x), expected, rtol=1e-5, atol=1e-6)
+
+    def test_same_padding_preserves_spatial_shape(self):
+        layer = DepthwiseConv2D(3, padding="same", seed=2, name="dw")
+        layer.build((7, 7, 2))
+        assert layer.output_shape == (7, 7, 2)
+        x = np.random.default_rng(1).random((1, 7, 7, 2)).astype(FLOAT_DTYPE)
+        assert layer.forward(x).shape == (1, 7, 7, 2)
+
+    def test_channel_patches_layout_matches_kernel_matrix(self):
+        layer = DepthwiseConv2D(2, seed=3, name="dw")
+        layer.build((4, 4, 3))
+        x = np.random.default_rng(2).random((1, 4, 4, 3)).astype(FLOAT_DTYPE)
+        split = layer.channel_patches(x)
+        out = np.einsum("bhwkc,kc->bhwc", split, layer.kernel_matrix())
+        np.testing.assert_allclose(out, layer.forward(x), rtol=1e-5, atol=1e-6)
+
+    def test_backward_gradient_shapes_and_finite_difference(self):
+        layer = DepthwiseConv2D(2, seed=4, name="dw")
+        layer.build((4, 4, 2))
+        x = np.random.default_rng(3).random((1, 4, 4, 2)).astype(FLOAT_DTYPE)
+        out = layer.forward(x, training=True)
+        grad_out = np.ones_like(out)
+        grad_in = layer.backward(grad_out)
+        assert grad_in.shape == x.shape
+        assert layer.grad_weights.shape == layer.get_weights().shape
+        # Finite-difference check of one kernel gradient entry.
+        weights = layer.get_weights()
+        eps = 1e-3
+        bumped = weights.copy()
+        bumped[0, 1, 1] += eps
+        layer.set_weights(bumped)
+        loss_plus = float(layer.forward(x).sum())
+        bumped[0, 1, 1] -= 2 * eps
+        layer.set_weights(bumped)
+        loss_minus = float(layer.forward(x).sum())
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert numeric == pytest.approx(float(layer.grad_weights[0, 1, 1]), rel=1e-2)
+
+    def test_weights_shape_check(self):
+        layer = DepthwiseConv2D(3, seed=5, name="dw")
+        layer.build((5, 5, 2))
+        with pytest.raises(ShapeError):
+            layer.set_weights(np.zeros((3, 3, 4), dtype=FLOAT_DTYPE))
+
+
+class TestTrainability:
+    def test_model_with_new_layers_trains(self):
+        """The new layers carry gradients through the standard trainer loop."""
+        from repro.nn import Dense, Flatten, ReLU
+
+        model = Sequential(
+            [
+                DepthwiseConv2D(3, seed=1, name="dw"),
+                BatchNorm(name="bn", seed=2),
+                ReLU(name="r"),
+                Flatten(name="f"),
+                Dense(3, seed=3, name="d"),
+            ]
+        )
+        model.build((6, 6, 2))
+        rng = np.random.default_rng(0)
+        images = rng.random((24, 6, 6, 2)).astype(FLOAT_DTYPE)
+        labels = rng.integers(0, 3, size=24)
+        before = [layer.get_weights().copy() for layer in model.layers if layer.has_parameters]
+        trainer = Trainer(model, optimizer=Adam(learning_rate=0.01), shuffle_seed=1)
+        trainer.fit(images, labels, epochs=2, batch_size=8)
+        after = [layer.get_weights() for layer in model.layers if layer.has_parameters]
+        assert any(not np.array_equal(b, a) for b, a in zip(before, after))

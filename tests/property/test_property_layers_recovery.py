@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import MILRConfig, MILRProtector
+from repro.core import MILRConfig, MILRProtector, RecoveryStrategy, plan_model
+from repro.core.planner import InversionStrategy
+from repro.exceptions import UnsupportedLayerError
 from repro.memory import inject_whole_weight
-from repro.nn import Bias, Conv2D, Dense, Flatten, ReLU, Sequential
+from repro.nn import BatchNorm, Bias, Conv2D, Dense, Flatten, ReLU, Sequential
+from repro.nn.layers.base import Layer
 from repro.nn.tensor_utils import col2im, im2col
 
 
@@ -107,6 +111,35 @@ class TestRecoveryProperties:
         assert recovery is not None
         np.testing.assert_allclose(layer.get_weights(), original, rtol=1e-3, atol=1e-3)
 
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_batchnorm_layer_always_recovers_from_whole_weight_errors(self, seed, rate):
+        model = Sequential(
+            [
+                Dense(10, seed=1, name="d"),
+                BatchNorm(name="bn", seed=2),
+                ReLU(),
+                Dense(4, seed=3, name="d2"),
+            ]
+        )
+        model.build((7,))
+        protector = MILRProtector(model, MILRConfig(master_seed=53))
+        protector.initialize()
+        layer = model.get_layer("bn")
+        original = layer.get_weights()
+        corrupted, report = inject_whole_weight(original, rate, np.random.default_rng(seed))
+        layer.set_weights(corrupted)
+        detection, _ = protector.detect_and_recover()
+        if report.affected_weights == 0:
+            assert not detection.any_errors
+            return
+        # The BatchNorm solve is self-contained (stored dummy rows), so it
+        # recovers regardless of the corruption pattern.
+        np.testing.assert_allclose(layer.get_weights(), original, rtol=1e-3, atol=1e-3)
+
     @given(st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=8, deadline=None)
     def test_recovery_never_corrupts_clean_layers(self, seed):
@@ -131,3 +164,105 @@ class TestRecoveryProperties:
         protector.detect_and_recover()
         # The dense layer was never corrupted; recovery must not have touched it.
         np.testing.assert_array_equal(model.get_layer("d").get_weights(), dense_original)
+
+
+class _RogueParameterized(Layer):
+    """A parameterized layer type the protection registry does not know."""
+
+    has_parameters = True
+
+    def __init__(self, width: int, name=None):
+        super().__init__(name=name)
+        self.width = width
+
+    def compute_output_shape(self, input_shape):
+        return input_shape
+
+    def forward(self, inputs, training=False):
+        return inputs
+
+    def get_weights(self):
+        return np.ones((self.width,), dtype=np.float32)
+
+    def set_weights(self, weights):
+        pass
+
+
+class _OptInPassthrough(Layer):
+    """A parameter-free layer that opts into protection via the pass-through flag."""
+
+    has_parameters = False
+    is_passthrough = True
+
+    def compute_output_shape(self, input_shape):
+        return input_shape
+
+    def forward(self, inputs, training=False):
+        return inputs
+
+
+class TestRegistryErrorProperties:
+    @given(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unregistered_parameterized_layer_raises_with_name_and_index(
+        self, prefix_blocks, width, features
+    ):
+        """Planning any model containing an unknown parameterized layer fails
+        with an UnsupportedLayerError naming the layer and its index."""
+        layers: list[Layer] = []
+        for block in range(prefix_blocks):
+            layers.append(Dense(features, seed=block, name=f"d{block}"))
+            layers.append(ReLU(name=f"r{block}"))
+        rogue_index = len(layers)
+        layers.append(_RogueParameterized(width, name="rogue_layer"))
+        model = Sequential(layers)
+        model.build((features,))
+        with pytest.raises(UnsupportedLayerError) as excinfo:
+            plan_model(model, MILRConfig())
+        message = str(excinfo.value)
+        assert "rogue_layer" in message
+        assert f"index {rogue_index}" in message
+        assert "_RogueParameterized" in message
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_registered_passthrough_layer_plans_as_identity(
+        self, passthrough_count, features, seed
+    ):
+        """Pass-through layers plan as identity: no parameters, no checkpoint,
+        no effect on detection or the recovery of their neighbours."""
+        layers: list[Layer] = [Dense(features, seed=seed, name="d")]
+        for i in range(passthrough_count):
+            layers.append(_OptInPassthrough(name=f"skip{i}"))
+        model = Sequential(layers)
+        model.build((features,))
+        protector = MILRProtector(model, MILRConfig(master_seed=seed))
+        plan = protector.initialize()
+        for i in range(1, 1 + passthrough_count):
+            passthrough_plan = plan.plan_for(i)
+            assert passthrough_plan.recovery_strategy is RecoveryStrategy.NONE
+            assert passthrough_plan.inversion_strategy is InversionStrategy.IDENTITY
+            assert passthrough_plan.parameter_count == 0
+            assert not passthrough_plan.needs_input_checkpoint
+            assert passthrough_plan.extra_storage_bytes == 0
+        # The pass-through layers are invisible to detection and recovery.
+        assert [p.index for p in plan.parameterized_layers()] == [0]
+        dense = model.get_layer("d")
+        original = dense.get_weights()
+        corrupted, report = inject_whole_weight(
+            original, 0.3, np.random.default_rng(seed)
+        )
+        dense.set_weights(corrupted)
+        detection, _ = protector.detect_and_recover()
+        if report.affected_weights == 0:
+            assert not detection.any_errors
+            return
+        np.testing.assert_allclose(dense.get_weights(), original, rtol=1e-3, atol=1e-3)

@@ -1,0 +1,118 @@
+"""End-to-end soak tests for the handler-registry layer types.
+
+The ISSUE's acceptance scenario, run against the two zoo networks that enter
+purely through new handler modules: ``mnist_bn`` (folded BatchNorm affines in
+conv and dense positions) and ``cifar_depthwise`` (a MobileNet-style
+depthwise + batch-norm block).  Staggered Poisson bit flips land under
+continuous inference -- targeted so the new layer types are guaranteed to be
+corrupted -- and every corruption must be detected, every layer restored
+bit-exactly, and availability stay >= 0.99.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceConfig, run_soak
+from repro.zoo import network_table
+
+
+def _layer_indices(network: str, *kinds: str) -> list[int]:
+    model = network_table()[network].builder()
+    return [
+        index
+        for index, layer in enumerate(model.layers)
+        if type(layer).__name__ in kinds
+    ]
+
+
+@pytest.fixture(scope="module")
+def bn_soak_result():
+    # Target the three BatchNorm layers plus the two convs, so conv
+    # recoveries exercise affine inversion through their BatchNorm neighbours.
+    targets = _layer_indices("mnist_bn", "BatchNorm", "Conv2D")
+    return run_soak(
+        network="mnist_bn",
+        duration_seconds=5.0,
+        mean_fault_interval_seconds=0.04,
+        max_fault_events=20,
+        scrub_period_seconds=ServiceConfig().scrub_period_seconds,
+        request_interval_seconds=0.002,
+        seed=3,
+        fault_layer_indices=targets,
+    )
+
+
+@pytest.fixture(scope="module")
+def depthwise_soak_result():
+    targets = _layer_indices("cifar_depthwise", "DepthwiseConv2D", "BatchNorm", "Conv2D")
+    return run_soak(
+        network="cifar_depthwise",
+        duration_seconds=5.0,
+        mean_fault_interval_seconds=0.04,
+        max_fault_events=20,
+        scrub_period_seconds=ServiceConfig().scrub_period_seconds,
+        request_interval_seconds=0.002,
+        seed=3,
+        fault_layer_indices=targets,
+    )
+
+
+class TestBatchNormSoak:
+    def test_staggered_flips_hit_batchnorm_layers(self, bn_soak_result):
+        assert len(bn_soak_result.fault_events) >= 20
+        stamps = [event.timestamp for event in bn_soak_result.fault_events]
+        assert max(stamps) - min(stamps) > 0.2
+        bn_indices = set(_layer_indices("mnist_bn", "BatchNorm"))
+        assert bn_soak_result.injected_layers & bn_indices, (
+            "no BatchNorm layer was ever corrupted -- the scenario did not "
+            "exercise the new handler"
+        )
+
+    def test_every_corruption_detected(self, bn_soak_result):
+        assert bn_soak_result.injected_layers
+        assert bn_soak_result.all_errors_detected
+
+    def test_recovered_bit_exact(self, bn_soak_result):
+        assert bn_soak_result.converged
+        assert bn_soak_result.bit_exact
+        assert bn_soak_result.sla.layers_degraded == 0
+
+    def test_serving_contract_held(self, bn_soak_result):
+        assert bn_soak_result.requests_completed > 0
+        assert bn_soak_result.served_during_quarantine == 0
+        assert bn_soak_result.requests_failed == 0
+
+    def test_availability_sla(self, bn_soak_result):
+        assert bn_soak_result.sla.availability >= 0.99
+
+
+class TestDepthwiseSoak:
+    def test_staggered_flips_hit_depthwise_and_batchnorm(self, depthwise_soak_result):
+        assert len(depthwise_soak_result.fault_events) >= 20
+        stamps = [event.timestamp for event in depthwise_soak_result.fault_events]
+        assert max(stamps) - min(stamps) > 0.2
+        new_type_indices = set(
+            _layer_indices("cifar_depthwise", "DepthwiseConv2D", "BatchNorm")
+        )
+        assert depthwise_soak_result.injected_layers & new_type_indices, (
+            "neither the depthwise kernel nor the batch norm was ever "
+            "corrupted -- the scenario did not exercise the new handlers"
+        )
+
+    def test_every_corruption_detected(self, depthwise_soak_result):
+        assert depthwise_soak_result.injected_layers
+        assert depthwise_soak_result.all_errors_detected
+
+    def test_recovered_bit_exact(self, depthwise_soak_result):
+        assert depthwise_soak_result.converged
+        assert depthwise_soak_result.bit_exact
+        assert depthwise_soak_result.sla.layers_degraded == 0
+
+    def test_serving_contract_held(self, depthwise_soak_result):
+        assert depthwise_soak_result.requests_completed > 0
+        assert depthwise_soak_result.served_during_quarantine == 0
+        assert depthwise_soak_result.requests_failed == 0
+
+    def test_availability_sla(self, depthwise_soak_result):
+        assert depthwise_soak_result.sla.availability >= 0.99

@@ -122,3 +122,77 @@ class TestNetworkTable:
         for index, layer in enumerate(model.layers):
             if type(layer).__name__ in ("Conv2D", "Dense"):
                 assert type(model.layers[index + 1]).__name__ == "Bias"
+
+
+class TestRegisterNetworkDecorator:
+    def test_new_networks_self_registered(self):
+        table = network_table()
+        assert "mnist_bn" in table
+        assert "cifar_depthwise" in table
+        assert table["mnist_bn"].input_shape == (28, 28, 1)
+        assert table["cifar_depthwise"].input_shape == (32, 32, 3)
+
+    def test_registered_networks_appear_in_cli_choices(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, __import__("argparse")._SubParsersAction)
+        )
+        for command in ("summary", "rber", "whole-layer", "serve", "soak"):
+            sub = subparsers.choices[command]
+            network_action = next(
+                action for action in sub._actions if action.dest in ("network", "networks")
+            )
+            assert set(network_action.choices) == set(network_table()), command
+
+    def test_duplicate_registration_rejected(self):
+        import pytest
+
+        from repro.exceptions import ExperimentError
+        from repro.zoo import register_network
+
+        with pytest.raises(ExperimentError):
+
+            @register_network("mnist", (28, 28, 1))
+            def duplicate_builder():
+                raise AssertionError("never built")
+
+    def test_decorator_registers_and_returns_builder(self):
+        from repro.nn import Dense, Sequential
+        from repro.zoo import register_network
+        from repro.zoo.networks import _SPECS
+
+        @register_network("zoo_test_tmp_network", (6,))
+        def build_tmp():
+            model = Sequential([Dense(3, seed=0, name="d")])
+            model.build((6,))
+            return model
+
+        try:
+            spec = network_table()["zoo_test_tmp_network"]
+            assert spec.builder is build_tmp
+            assert spec.builder().built
+        finally:
+            _SPECS.pop("zoo_test_tmp_network", None)
+
+    def test_mnist_bn_uses_batchnorm_in_conv_and_dense_positions(self):
+        from repro.zoo import build_mnist_bn_network
+
+        model = build_mnist_bn_network()
+        kinds = [type(layer).__name__ for layer in model.layers]
+        assert kinds.count("BatchNorm") == 3
+        conv_positions = [i for i, kind in enumerate(kinds) if kind == "Conv2D"]
+        for index in conv_positions:
+            assert kinds[index + 1] == "BatchNorm"
+
+    def test_cifar_depthwise_block_structure(self):
+        from repro.zoo import build_cifar_depthwise_network
+
+        model = build_cifar_depthwise_network()
+        kinds = [type(layer).__name__ for layer in model.layers]
+        depthwise = kinds.index("DepthwiseConv2D")
+        assert kinds[depthwise + 1] == "BatchNorm"
+        assert kinds[depthwise + 2] == "ReLU"
