@@ -1,0 +1,206 @@
+"""Benchmark regression gate.
+
+Compares freshly measured ``BENCH_detection.json`` / ``BENCH_service.json``
+``ns_per_op`` numbers against the committed ``BENCH_baseline.json`` and fails
+(exit code 1) when any op regressed beyond the tolerance.  The tolerance is
+deliberately generous (default 2.5x) so shared-runner noise does not flake
+the gate while order-of-magnitude regressions still fail.
+
+Usage (what CI runs after the benchmark steps)::
+
+    python benchmarks/check_regression.py
+
+After an intentional performance change, refresh the baseline from fresh
+measurements::
+
+    python benchmarks/check_regression.py --update
+
+Exit codes: 0 ok, 1 regression detected, 2 missing/invalid input files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: source name -> fresh result file written by the benchmark suites.
+FRESH_FILES = {
+    "detection": "BENCH_detection.json",
+    "service": "BENCH_service.json",
+}
+
+OpKey = tuple[str, str, tuple[int, ...]]
+
+
+def _result_map(source: str, payload: dict) -> dict[OpKey, float]:
+    out: dict[OpKey, float] = {}
+    for entry in payload.get("results", []):
+        key = (source, entry["op"], tuple(entry.get("shape", ())))
+        out[key] = float(entry["ns_per_op"])
+    return out
+
+
+def load_baseline(path: Path) -> dict[OpKey, float]:
+    """Flatten the committed baseline into ``(source, op, shape) -> ns``."""
+    payload = json.loads(path.read_text())
+    out: dict[OpKey, float] = {}
+    for source in FRESH_FILES:
+        out.update(_result_map(source, payload.get(source, {})))
+    return out
+
+
+def load_fresh(root: Path) -> tuple[dict[OpKey, float], list[str]]:
+    """Load the fresh benchmark files; returns (results, missing files)."""
+    out: dict[OpKey, float] = {}
+    missing: list[str] = []
+    for source, filename in FRESH_FILES.items():
+        path = root / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        out.update(_result_map(source, json.loads(path.read_text())))
+    return out, missing
+
+
+def compare(
+    baseline: dict[OpKey, float], fresh: dict[OpKey, float], tolerance: float
+) -> list[dict[str, object]]:
+    """One comparison row per baseline op; regressions carry status 'FAIL'."""
+    rows: list[dict[str, object]] = []
+    for key in sorted(baseline):
+        source, op, shape = key
+        baseline_ns = baseline[key]
+        row: dict[str, object] = {
+            "source": source,
+            "op": op,
+            "baseline_ns": round(baseline_ns, 1),
+        }
+        if key not in fresh:
+            row.update(fresh_ns="-", ratio="-", status="MISSING")
+        else:
+            fresh_ns = fresh[key]
+            ratio = fresh_ns / baseline_ns if baseline_ns > 0 else float("inf")
+            row.update(
+                fresh_ns=round(fresh_ns, 1),
+                ratio=round(ratio, 3),
+                status="FAIL" if ratio > tolerance else "ok",
+            )
+        rows.append(row)
+    for key in sorted(set(fresh) - set(baseline)):
+        source, op, shape = key
+        rows.append(
+            {
+                "source": source,
+                "op": op,
+                "baseline_ns": "-",
+                "fresh_ns": round(fresh[key], 1),
+                "ratio": "-",
+                "status": "NEW",
+            }
+        )
+    return rows
+
+
+def update_baseline(baseline_path: Path, root: Path) -> None:
+    """Rewrite the baseline from the fresh benchmark files."""
+    payload: dict[str, object] = {
+        "comment": (
+            "Committed ns_per_op baselines for the CI benchmark regression gate. "
+            "Compare with benchmarks/check_regression.py (default tolerance 2.5x to "
+            "absorb runner noise); refresh with its --update flag after an "
+            "intentional performance change."
+        )
+    }
+    for source, filename in FRESH_FILES.items():
+        path = root / filename
+        if not path.exists():
+            raise FileNotFoundError(f"cannot update baseline: {filename} is missing")
+        fresh = json.loads(path.read_text())
+        payload[source] = {
+            "results": [
+                {
+                    "op": entry["op"],
+                    "shape": entry.get("shape", []),
+                    "ns_per_op": round(float(entry["ns_per_op"]), 1),
+                }
+                for entry in fresh.get("results", [])
+            ]
+        }
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _print_rows(rows: Sequence[dict[str, object]]) -> None:
+    columns = ("source", "op", "baseline_ns", "fresh_ns", "ratio", "status")
+    widths = {
+        column: max(len(column), *(len(str(row[column])) for row in rows))
+        for column in columns
+    }
+    print("  ".join(column.ljust(widths[column]) for column in columns))
+    for row in rows:
+        print("  ".join(str(row[column]).ljust(widths[column]) for column in columns))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="BENCH_baseline.json", help="committed baseline file"
+    )
+    parser.add_argument(
+        "--root", default=".", help="directory holding the fresh BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.5,
+        help="maximum tolerated fresh/baseline ns_per_op ratio",
+    )
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the baseline from fresh results"
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    root = Path(args.root)
+    if args.update:
+        try:
+            update_baseline(baseline_path, root)
+        except FileNotFoundError as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"baseline file {baseline_path} not found", file=sys.stderr)
+        return 2
+    baseline = load_baseline(baseline_path)
+    if not baseline:
+        print(f"baseline file {baseline_path} holds no results", file=sys.stderr)
+        return 2
+    fresh, missing = load_fresh(root)
+    if missing:
+        print(
+            "fresh benchmark files missing (run the benchmark suites first): "
+            + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+
+    rows = compare(baseline, fresh, args.tolerance)
+    _print_rows(rows)
+    failures = [row for row in rows if row["status"] == "FAIL"]
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark regression(s) beyond {args.tolerance}x tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(rows)} benchmarks within {args.tolerance}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,16 +5,32 @@ from repro.analysis.availability import (
     AvailabilityPoint,
     dram_error_interval_seconds,
 )
-from repro.analysis.stats import BoxPlotStats, normalized_accuracy, summarize_runs
-from repro.analysis.reporting import format_table, format_storage_table, format_series
+from repro.analysis.stats import (
+    BoxPlotStats,
+    MeanConfidenceInterval,
+    mean_confidence_interval,
+    normalized_accuracy,
+    summarize_runs,
+)
+from repro.analysis.reporting import (
+    aggregate_campaign,
+    format_campaign_report,
+    format_series,
+    format_storage_table,
+    format_table,
+)
 
 __all__ = [
     "BoxPlotStats",
+    "MeanConfidenceInterval",
+    "mean_confidence_interval",
     "normalized_accuracy",
     "summarize_runs",
     "AvailabilityModel",
     "AvailabilityPoint",
     "dram_error_interval_seconds",
+    "aggregate_campaign",
+    "format_campaign_report",
     "format_table",
     "format_storage_table",
     "format_series",

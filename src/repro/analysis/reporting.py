@@ -1,10 +1,29 @@
-"""Plain-text table formatting for experiment and benchmark output."""
+"""Plain-text table formatting and campaign-store aggregation.
+
+Besides the generic table renderers this module owns the campaign
+aggregation layer: :func:`aggregate_campaign` folds the JSONL records of a
+:class:`~repro.experiments.results.ResultStore` into one summary row per grid
+cell (network x fault mode x scheme x sweep point) -- detection rate,
+recovery rate, bit-exactness, accuracy with a confidence interval, mean
+Td/Tr and the implied availability -- and
+:func:`format_campaign_report` renders those rows as the paper-style result
+table.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_storage_table", "format_series"]
+from repro.analysis.availability import dram_error_interval_seconds
+from repro.analysis.stats import mean_confidence_interval
+
+__all__ = [
+    "format_table",
+    "format_storage_table",
+    "format_series",
+    "aggregate_campaign",
+    "format_campaign_report",
+]
 
 
 def _format_cell(value: object, precision: int) -> str:
@@ -57,3 +76,186 @@ def format_series(
     """Render an (x, y) series as a two-column table (figure data)."""
     rows = [{x_label: x, y_label: y} for x, y in points]
     return format_table(rows, columns=[x_label, y_label], title=title, precision=precision)
+
+
+# --------------------------------------------------------------------------- #
+# Campaign aggregation
+
+#: Columns that are pure functions of the campaign spec (identical across
+#: runs and worker counts).
+CAMPAIGN_BASE_COLUMNS = (
+    "network",
+    "fault_mode",
+    "scheme",
+    "point",
+    "trials",
+    "detection_rate",
+    "recovery_rate",
+    "bit_exact_rate",
+    "acc_mean",
+    "acc_lo",
+    "acc_hi",
+)
+#: Columns derived from wall-clock measurements (vary run to run).
+CAMPAIGN_TIMING_COLUMNS = ("mean_td_ms", "mean_tr_ms", "availability")
+
+
+def _format_point(point: object) -> str:
+    if point is None:
+        return "-"
+    if isinstance(point, float):
+        return f"{point:g}"
+    return str(point)
+
+
+def _point_sort_key(point: object) -> tuple:
+    if isinstance(point, (int, float)):
+        return (0, float(point), "")
+    return (1, 0.0, str(point))
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def aggregate_campaign(
+    records: Iterable[Mapping[str, object]], confidence: float = 0.95
+) -> list[dict[str, object]]:
+    """Fold campaign records into one summary row per grid cell.
+
+    Cells are keyed by (network, fault mode, sweep point, scheme).  Rates are
+    computed over the trials where their denominator is defined: detection
+    rate over trials that actually injected a fault, recovery rate over
+    trials where detection fired (all flagged layers recovered), and
+    bit-exactness over faulted trials.  Cells without a defined denominator
+    render the value as an empty cell rather than a fake 0.
+
+    ``mean_td``/``mean_tr`` average the non-zero measured detection/recovery
+    times; availability evaluates the paper's Eq. 6 at one maintenance period
+    per expected memory error (two detections + one recovery per period,
+    error interval from the 75,000 FIT/Mbit DRAM model).
+    """
+    cells: dict[tuple, list[Mapping[str, object]]] = {}
+    for record in records:
+        spec = record["spec"]
+        key = (spec["network"], spec["fault_mode"], spec["scheme"], spec["point"])
+        cells.setdefault(key, []).append(record)
+
+    rows: list[dict[str, object]] = []
+    for key in sorted(
+        cells,
+        key=lambda cell: (cell[0], cell[1], _point_sort_key(cell[3]), cell[2]),
+    ):
+        network, fault_mode, scheme, point = key
+        cell_records = sorted(
+            cells[key], key=lambda record: record["spec"].get("trial_index", 0)
+        )
+        results = [record["result"] for record in cell_records]
+
+        faulted = [result for result in results if result.get("faulted")]
+        detected = [result for result in faulted if result.get("detected")]
+        detection_rate: Union[float, str] = (
+            len(detected) / len(faulted) if faulted else ""
+        )
+        recovery_rate: Union[float, str] = (
+            sum(
+                1
+                for result in detected
+                if result.get("recovered_layers", 0) == result.get("detected_layers", 0)
+            )
+            / len(detected)
+            if detected
+            else ""
+        )
+        bit_exact_rate: Union[float, str] = (
+            sum(1 for result in faulted if result.get("bit_exact")) / len(faulted)
+            if faulted
+            else ""
+        )
+
+        accuracies = [
+            result["normalized_accuracy"]
+            for result in results
+            if "normalized_accuracy" in result
+        ]
+        if accuracies:
+            interval = mean_confidence_interval(accuracies, confidence)
+            acc_mean: Union[float, str] = interval.mean
+            acc_lo: Union[float, str] = interval.lower
+            acc_hi: Union[float, str] = interval.upper
+        else:
+            acc_mean = acc_lo = acc_hi = ""
+
+        detection_times = [
+            result["detection_seconds"]
+            for result in results
+            if result.get("detection_seconds", 0.0) > 0.0
+        ]
+        recovery_times = [
+            result["recovery_seconds"]
+            for result in results
+            if result.get("recovery_seconds", 0.0) > 0.0
+        ]
+        mean_td = _mean(detection_times) if detection_times else None
+        mean_tr = _mean(recovery_times) if recovery_times else None
+
+        availability: Union[float, str] = ""
+        model_bytes = next(
+            (result["model_bytes"] for result in results if result.get("model_bytes")), None
+        )
+        if mean_td is not None and model_bytes:
+            error_interval = next(
+                (
+                    result["error_interval_seconds"]
+                    for result in results
+                    if result.get("error_interval_seconds")
+                ),
+                dram_error_interval_seconds(int(model_bytes)),
+            )
+            overhead = 2.0 * mean_td + (mean_tr or 0.0)
+            availability = max(0.0, 1.0 - overhead / error_interval)
+
+        rows.append(
+            {
+                "network": network,
+                "fault_mode": fault_mode,
+                "scheme": scheme,
+                "point": _format_point(point),
+                "trials": len(results),
+                "detection_rate": detection_rate,
+                "recovery_rate": recovery_rate,
+                "bit_exact_rate": bit_exact_rate,
+                "acc_mean": acc_mean,
+                "acc_lo": acc_lo,
+                "acc_hi": acc_hi,
+                "mean_td_ms": 1e3 * mean_td if mean_td is not None else "",
+                "mean_tr_ms": 1e3 * mean_tr if mean_tr is not None else "",
+                "availability": availability,
+            }
+        )
+    return rows
+
+
+def format_campaign_report(
+    records: Iterable[Mapping[str, object]],
+    include_timing: bool = True,
+    confidence: float = 0.95,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a campaign store as per-cell summary tables.
+
+    With ``include_timing=False`` the report contains only spec-deterministic
+    columns, so it is byte-identical for any worker count, interruption or
+    resume of the same campaign.
+    """
+    rows = aggregate_campaign(records, confidence=confidence)
+    if title is None:
+        title = (
+            f"Campaign summary ({sum(row['trials'] for row in rows)} trials, "
+            f"{confidence:.0%} confidence intervals)"
+        )
+    columns = list(CAMPAIGN_BASE_COLUMNS)
+    if include_timing:
+        columns += list(CAMPAIGN_TIMING_COLUMNS)
+    return format_table(rows, columns=columns, title=title, precision=precision)

@@ -3,11 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from statistics import NormalDist
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["BoxPlotStats", "normalized_accuracy", "summarize_runs"]
+__all__ = [
+    "BoxPlotStats",
+    "MeanConfidenceInterval",
+    "mean_confidence_interval",
+    "normalized_accuracy",
+    "summarize_runs",
+]
 
 
 def normalized_accuracy(accuracy: float, baseline_accuracy: float) -> float:
@@ -79,6 +86,52 @@ class BoxPlotStats:
             "max": self.maximum,
             "mean": self.mean,
         }
+
+
+@dataclass(frozen=True)
+class MeanConfidenceInterval:
+    """Normal-approximation confidence interval for a sample mean.
+
+    Used by the campaign aggregation tables.  With a single sample (or zero
+    variance) the interval degenerates to the mean itself.
+    """
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+    count: int
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> MeanConfidenceInterval:
+    """Confidence interval of the mean (normal approximation, sample stddev).
+
+    ``half_width = z * s / sqrt(n)`` with ``z`` the two-sided normal quantile
+    for ``confidence`` and ``s`` the (ddof=1) sample standard deviation.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot build a confidence interval from zero samples")
+    mean = float(values.mean())
+    if values.size == 1:
+        return MeanConfidenceInterval(mean, mean, mean, confidence, 1)
+    z = NormalDist().inv_cdf((1.0 + confidence) / 2.0)
+    half = z * float(values.std(ddof=1)) / float(np.sqrt(values.size))
+    return MeanConfidenceInterval(
+        mean=mean,
+        lower=mean - half,
+        upper=mean + half,
+        confidence=confidence,
+        count=int(values.size),
+    )
 
 
 def summarize_runs(samples_by_key: dict, sort_keys: bool = True) -> dict[str, BoxPlotStats]:

@@ -21,6 +21,14 @@ experiment:
 * ``soak``           — the fault-pressure scenario (Fig. 12's live
   counterpart): Poisson bit flips against live weights under continuous
   inference, with detection/recovery/bit-exactness and availability reported
+
+``campaign`` drives the sharded, resumable evaluation-campaign runner:
+
+* ``campaign run``    — expand a grid (networks × fault modes × points ×
+  schemes × repetitions) and execute the missing trials across worker
+  processes, streaming results into an append-only JSONL store
+* ``campaign status`` — completed/pending trial counts for a grid vs a store
+* ``campaign report`` — fold a store into per-cell summary tables
 """
 
 from __future__ import annotations
@@ -28,13 +36,18 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from repro.analysis.reporting import format_storage_table, format_table
+from repro.analysis.reporting import format_campaign_report, format_storage_table, format_table
 from repro.experiments import (
+    CampaignSpec,
     ExperimentSetting,
     ProtectionScheme,
+    campaign_status,
+    open_store,
+    run_campaign,
     run_rber_sweep,
     run_whole_weight_sweep,
 )
+from repro.experiments.campaign import FAULT_MODES
 from repro.experiments.availability_tradeoff import availability_tradeoff_curves
 from repro.experiments.storage import storage_overhead_table
 from repro.experiments.timing import (
@@ -156,6 +169,70 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--max-faults", type=int, default=None, help="stop after this many error events"
     )
+
+    campaign = subparsers.add_parser(
+        "campaign", help="sharded, resumable fault-injection campaigns"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_grid_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--store", required=True, help="JSONL result-store path")
+        sub.add_argument("--name", default="campaign", help="campaign name (part of trial keys)")
+        sub.add_argument(
+            "--networks", nargs="+", default=["mnist_reduced"], choices=sorted(network_table())
+        )
+        sub.add_argument(
+            "--fault-modes", nargs="+", default=["rber"], choices=list(FAULT_MODES)
+        )
+        sub.add_argument(
+            "--error-rates", type=float, nargs="+", default=[1e-5, 1e-4, 1e-3]
+        )
+        sub.add_argument(
+            "--schemes",
+            nargs="+",
+            default=[scheme.value for scheme in ProtectionScheme],
+            choices=[scheme.value for scheme in ProtectionScheme],
+        )
+        sub.add_argument("--repetitions", type=int, default=3)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--train-samples-per-class", type=int, default=60)
+        sub.add_argument("--train-epochs", type=int, default=6)
+        sub.add_argument(
+            "--recovery-error-count",
+            type=int,
+            default=100,
+            help="errors injected by availability-mode timing trials",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute the grid's missing trials (resume = re-run)"
+    )
+    add_campaign_grid_arguments(campaign_run)
+    campaign_run.add_argument(
+        "--workers", type=int, default=None, help="worker processes (default: CPU count)"
+    )
+    campaign_run.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="stop after this many executed trials (simulates interruption)",
+    )
+
+    campaign_status_parser = campaign_sub.add_parser(
+        "status", help="completed/pending counts for a grid vs a store"
+    )
+    add_campaign_grid_arguments(campaign_status_parser)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="fold a result store into per-cell summary tables"
+    )
+    campaign_report.add_argument("--store", required=True, help="JSONL result-store path")
+    campaign_report.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="omit wall-clock columns (byte-identical for any worker count)",
+    )
+    campaign_report.add_argument("--confidence", type=float, default=0.95)
     return parser
 
 
@@ -358,8 +435,49 @@ def _print_soak(args: argparse.Namespace) -> None:
     )
 
 
+def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    return CampaignSpec(
+        name=args.name,
+        networks=tuple(args.networks),
+        error_rates=tuple(args.error_rates),
+        fault_modes=tuple(args.fault_modes),
+        schemes=tuple(args.schemes),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        train_samples_per_class=args.train_samples_per_class,
+        train_epochs=args.train_epochs,
+        recovery_error_count=args.recovery_error_count,
+    )
+
+
+def _print_campaign(args: argparse.Namespace) -> None:
+    if args.campaign_command == "report":
+        records = open_store(args.store).records()
+        print(
+            format_campaign_report(
+                records, include_timing=not args.no_timing, confidence=args.confidence
+            )
+        )
+        return
+    spec = _campaign_spec_from_args(args)
+    store = open_store(args.store)
+    if args.campaign_command == "status":
+        rows = campaign_status(spec, store)
+        print(format_table(rows, title=f"Campaign {spec.name!r} status ({store.path})"))
+        return
+    summary = run_campaign(spec, store, workers=args.workers, max_trials=args.max_trials)
+    print(
+        format_table(
+            [summary.as_row()],
+            title=f"Campaign {spec.name!r} run ({store.path})",
+            precision=0,
+        )
+    )
+
+
 _HANDLERS = {
     "summary": _print_summary,
+    "campaign": _print_campaign,
     "storage": _print_storage,
     "rber": _print_rber,
     "whole-weight": _print_whole_weight,

@@ -16,13 +16,37 @@ Module                            Paper artifact
 Accuracy experiments run on reduced-scale networks trained on synthetic data
 (see DESIGN.md); structural experiments (storage, architecture) use the
 paper-exact networks from :mod:`repro.zoo`.
+
+The fault-injection experiments are thin trial definitions over
+:mod:`repro.experiments.campaign`, the sharded, resumable campaign runner
+that expands declarative grids into deterministically seeded trials and
+streams results into the append-only stores of
+:mod:`repro.experiments.results`.
 """
 
+from repro.experiments.campaign import (
+    FAULT_MODES,
+    CampaignRunSummary,
+    CampaignSpec,
+    TrialSpec,
+    campaign_status,
+    collect_campaign_records,
+    execute_trial,
+    expand_campaign,
+    run_campaign,
+    trial_seed_sequence,
+)
 from repro.experiments.harness import (
     ExperimentSetting,
     ProtectionScheme,
     SchemeTrialResult,
     run_protection_trial,
+)
+from repro.experiments.results import (
+    MemoryResultStore,
+    ResultStore,
+    open_store,
+    trial_key,
 )
 from repro.experiments.injection import (
     ECCProtectedModel,
@@ -44,6 +68,20 @@ from repro.experiments.timing import (
 from repro.experiments.availability_tradeoff import availability_tradeoff_curves
 
 __all__ = [
+    "FAULT_MODES",
+    "CampaignRunSummary",
+    "CampaignSpec",
+    "TrialSpec",
+    "campaign_status",
+    "collect_campaign_records",
+    "execute_trial",
+    "expand_campaign",
+    "run_campaign",
+    "trial_seed_sequence",
+    "MemoryResultStore",
+    "ResultStore",
+    "open_store",
+    "trial_key",
     "ProtectionScheme",
     "ExperimentSetting",
     "SchemeTrialResult",

@@ -17,18 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.availability import (
-    AvailabilityModel,
-    AvailabilityPoint,
-    dram_error_interval_seconds,
-)
+from repro.analysis.availability import AvailabilityModel, AvailabilityPoint
 from repro.core import MILRConfig
 from repro.exceptions import ExperimentError
-from repro.experiments.timing import (
-    measure_prediction_and_identification,
-    recovery_time_curve,
+from repro.experiments.campaign import (
+    FAULT_MODE_AVAILABILITY,
+    CampaignSpec,
+    collect_campaign_records,
 )
-from repro.zoo import network_table
+from repro.experiments.results import StoreLike
 
 __all__ = ["AvailabilityTradeoff", "availability_tradeoff_curves"]
 
@@ -54,35 +51,42 @@ def availability_tradeoff_curves(
     yearly_accuracy_floor: float = 0.5,
     curve_points: int = 40,
     recovery_error_count: int = 100,
+    store: StoreLike | None = None,
+    workers: int = 0,
 ) -> list[AvailabilityTradeoff]:
-    """Build the Figure 12 trade-off curve for each requested network."""
+    """Build the Figure 12 trade-off curve for each requested network.
+
+    The per-network Td/Tr measurements are availability-mode campaign trials;
+    with a ``store`` the (slow) timing runs are cached and re-invocations
+    rebuild the curves from stored measurements.
+    """
     if curve_points < 2:
         raise ExperimentError("curve_points must be at least 2")
-    specs = network_table()
+    spec = CampaignSpec(
+        name="availability_tradeoff",
+        networks=tuple(network_names),
+        error_rates=(),
+        fault_modes=(FAULT_MODE_AVAILABILITY,),
+        schemes=("milr",),
+        repetitions=1,
+        recovery_error_count=recovery_error_count,
+    )
+    records = collect_campaign_records(
+        spec, store=store, workers=workers, milr_config=milr_config
+    )
     results: list[AvailabilityTradeoff] = []
-    for name in network_names:
-        if name not in specs:
-            raise ExperimentError(f"unknown network {name!r}")
-        model = specs[name].builder()
-        timing = measure_prediction_and_identification(name, model=model, milr_config=milr_config)
-        recovery_points = recovery_time_curve(
-            name,
-            error_counts=(recovery_error_count,),
-            milr_config=milr_config,
-            model=model,
-        )
-        recovery_seconds = recovery_points[0].recovery_seconds
-        error_interval = dram_error_interval_seconds(model.parameter_bytes())
+    for record in records:
+        result = record["result"]
         availability_model = AvailabilityModel(
-            detection_seconds=timing.identification_seconds,
-            recovery_seconds=recovery_seconds,
-            error_interval_seconds=error_interval,
+            detection_seconds=result["detection_seconds"],
+            recovery_seconds=result["recovery_seconds"],
+            error_interval_seconds=result["error_interval_seconds"],
             detections_per_period=2,
             yearly_accuracy_floor=yearly_accuracy_floor,
         )
         results.append(
             AvailabilityTradeoff(
-                network=name,
+                network=record["spec"]["network"],
                 model=availability_model,
                 curve=availability_model.trade_off_curve(points=curve_points),
                 availability_at_user_a=availability_model.availability_for_accuracy(

@@ -1,0 +1,660 @@
+"""Sharded, resumable fault-injection campaign runner.
+
+A *campaign* is a declarative grid -- networks x fault modes x sweep points x
+protection schemes x repetitions -- expanded into independent, deterministically
+seeded trials.  The runner executes trials across a
+:class:`~concurrent.futures.ProcessPoolExecutor` (worker count defaults to the
+machine's CPUs) and streams every completed trial into an append-only JSONL
+:class:`~repro.experiments.results.ResultStore`, keyed by a content hash of
+the trial spec.  The consequences:
+
+* **Resumable** -- a killed campaign re-invoked with the same spec executes
+  only the trials missing from the store.
+* **Idempotent** -- re-running a finished campaign is a no-op.
+* **Order independent** -- every trial derives its PRNG stream via
+  ``np.random.SeedSequence(seed).spawn(...)`` from its fixed position in the
+  expanded grid, so results are bit-identical for any worker count or
+  completion order (serial == parallel).
+
+The four offline experiment modules (:mod:`~repro.experiments.rber_sweep`,
+:mod:`~repro.experiments.whole_weight`, :mod:`~repro.experiments.whole_layer`
+and :mod:`~repro.experiments.availability_tradeoff`) are thin trial
+definitions dispatched through this runner; the aggregation layer in
+:mod:`repro.analysis.reporting` folds a store into per-cell summary tables.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.analysis.availability import dram_error_interval_seconds
+from repro.analysis.stats import normalized_accuracy
+from repro.core import MILRConfig, MILRProtector
+from repro.exceptions import ExperimentError
+from repro.experiments.harness import ErrorModel, ProtectionScheme, run_protection_trial
+from repro.experiments.injection import (
+    ECCProtectedModel,
+    corrupt_layer_completely,
+    restore_weights,
+    snapshot_weights,
+    weights_bit_exact,
+)
+from repro.experiments.model_provider import TrainedNetwork, get_trained_network
+from repro.experiments.results import MemoryResultStore, StoreLike, open_store, trial_key
+from repro.zoo import network_table
+
+__all__ = [
+    "FAULT_MODES",
+    "TIMING_RESULT_FIELDS",
+    "TrialSpec",
+    "CampaignSpec",
+    "CampaignRunSummary",
+    "milr_config_key",
+    "trial_seed_sequence",
+    "expand_campaign",
+    "execute_trial",
+    "run_campaign",
+    "collect_campaign_records",
+    "campaign_status",
+]
+
+#: Fault-injection workloads a campaign can grid over.
+FAULT_MODE_RBER = "rber"
+FAULT_MODE_WHOLE_WEIGHT = "whole_weight"
+FAULT_MODE_WHOLE_LAYER = "whole_layer"
+FAULT_MODE_AVAILABILITY = "availability"
+FAULT_MODES = (
+    FAULT_MODE_RBER,
+    FAULT_MODE_WHOLE_WEIGHT,
+    FAULT_MODE_WHOLE_LAYER,
+    FAULT_MODE_AVAILABILITY,
+)
+
+#: Result fields that are wall-clock measurements.  Everything else in a trial
+#: result is a pure function of the trial spec (and therefore identical across
+#: runs, worker counts and resumes); deterministic comparisons and reports
+#: exclude exactly these fields.
+TIMING_RESULT_FIELDS = (
+    "detection_seconds",
+    "recovery_seconds",
+    "single_prediction_seconds",
+    "batch_per_sample_seconds",
+)
+
+#: Schemes each fault mode evaluates (None = whatever the campaign lists).
+#: whole-weight errors defeat SECDED by construction, so the paper (and this
+#: grid) only evaluates none/MILR there; whole-layer and availability trials
+#: measure the MILR pipeline itself.
+_MODE_SCHEMES: dict[str, Optional[tuple[str, ...]]] = {
+    FAULT_MODE_RBER: None,
+    FAULT_MODE_WHOLE_WEIGHT: (ProtectionScheme.NONE.value, ProtectionScheme.MILR.value),
+    FAULT_MODE_WHOLE_LAYER: (ProtectionScheme.MILR.value,),
+    FAULT_MODE_AVAILABILITY: (ProtectionScheme.MILR.value,),
+}
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independently executable trial of a campaign.
+
+    ``point`` is the sweep coordinate of the trial's fault mode: an error
+    rate (rber / whole_weight), a layer name (whole_layer) or an injected
+    error count (availability).  ``trial_index`` is the trial's fixed
+    position in the expanded grid; it anchors the trial's
+    :class:`~numpy.random.SeedSequence` and is part of the content hash, so
+    resume requires an identical grid.  ``config_key`` hashes any
+    non-default MILR configuration so stored results are never reused under
+    a different protection configuration.
+    """
+
+    campaign: str
+    network: str
+    fault_mode: str
+    scheme: str
+    point: Union[float, int, str, None]
+    repetition: int
+    seed: int
+    trial_index: int
+    train_samples_per_class: int = 60
+    train_epochs: int = 6
+    config_key: str = "default"
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @property
+    def key(self) -> str:
+        """Content hash identifying this trial in a result store."""
+        return trial_key(self.as_dict())
+
+
+def milr_config_key(milr_config: Optional[MILRConfig]) -> str:
+    """Stable discriminator of a MILR configuration for trial hashing."""
+    if milr_config is None:
+        return "default"
+    return trial_key(asdict(milr_config))
+
+
+def trial_seed_sequence(spec: TrialSpec) -> np.random.SeedSequence:
+    """The trial's private seed sequence.
+
+    Constructed at the trial's fixed grid position under the campaign's root
+    seed -- by :class:`~numpy.random.SeedSequence`'s spawn-key contract this
+    is exactly ``SeedSequence(seed).spawn(n)[trial_index]``, without paying
+    O(n) per trial -- so every trial sees the same stream no matter which
+    worker runs it or in what order: serial and parallel campaigns are
+    bit-identical.
+    """
+    return np.random.SeedSequence(entropy=spec.seed, spawn_key=(spec.trial_index,))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative campaign grid.
+
+    Expansion order is fixed (networks, then fault modes, then points, then
+    schemes, then repetitions); editing the grid therefore re-keys trials,
+    and resume is defined for identical specs.
+    """
+
+    name: str = "campaign"
+    networks: tuple[str, ...] = ("mnist_reduced",)
+    error_rates: tuple[float, ...] = (1e-5, 1e-4, 1e-3)
+    fault_modes: tuple[str, ...] = (FAULT_MODE_RBER,)
+    schemes: tuple[str, ...] = tuple(scheme.value for scheme in ProtectionScheme)
+    repetitions: int = 3
+    seed: int = 0
+    train_samples_per_class: int = 60
+    train_epochs: int = 6
+    #: Whole-weight errors injected by an availability-mode timing trial.
+    recovery_error_count: int = 100
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CampaignSpec":
+        fields = dict(payload)
+        for name in ("networks", "error_rates", "fault_modes", "schemes"):
+            if name in fields:
+                fields[name] = tuple(fields[name])  # type: ignore[arg-type]
+        return cls(**fields)  # type: ignore[arg-type]
+
+
+def _validate_spec(spec: CampaignSpec, networks: Optional[Mapping[str, TrainedNetwork]]) -> None:
+    if spec.repetitions < 1:
+        raise ExperimentError("repetitions must be at least 1")
+    known_schemes = {scheme.value for scheme in ProtectionScheme}
+    for scheme in spec.schemes:
+        if scheme not in known_schemes:
+            raise ExperimentError(f"unknown scheme {scheme!r}; available: {sorted(known_schemes)}")
+    for mode in spec.fault_modes:
+        if mode not in FAULT_MODES:
+            raise ExperimentError(f"unknown fault mode {mode!r}; available: {FAULT_MODES}")
+    table = network_table()
+    for name in spec.networks:
+        if networks is not None and name in networks:
+            continue
+        if name not in table:
+            raise ExperimentError(f"unknown network {name!r}; available: {sorted(table)}")
+
+
+def _layer_points(
+    name: str, networks: Optional[Mapping[str, TrainedNetwork]]
+) -> tuple[str, ...]:
+    """Parameterized-layer names of a network (the whole-layer sweep axis)."""
+    if networks is not None and name in networks:
+        model = networks[name].model
+    else:
+        model = network_table()[name].builder()
+    return tuple(layer.name for layer in model.layers if layer.has_parameters)
+
+
+def expand_campaign(
+    spec: CampaignSpec,
+    networks: Optional[Mapping[str, TrainedNetwork]] = None,
+    milr_config: Optional[MILRConfig] = None,
+) -> list[TrialSpec]:
+    """Expand a campaign grid into its trial shards, in canonical order.
+
+    ``networks`` optionally maps names to pre-built :class:`TrainedNetwork`
+    objects (used by tests and the sweep wrappers); names not in the mapping
+    must be zoo networks.  A non-default ``milr_config`` changes every trial
+    key, so a store never aliases results across protection configurations.
+    """
+    _validate_spec(spec, networks)
+    config_key = milr_config_key(milr_config)
+    trials: list[TrialSpec] = []
+    index = 0
+    for network in spec.networks:
+        for mode in spec.fault_modes:
+            if mode == FAULT_MODE_WHOLE_LAYER:
+                points: tuple[Union[float, int, str], ...] = _layer_points(network, networks)
+            elif mode == FAULT_MODE_AVAILABILITY:
+                points = (spec.recovery_error_count,)
+            else:
+                points = tuple(float(rate) for rate in spec.error_rates)
+            allowed = _MODE_SCHEMES[mode]
+            if allowed is None:
+                # Scheme-parameterized mode: run exactly what was asked.
+                schemes = spec.schemes
+            elif len(allowed) == 1:
+                # whole_layer / availability trials measure the MILR pipeline
+                # itself; the scheme axis is fixed rather than filtered.
+                schemes = allowed
+            else:
+                # whole_weight: drop the ECC schemes (the paper omits them --
+                # every injected error is a 32-bit error).  An explicit scheme
+                # list that excludes none/milr yields zero trials rather than
+                # schemes the caller never requested.
+                schemes = tuple(scheme for scheme in spec.schemes if scheme in allowed)
+            for point in points:
+                for scheme in schemes:
+                    for repetition in range(spec.repetitions):
+                        trials.append(
+                            TrialSpec(
+                                campaign=spec.name,
+                                network=network,
+                                fault_mode=mode,
+                                scheme=scheme,
+                                point=point,
+                                repetition=repetition,
+                                seed=spec.seed,
+                                trial_index=index,
+                                train_samples_per_class=spec.train_samples_per_class,
+                                train_epochs=spec.train_epochs,
+                                config_key=config_key,
+                            )
+                        )
+                        index += 1
+    return trials
+
+
+# --------------------------------------------------------------------------- #
+# Trial execution
+
+
+@dataclass
+class _TrialContext:
+    """Per-process cache of everything trials on one network share."""
+
+    network: TrainedNetwork
+    protector: MILRProtector
+    clean_weights: dict[str, np.ndarray]
+    ecc_memory: ECCProtectedModel
+
+
+#: Worker-process context cache.  The parent pre-warms it before forking the
+#: pool, so workers inherit trained networks and initialized protectors
+#: copy-on-write instead of rebuilding them.
+_PROCESS_CONTEXTS: dict[tuple, _TrialContext] = {}
+
+
+def _context_key(spec: TrialSpec) -> tuple:
+    return (spec.network, spec.train_samples_per_class, spec.train_epochs, spec.seed)
+
+
+def _build_context(
+    key: tuple,
+    networks: Optional[Mapping[str, TrainedNetwork]] = None,
+    milr_config: Optional[MILRConfig] = None,
+) -> _TrialContext:
+    name, samples_per_class, epochs, seed = key
+    if networks is not None and name in networks:
+        network = networks[name]
+    else:
+        network = get_trained_network(
+            name, samples_per_class=samples_per_class, epochs=epochs, seed=seed
+        )
+    protector = MILRProtector(network.model, milr_config)
+    protector.initialize()
+    clean_weights = snapshot_weights(network.model)
+    return _TrialContext(
+        network=network,
+        protector=protector,
+        clean_weights=clean_weights,
+        ecc_memory=ECCProtectedModel(network.model, clean_weights),
+    )
+
+
+def _context_for(
+    spec: TrialSpec,
+    cache: dict[tuple, _TrialContext],
+    networks: Optional[Mapping[str, TrainedNetwork]] = None,
+    milr_config: Optional[MILRConfig] = None,
+) -> _TrialContext:
+    key = _context_key(spec)
+    context = cache.get(key)
+    if context is None:
+        context = _build_context(key, networks=networks, milr_config=milr_config)
+        cache[key] = context
+    return context
+
+
+def _run_rate_trial(spec: TrialSpec, context: _TrialContext) -> dict:
+    """RBER / whole-weight trial: inject at a rate, apply the scheme, measure."""
+    rng = np.random.default_rng(trial_seed_sequence(spec))
+    error_model = ErrorModel.RBER if spec.fault_mode == FAULT_MODE_RBER else ErrorModel.WHOLE_WEIGHT
+    trial = run_protection_trial(
+        context.network,
+        context.protector,
+        context.clean_weights,
+        ProtectionScheme(spec.scheme),
+        error_model,
+        float(spec.point),
+        rng,
+        ecc_memory=context.ecc_memory,
+    )
+    return {
+        "baseline_accuracy": context.network.baseline_accuracy,
+        "normalized_accuracy": trial.normalized_accuracy,
+        "flipped_bits": trial.flipped_bits,
+        "injected_weights": trial.injected_weights,
+        "faulted": trial.flipped_bits > 0,
+        "detected": trial.detected_layers > 0,
+        "detected_layers": trial.detected_layers,
+        "recovered_layers": trial.recovered_layers,
+        "bit_exact": trial.bit_exact,
+        "detection_seconds": trial.detection_seconds,
+        "recovery_seconds": trial.recovery_seconds,
+        "model_bytes": context.network.model.parameter_bytes(),
+    }
+
+
+def _run_whole_layer_trial(spec: TrialSpec, context: _TrialContext) -> dict:
+    """Whole-layer trial: fully corrupt one layer, measure before/after MILR."""
+    model = context.network.model
+    baseline = context.network.baseline_accuracy
+    layer_name = str(spec.point)
+    assert context.protector.plan is not None
+    layer_plan = next(
+        (
+            plan
+            for plan in context.protector.plan.parameterized_layers()
+            if plan.name == layer_name
+        ),
+        None,
+    )
+    if layer_plan is None:
+        raise ExperimentError(f"no parameterized layer named {layer_name!r}")
+    rng = np.random.default_rng(trial_seed_sequence(spec))
+    try:
+        report = corrupt_layer_completely(model, layer_name, rng)
+        accuracy_none = normalized_accuracy(context.network.accuracy(), baseline)
+        started = time.perf_counter()
+        detection = context.protector.detect()
+        detection_seconds = time.perf_counter() - started
+        recovery = None
+        recovery_seconds = 0.0
+        if detection.any_errors:
+            started = time.perf_counter()
+            recovery = context.protector.recover(detection)
+            recovery_seconds = time.perf_counter() - started
+        accuracy_milr = normalized_accuracy(context.network.accuracy(), baseline)
+        recoverable = detection.any_errors
+        if recovery is not None:
+            for recovery_result in recovery.results:
+                if recovery_result.index == layer_plan.index:
+                    recoverable = recovery_result.fully_determined
+        return {
+            "baseline_accuracy": baseline,
+            "layer_kind": layer_plan.kind,
+            "strategy_name": layer_plan.recovery_strategy.name,
+            "strategy_value": layer_plan.recovery_strategy.value,
+            "accuracy_no_recovery": float(accuracy_none),
+            "normalized_accuracy": float(accuracy_milr),
+            "recoverable": bool(recoverable),
+            "flipped_bits": int(report.flipped_bits),
+            "injected_weights": int(report.affected_weights),
+            "faulted": bool(report.affected_weights > 0),
+            "detected": bool(detection.any_errors),
+            "detected_layers": len(detection.erroneous_layers),
+            "recovered_layers": len(recovery.recovered_layers) if recovery is not None else 0,
+            "bit_exact": weights_bit_exact(model, context.clean_weights),
+            "detection_seconds": detection_seconds,
+            "recovery_seconds": recovery_seconds,
+            "model_bytes": model.parameter_bytes(),
+        }
+    finally:
+        restore_weights(model, context.clean_weights)
+
+
+def _run_availability_trial(spec: TrialSpec, milr_config: Optional[MILRConfig]) -> dict:
+    """Availability trial: measure Td/Tr on a fresh (untrained) zoo model."""
+    # Imported here: timing builds on injection/zoo, and keeping the import
+    # local avoids paying for it in workers that never run this mode.
+    from repro.experiments.timing import (
+        measure_prediction_and_identification,
+        recovery_time_curve,
+    )
+
+    table = network_table()
+    if spec.network not in table:
+        raise ExperimentError(
+            f"availability trials need a zoo network, got {spec.network!r}"
+        )
+    model = table[spec.network].builder()
+    timing = measure_prediction_and_identification(
+        spec.network, model=model, milr_config=milr_config
+    )
+    seed = int(trial_seed_sequence(spec).generate_state(1)[0])
+    points = recovery_time_curve(
+        spec.network,
+        error_counts=(int(spec.point),),
+        milr_config=milr_config,
+        seed=seed,
+        model=model,
+    )
+    return {
+        "single_prediction_seconds": timing.single_prediction_seconds,
+        "batch_per_sample_seconds": timing.batch_per_sample_seconds,
+        "detection_seconds": timing.identification_seconds,
+        "recovery_seconds": points[0].recovery_seconds,
+        "recovered_layers": points[0].recovered_layers,
+        "faulted": False,
+        "model_bytes": model.parameter_bytes(),
+        "error_interval_seconds": dram_error_interval_seconds(model.parameter_bytes()),
+    }
+
+
+def execute_trial(
+    spec: TrialSpec,
+    cache: Optional[dict[tuple, _TrialContext]] = None,
+    networks: Optional[Mapping[str, TrainedNetwork]] = None,
+    milr_config: Optional[MILRConfig] = None,
+) -> dict:
+    """Execute one trial and return its (JSON-serializable) result dict."""
+    if spec.fault_mode == FAULT_MODE_AVAILABILITY:
+        return _run_availability_trial(spec, milr_config)
+    if cache is None:
+        cache = _PROCESS_CONTEXTS
+    context = _context_for(spec, cache, networks=networks, milr_config=milr_config)
+    if spec.fault_mode == FAULT_MODE_WHOLE_LAYER:
+        return _run_whole_layer_trial(spec, context)
+    return _run_rate_trial(spec, context)
+
+
+def _execute_trial_worker(spec_dict: dict) -> dict:
+    """Pool entry point; reconstructs the spec and uses the process cache."""
+    return execute_trial(TrialSpec(**spec_dict))
+
+
+# --------------------------------------------------------------------------- #
+# Campaign driver
+
+
+@dataclass
+class CampaignRunSummary:
+    """What one :func:`run_campaign` invocation did."""
+
+    campaign: str
+    total_trials: int
+    already_completed: int
+    executed: int
+    remaining: int
+    workers: int
+    store_path: Optional[str]
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining == 0
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "campaign": self.campaign,
+            "total": self.total_trials,
+            "skipped": self.already_completed,
+            "executed": self.executed,
+            "remaining": self.remaining,
+            "workers": self.workers,
+        }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: StoreLike,
+    *,
+    workers: Optional[int] = None,
+    max_trials: Optional[int] = None,
+    networks: Optional[Mapping[str, TrainedNetwork]] = None,
+    milr_config: Optional[MILRConfig] = None,
+) -> CampaignRunSummary:
+    """Run (or resume) a campaign, streaming each trial into ``store``.
+
+    Args:
+        spec: The declarative grid.
+        store: A result store or a JSONL path.  Trials whose keys are already
+            stored are skipped, which is what makes a killed campaign
+            resumable and a finished one idempotent.
+        workers: Process count; ``None`` means all CPUs, ``<= 1`` runs
+            serially in this process.  Injected ``networks`` or a custom
+            ``milr_config`` cannot cross a process boundary, so either forces
+            serial execution.
+        max_trials: Stop after this many *executed* trials (used by tests and
+            examples to simulate an interrupted campaign).
+        networks: Optional pre-built networks keyed by name.
+        milr_config: Optional MILR configuration override.
+    """
+    store = open_store(store)
+    trials = expand_campaign(spec, networks=networks, milr_config=milr_config)
+    done = store.completed_keys()
+    pending = [trial for trial in trials if trial.key not in done]
+    already_completed = len(trials) - len(pending)
+    if max_trials is not None:
+        pending = pending[: max(0, max_trials)]
+
+    if networks is not None or milr_config is not None:
+        workers = 1
+    elif workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, len(pending)) if pending else 1)
+
+    executed = 0
+    if workers <= 1:
+        cache: dict[tuple, _TrialContext] = {}
+        for trial in pending:
+            result = execute_trial(trial, cache=cache, networks=networks, milr_config=milr_config)
+            store.append({"key": trial.key, "spec": trial.as_dict(), "result": result})
+            executed += 1
+    else:
+        # Pre-warm before the pool exists so a cold weight cache is trained
+        # once instead of concurrently by every worker.  Under the fork start
+        # method the fully built contexts (trained network + initialized
+        # protector) are inherited copy-on-write; under spawn/forkserver only
+        # the on-disk weight cache carries over, so skip the protector work.
+        import multiprocessing
+
+        fork_start = multiprocessing.get_start_method() == "fork"
+        for context_key in sorted(
+            {
+                _context_key(trial)
+                for trial in pending
+                if trial.fault_mode != FAULT_MODE_AVAILABILITY
+            }
+        ):
+            if fork_start:
+                if context_key not in _PROCESS_CONTEXTS:
+                    _PROCESS_CONTEXTS[context_key] = _build_context(context_key)
+            else:
+                name, samples_per_class, epochs, seed = context_key
+                get_trained_network(
+                    name, samples_per_class=samples_per_class, epochs=epochs, seed=seed
+                )
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_trial_worker, trial.as_dict()): trial for trial in pending
+            }
+            for future in as_completed(futures):
+                trial = futures[future]
+                result = future.result()
+                store.append({"key": trial.key, "spec": trial.as_dict(), "result": result})
+                executed += 1
+
+    remaining = len(trials) - already_completed - executed
+    return CampaignRunSummary(
+        campaign=spec.name,
+        total_trials=len(trials),
+        already_completed=already_completed,
+        executed=executed,
+        remaining=remaining,
+        workers=workers,
+        store_path=str(store.path) if store.path is not None else None,
+    )
+
+
+def collect_campaign_records(
+    spec: CampaignSpec,
+    store: Optional[StoreLike] = None,
+    *,
+    workers: int = 0,
+    networks: Optional[Mapping[str, TrainedNetwork]] = None,
+    milr_config: Optional[MILRConfig] = None,
+) -> list[dict]:
+    """Run a campaign to completion and return its records in grid order.
+
+    This is the path the sweep wrappers use: with no ``store`` the records
+    live in memory only; with one, previously completed trials are reused and
+    only missing ones execute.
+    """
+    result_store = open_store(store) if store is not None else MemoryResultStore()
+    run_campaign(spec, result_store, workers=workers, networks=networks, milr_config=milr_config)
+    order = {
+        trial.key: trial.trial_index
+        for trial in expand_campaign(spec, networks=networks, milr_config=milr_config)
+    }
+    records = [record for record in result_store.records() if record["key"] in order]
+    records.sort(key=lambda record: order[record["key"]])
+    return records
+
+
+def campaign_status(
+    spec: CampaignSpec,
+    store: StoreLike,
+    networks: Optional[Mapping[str, TrainedNetwork]] = None,
+    milr_config: Optional[MILRConfig] = None,
+) -> list[dict[str, object]]:
+    """Per-(network, fault mode) completion counts for a campaign store."""
+    store = open_store(store)
+    done = store.completed_keys()
+    groups: dict[tuple[str, str], list[TrialSpec]] = {}
+    for trial in expand_campaign(spec, networks=networks, milr_config=milr_config):
+        groups.setdefault((trial.network, trial.fault_mode), []).append(trial)
+    rows: list[dict[str, object]] = []
+    for (network, mode), group in sorted(groups.items()):
+        completed = sum(1 for trial in group if trial.key in done)
+        rows.append(
+            {
+                "network": network,
+                "fault_mode": mode,
+                "completed": completed,
+                "total": len(group),
+                "pending": len(group) - completed,
+            }
+        )
+    return rows

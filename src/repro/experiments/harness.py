@@ -8,6 +8,7 @@ ECC, MILR, and ECC followed by MILR.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -22,6 +23,7 @@ from repro.experiments.injection import (
     corrupt_model_whole_weight,
     restore_weights,
     snapshot_weights,
+    weights_bit_exact,
 )
 from repro.experiments.model_provider import TrainedNetwork
 
@@ -62,13 +64,25 @@ class ExperimentSetting:
 
 @dataclass
 class SchemeTrialResult:
-    """Outcome of a single trial."""
+    """Outcome of a single trial.
+
+    Beyond the paper's headline metric (normalized accuracy) the trial
+    records everything the campaign aggregation layer folds into per-cell
+    tables: what was actually injected, whether MILR detection fired, whether
+    the post-scheme weights are bit-exact, and the measured detection (Td)
+    and recovery (Tr) times.
+    """
 
     scheme: ProtectionScheme
     error_rate: float
     normalized_accuracy: float
     detected_layers: int = 0
     recovered_layers: int = 0
+    flipped_bits: int = 0
+    injected_weights: int = 0
+    bit_exact: bool = False
+    detection_seconds: float = 0.0
+    recovery_seconds: float = 0.0
     extra: dict = field(default_factory=dict)
 
 
@@ -92,6 +106,10 @@ def run_protection_trial(
         raise ExperimentError("protector must be initialized before running trials")
     detected_layers = 0
     recovered_layers = 0
+    flipped_bits = 0
+    injected_weights = 0
+    detection_seconds = 0.0
+    recovery_seconds = 0.0
     try:
         if scheme in (ProtectionScheme.ECC, ProtectionScheme.ECC_MILR):
             if error_model is not ErrorModel.RBER:
@@ -102,18 +120,26 @@ def run_protection_trial(
             if ecc_memory is None:
                 ecc_memory = ECCProtectedModel(model, clean_weights)
             ecc_memory.reset()
-            ecc_memory.inject_codeword_bit_flips(error_rate, rng)
+            flipped_bits = ecc_memory.inject_codeword_bit_flips(error_rate, rng)
             ecc_memory.scrub_into_model()
         else:
             if error_model is ErrorModel.RBER:
-                corrupt_model_rber(model, error_rate, rng)
+                reports = corrupt_model_rber(model, error_rate, rng)
             else:
-                corrupt_model_whole_weight(model, error_rate, rng)
+                reports = corrupt_model_whole_weight(model, error_rate, rng)
+            flipped_bits = sum(report.flipped_bits for report in reports.values())
+            injected_weights = sum(report.affected_weights for report in reports.values())
 
         if scheme in (ProtectionScheme.MILR, ProtectionScheme.ECC_MILR):
-            detection, recovery = protector.detect_and_recover()
+            started = time.perf_counter()
+            detection = protector.detect()
+            detection_seconds = time.perf_counter() - started
             detected_layers = len(detection.erroneous_layers)
-            recovered_layers = len(recovery.recovered_layers) if recovery is not None else 0
+            if detection.any_errors:
+                started = time.perf_counter()
+                recovery = protector.recover(detection)
+                recovery_seconds = time.perf_counter() - started
+                recovered_layers = len(recovery.recovered_layers)
 
         accuracy = network.accuracy()
         return SchemeTrialResult(
@@ -122,6 +148,11 @@ def run_protection_trial(
             normalized_accuracy=normalized_accuracy(accuracy, network.baseline_accuracy),
             detected_layers=detected_layers,
             recovered_layers=recovered_layers,
+            flipped_bits=flipped_bits,
+            injected_weights=injected_weights,
+            bit_exact=weights_bit_exact(model, clean_weights),
+            detection_seconds=detection_seconds,
+            recovery_seconds=recovery_seconds,
         )
     finally:
         restore_weights(model, clean_weights)

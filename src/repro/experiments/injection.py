@@ -16,6 +16,7 @@ from repro.nn.model import Sequential
 __all__ = [
     "snapshot_weights",
     "restore_weights",
+    "weights_bit_exact",
     "corrupt_model_rber",
     "corrupt_model_whole_weight",
     "corrupt_layer_completely",
@@ -31,6 +32,22 @@ def snapshot_weights(model: Sequential) -> dict[str, np.ndarray]:
 def restore_weights(model: Sequential, snapshot: dict[str, np.ndarray]) -> None:
     """Write a snapshot produced by :func:`snapshot_weights` back into the model."""
     model.set_weights(snapshot)
+
+
+def weights_bit_exact(model: Sequential, snapshot: dict[str, np.ndarray]) -> bool:
+    """Whether every parameter of ``model`` equals ``snapshot`` bit for bit.
+
+    Genuinely bitwise (via the raw buffers), so ``-0.0`` differs from
+    ``0.0`` and identical NaN payloads compare equal -- unlike value
+    comparison, which would miscount both.
+    """
+    for name, weights in snapshot.items():
+        current = model.get_layer(name).get_weights()
+        if current.shape != weights.shape or current.dtype != weights.dtype:
+            return False
+        if np.ascontiguousarray(current).tobytes() != np.ascontiguousarray(weights).tobytes():
+            return False
+    return True
 
 
 def corrupt_model_rber(

@@ -6,24 +6,26 @@ weight of the network, applies the scheme (nothing / ECC scrub / MILR detect
 and recover / ECC then MILR) and measures the normalized accuracy on the
 held-out test set.  The per-rate samples are summarized with the same box-plot
 statistics the paper's figures show.
+
+The sweep is a thin trial definition over the campaign runner
+(:mod:`repro.experiments.campaign`): passing a ``store`` makes it resumable,
+and ``workers`` shards the trials across processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.analysis.stats import BoxPlotStats
-from repro.core import MILRConfig, MILRProtector
-from repro.experiments.harness import (
-    ErrorModel,
-    ExperimentSetting,
-    ProtectionScheme,
-    run_protection_trial,
+from repro.core import MILRConfig
+from repro.experiments.campaign import (
+    FAULT_MODE_RBER,
+    CampaignSpec,
+    collect_campaign_records,
 )
-from repro.experiments.injection import ECCProtectedModel, snapshot_weights
-from repro.experiments.model_provider import TrainedNetwork, get_trained_network
+from repro.experiments.harness import ExperimentSetting, ProtectionScheme
+from repro.experiments.model_provider import TrainedNetwork
+from repro.experiments.results import StoreLike
 
 __all__ = ["RBERSweepResult", "run_rber_sweep"]
 
@@ -63,6 +65,8 @@ def run_rber_sweep(
     setting: ExperimentSetting | None = None,
     network: TrainedNetwork | None = None,
     milr_config: MILRConfig | None = None,
+    store: StoreLike | None = None,
+    workers: int = 0,
 ) -> RBERSweepResult:
     """Run the full RBER sweep described by ``setting``.
 
@@ -71,35 +75,38 @@ def run_rber_sweep(
         network: Optionally a pre-trained network (otherwise fetched/trained
             through the model provider).
         milr_config: Optional MILR configuration override.
+        store: Optional campaign result store (path or store); passing one
+            makes the sweep resumable and re-runs no-ops.
+        workers: Campaign worker processes (0/1 = serial in this process).
     """
     if setting is None:
         setting = ExperimentSetting()
-    if network is None:
-        network = get_trained_network(setting.network_name, seed=setting.seed)
-    protector = MILRProtector(network.model, milr_config)
-    protector.initialize()
-    clean_weights = snapshot_weights(network.model)
-    ecc_memory = ECCProtectedModel(network.model, clean_weights)
-
-    result = RBERSweepResult(
-        network_name=network.name, baseline_accuracy=network.baseline_accuracy
+    name = network.name if network is not None else setting.network_name
+    spec = CampaignSpec(
+        name="rber_sweep",
+        networks=(name,),
+        error_rates=tuple(setting.error_rates),
+        fault_modes=(FAULT_MODE_RBER,),
+        schemes=tuple(scheme.value for scheme in setting.schemes),
+        repetitions=setting.trials,
+        seed=setting.seed,
     )
+    records = collect_campaign_records(
+        spec,
+        store=store,
+        workers=workers,
+        networks={name: network} if network is not None else None,
+        milr_config=milr_config,
+    )
+
+    baseline = network.baseline_accuracy if network is not None else 0.0
+    if records and network is None:
+        baseline = records[0]["result"]["baseline_accuracy"]
+    result = RBERSweepResult(network_name=name, baseline_accuracy=baseline)
     for scheme in setting.schemes:
         result.samples[scheme] = {rate: [] for rate in setting.error_rates}
-
-    rng = np.random.default_rng(setting.seed + 1)
-    for rate in setting.error_rates:
-        for _ in range(setting.trials):
-            for scheme in setting.schemes:
-                trial = run_protection_trial(
-                    network,
-                    protector,
-                    clean_weights,
-                    scheme,
-                    ErrorModel.RBER,
-                    rate,
-                    rng,
-                    ecc_memory=ecc_memory,
-                )
-                result.samples[scheme][rate].append(trial.normalized_accuracy)
+    for record in records:
+        scheme = ProtectionScheme(record["spec"]["scheme"])
+        rate = record["spec"]["point"]
+        result.samples[scheme][rate].append(record["result"]["normalized_accuracy"])
     return result

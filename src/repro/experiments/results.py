@@ -1,0 +1,140 @@
+"""Append-only trial-result stores backing the campaign runner.
+
+A campaign writes one JSON record per completed trial to a JSONL file, keyed
+by a content hash of the trial specification.  The format makes campaigns
+
+* **resumable** -- a killed campaign leaves a valid store behind (a torn
+  trailing line from an interrupted write is detected and ignored), and a
+  re-invocation skips every trial whose key is already stored;
+* **idempotent** -- re-running a finished campaign executes nothing; and
+* **mergeable** -- concatenating two stores of the same campaign is a valid
+  store (duplicate keys resolve to the first record).
+
+:class:`MemoryResultStore` offers the same interface without touching disk;
+the sweep wrappers use it when the caller does not ask for persistence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Mapping, Union
+
+__all__ = ["trial_key", "ResultStore", "MemoryResultStore", "open_store"]
+
+
+def trial_key(spec: Mapping[str, object]) -> str:
+    """Content hash of a trial specification (dict of JSON-scalar fields).
+
+    The hash is computed over the canonical JSON encoding (sorted keys, no
+    whitespace), so any two structurally equal specs -- across processes,
+    campaign invocations and JSON round-trips -- share a key.
+    """
+    canonical = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+class ResultStore:
+    """Append-only JSONL store of campaign trial records.
+
+    Each record is a dict ``{"key": ..., "spec": {...}, "result": {...}}``
+    written as one line.  Appends are flushed and fsynced so a killed
+    campaign loses at most the trial being written; a torn final line is
+    skipped on read.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Durably append one record."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "ab") as handle:
+            # A torn line from a killed writer must not swallow the next
+            # record: terminate it before appending.
+            if handle.tell() > 0:
+                with open(self.path, "rb") as reader:
+                    reader.seek(-1, os.SEEK_END)
+                    torn = reader.read(1) != b"\n"
+                if torn:
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _iter_lines(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Torn write from a killed campaign; the trial will simply
+                    # be re-executed on resume.
+                    continue
+                if isinstance(record, dict) and "key" in record:
+                    yield record
+
+    def records(self) -> list[dict]:
+        """All valid records, first occurrence winning on duplicate keys."""
+        seen: set[str] = set()
+        out: list[dict] = []
+        for record in self._iter_lines():
+            key = record["key"]
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(record)
+        return out
+
+    def completed_keys(self) -> set[str]:
+        """Keys of every stored trial."""
+        return {record["key"] for record in self._iter_lines()}
+
+    def __len__(self) -> int:
+        return len(self.completed_keys())
+
+
+class MemoryResultStore:
+    """In-process store with the :class:`ResultStore` interface."""
+
+    def __init__(self) -> None:
+        self.path = None
+        self._records: list[dict] = []
+
+    def append(self, record: Mapping[str, object]) -> None:
+        self._records.append(dict(record))
+
+    def records(self) -> list[dict]:
+        seen: set[str] = set()
+        out: list[dict] = []
+        for record in self._records:
+            key = record["key"]
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(record)
+        return out
+
+    def completed_keys(self) -> set[str]:
+        return {record["key"] for record in self._records}
+
+    def __len__(self) -> int:
+        return len(self.completed_keys())
+
+
+StoreLike = Union[ResultStore, MemoryResultStore, str, Path]
+
+
+def open_store(store: StoreLike) -> Union[ResultStore, MemoryResultStore]:
+    """Coerce a path (or pass through a store instance) to a result store."""
+    if isinstance(store, (ResultStore, MemoryResultStore)):
+        return store
+    return ResultStore(store)

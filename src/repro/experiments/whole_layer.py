@@ -12,13 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.analysis.stats import normalized_accuracy
-from repro.core import MILRConfig, MILRProtector
+from repro.core import MILRConfig
 from repro.core.planner import RecoveryStrategy
-from repro.experiments.injection import corrupt_layer_completely, restore_weights, snapshot_weights
-from repro.experiments.model_provider import TrainedNetwork, get_trained_network
+from repro.experiments.campaign import (
+    FAULT_MODE_WHOLE_LAYER,
+    CampaignSpec,
+    collect_campaign_records,
+)
+from repro.experiments.model_provider import TrainedNetwork
+from repro.experiments.results import StoreLike
 
 __all__ = ["WholeLayerResult", "run_whole_layer_experiment"]
 
@@ -51,47 +53,46 @@ def run_whole_layer_experiment(
     network: TrainedNetwork | None = None,
     milr_config: MILRConfig | None = None,
     seed: int = 0,
+    store: StoreLike | None = None,
+    workers: int = 0,
 ) -> list[WholeLayerResult]:
     """Corrupt each parameterized layer in turn and measure recovery.
 
     Returns one :class:`WholeLayerResult` per parameterized layer, in network
     order (convolutions, their biases, dense layers, their biases), matching
-    the layout of the paper's tables.
+    the layout of the paper's tables.  Each layer is one campaign trial, so
+    the experiment shards and resumes like any other campaign.
     """
-    if network is None:
-        network = get_trained_network(network_name, seed=seed)
-    model = network.model
-    protector = MILRProtector(model, milr_config)
-    plan = protector.initialize()
-    clean_weights = snapshot_weights(model)
-    rng = np.random.default_rng(seed + 3)
-
+    name = network.name if network is not None else network_name
+    spec = CampaignSpec(
+        name="whole_layer",
+        networks=(name,),
+        error_rates=(),
+        fault_modes=(FAULT_MODE_WHOLE_LAYER,),
+        schemes=("milr",),
+        repetitions=1,
+        seed=seed,
+    )
+    records = collect_campaign_records(
+        spec,
+        store=store,
+        workers=workers,
+        networks={name: network} if network is not None else None,
+        milr_config=milr_config,
+    )
     results: list[WholeLayerResult] = []
-    for layer_plan in plan.parameterized_layers():
-        layer = model.layers[layer_plan.index]
-        try:
-            corrupt_layer_completely(model, layer.name, rng)
-            accuracy_none = normalized_accuracy(network.accuracy(), network.baseline_accuracy)
-            detection, recovery = protector.detect_and_recover()
-            accuracy_milr = normalized_accuracy(network.accuracy(), network.baseline_accuracy)
-            recoverable = True
-            if recovery is not None:
-                for recovery_result in recovery.results:
-                    if recovery_result.index == layer_plan.index:
-                        recoverable = recovery_result.fully_determined
-            if not detection.any_errors:
-                # Undetected whole-layer corruption should not happen; surface it.
-                recoverable = False
-            results.append(
-                WholeLayerResult(
-                    layer_name=layer.name,
-                    layer_kind=layer_plan.kind,
-                    strategy=layer_plan.recovery_strategy,
-                    accuracy_no_recovery=accuracy_none,
-                    accuracy_after_milr=accuracy_milr,
-                    recoverable=recoverable,
-                )
+    for record in records:
+        result = record["result"]
+        results.append(
+            WholeLayerResult(
+                layer_name=str(record["spec"]["point"]),
+                layer_kind=result["layer_kind"],
+                strategy=RecoveryStrategy.register(
+                    result["strategy_name"], result["strategy_value"]
+                ),
+                accuracy_no_recovery=result["accuracy_no_recovery"],
+                accuracy_after_milr=result["normalized_accuracy"],
+                recoverable=result["recoverable"],
             )
-        finally:
-            restore_weights(model, clean_weights)
+        )
     return results

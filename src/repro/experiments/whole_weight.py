@@ -11,18 +11,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.analysis.stats import BoxPlotStats
-from repro.core import MILRConfig, MILRProtector
-from repro.experiments.harness import (
-    ErrorModel,
-    ExperimentSetting,
-    ProtectionScheme,
-    run_protection_trial,
+from repro.core import MILRConfig
+from repro.experiments.campaign import (
+    FAULT_MODE_WHOLE_WEIGHT,
+    CampaignSpec,
+    collect_campaign_records,
 )
-from repro.experiments.injection import snapshot_weights
-from repro.experiments.model_provider import TrainedNetwork, get_trained_network
+from repro.experiments.harness import ExperimentSetting, ProtectionScheme
+from repro.experiments.model_provider import TrainedNetwork
+from repro.experiments.results import StoreLike
 
 __all__ = ["WholeWeightSweepResult", "run_whole_weight_sweep"]
 
@@ -60,37 +58,45 @@ def run_whole_weight_sweep(
     setting: ExperimentSetting | None = None,
     network: TrainedNetwork | None = None,
     milr_config: MILRConfig | None = None,
+    store: StoreLike | None = None,
+    workers: int = 0,
 ) -> WholeWeightSweepResult:
-    """Run the whole-weight error sweep (schemes: no recovery and MILR)."""
+    """Run the whole-weight error sweep (schemes: no recovery and MILR).
+
+    A thin trial definition over the campaign runner; ``store`` makes the
+    sweep resumable and ``workers`` shards it across processes.
+    """
     if setting is None:
         setting = ExperimentSetting(schemes=_WHOLE_WEIGHT_SCHEMES)
-    if network is None:
-        network = get_trained_network(setting.network_name, seed=setting.seed)
-    protector = MILRProtector(network.model, milr_config)
-    protector.initialize()
-    clean_weights = snapshot_weights(network.model)
-
+    name = network.name if network is not None else setting.network_name
     schemes = tuple(
         scheme for scheme in setting.schemes if scheme in _WHOLE_WEIGHT_SCHEMES
     ) or _WHOLE_WEIGHT_SCHEMES
-    result = WholeWeightSweepResult(
-        network_name=network.name, baseline_accuracy=network.baseline_accuracy
+    spec = CampaignSpec(
+        name="whole_weight_sweep",
+        networks=(name,),
+        error_rates=tuple(setting.error_rates),
+        fault_modes=(FAULT_MODE_WHOLE_WEIGHT,),
+        schemes=tuple(scheme.value for scheme in schemes),
+        repetitions=setting.trials,
+        seed=setting.seed,
     )
+    records = collect_campaign_records(
+        spec,
+        store=store,
+        workers=workers,
+        networks={name: network} if network is not None else None,
+        milr_config=milr_config,
+    )
+
+    baseline = network.baseline_accuracy if network is not None else 0.0
+    if records and network is None:
+        baseline = records[0]["result"]["baseline_accuracy"]
+    result = WholeWeightSweepResult(network_name=name, baseline_accuracy=baseline)
     for scheme in schemes:
         result.samples[scheme] = {rate: [] for rate in setting.error_rates}
-
-    rng = np.random.default_rng(setting.seed + 2)
-    for rate in setting.error_rates:
-        for _ in range(setting.trials):
-            for scheme in schemes:
-                trial = run_protection_trial(
-                    network,
-                    protector,
-                    clean_weights,
-                    scheme,
-                    ErrorModel.WHOLE_WEIGHT,
-                    rate,
-                    rng,
-                )
-                result.samples[scheme][rate].append(trial.normalized_accuracy)
+    for record in records:
+        scheme = ProtectionScheme(record["spec"]["scheme"])
+        rate = record["spec"]["point"]
+        result.samples[scheme][rate].append(record["result"]["normalized_accuracy"])
     return result

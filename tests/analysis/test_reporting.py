@@ -1,8 +1,17 @@
-"""Tests for plain-text report formatting."""
+"""Tests for plain-text report formatting and campaign aggregation."""
 
 from __future__ import annotations
 
-from repro.analysis import format_series, format_storage_table, format_table
+import pytest
+
+from repro.analysis import (
+    aggregate_campaign,
+    format_campaign_report,
+    format_series,
+    format_storage_table,
+    format_table,
+)
+from repro.analysis.availability import dram_error_interval_seconds
 
 
 class TestFormatTable:
@@ -53,3 +62,118 @@ class TestFormatSeries:
         text = format_series("error_rate", "accuracy", [(1e-5, 1.0), (1e-3, 0.4)])
         assert "error_rate" in text and "accuracy" in text
         assert "0.4000" in text
+
+
+def _record(index, scheme="milr", point=1e-4, **result):
+    """Minimal campaign record; result fields default to a clean MILR trial."""
+    fields = dict(
+        normalized_accuracy=1.0,
+        faulted=True,
+        detected=True,
+        detected_layers=1,
+        recovered_layers=1,
+        bit_exact=True,
+        detection_seconds=0.0,
+        recovery_seconds=0.0,
+        model_bytes=0,
+    )
+    fields.update(result)
+    return {
+        "key": f"k{index}",
+        "spec": {
+            "network": "net",
+            "fault_mode": "rber",
+            "scheme": scheme,
+            "point": point,
+            "trial_index": index,
+        },
+        "result": fields,
+    }
+
+
+class TestAggregateCampaign:
+    def test_hand_computed_cell(self):
+        records = [
+            _record(0, normalized_accuracy=1.0),
+            _record(1, normalized_accuracy=0.8, bit_exact=False),
+            _record(2, normalized_accuracy=0.6, detected=False, bit_exact=False),
+            # Not faulted: excluded from every rate denominator.
+            _record(3, normalized_accuracy=1.0, faulted=False, detected=False),
+        ]
+        rows = aggregate_campaign(records)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["trials"] == 4
+        assert row["detection_rate"] == pytest.approx(2 / 3)
+        assert row["recovery_rate"] == pytest.approx(1.0)
+        assert row["bit_exact_rate"] == pytest.approx(1 / 3)
+        # mean of (1.0, 0.8, 0.6, 1.0) = 0.85.
+        assert row["acc_mean"] == pytest.approx(0.85)
+        assert row["acc_lo"] < 0.85 < row["acc_hi"]
+
+    def test_recovery_rate_counts_fully_recovered_only(self):
+        records = [
+            _record(0, detected_layers=2, recovered_layers=2),
+            _record(1, detected_layers=2, recovered_layers=1),
+        ]
+        assert aggregate_campaign(records)[0]["recovery_rate"] == pytest.approx(0.5)
+
+    def test_rates_blank_without_denominator(self):
+        records = [_record(0, faulted=False, detected=False)]
+        row = aggregate_campaign(records)[0]
+        assert row["detection_rate"] == ""
+        assert row["recovery_rate"] == ""
+        assert row["bit_exact_rate"] == ""
+
+    def test_cells_sorted_by_point_then_scheme(self):
+        records = [
+            _record(0, scheme="none", point=1e-3),
+            _record(1, scheme="milr", point=1e-3),
+            _record(2, scheme="none", point=1e-4),
+        ]
+        rows = aggregate_campaign(records)
+        assert [(row["point"], row["scheme"]) for row in rows] == [
+            ("0.0001", "none"),
+            ("0.001", "milr"),
+            ("0.001", "none"),
+        ]
+
+    def test_availability_from_measured_times(self):
+        model_bytes = 4_000_000
+        interval = dram_error_interval_seconds(model_bytes)
+        records = [
+            _record(
+                0,
+                detection_seconds=2.0,
+                recovery_seconds=4.0,
+                model_bytes=model_bytes,
+            )
+        ]
+        row = aggregate_campaign(records)[0]
+        assert row["mean_td_ms"] == pytest.approx(2000.0)
+        assert row["mean_tr_ms"] == pytest.approx(4000.0)
+        # Eq. 6 at one maintenance period per expected error: 2 Td + Tr.
+        assert row["availability"] == pytest.approx(1.0 - 8.0 / interval)
+
+    def test_timing_blank_when_never_measured(self):
+        row = aggregate_campaign([_record(0)])[0]
+        assert row["mean_td_ms"] == ""
+        assert row["availability"] == ""
+
+
+class TestFormatCampaignReport:
+    def test_timing_columns_are_optional(self):
+        records = [_record(0, detection_seconds=1.0, model_bytes=1000)]
+        with_timing = format_campaign_report(records)
+        without = format_campaign_report(records, include_timing=False)
+        assert "mean_td_ms" in with_timing and "availability" in with_timing
+        assert "mean_td_ms" not in without and "availability" not in without
+
+    def test_deterministic_for_shuffled_records(self):
+        records = [
+            _record(index, point=point, normalized_accuracy=0.9 + 0.01 * index)
+            for index, point in enumerate((1e-4, 1e-3, 1e-2))
+        ]
+        report = format_campaign_report(records, include_timing=False)
+        shuffled = format_campaign_report(list(reversed(records)), include_timing=False)
+        assert report == shuffled

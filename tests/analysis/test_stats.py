@@ -1,11 +1,16 @@
-"""Tests for box-plot statistics and normalized accuracy."""
+"""Tests for box-plot statistics, confidence intervals and normalized accuracy."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.analysis import BoxPlotStats, normalized_accuracy, summarize_runs
+from repro.analysis import (
+    BoxPlotStats,
+    mean_confidence_interval,
+    normalized_accuracy,
+    summarize_runs,
+)
 
 
 class TestNormalizedAccuracy:
@@ -60,6 +65,41 @@ class TestBoxPlotStats:
     def test_as_dict_keys(self):
         stats = BoxPlotStats.from_samples([1, 2, 3])
         assert set(stats.as_dict()) == {"count", "min", "q1", "median", "q3", "max", "mean"}
+
+
+class TestMeanConfidenceInterval:
+    def test_hand_computed_95(self):
+        # mean 2.5, sample std sqrt(5/3) ~= 1.29099, n = 4,
+        # z_{0.975} = 1.959964 -> half width = 1.959964 * 1.29099 / 2.
+        interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert interval.mean == pytest.approx(2.5)
+        assert interval.count == 4
+        assert interval.half_width == pytest.approx(1.2651, abs=1e-4)
+        assert interval.lower == pytest.approx(2.5 - 1.2651, abs=1e-4)
+        assert interval.upper == pytest.approx(2.5 + 1.2651, abs=1e-4)
+
+    def test_wider_confidence_widens_interval(self):
+        samples = [0.1, 0.4, 0.9, 0.3]
+        assert (
+            mean_confidence_interval(samples, 0.99).half_width
+            > mean_confidence_interval(samples, 0.9).half_width
+        )
+
+    def test_single_sample_degenerates_to_mean(self):
+        interval = mean_confidence_interval([0.7])
+        assert interval.lower == interval.upper == interval.mean == 0.7
+
+    def test_zero_variance(self):
+        interval = mean_confidence_interval([0.5, 0.5, 0.5])
+        assert interval.half_width == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.0)
 
 
 class TestSummarizeRuns:

@@ -8,7 +8,7 @@ import pytest
 from repro.core import MILRConfig, MILRProtector
 from repro.core.handlers import handler_for
 from repro.crc.twod import TwoDimensionalCRC
-from repro.memory import inject_rber, inject_whole_weight
+from repro.memory import inject_whole_weight
 from repro.memory.bitops import flip_bits
 
 

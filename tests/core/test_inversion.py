@@ -10,7 +10,7 @@ from repro.core.initialization import build_checkpoint_store
 from repro.core.inversion import invert_bias, invert_conv, invert_dense, invert_layer
 from repro.core.planner import plan_model
 from repro.exceptions import NotInvertibleError
-from repro.nn import Bias, Conv2D, Dense, Flatten, MaxPool2D, Sequential
+from repro.nn import Bias, Conv2D, Dense, Sequential
 from repro.prng import SeededTensorGenerator
 
 

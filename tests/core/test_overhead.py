@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import MILRProtector
 from repro.core.overhead import compare_storage_overheads, ecc_overhead_bytes
 
 

@@ -7,7 +7,7 @@ import pytest
 from repro.core import MILRConfig
 from repro.core.planner import InversionStrategy, RecoveryStrategy, plan_model
 from repro.exceptions import LayerConfigurationError
-from repro.nn import Bias, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.nn import Bias, Conv2D, Dense, Sequential
 
 
 class TestPlanGeneral:

@@ -1,0 +1,338 @@
+"""Tests for the sharded, resumable campaign runner and its result stores."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    CampaignSpec,
+    MemoryResultStore,
+    ResultStore,
+    TrialSpec,
+    campaign_status,
+    collect_campaign_records,
+    expand_campaign,
+    open_store,
+    run_campaign,
+    trial_key,
+    trial_seed_sequence,
+)
+from repro.experiments.campaign import TIMING_RESULT_FIELDS
+from repro.experiments.model_provider import TrainedNetwork
+
+#: Grid small enough that a full serial run takes a couple of seconds.
+TINY_TRAIN = dict(train_samples_per_class=8, train_epochs=1)
+
+
+@pytest.fixture(scope="module")
+def network(trained_tiny_network):
+    return TrainedNetwork(
+        name="trained_tiny",
+        model=trained_tiny_network["model"],
+        test_images=trained_tiny_network["test_images"],
+        test_labels=trained_tiny_network["test_labels"],
+        baseline_accuracy=trained_tiny_network["baseline_accuracy"],
+    )
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        name="test",
+        networks=("trained_tiny",),
+        error_rates=(1e-4, 1e-3),
+        fault_modes=("rber",),
+        schemes=("none", "milr"),
+        repetitions=2,
+        seed=11,
+        **TINY_TRAIN,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def deterministic_results(store) -> dict[str, dict]:
+    """Per-key result dicts with the wall-clock fields stripped."""
+    return {
+        record["key"]: {
+            key: value
+            for key, value in record["result"].items()
+            if key not in TIMING_RESULT_FIELDS
+        }
+        for record in store.records()
+    }
+
+
+class TestExpansion:
+    def test_grid_size_and_order(self, network):
+        trials = expand_campaign(tiny_spec(), networks={"trained_tiny": network})
+        # 2 rates x 2 schemes x 2 repetitions.
+        assert len(trials) == 8
+        assert [trial.trial_index for trial in trials] == list(range(8))
+        # Canonical nesting: points, then schemes, then repetitions.
+        assert trials[0].point == 1e-4 and trials[0].scheme == "none"
+        assert trials[1].repetition == 1
+        assert trials[2].scheme == "milr"
+        assert trials[4].point == 1e-3
+
+    def test_whole_weight_drops_ecc_schemes(self, network):
+        spec = tiny_spec(
+            fault_modes=("whole_weight",), schemes=("none", "ecc", "milr", "ecc+milr")
+        )
+        trials = expand_campaign(spec, networks={"trained_tiny": network})
+        assert {trial.scheme for trial in trials} == {"none", "milr"}
+
+    def test_whole_weight_never_substitutes_excluded_schemes(self, network):
+        # An explicit scheme list disjoint from the mode's valid set yields
+        # zero trials, not schemes the caller never asked for.
+        spec = tiny_spec(fault_modes=("whole_weight",), schemes=("ecc",))
+        assert expand_campaign(spec, networks={"trained_tiny": network}) == []
+
+    def test_whole_layer_points_are_parameterized_layers(self, network):
+        spec = tiny_spec(fault_modes=("whole_layer",), repetitions=1)
+        trials = expand_campaign(spec, networks={"trained_tiny": network})
+        expected = [
+            layer.name for layer in network.model.layers if layer.has_parameters
+        ]
+        assert [trial.point for trial in trials] == expected
+        assert all(trial.scheme == "milr" for trial in trials)
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ExperimentError):
+            expand_campaign(tiny_spec(networks=("no_such_network",)))
+
+    def test_unknown_scheme_and_mode_rejected(self, network):
+        with pytest.raises(ExperimentError):
+            expand_campaign(
+                tiny_spec(schemes=("nope",)), networks={"trained_tiny": network}
+            )
+        with pytest.raises(ExperimentError):
+            expand_campaign(
+                tiny_spec(fault_modes=("nope",)), networks={"trained_tiny": network}
+            )
+
+    def test_round_trip_through_dict(self):
+        spec = tiny_spec()
+        assert CampaignSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestKeysAndSeeds:
+    def test_key_is_content_hash(self, network):
+        trials = expand_campaign(tiny_spec(), networks={"trained_tiny": network})
+        again = expand_campaign(tiny_spec(), networks={"trained_tiny": network})
+        assert [trial.key for trial in trials] == [trial.key for trial in again]
+        assert len({trial.key for trial in trials}) == len(trials)
+
+    def test_key_survives_json_round_trip(self, network):
+        trial = expand_campaign(tiny_spec(), networks={"trained_tiny": network})[3]
+        payload = json.loads(json.dumps(trial.as_dict()))
+        assert trial_key(payload) == trial.key
+        assert TrialSpec(**payload).key == trial.key
+
+    def test_milr_config_changes_keys(self, network):
+        from repro.core import MILRConfig
+
+        default_keys = {
+            t.key for t in expand_campaign(tiny_spec(), networks={"trained_tiny": network})
+        }
+        config_keys = {
+            t.key
+            for t in expand_campaign(
+                tiny_spec(),
+                networks={"trained_tiny": network},
+                milr_config=MILRConfig(crc_bits=32),
+            )
+        }
+        # A store therefore never reuses results across protection configs.
+        assert default_keys.isdisjoint(config_keys)
+
+    def test_different_seed_changes_keys(self, network):
+        keys_a = {t.key for t in expand_campaign(tiny_spec(), networks={"trained_tiny": network})}
+        keys_b = {
+            t.key
+            for t in expand_campaign(tiny_spec(seed=12), networks={"trained_tiny": network})
+        }
+        assert keys_a.isdisjoint(keys_b)
+
+    def test_trial_seeds_are_spawned_per_index(self, network):
+        trials = expand_campaign(tiny_spec(), networks={"trained_tiny": network})
+        streams = [
+            np.random.default_rng(trial_seed_sequence(trial)).random(4) for trial in trials
+        ]
+        # All trials draw from distinct streams...
+        for i in range(len(streams)):
+            for j in range(i + 1, len(streams)):
+                assert not np.allclose(streams[i], streams[j])
+        # ...and the stream is a pure function of the spec (order independent).
+        reversed_streams = [
+            np.random.default_rng(trial_seed_sequence(trial)).random(4)
+            for trial in reversed(trials)
+        ]
+        np.testing.assert_array_equal(streams[0], reversed_streams[-1])
+
+
+class TestWeightsBitExact:
+    def test_detects_sign_bit_flip_on_zero(self, tiny_dense_model):
+        from repro.experiments.injection import snapshot_weights, weights_bit_exact
+
+        layer = next(layer for layer in tiny_dense_model.layers if layer.has_parameters)
+        weights = layer.get_weights().copy()
+        flat_index = np.unravel_index(0, weights.shape)
+        weights[flat_index] = 0.0
+        layer.set_weights(weights)
+        snapshot = snapshot_weights(tiny_dense_model)
+        assert weights_bit_exact(tiny_dense_model, snapshot)
+        # -0.0 == 0.0 by value, but it is a different bit pattern.
+        weights = weights.copy()
+        weights[flat_index] = -0.0
+        layer.set_weights(weights)
+        assert not weights_bit_exact(tiny_dense_model, snapshot)
+
+
+class TestResultStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append({"key": "a", "spec": {"x": 1}, "result": {"y": 2.5}})
+        store.append({"key": "b", "spec": {"x": 2}, "result": {"y": 3.5}})
+        assert store.completed_keys() == {"a", "b"}
+        assert store.records()[0]["result"]["y"] == 2.5
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append({"key": "a", "spec": {}, "result": {}})
+        with open(path, "a") as handle:
+            handle.write('{"key": "b", "spec": {"trunc')  # killed mid-write
+        assert store.completed_keys() == {"a"}
+
+    def test_duplicate_keys_resolve_to_first_record(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append({"key": "a", "spec": {}, "result": {"y": 1}})
+        store.append({"key": "a", "spec": {}, "result": {"y": 2}})
+        assert len(store) == 1
+        assert store.records()[0]["result"]["y"] == 1
+
+    def test_open_store_coerces_paths(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "x.jsonl"), ResultStore)
+        memory = MemoryResultStore()
+        assert open_store(memory) is memory
+
+
+class TestRunCampaign:
+    def test_resume_after_kill_executes_only_missing(self, network, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        killed = run_campaign(
+            spec, store, networks={"trained_tiny": network}, max_trials=3
+        )
+        assert killed.executed == 3 and killed.remaining == 5
+        resumed = run_campaign(spec, store, networks={"trained_tiny": network})
+        assert resumed.already_completed == 3
+        assert resumed.executed == 5
+        assert resumed.finished
+        assert len(store) == 8
+
+    def test_rerun_is_a_noop(self, network, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        run_campaign(spec, store, networks={"trained_tiny": network})
+        rerun = run_campaign(spec, store, networks={"trained_tiny": network})
+        assert rerun.executed == 0
+        assert rerun.already_completed == rerun.total_trials == 8
+
+    def test_interrupted_run_matches_uninterrupted(self, network, tmp_path):
+        spec = tiny_spec()
+        straight = ResultStore(tmp_path / "straight.jsonl")
+        run_campaign(spec, straight, networks={"trained_tiny": network})
+        interrupted = ResultStore(tmp_path / "interrupted.jsonl")
+        run_campaign(spec, interrupted, networks={"trained_tiny": network}, max_trials=2)
+        run_campaign(spec, interrupted, networks={"trained_tiny": network}, max_trials=3)
+        run_campaign(spec, interrupted, networks={"trained_tiny": network})
+        assert deterministic_results(straight) == deterministic_results(interrupted)
+
+    def test_trial_after_torn_write_is_reexecuted(self, network, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "campaign.jsonl"
+        store = ResultStore(path)
+        run_campaign(spec, store, networks={"trained_tiny": network}, max_trials=2)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        resumed = run_campaign(spec, store, networks={"trained_tiny": network})
+        assert resumed.already_completed == 1
+        assert resumed.executed == 7
+        assert len(store) == 8
+
+    def test_collect_records_in_grid_order(self, network):
+        spec = tiny_spec(repetitions=1)
+        records = collect_campaign_records(spec, networks={"trained_tiny": network})
+        indices = [record["spec"]["trial_index"] for record in records]
+        assert indices == sorted(indices)
+        assert len(records) == 4
+
+    def test_status_counts(self, network, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        run_campaign(spec, store, networks={"trained_tiny": network}, max_trials=3)
+        rows = campaign_status(spec, store, networks={"trained_tiny": network})
+        assert rows == [
+            {
+                "network": "trained_tiny",
+                "fault_mode": "rber",
+                "completed": 3,
+                "total": 8,
+                "pending": 5,
+            }
+        ]
+
+    def test_whole_layer_records_survive_jsonl_round_trip(self, network, tmp_path):
+        spec = tiny_spec(fault_modes=("whole_layer",), repetitions=1)
+        store = ResultStore(tmp_path / "whole_layer.jsonl")
+        summary = run_campaign(spec, store, networks={"trained_tiny": network})
+        assert summary.finished
+        records = store.records()
+        parameterized = [
+            layer.name for layer in network.model.layers if layer.has_parameters
+        ]
+        assert [record["spec"]["point"] for record in records] != []
+        assert {record["spec"]["point"] for record in records} == set(parameterized)
+        for record in records:
+            result = record["result"]
+            assert isinstance(result["recoverable"], bool)
+            assert isinstance(result["detected"], bool)
+            assert result["layer_kind"]
+            assert result["strategy_value"]
+
+    def test_rate_trial_result_fields(self, network):
+        spec = tiny_spec(error_rates=(1e-3,), schemes=("milr",), repetitions=1)
+        records = collect_campaign_records(spec, networks={"trained_tiny": network})
+        result = records[0]["result"]
+        assert result["faulted"] and result["detected"]
+        assert result["flipped_bits"] > 0
+        assert result["detection_seconds"] > 0
+        assert result["model_bytes"] == network.model.parameter_bytes()
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_killed_resumed_matches_serial(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("MILR_CACHE_DIR", str(tmp_path / "models"))
+        spec = CampaignSpec(
+            name="equivalence",
+            networks=("mnist_reduced",),
+            error_rates=(1e-4, 1e-3),
+            fault_modes=("rber",),
+            schemes=("none", "milr"),
+            repetitions=1,
+            seed=5,
+            **TINY_TRAIN,
+        )
+        serial = ResultStore(tmp_path / "serial.jsonl")
+        run_campaign(spec, serial, workers=1)
+        parallel = ResultStore(tmp_path / "parallel.jsonl")
+        killed = run_campaign(spec, parallel, workers=2, max_trials=2)
+        assert killed.remaining == 2
+        resumed = run_campaign(spec, parallel, workers=2)
+        assert resumed.finished
+        assert deterministic_results(serial) == deterministic_results(parallel)

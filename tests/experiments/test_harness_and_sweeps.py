@@ -78,6 +78,36 @@ class TestRunProtectionTrial:
         assert trial.detected_layers >= 1
         assert trial.recovered_layers >= 1
 
+    def test_trial_records_campaign_measurements(self, network, protector):
+        clean = snapshot_weights(network.model)
+        trial = run_protection_trial(
+            network,
+            protector,
+            clean,
+            ProtectionScheme.MILR,
+            ErrorModel.WHOLE_WEIGHT,
+            5e-3,
+            np.random.default_rng(2),
+        )
+        assert trial.flipped_bits > 0
+        assert trial.injected_weights > 0
+        assert trial.detection_seconds > 0
+        assert trial.recovery_seconds > 0
+
+    def test_uncorrupted_trial_is_bit_exact(self, network, protector):
+        clean = snapshot_weights(network.model)
+        trial = run_protection_trial(
+            network,
+            protector,
+            clean,
+            ProtectionScheme.NONE,
+            ErrorModel.RBER,
+            0.0,
+            np.random.default_rng(5),
+        )
+        assert trial.flipped_bits == 0
+        assert trial.bit_exact
+
     def test_ecc_rejected_for_whole_weight_model(self, network, protector):
         clean = snapshot_weights(network.model)
         with pytest.raises(ExperimentError):

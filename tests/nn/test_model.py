@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import NotBuiltError, ShapeError
-from repro.nn import Bias, Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+from repro.nn import Conv2D, Dense, ReLU, Sequential
 
 
 class TestBuild:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.checkpoint import weight_fingerprint
 from repro.crc.twod import TwoDimensionalCRC

@@ -1,0 +1,122 @@
+"""Tests for the CI benchmark regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py"
+
+
+def _write_bench(path: Path, entries: list[dict]) -> None:
+    path.write_text(json.dumps({"results": entries}))
+
+
+def _write_baseline(path: Path, detection: list[dict], service: list[dict]) -> None:
+    path.write_text(
+        json.dumps({"detection": {"results": detection}, "service": {"results": service}})
+    )
+
+
+def _entry(op: str, ns: float) -> dict:
+    return {"op": op, "shape": [2, 2], "ns_per_op": ns}
+
+
+def _run(tmp_path: Path, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--baseline",
+            str(tmp_path / "BENCH_baseline.json"),
+            "--root",
+            str(tmp_path),
+            *extra,
+        ],
+        capture_output=True,
+        text=True,
+    )
+
+
+def _write_all(tmp_path: Path, fresh_ns: float, baseline_ns: float = 100.0) -> None:
+    _write_baseline(
+        tmp_path / "BENCH_baseline.json",
+        [_entry("encode", baseline_ns)],
+        [_entry("serve", baseline_ns)],
+    )
+    _write_bench(tmp_path / "BENCH_detection.json", [_entry("encode", fresh_ns)])
+    _write_bench(tmp_path / "BENCH_service.json", [_entry("serve", fresh_ns)])
+
+
+class TestCheckRegression:
+    def test_within_tolerance_passes(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=200.0)  # 2x < default 2.5x
+        result = _run(tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "within 2.5x" in result.stdout
+
+    def test_regression_fails(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=300.0)  # 3x > 2.5x
+        result = _run(tmp_path)
+        assert result.returncode == 1
+        assert "FAIL" in result.stdout
+        assert "regression" in result.stderr
+
+    def test_custom_tolerance(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=300.0)
+        assert _run(tmp_path, "--tolerance", "4.0").returncode == 0
+
+    def test_faster_than_baseline_passes(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=10.0)
+        assert _run(tmp_path).returncode == 0
+
+    def test_missing_fresh_file_is_an_error(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=100.0)
+        (tmp_path / "BENCH_service.json").unlink()
+        result = _run(tmp_path)
+        assert result.returncode == 2
+        assert "BENCH_service.json" in result.stderr
+
+    def test_missing_baseline_is_an_error(self, tmp_path):
+        result = _run(tmp_path)
+        assert result.returncode == 2
+
+    def test_missing_op_reported_not_fatal(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=100.0)
+        _write_bench(tmp_path / "BENCH_detection.json", [])  # op vanished
+        result = _run(tmp_path)
+        assert result.returncode == 0
+        assert "MISSING" in result.stdout
+
+    def test_new_op_reported(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=100.0)
+        _write_bench(
+            tmp_path / "BENCH_detection.json",
+            [_entry("encode", 100.0), _entry("brand_new", 5.0)],
+        )
+        result = _run(tmp_path)
+        assert result.returncode == 0
+        assert "NEW" in result.stdout
+
+    def test_update_rewrites_baseline(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=400.0)
+        assert _run(tmp_path, "--update").returncode == 0
+        payload = json.loads((tmp_path / "BENCH_baseline.json").read_text())
+        assert payload["detection"]["results"][0]["ns_per_op"] == 400.0
+        # The gate now passes against the refreshed baseline.
+        assert _run(tmp_path).returncode == 0
+
+    def test_repo_baseline_matches_gate_schema(self, tmp_path):
+        # The committed baseline must load and cover both benchmark files.
+        sys.path.insert(0, str(SCRIPT.parent))
+        try:
+            from check_regression import load_baseline
+
+            baseline = load_baseline(SCRIPT.parents[1] / "BENCH_baseline.json")
+        finally:
+            sys.path.pop(0)
+        sources = {key[0] for key in baseline}
+        assert sources == {"detection", "service"}
+        assert all(ns > 0 for ns in baseline.values())

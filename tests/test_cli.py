@@ -40,6 +40,38 @@ class TestParser:
         assert args.network == "cifar_reduced"
         assert args.duration == 1.5
 
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_defaults(self):
+        args = build_parser().parse_args(["campaign", "run", "--store", "x.jsonl"])
+        assert args.campaign_command == "run"
+        assert args.networks == ["mnist_reduced"]
+        assert args.fault_modes == ["rber"]
+        assert args.schemes == ["none", "ecc", "milr", "ecc+milr"]
+        assert args.repetitions == 3
+        assert args.workers is None
+        assert args.max_trials is None
+
+    def test_campaign_run_rejects_unknown_network_and_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "run", "--store", "x.jsonl", "--networks", "nope"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "run", "--store", "x.jsonl", "--fault-modes", "nope"]
+            )
+
+    def test_campaign_report_arguments(self):
+        args = build_parser().parse_args(
+            ["campaign", "report", "--store", "x.jsonl", "--no-timing"]
+        )
+        assert args.campaign_command == "report"
+        assert args.no_timing
+        assert args.confidence == 0.95
+
 
 class TestCommands:
     def test_summary_prints_architecture(self, capsys):
@@ -98,6 +130,43 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Serving mnist_reduced" in output
         assert "availability" in output
+
+    def test_campaign_run_status_report(self, capsys, tmp_path):
+        store = str(tmp_path / "campaign.jsonl")
+        grid = [
+            "--store",
+            store,
+            "--networks",
+            "mnist_reduced",
+            "--error-rates",
+            "1e-4",
+            "--schemes",
+            "none",
+            "milr",
+            "--repetitions",
+            "1",
+            "--train-samples-per-class",
+            "8",
+            "--train-epochs",
+            "1",
+        ]
+        assert main(["campaign", "run", *grid, "--workers", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "executed" in output
+
+        # Re-running the finished campaign is a no-op.
+        assert main(["campaign", "run", *grid, "--workers", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "executed" in output and "0" in output
+
+        assert main(["campaign", "status", *grid]) == 0
+        output = capsys.readouterr().out
+        assert "mnist_reduced" in output and "pending" in output
+
+        assert main(["campaign", "report", "--store", store, "--no-timing"]) == 0
+        output = capsys.readouterr().out
+        assert "detection_rate" in output
+        assert "mean_td_ms" not in output
 
     def test_soak_command(self, capsys):
         assert (
