@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 FRESH_FILES = {
     "detection": "BENCH_detection.json",
     "service": "BENCH_service.json",
+    "inference": "BENCH_inference.json",
 }
 
 OpKey = tuple[str, str, tuple[int, ...]]

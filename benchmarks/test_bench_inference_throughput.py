@@ -1,0 +1,150 @@
+"""Inference throughput: the plan-compiled forward fast path.
+
+Measures ``Model.predict`` ns_per_op per zoo network at batch sizes 1 / 32 /
+256 through the compiled forward plan, against the layer-by-layer seed
+forward (``use_plan=False``) as the baseline, plus the one-off plan-compile
+cost so the amortization point is visible.  Speedups are the median of
+paired rounds (seed and plan timed back to back within each round) so a
+shared runner's load swings cancel out of the ratio.
+
+Results are appended to ``BENCH_inference.json``;
+``benchmarks/check_regression.py`` gates CI on the committed
+``BENCH_baseline.json`` values.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header, record_bench_results
+from repro.analysis.reporting import format_table
+from repro.zoo import network_table
+
+NETWORKS = ("mnist_reduced", "cifar_reduced", "mnist_bn", "cifar_depthwise")
+#: (batch size, timed calls per round).
+BATCHES = ((1, 60), (32, 12), (256, 3))
+ROUNDS = 7
+#: Soft regression floor asserted in-test: the plan path must never lose to
+#: the seed path beyond noise.  The measured (much higher) speedups are
+#: recorded in BENCH_inference.json and gated by check_regression.py.
+MIN_MEDIAN_SPEEDUP = 0.9
+
+
+def _timed(fn, reps: int) -> float:
+    started = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - started) / reps
+
+
+def _paired(seed_fn, plan_fn, reps: int) -> tuple[float, float, float]:
+    """(median speedup, best seed seconds, best plan seconds) over rounds."""
+    seed_fn()
+    plan_fn()
+    ratios, seed_times, plan_times = [], [], []
+    for _ in range(ROUNDS):
+        seed_s = _timed(seed_fn, reps)
+        plan_s = _timed(plan_fn, reps)
+        ratios.append(seed_s / plan_s)
+        seed_times.append(seed_s)
+        plan_times.append(plan_s)
+    return float(np.median(ratios)), min(seed_times), min(plan_times)
+
+
+def _compile_seconds(model, batch: int, rounds: int = 5) -> float:
+    """One-off plan compile cost (cache cleared between measurements)."""
+    samples = []
+    for _ in range(rounds):
+        model.invalidate_plans()
+        started = time.perf_counter()
+        model.compile_plan(batch)
+        samples.append(time.perf_counter() - started)
+    return min(samples)
+
+
+@pytest.mark.benchmark(group="inference-throughput")
+def test_bench_inference_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    rows: list[dict] = []
+    entries: list[dict] = []
+    for name in NETWORKS:
+        spec = network_table()[name]
+        model = spec.builder()
+        for batch, reps in BATCHES:
+            inputs = rng.random((batch,) + spec.input_shape).astype(np.float32)
+            # The planned forward must stay bit-identical to the seed path --
+            # the whole point of the fast path is that it is a free lunch.
+            assert (
+                model.predict(inputs).tobytes()
+                == model.predict(inputs, use_plan=False).tobytes()
+            ), f"{name} b={batch}: planned forward diverged from seed forward"
+            speedup, seed_s, plan_s = _paired(
+                lambda: model.predict(inputs, use_plan=False),
+                lambda: model.predict(inputs),
+                reps,
+            )
+            rows.append(
+                {
+                    "network": name,
+                    "batch": batch,
+                    "seed_us": seed_s * 1e6,
+                    "plan_us": plan_s * 1e6,
+                    "us_per_sample": plan_s * 1e6 / batch,
+                    "speedup": speedup,
+                }
+            )
+            entries.append(
+                {
+                    "op": f"predict_{name}_b{batch}",
+                    "shape": [batch, *spec.input_shape],
+                    "ns_per_op": plan_s * 1e9,
+                    "ns_per_sample": plan_s * 1e9 / batch,
+                    "seed_ns_per_op": seed_s * 1e9,
+                    # Median of paired rounds vs the seed layer-by-layer path.
+                    "speedup": speedup,
+                }
+            )
+        compile_s = _compile_seconds(model, 32)
+        plan32_s = next(
+            row["plan_us"] for row in rows if row["network"] == name and row["batch"] == 32
+        ) / 1e6
+        seed32_s = next(
+            row["seed_us"] for row in rows if row["network"] == name and row["batch"] == 32
+        ) / 1e6
+        saved = max(seed32_s - plan32_s, 1e-12)
+        entries.append(
+            {
+                "op": f"plan_compile_{name}_b32",
+                "shape": [32, *spec.input_shape],
+                "ns_per_op": compile_s * 1e9,
+                # Calls after which the one-off compile has paid for itself
+                # against the per-call saving at batch 32.
+                "amortized_after_calls": float(np.ceil(compile_s / saved)),
+                "speedup": 1.0,
+            }
+        )
+
+    print_header("Model.predict throughput: plan-compiled vs seed forward")
+    print(
+        format_table(
+            rows,
+            title=f"median speedup over {ROUNDS} paired rounds (bit-identical outputs)",
+            precision=2,
+        )
+    )
+    bench_path = record_bench_results("BENCH_inference.json", entries)
+    print(f"machine-readable results appended to {bench_path}")
+
+    benchmark.extra_info.update(
+        {f"{row['network']}_b{row['batch']}": row["speedup"] for row in rows}
+    )
+    benchmark(lambda: None)  # timing happened above; keep the fixture happy
+
+    for row in rows:
+        assert row["speedup"] >= MIN_MEDIAN_SPEEDUP, (
+            f"plan-compiled predict slower than the seed forward on "
+            f"{row['network']} b={row['batch']}: {row['speedup']:.2f}x"
+        )

@@ -27,7 +27,34 @@ from repro.experiments.injection import (
 )
 from repro.experiments.model_provider import TrainedNetwork
 
-__all__ = ["ProtectionScheme", "ExperimentSetting", "SchemeTrialResult", "run_protection_trial"]
+__all__ = [
+    "ProtectionScheme",
+    "ExperimentSetting",
+    "SchemeTrialResult",
+    "run_protection_trial",
+    "evaluate_accuracy",
+]
+
+#: Chunk size of the held-out evaluation forward passes.  Every trial of a
+#: campaign measures accuracy with the same chunking, so the model's plan
+#: cache serves the whole sweep from at most two compiled plans (the full
+#: chunk and the remainder), recompiled only when a trial mutates weights.
+EVAL_BATCH_SIZE = 256
+
+
+def evaluate_accuracy(network: TrainedNetwork, batch_size: int = EVAL_BATCH_SIZE) -> float:
+    """Chunked accuracy of the (possibly corrupted/recovered) model.
+
+    Delegates to :meth:`Sequential.accuracy` with a fixed chunk size: every
+    chunk runs through :meth:`Sequential.predict`, i.e. through the model's
+    cached compiled forward plan -- the same fast path the serving engine
+    uses -- instead of the layer-by-layer seed forward.  Outputs are
+    bit-identical to the seed path, so measured accuracies are unchanged;
+    only the per-trial wall clock drops.
+    """
+    return network.model.accuracy(
+        network.test_images, network.test_labels, batch_size=batch_size
+    )
 
 
 class ProtectionScheme(Enum):
@@ -141,7 +168,7 @@ def run_protection_trial(
                 recovery_seconds = time.perf_counter() - started
                 recovered_layers = len(recovery.recovered_layers)
 
-        accuracy = network.accuracy()
+        accuracy = evaluate_accuracy(network)
         return SchemeTrialResult(
             scheme=scheme,
             error_rate=error_rate,

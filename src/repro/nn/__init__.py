@@ -31,6 +31,7 @@ from repro.nn.layers import (
     ZeroPadding2D,
 )
 from repro.nn.model import Sequential
+from repro.nn.plan import ForwardPlan, PlanStats, compile_plan
 from repro.nn.serialization import load_model_weights, save_model_weights
 
 __all__ = [
@@ -50,6 +51,9 @@ __all__ = [
     "Softmax",
     "ZeroPadding2D",
     "Sequential",
+    "ForwardPlan",
+    "PlanStats",
+    "compile_plan",
     "save_model_weights",
     "load_model_weights",
 ]

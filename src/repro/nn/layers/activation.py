@@ -98,6 +98,15 @@ class Activation(Layer):
     def compute_output_shape(self, input_shape: Shape) -> Shape:
         return input_shape
 
+    @property
+    def forward_function(self) -> Callable[[np.ndarray], np.ndarray]:
+        """The pure element-wise (or row-wise) function this layer applies.
+
+        Exposed for the compiled forward plans (:mod:`repro.nn.plan`), which
+        execute the function directly without the training-capture branch.
+        """
+        return self._forward_fn
+
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         inputs = self._check_input(inputs)
         outputs = self._forward_fn(inputs)

@@ -49,6 +49,12 @@ class Layer(ABC):
         #: Gradient of the loss w.r.t. this layer's parameters, populated by
         #: :meth:`backward` during training.
         self.grad_weights: Optional[np.ndarray] = None
+        #: Monotonic weight epoch, bumped by every :meth:`set_weights` (and by
+        #: :meth:`build`).  Compiled forward plans (:mod:`repro.nn.plan`)
+        #: capture the epoch of every parameterized layer and use a cheap
+        #: integer comparison per call to notice that weights were mutated
+        #: (fault injection, repair, training) since the plan was compiled.
+        self.weights_version: int = 0
 
     # ------------------------------------------------------------------ #
     # Shape handling
@@ -74,6 +80,7 @@ class Layer(ABC):
         self._output_shape = self.compute_output_shape(input_shape)
         self._build(input_shape)
         self.built = True
+        self.weights_version += 1
 
     def _build(self, input_shape: Shape) -> None:
         """Hook for subclasses that allocate parameters.  Default: nothing."""

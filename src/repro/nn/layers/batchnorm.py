@@ -105,3 +105,4 @@ class BatchNorm(Layer):
             )
         self.gamma = weights[0].copy()
         self.beta = weights[1].copy()
+        self.weights_version += 1

@@ -83,3 +83,4 @@ class Bias(Layer):
                 f"got {weights.shape}"
             )
         self.values = weights.copy()
+        self.weights_version += 1

@@ -195,3 +195,4 @@ class Conv2D(Layer):
                 f"got {weights.shape}"
             )
         self.kernel = weights.copy()
+        self.weights_version += 1

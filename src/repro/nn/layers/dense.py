@@ -94,6 +94,7 @@ class Dense(Layer):
                 f"got {weights.shape}"
             )
         self.weights = weights.copy()
+        self.weights_version += 1
 
     @property
     def features_in(self) -> int:

@@ -185,3 +185,4 @@ class DepthwiseConv2D(Layer):
                 f"{self.kernel.shape}, got {weights.shape}"
             )
         self.kernel = weights.copy()
+        self.weights_version += 1

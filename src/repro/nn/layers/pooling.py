@@ -32,6 +32,9 @@ class _Pool2D(Layer):
 
     has_parameters = False
     structurally_invertible = False
+    #: Reduction applied over the window axis (``"max"`` or ``"mean"``);
+    #: compiled forward plans dispatch on this instead of the subclass type.
+    window_reduce: str = ""
 
     def __init__(
         self,
@@ -68,6 +71,8 @@ class _Pool2D(Layer):
 class MaxPool2D(_Pool2D):
     """Max pooling over non-overlapping (by default) spatial windows."""
 
+    window_reduce = "max"
+
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         inputs = self._check_input(inputs)
         windows = self._windows(inputs)
@@ -97,6 +102,8 @@ class MaxPool2D(_Pool2D):
 
 class AvgPool2D(_Pool2D):
     """Average pooling over spatial windows."""
+
+    window_reduce = "mean"
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         inputs = self._check_input(inputs)

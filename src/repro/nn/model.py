@@ -2,15 +2,26 @@
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
 from repro.exceptions import NotBuiltError, ShapeError
 from repro.nn.layers.base import Layer
+from repro.nn.plan import ForwardPlan, PlanStats, compile_plan
 from repro.types import FLOAT_DTYPE, LayerSignature, Shape, ShapeLike, as_shape
 
 __all__ = ["Sequential"]
+
+#: Default maximum number of compiled forward plans cached per model (LRU).
+#: Keys are ``(batch size, fused)``; offline evaluation touches the chunk
+#: size plus one remainder, and the service's variable-occupancy batches
+#: touch up to ``max_batch`` keys -- the registry raises the per-model
+#: ``plan_cache_size`` accordingly when ``max_batch`` exceeds this default,
+#: so the hot serving path never thrashes the cache.
+PLAN_CACHE_SIZE = 8
 
 
 class Sequential:
@@ -24,6 +35,12 @@ class Sequential:
     ``model.build((28, 28, 1))``.  Forward execution, training hooks, weight
     (de)serialization, per-layer intermediate capture (needed by MILR) and a
     Keras-style summary are provided.
+
+    Inference runs through compiled forward plans (:mod:`repro.nn.plan`) by
+    default: :meth:`predict` compiles one plan per ``(batch size, fused)``
+    key, caches it, and transparently recompiles when any layer's weights
+    change.  The planned forward is bit-identical to the layer-by-layer seed
+    path (``use_plan=False``).
     """
 
     def __init__(self, layers: Optional[Iterable[Layer]] = None, name: str = "sequential"):
@@ -31,6 +48,17 @@ class Sequential:
         self.layers: list[Layer] = list(layers) if layers is not None else []
         self.built = False
         self._input_shape: Optional[Shape] = None
+        #: Compiled forward plans keyed by ``(batch size, fused)``, LRU.
+        self._plan_cache: "OrderedDict[tuple[int, bool], ForwardPlan]" = OrderedDict()
+        #: Serializes plan compilation and scratch-buffer execution; plan
+        #: buffers are shared state, so planned forwards on one model are
+        #: mutually exclusive (the service already serializes per-model
+        #: execution through the ManagedModel lock).
+        self._plan_lock = threading.RLock()
+        self._plan_stats = PlanStats()
+        #: LRU capacity of the plan cache; raised by the service registry
+        #: when ``ServiceConfig.max_batch`` exceeds the default.
+        self.plan_cache_size = PLAN_CACHE_SIZE
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -71,17 +99,107 @@ class Sequential:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def predict(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        """Run a full forward pass over a batch."""
+    def predict(
+        self,
+        inputs: np.ndarray,
+        training: bool = False,
+        use_plan: bool = True,
+        fused: bool = False,
+    ) -> np.ndarray:
+        """Run a full forward pass over a batch.
+
+        Inference (``training=False``) executes through a cached compiled
+        forward plan: precomputed im2col gather indices, preallocated scratch
+        buffers, and no training bookkeeping.  The planned output is
+        bit-identical to the layer-by-layer path, which remains reachable
+        with ``use_plan=False`` (and is always used for ``training=True``).
+        ``fused=True`` opts into folding Bias/BatchNorm affines into the
+        adjacent matmuls -- tolerance-equivalent, not bit-identical.
+        """
         if not self.built:
             raise NotBuiltError(f"model {self.name!r} has not been built")
-        outputs = np.asarray(inputs, dtype=FLOAT_DTYPE)
-        for layer in self.layers:
-            outputs = layer.forward(outputs, training=training)
-        return outputs
+        if training or not use_plan or not self.layers:
+            outputs = np.asarray(inputs, dtype=FLOAT_DTYPE)
+            for layer in self.layers:
+                outputs = layer.forward(outputs, training=training)
+            return outputs
+        inputs = np.ascontiguousarray(np.asarray(inputs, dtype=FLOAT_DTYPE))
+        if inputs.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"model {self.name!r} expected per-sample shape "
+                f"{self.input_shape}, got {inputs.shape[1:]}"
+            )
+        with self._plan_lock:
+            plan = self._plan_for(inputs.shape[0], bool(fused))
+            return plan.execute(inputs)
 
     def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         return self.predict(inputs, training=training)
+
+    # ------------------------------------------------------------------ #
+    # Forward plans
+    # ------------------------------------------------------------------ #
+    @property
+    def plan_stats(self) -> PlanStats:
+        """Counters of the plan cache (compiles / hits / invalidations)."""
+        return self._plan_stats
+
+    def _plan_for(self, batch_size: int, fused: bool) -> ForwardPlan:
+        """Cached plan for ``(batch_size, fused)``; caller holds the lock."""
+        key = (batch_size, fused)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            if plan.epochs_current():
+                self._plan_cache.move_to_end(key)
+                self._plan_stats.hits += 1
+                return plan
+            # Weights mutated since compile (injection, repair, training).
+            self._plan_stats.invalidations += 1
+        plan = compile_plan(self, batch_size, fused=fused)
+        self._plan_stats.compiles += 1
+        self._plan_cache[key] = plan
+        self._plan_cache.move_to_end(key)
+        while len(self._plan_cache) > self.plan_cache_size:
+            self._plan_cache.popitem(last=False)
+        return plan
+
+    def compile_plan(self, batch_size: int, fused: bool = False) -> ForwardPlan:
+        """Compile (or fetch from cache) the plan for ``batch_size`` up front,
+        so the first serving call does not pay the compile."""
+        if not self.built:
+            raise NotBuiltError(f"model {self.name!r} has not been built")
+        with self._plan_lock:
+            return self._plan_for(batch_size, bool(fused))
+
+    def invalidate_plans(self) -> int:
+        """Drop every cached plan; returns how many were discarded."""
+        with self._plan_lock:
+            dropped = len(self._plan_cache)
+            self._plan_cache.clear()
+            self._plan_stats.invalidations += dropped
+            return dropped
+
+    def revalidate_plans(self) -> int:
+        """Fingerprint-aware invalidation sweep.
+
+        For every cached plan whose weight epochs went stale, compare the
+        blake2b fingerprints captured at compile time against the live
+        weights: byte-identical plans (weights restored exactly, e.g. by a
+        bit-exact repair) are kept and re-armed, all others are dropped.
+        Returns the number of plans invalidated.
+        """
+        with self._plan_lock:
+            dropped = 0
+            for key, plan in list(self._plan_cache.items()):
+                if plan.epochs_current():
+                    continue
+                if plan.fingerprints_match():
+                    plan.refresh_epochs()
+                else:
+                    del self._plan_cache[key]
+                    dropped += 1
+            self._plan_stats.invalidations += dropped
+            return dropped
 
     def forward_collect(self, inputs: np.ndarray) -> list[np.ndarray]:
         """Run a forward pass and return every layer's output (in order).

@@ -1,0 +1,494 @@
+"""Compiled forward execution plans -- the inference fast path.
+
+A :class:`ForwardPlan` is compiled per ``(layer stack, input shape, batch
+size)`` and replays exactly the same numpy operations as the layers' own
+``forward`` methods -- same operand values, dtypes and memory layouts, so the
+planned forward is **bit-identical** to the seed forward -- while skipping
+everything that makes the per-call path slow:
+
+* im2col / pooling gather indices and padding geometry are precomputed once
+  and shared process-wide (:mod:`repro.nn.tensor_utils` caches them per
+  geometry, so every batch size and every model with the same layer geometry
+  reuses the same index arrays),
+* every intermediate (padded input, patch matrix, layer output) is written
+  into a preallocated scratch buffer reused across calls -- the steady state
+  allocates nothing except the final output copy handed to the caller,
+* training-only bookkeeping (``_last_patches``, padded-shape capture,
+  activation caching) is never touched; the solver/inversion paths keep using
+  ``layer.forward(..., training=True)`` when they need those captures.
+
+Weight coherence: a plan captures each parameterized layer's
+``weights_version`` epoch together with the weight arrays themselves.
+:class:`~repro.nn.model.Sequential` checks the epochs with cheap integer
+compares on every planned call and recompiles when any layer was mutated
+(fault injection, repair, quarantine lift, a training step).  The service
+runtime additionally revalidates plans against blake2b weight fingerprints
+when quarantine is lifted (:meth:`ForwardPlan.fingerprints_match`): a
+bit-exact repair restores the exact golden bytes, so a plan compiled on the
+golden weights stays valid and is kept.
+
+An opt-in ``fused=True`` mode folds Bias adds and BatchNorm affines into the
+adjacent Conv2D / DepthwiseConv2D / Dense matmul output (BatchNorm scales are
+folded into the kernel itself).  Fused outputs are *not* bit-identical -- they
+are verified to tolerance in the test suite -- so fusion is never the default.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.layers.activation import Activation
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm
+from repro.nn.layers.bias import Bias
+from repro.nn.layers.conv2d import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.depthwise import DepthwiseConv2D
+from repro.nn.layers.pooling import _Pool2D
+from repro.nn.layers.structural import Flatten, ZeroPadding2D
+from repro.nn.tensor_utils import im2col_into, pad_same_amounts
+from repro.types import FLOAT_DTYPE
+
+__all__ = ["PlanStats", "ForwardPlan", "compile_plan", "plan_weight_fingerprint"]
+
+#: A compiled per-layer step: reads the previous activation, returns the next
+#: one (usually a plan-owned scratch buffer).
+PlanStep = Callable[[np.ndarray], np.ndarray]
+
+
+def plan_weight_fingerprint(weights: np.ndarray) -> bytes:
+    """Blake2b digest of a weight array's raw bytes.
+
+    Byte-for-byte the same digest as
+    :func:`repro.core.checkpoint.weight_fingerprint` (redeclared here so the
+    ``nn`` substrate does not depend on the MILR core): two arrays share a
+    fingerprint exactly when their bit patterns are identical, which is what
+    lets a plan survive a bit-exact repair unchanged.
+    """
+    return hashlib.blake2b(
+        np.ascontiguousarray(weights).tobytes(), digest_size=16
+    ).digest()
+
+
+@dataclass
+class PlanStats:
+    """Counters of the per-model plan cache (observable in tests/service)."""
+
+    #: Plans compiled from scratch (cold key or after an invalidation).
+    compiles: int = 0
+    #: Planned calls served by a cached, weight-coherent plan.
+    hits: int = 0
+    #: Cached plans discarded because weights changed under them (stale epoch
+    #: on lookup, or a failed fingerprint revalidation sweep).
+    invalidations: int = 0
+
+
+class ForwardPlan:
+    """One compiled forward pass for a fixed batch size.
+
+    Created by :func:`compile_plan`; executed (and cached, invalidated,
+    revalidated) by :class:`~repro.nn.model.Sequential`.
+    """
+
+    __slots__ = ("batch_size", "fused", "_steps", "_captured", "_result_provenance")
+
+    def __init__(
+        self,
+        batch_size: int,
+        fused: bool,
+        steps: list[PlanStep],
+        captured: list[tuple[Layer, int, bytes]],
+        result_provenance: str = "scratch",
+    ):
+        self.batch_size = batch_size
+        self.fused = fused
+        self._steps = steps
+        #: ``(layer, weights_version at compile, blake2b fingerprint at
+        #: compile)`` for every parameterized layer the plan touched.
+        self._captured = captured
+        self._result_provenance = result_provenance
+
+    # ------------------------------------------------------------------ #
+    def execute(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the compiled steps; returns a caller-owned output array."""
+        if inputs.shape[0] != self.batch_size:
+            raise ShapeError(
+                f"plan compiled for batch size {self.batch_size}, "
+                f"got {inputs.shape[0]}"
+            )
+        current = inputs
+        for step in self._steps:
+            current = step(current)
+        if self._result_provenance == "fresh":
+            # The last step allocated its result (e.g. softmax): hand it out.
+            return current
+        # Detach the result from the plan's scratch buffers (or the caller's
+        # own input, for all-passthrough stacks): the caller may keep it
+        # across the next planned call.
+        return np.array(current)
+
+    # ------------------------------------------------------------------ #
+    def epochs_current(self) -> bool:
+        """Cheap per-call weight-coherence check (integer compares only)."""
+        for layer, version, _digest in self._captured:
+            if layer.weights_version != version:
+                return False
+        return True
+
+    def fingerprints_match(self) -> bool:
+        """Whether every captured layer's weights are byte-identical to the
+        bytes the plan was compiled from (blake2b comparison)."""
+        for layer, _version, digest in self._captured:
+            if plan_weight_fingerprint(layer.get_weights()) != digest:
+                return False
+        return True
+
+    def refresh_epochs(self) -> None:
+        """Re-arm :meth:`epochs_current` after fingerprints confirmed the
+        weights are byte-identical (e.g. following a bit-exact repair)."""
+        self._captured = [
+            (layer, layer.weights_version, digest)
+            for layer, _version, digest in self._captured
+        ]
+
+
+# ---------------------------------------------------------------------- #
+# Step builders
+# ---------------------------------------------------------------------- #
+def _conv_geometry(layer) -> tuple[int, int, int, int, Optional[tuple[int, int]]]:
+    """Padded spatial dims and the interior origin for a conv-like layer."""
+    height, width, channels = layer.input_shape
+    if layer.padding == "same":
+        pad_h = pad_same_amounts(height, layer.kernel_size[0], layer.stride[0])
+        pad_w = pad_same_amounts(width, layer.kernel_size[1], layer.stride[1])
+        return (
+            height + pad_h[0] + pad_h[1],
+            width + pad_w[0] + pad_w[1],
+            channels,
+            height,
+            (pad_h[0], pad_w[0]),
+        )
+    return height, width, channels, height, None
+
+
+def _affine_fold(
+    kernel_matrix: np.ndarray, affine: Optional[Layer]
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Fold a following Bias/BatchNorm into ``(kernel_matrix, add_vector)``."""
+    if affine is None:
+        return kernel_matrix, None
+    if isinstance(affine, Bias):
+        return kernel_matrix, affine.values
+    assert isinstance(affine, BatchNorm)
+    folded = np.ascontiguousarray(
+        kernel_matrix * affine.gamma[None, :], dtype=FLOAT_DTYPE
+    )
+    return folded, affine.beta
+
+
+def _conv_step(layer: Conv2D, batch: int, affine: Optional[Layer]) -> PlanStep:
+    padded_h, padded_w, channels, height, origin = _conv_geometry(layer)
+    width = layer.input_shape[1]
+    out_h, out_w, filters = layer.output_shape
+    f1, f2 = layer.kernel_size
+    stride = layer.stride
+    positions = out_h * out_w
+    taps = f1 * f2 * channels
+    patch_buf = np.empty((batch, positions, taps), dtype=FLOAT_DTYPE)
+    patch_mat = patch_buf.reshape(batch * positions, taps)
+    patch_split = patch_buf.reshape(batch, out_h, out_w, f1, f2, channels)
+    out_buf = np.empty((batch, out_h, out_w, filters), dtype=FLOAT_DTYPE)
+    out_mat = out_buf.reshape(batch * positions, filters)
+    pad_buf = (
+        np.zeros((batch, padded_h, padded_w, channels), dtype=FLOAT_DTYPE)
+        if origin is not None
+        else None
+    )
+    kernel_matrix, add_values = _affine_fold(layer.kernel_matrix(), affine)
+
+    def run(x: np.ndarray) -> np.ndarray:
+        if pad_buf is not None:
+            top, left = origin
+            pad_buf[:, top : top + height, left : left + width, :] = x
+            source = pad_buf
+        else:
+            source = x
+        im2col_into(source, (f1, f2), stride, patch_split)
+        np.matmul(patch_mat, kernel_matrix, out=out_mat)
+        if add_values is not None:
+            np.add(out_buf, add_values, out=out_buf)
+        return out_buf
+
+    return run
+
+
+def _depthwise_step(
+    layer: DepthwiseConv2D, batch: int, affine: Optional[Layer]
+) -> PlanStep:
+    padded_h, padded_w, channels, height, origin = _conv_geometry(layer)
+    width = layer.input_shape[1]
+    out_h, out_w, _ = layer.output_shape
+    f1, f2 = layer.kernel_size
+    stride = layer.stride
+    positions = out_h * out_w
+    taps = layer.taps_per_channel
+    patch_buf = np.empty((batch, positions, taps * channels), dtype=FLOAT_DTYPE)
+    patch_split = patch_buf.reshape(batch, out_h, out_w, f1, f2, channels)
+    split = patch_buf.reshape(batch, out_h, out_w, taps, channels)
+    out_buf = np.empty((batch, out_h, out_w, channels), dtype=FLOAT_DTYPE)
+    pad_buf = (
+        np.zeros((batch, padded_h, padded_w, channels), dtype=FLOAT_DTYPE)
+        if origin is not None
+        else None
+    )
+    kernel_matrix, add_values = _affine_fold(layer.kernel_matrix(), affine)
+
+    def run(x: np.ndarray) -> np.ndarray:
+        if pad_buf is not None:
+            top, left = origin
+            pad_buf[:, top : top + height, left : left + width, :] = x
+            source = pad_buf
+        else:
+            source = x
+        im2col_into(source, (f1, f2), stride, patch_split)
+        np.einsum("bhwkc,kc->bhwc", split, kernel_matrix, out=out_buf)
+        if add_values is not None:
+            np.add(out_buf, add_values, out=out_buf)
+        return out_buf
+
+    return run
+
+
+def _dense_step(layer: Dense, batch: int, affine: Optional[Layer]) -> PlanStep:
+    out_buf = np.empty((batch, layer.units), dtype=FLOAT_DTYPE)
+    weights, add_values = _affine_fold(layer.weights, affine)
+
+    def run(x: np.ndarray) -> np.ndarray:
+        np.matmul(x, weights, out=out_buf)
+        if add_values is not None:
+            np.add(out_buf, add_values, out=out_buf)
+        return out_buf
+
+    return run
+
+
+def _bias_step(layer: Bias, batch: int, inplace: bool) -> PlanStep:
+    values = layer.values
+    if inplace:
+        # The incoming activation is plan-owned scratch: add into it directly,
+        # keeping the block's working set to one hot buffer.  Same values as
+        # the out-of-place add, so still bit-identical.
+        def run(x: np.ndarray) -> np.ndarray:
+            np.add(x, values, out=x)
+            return x
+
+        return run
+    out_buf = np.empty((batch,) + layer.output_shape, dtype=FLOAT_DTYPE)
+
+    def run(x: np.ndarray) -> np.ndarray:
+        np.add(x, values, out=out_buf)
+        return out_buf
+
+    return run
+
+
+def _batchnorm_step(layer: BatchNorm, batch: int, inplace: bool) -> PlanStep:
+    gamma, beta = layer.gamma, layer.beta
+    if inplace:
+
+        def run(x: np.ndarray) -> np.ndarray:
+            np.multiply(x, gamma, out=x)
+            np.add(x, beta, out=x)
+            return x
+
+        return run
+    out_buf = np.empty((batch,) + layer.output_shape, dtype=FLOAT_DTYPE)
+
+    def run(x: np.ndarray) -> np.ndarray:
+        np.multiply(x, gamma, out=out_buf)
+        np.add(out_buf, beta, out=out_buf)
+        return out_buf
+
+    return run
+
+
+def _activation_step(layer: Activation, batch: int, inplace: bool) -> PlanStep:
+    if layer.function == "linear":
+        return lambda x: x
+    if layer.function == "relu":
+        if inplace:
+
+            def run(x: np.ndarray) -> np.ndarray:
+                np.maximum(x, 0.0, out=x)
+                return x
+
+            return run
+        out_buf = np.empty((batch,) + layer.output_shape, dtype=FLOAT_DTYPE)
+
+        def run(x: np.ndarray) -> np.ndarray:
+            np.maximum(x, 0.0, out=out_buf)
+            return out_buf
+
+        return run
+    # Softmax / sigmoid / tanh allocate internally (they upcast through
+    # float64 exactly like the seed path); they sit on tiny head tensors.
+    return layer.forward_function
+
+
+def _pool_step(layer: _Pool2D, batch: int) -> PlanStep:
+    height, width, channels = layer.input_shape
+    out_h, out_w, _ = layer.output_shape
+    p1, p2 = layer.pool_size
+    s1, s2 = layer.stride
+    out_buf = np.empty((batch, out_h, out_w, channels), dtype=FLOAT_DTYPE)
+
+    if layer.window_reduce == "max":
+        # Fold np.maximum over the P1*P2 shifted strided views instead of
+        # materializing the window tensor.  A left fold in row-major window
+        # order is bit-identical to the seed's windowed ``max(axis=3)`` for
+        # every input: np.maximum keeps the first operand on ties (so the
+        # leftmost maximal element wins in both formulations, signed zeros
+        # included) and NaN propagates under any order.
+        offsets = [(a, b) for a in range(p1) for b in range(p2)]
+
+        def run(x: np.ndarray) -> np.ndarray:
+            np.copyto(
+                out_buf, x[:, 0 : out_h * s1 : s1, 0 : out_w * s2 : s2, :]
+            )
+            for a, b in offsets[1:]:
+                np.maximum(
+                    out_buf,
+                    x[:, a : a + out_h * s1 : s1, b : b + out_w * s2 : s2, :],
+                    out=out_buf,
+                )
+            return out_buf
+
+        return run
+
+    win_buf = np.empty((batch, out_h, out_w, p1 * p2, channels), dtype=FLOAT_DTYPE)
+    win_split = win_buf.reshape(batch, out_h, out_w, p1, p2, channels)
+
+    def run(x: np.ndarray) -> np.ndarray:
+        # Mean pooling keeps the windowed form: np.mean's reduction order over
+        # the window axis is part of the bit pattern, so the seed's window
+        # tensor is reproduced (allocation-free -- the window buffer is the
+        # same memory layout as an im2col patch buffer).
+        im2col_into(x, (p1, p2), layer.stride, win_split)
+        np.mean(win_buf, axis=3, out=out_buf)
+        return out_buf
+
+    return run
+
+
+def _zeropad_step(layer: ZeroPadding2D, batch: int) -> PlanStep:
+    height, width, _ = layer.input_shape
+    out_buf = np.zeros((batch,) + layer.output_shape, dtype=FLOAT_DTYPE)
+    pad_h, pad_w = layer.pad_h, layer.pad_w
+
+    def run(x: np.ndarray) -> np.ndarray:
+        out_buf[:, pad_h : pad_h + height, pad_w : pad_w + width, :] = x
+        return out_buf
+
+    return run
+
+
+#: Provenance of the current activation while compiling, deciding whether an
+#: elementwise step may mutate it in place and whether the final result must
+#: be copied out of plan scratch:
+#:   "input"   -- the caller's array (or a view of it): never mutate.
+#:   "scratch" -- a plan-owned reusable buffer: mutable, copy before return.
+#:   "pinned"  -- plan-owned scratch with a cross-call invariant (e.g. the
+#:                pre-zeroed borders of a padding buffer): never mutate.
+#:   "fresh"   -- allocated anew on every call: mutable, returnable as-is.
+_INPUT, _SCRATCH, _PINNED, _FRESH = "input", "scratch", "pinned", "fresh"
+
+
+def _build_step(
+    layer: Layer, batch: int, affine: Optional[Layer], provenance: str
+) -> tuple[PlanStep, str]:
+    mutable = provenance in (_SCRATCH, _FRESH)
+    if isinstance(layer, Conv2D):
+        return _conv_step(layer, batch, affine), _SCRATCH
+    if isinstance(layer, DepthwiseConv2D):
+        return _depthwise_step(layer, batch, affine), _SCRATCH
+    if isinstance(layer, Dense):
+        return _dense_step(layer, batch, affine), _SCRATCH
+    assert affine is None
+    if isinstance(layer, Bias):
+        return _bias_step(layer, batch, mutable), _SCRATCH if not mutable else provenance
+    if isinstance(layer, BatchNorm):
+        return (
+            _batchnorm_step(layer, batch, mutable),
+            _SCRATCH if not mutable else provenance,
+        )
+    if isinstance(layer, Activation):
+        if layer.function == "linear":
+            return lambda x: x, provenance
+        if layer.function == "relu":
+            return (
+                _activation_step(layer, batch, mutable),
+                _SCRATCH if not mutable else provenance,
+            )
+        return _activation_step(layer, batch, False), _FRESH
+    if isinstance(layer, _Pool2D) and layer.window_reduce in ("max", "mean"):
+        return _pool_step(layer, batch), _SCRATCH
+    if isinstance(layer, Flatten):
+        # A reshape is a view: the result keeps its source's provenance.
+        return lambda x: x.reshape(batch, -1), provenance
+    if isinstance(layer, ZeroPadding2D):
+        # The padding buffer's zero borders persist across calls; an in-place
+        # elementwise step downstream would corrupt them.
+        return _zeropad_step(layer, batch), _PINNED
+    if layer.is_passthrough:
+        return lambda x: x, provenance
+    # Unknown layer type: fall back to the layer's own inference forward.
+    # Bit-identical by definition, just without the fast-path savings.  The
+    # conservative "input" provenance forbids in-place mutation downstream
+    # (the layer might return its input, or a view of it, unchanged).
+    return lambda x: layer.forward(x, training=False), _INPUT
+
+
+def _fusable(layer: Layer, following: Optional[Layer]) -> bool:
+    return isinstance(layer, (Conv2D, DepthwiseConv2D, Dense)) and isinstance(
+        following, (Bias, BatchNorm)
+    )
+
+
+def compile_plan(model, batch_size: int, fused: bool = False) -> ForwardPlan:
+    """Compile one :class:`ForwardPlan` for ``model`` at ``batch_size``.
+
+    ``model`` must be built.  With ``fused=True`` each Conv2D /
+    DepthwiseConv2D / Dense layer immediately followed by a Bias or BatchNorm
+    consumes that affine into its own matmul step (tolerance-equivalent, not
+    bit-identical).
+    """
+    if batch_size < 0:
+        raise ShapeError(f"batch size must be non-negative, got {batch_size}")
+    steps: list[PlanStep] = []
+    captured: list[tuple[Layer, int, bytes]] = []
+    layers = list(model.layers)
+    index = 0
+    provenance = _INPUT
+    while index < len(layers):
+        layer = layers[index]
+        following = layers[index + 1] if index + 1 < len(layers) else None
+        affine = following if fused and _fusable(layer, following) else None
+        step, provenance = _build_step(layer, batch_size, affine, provenance)
+        steps.append(step)
+        consumed = (layer, affine) if affine is not None else (layer,)
+        for member in consumed:
+            if member.has_parameters:
+                captured.append(
+                    (
+                        member,
+                        member.weights_version,
+                        plan_weight_fingerprint(member.get_weights()),
+                    )
+                )
+        index += 2 if affine is not None else 1
+    return ForwardPlan(batch_size, fused, steps, captured, provenance)

@@ -19,6 +19,9 @@ __all__ = [
     "pad_input",
     "unpad_input",
     "im2col",
+    "im2col_into",
+    "im2col_gather_indices",
+    "pool_gather_indices",
     "col2im",
     "pool_patches",
 ]
@@ -111,6 +114,112 @@ def im2col(
     return np.ascontiguousarray(patches)
 
 
+def im2col_into(
+    inputs: np.ndarray,
+    filter_size: tuple[int, int],
+    stride: tuple[int, int],
+    out: np.ndarray,
+) -> np.ndarray:
+    """Allocation-free :func:`im2col`: write patches into ``out``.
+
+    ``out`` must be a ``(B, G1, G2, F1, F2, C)`` view of a preallocated
+    buffer (a reshape of the ``(B, G1, G2, F1*F2*C)`` patch tensor); after
+    the call that buffer holds exactly what :func:`im2col` would have
+    returned, bit for bit, without the per-call allocation.  Used by the
+    compiled forward plans (:mod:`repro.nn.plan`).  The same copy also fills
+    pooling windows: a ``(B, G1, G2, P1*P2, C)`` :func:`pool_patches` buffer
+    is the identical memory layout.
+    """
+    f1, f2 = filter_size
+    s1, s2 = stride
+    windows = np.lib.stride_tricks.sliding_window_view(inputs, (f1, f2), axis=(1, 2))
+    # (B, H-f1+1, W-f2+1, C, f1, f2) -> strided -> (f1, f2, C) element order,
+    # exactly the transpose im2col materializes with ascontiguousarray.
+    np.copyto(out, windows[:, ::s1, ::s2].transpose(0, 1, 2, 4, 5, 3))
+    return out
+
+
+#: Cached im2col gather indices per patch geometry, keyed by
+#: ``(height, width, channels, filter_size, stride)``.  Like the fold-plan
+#: cache below, the geometry set a process touches is one entry per distinct
+#: conv/pool configuration, so the cache is unbounded.  Forward execution
+#: plans (:mod:`repro.nn.plan`) share these index arrays across batch sizes
+#: and across models with the same layer geometry.
+_GATHER_PLAN_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def im2col_gather_indices(
+    height: int,
+    width: int,
+    channels: int,
+    filter_size: tuple[int, int],
+    stride: tuple[int, int],
+) -> np.ndarray:
+    """Return cached flat gather indices that reproduce :func:`im2col`.
+
+    The returned array has shape ``(G1*G2, F1*F2*C)`` and indexes the
+    flattened ``(H*W*C)`` plane of one (pre-padded) sample, with the last
+    axis ordered ``(f1, f2, channel)`` row-major -- exactly the patch layout
+    :func:`im2col` produces.  For a batch, ``flat[:, indices]`` (or
+    ``np.take(flat, indices, axis=1, out=...)`` with a preallocated buffer)
+    yields the same values as ``im2col(padded, ...).reshape(B, G1*G2, -1)``
+    without re-deriving the window geometry per call.
+    """
+    f1, f2 = filter_size
+    s1, s2 = stride
+    if height < f1 or width < f2:
+        raise ShapeError(
+            f"input spatial size ({height},{width}) smaller than filter ({f1},{f2})"
+        )
+    key = (height, width, channels, filter_size, stride)
+    cached = _GATHER_PLAN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    out_h = (height - f1) // s1 + 1
+    out_w = (width - f2) // s2 + 1
+    rows = np.arange(out_h)[:, None] * s1 + np.arange(f1)[None, :]  # (G1, F1)
+    cols = np.arange(out_w)[:, None] * s2 + np.arange(f2)[None, :]  # (G2, F2)
+    # (G1, G2, F1, F2): flat (H, W) position of every patch element ...
+    plane = rows[:, None, :, None] * width + cols[None, :, None, :]
+    # ... expanded over channels: ((h*W + w) * C + c), ordered (f1, f2, c).
+    indices = plane[..., None] * channels + np.arange(channels)
+    indices = indices.reshape(out_h * out_w, f1 * f2 * channels)
+    indices = np.ascontiguousarray(indices, dtype=np.intp)
+    _GATHER_PLAN_CACHE[key] = indices
+    return indices
+
+
+def pool_gather_indices(
+    height: int,
+    width: int,
+    channels: int,
+    pool_size: tuple[int, int],
+    stride: tuple[int, int],
+) -> np.ndarray:
+    """Return cached gather indices reproducing :func:`pool_patches`.
+
+    Shape ``(G1*G2, P1*P2, C)`` over the flattened ``(H*W*C)`` plane of one
+    sample, matching the ``(B, G1, G2, P1*P2, C)`` window layout of
+    :func:`pool_patches` after a batch gather + reshape.
+    """
+    p1, p2 = pool_size
+    s1, s2 = stride
+    key = ("pool", height, width, channels, pool_size, stride)
+    cached = _GATHER_PLAN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    out_h = (height - p1) // s1 + 1
+    out_w = (width - p2) // s2 + 1
+    rows = np.arange(out_h)[:, None] * s1 + np.arange(p1)[None, :]  # (G1, P1)
+    cols = np.arange(out_w)[:, None] * s2 + np.arange(p2)[None, :]  # (G2, P2)
+    plane = rows[:, None, :, None] * width + cols[None, :, None, :]  # (G1, G2, P1, P2)
+    indices = plane[..., None] * channels + np.arange(channels)
+    indices = indices.reshape(out_h * out_w, p1 * p2, channels)
+    indices = np.ascontiguousarray(indices, dtype=np.intp)
+    _GATHER_PLAN_CACHE[key] = indices
+    return indices
+
+
 #: Cached scatter indices and overlap counts per fold geometry, keyed by
 #: ``(height, width, filter_size, stride, out_h, out_w)``.  The geometry set a
 #: process touches is tiny (one entry per distinct conv configuration), so the
@@ -143,7 +252,7 @@ def _fold_plan(
     flat_indices = (
         rows[:, None, :, None] * width + cols[None, :, None, :]
     )  # (out_h, out_w, F1, F2)
-    counts = np.zeros(height * width, dtype=np.float64)
+    counts = np.zeros(height * width, dtype=FLOAT_DTYPE)
     np.add.at(counts, flat_indices.ravel(), 1.0)
     counts = np.maximum(counts, 1.0).reshape(height, width)
     plan = (flat_indices.reshape(-1), counts)
@@ -169,6 +278,13 @@ def col2im(
     The fold is a single ``np.add.at`` scatter over precomputed flat indices;
     the index plan and the overlap-count plane are cached per geometry, so
     repeated inversions of the same layer pay the index construction once.
+    Accumulation happens directly in :data:`~repro.types.FLOAT_DTYPE`: at most
+    ``F1*F2`` float32 patch values overlap per input position, so the rounding
+    difference against a float64 accumulator is a few float32 ULPs -- well
+    inside every downstream tolerance (inversion feeds least-squares solves
+    and bit-exactness is re-established by fingerprint-verified snapping) --
+    and the old ``accum.astype(FLOAT_DTYPE)`` full-tensor copy per call is
+    gone.
 
     Args:
         patches: ``(B, G1, G2, F1*F2*C)`` patch tensor.
@@ -188,12 +304,12 @@ def col2im(
     contributions = np.moveaxis(
         patches.reshape(batch, out_h, out_w, f1, f2, channels), 0, -2
     ).reshape(-1, batch, channels)
-    accum = np.zeros((height * width, batch, channels), dtype=np.float64)
-    np.add.at(accum, flat_indices, contributions)
+    accum = np.zeros((height * width, batch, channels), dtype=FLOAT_DTYPE)
+    np.add.at(accum, flat_indices, np.asarray(contributions, dtype=FLOAT_DTYPE))
     accum = np.moveaxis(accum.reshape(height, width, batch, channels), 2, 0)
     if reduce == "mean":
         accum /= counts[None, :, :, None]
-    return accum.astype(FLOAT_DTYPE)
+    return accum
 
 
 def pool_patches(

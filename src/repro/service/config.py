@@ -13,8 +13,19 @@ class ServiceConfig:
 
     Attributes:
         max_batch: Inference requests are queued individually and executed as
-            batches of up to this many samples; smaller batches are padded to
-            this size so every forward pass has a fixed shape.
+            batches of up to this many samples.  Batches execute at their
+            actual occupancy through a per-batch-size compiled forward plan;
+            set ``fixed_batch_shape`` to restore the old pad-to-``max_batch``
+            behaviour.
+        fixed_batch_shape: Pad every partial batch to ``max_batch`` samples so
+            each forward pass has one fixed shape (one plan, but up to
+            ``max_batch - 1`` wasted sample computations per batch).  Off by
+            default: variable-occupancy batches are served unpadded and the
+            padded/real sample split is observable in ``RequestStats``.
+        fused_forward: Serve batches through the opt-in fused forward plan
+            (Bias/BatchNorm affines folded into the adjacent matmul).  Fused
+            outputs are tolerance-equivalent, not bit-identical, so this is
+            off by default.
         batch_timeout_seconds: How long a worker waits for additional requests
             to fill a batch before executing a partial one.
         scrub_period_seconds: Period of the background detection scrubber.
@@ -53,6 +64,8 @@ class ServiceConfig:
     """
 
     max_batch: int = 8
+    fixed_batch_shape: bool = False
+    fused_forward: bool = False
     batch_timeout_seconds: float = 0.002
     scrub_period_seconds: float = 0.25
     scrub_chunk_layers: int = 4

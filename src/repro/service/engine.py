@@ -2,9 +2,11 @@
 
 Requests arrive one sample at a time (as they would from network handlers),
 are queued per model, and a dedicated worker thread per model drains the
-queue into padded fixed-shape batches executed through
-:meth:`Sequential.predict`.  Every request carries wall-clock latency
-accounting from enqueue to completion.
+queue into batches executed through :meth:`Sequential.predict` -- the
+plan-compiled fast path, one cached plan per batch occupancy, so partial
+batches no longer pad to ``max_batch`` (unless
+``ServiceConfig.fixed_batch_shape`` is set).  Every request carries
+wall-clock latency accounting from enqueue to completion.
 
 Worker loop contract: a batch only executes while the model's quarantine set
 is empty.  The worker takes the model lock, waits on the health condition if
@@ -224,14 +226,23 @@ class InferenceEngine:
                 if not entry.is_healthy():  # pragma: no cover - invariant guard
                     entry.stats.served_during_quarantine += len(batch)
                 stacked = np.stack([request.sample for request in batch])
-                if stacked.shape[0] < config.max_batch:
+                # Batches execute at their actual occupancy: the compiled
+                # forward plans accept any batch size (one cached plan per
+                # size), so padding to max_batch -- which computed up to
+                # max_batch - 1 throwaway samples per partial batch -- is only
+                # done when a fixed-shape plan is explicitly configured.
+                if config.fixed_batch_shape and stacked.shape[0] < config.max_batch:
                     pad = np.zeros(
                         (config.max_batch - stacked.shape[0],) + stacked.shape[1:],
                         dtype=stacked.dtype,
                     )
                     stacked = np.concatenate([stacked, pad], axis=0)
-                outputs = entry.model.predict(stacked)[: len(batch)]
+                    entry.stats.samples_padded += pad.shape[0]
+                outputs = entry.model.predict(stacked, fused=config.fused_forward)[
+                    : len(batch)
+                ]
                 entry.stats.batches_executed += 1
+                entry.stats.samples_served += len(batch)
         except BaseException as error:  # noqa: BLE001 - forwarded to requests
             with entry.lock:
                 entry.stats.requests_failed += len(batch)

@@ -40,6 +40,17 @@ class RequestStats:
     batches_executed: int = 0
     total_latency_seconds: float = 0.0
     max_latency_seconds: float = 0.0
+    #: Real samples computed by batch execution (= requests in the batch).
+    samples_served: int = 0
+    #: Padding samples computed and thrown away.  Stays zero unless
+    #: ``ServiceConfig.fixed_batch_shape`` re-enables padding; the historical
+    #: pad-to-``max_batch`` behaviour wasted up to ``max_batch - 1`` sample
+    #: computations per partial batch.
+    samples_padded: int = 0
+    #: Cached forward plans invalidated by the fingerprint revalidation sweep
+    #: that runs when quarantine is lifted (weights changed under the plan and
+    #: were not restored byte-identically at compile-time values).
+    plan_invalidations: int = 0
     #: Requests that executed while the quarantine set was non-empty.  The
     #: runtime's invariant is that this stays zero; it is counted (rather than
     #: asserted) so violations are observable in production.
@@ -116,9 +127,21 @@ class ManagedModel:
             self.ever_quarantined.update(indices)
 
     def clear_quarantine(self, layer_indices: Iterable[int]) -> None:
-        """Lift quarantine from recovered layers; wakes waiting workers."""
+        """Lift quarantine from recovered layers; wakes waiting workers.
+
+        Lifting quarantine is the single chokepoint every weight-mutating
+        maintenance path (repair, degraded release, re-opened repair) goes
+        through, so it also runs the fingerprint-aware plan revalidation:
+        cached forward plans whose compile-time blake2b weight fingerprints
+        still match the live weights (bit-exact repair restored the golden
+        bytes) are kept, all others are dropped and recompiled by the worker
+        under this same per-model lock on the next batch.
+        """
+        indices = set(layer_indices)
         with self.lock:
-            self._quarantined.difference_update(layer_indices)
+            self._quarantined.difference_update(indices)
+            if indices:
+                self.stats.plan_invalidations += self.model.revalidate_plans()
             if not self._quarantined:
                 self.tracker.mark_available()
                 self._healthy.notify_all()
@@ -167,6 +190,10 @@ class ModelRegistry:
             protector = MILRProtector(model, milr_config)
         if not protector.initialized:
             protector.initialize()
+        # Variable-occupancy serving compiles one forward plan per batch size
+        # (1..max_batch, plus evaluation chunk sizes): make sure the model's
+        # plan LRU can hold them all so the hot path never thrashes.
+        model.plan_cache_size = max(model.plan_cache_size, self.config.max_batch + 2)
         entry = ManagedModel(name, model, protector)
         with self._lock:
             if name in self._models:

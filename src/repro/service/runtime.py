@@ -175,6 +175,12 @@ class SoakResult:
     requests_completed: int
     requests_failed: int
     served_during_quarantine: int
+    #: Forward plans invalidated while serving (stale-epoch recompiles after
+    #: injections/repairs plus fingerprint-sweep drops at quarantine lift).
+    plan_invalidations: int
+    #: Padding samples computed and discarded by the engine (zero unless
+    #: ``ServiceConfig.fixed_batch_shape`` re-enables batch padding).
+    samples_padded: int
     throughput_rps: float
     mean_latency_seconds: float
     p50_latency_seconds: float
@@ -200,6 +206,7 @@ class SoakResult:
             "bit_exact": self.bit_exact,
             "requests": self.requests_completed,
             "rps": self.throughput_rps,
+            "plan_invalidations": self.plan_invalidations,
             "p99_ms": self.p99_latency_seconds * 1e3,
             "availability": self.sla.availability,
             "min_accuracy": self.sla.minimum_accuracy,
@@ -357,6 +364,8 @@ def run_soak(
         requests_completed=completed,
         requests_failed=failed,
         served_during_quarantine=entry.stats.served_during_quarantine,
+        plan_invalidations=entry.model.plan_stats.invalidations,
+        samples_padded=entry.stats.samples_padded,
         throughput_rps=completed / elapsed if elapsed > 0 else 0.0,
         mean_latency_seconds=float(np.mean(latencies)) if latencies else 0.0,
         p50_latency_seconds=latency_percentile(latencies, 50),

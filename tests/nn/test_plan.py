@@ -1,0 +1,254 @@
+"""Tests for the compiled forward-plan fast path (`repro.nn.plan`).
+
+The contract under test: the planned forward is *bit-identical* to the seed
+layer-by-layer forward for every zoo network and for adversarial layer
+combinations (padding buffers, in-place elementwise steps, signed zeros,
+NaNs), plans notice weight mutations, and the fingerprint revalidation sweep
+keeps byte-identical plans alive while dropping the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotBuiltError, ShapeError
+from repro.nn import (
+    AvgPool2D,
+    Bias,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    InputLayer,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Softmax,
+    ZeroPadding2D,
+    compile_plan,
+)
+from repro.nn.model import PLAN_CACHE_SIZE
+from repro.nn.plan import plan_weight_fingerprint
+from repro.zoo import network_table
+
+
+def assert_bit_identical(model: Sequential, inputs: np.ndarray, repeats: int = 2):
+    """Planned forward must equal the seed forward byte for byte.
+
+    Runs the comparison ``repeats`` times: scratch-buffer reuse or in-place
+    step bugs typically only show up from the second call on.
+    """
+    for _ in range(repeats):
+        seed = model.predict(inputs, use_plan=False)
+        planned = model.predict(inputs)
+        assert planned.shape == seed.shape
+        assert planned.dtype == seed.dtype
+        assert planned.tobytes() == seed.tobytes()
+
+
+class TestZooBitIdentity:
+    @pytest.mark.parametrize("name", sorted(network_table()))
+    def test_every_zoo_network_is_bit_identical(self, name):
+        spec = network_table()[name]
+        model = spec.builder()
+        rng = np.random.default_rng(7)
+        inputs = rng.random((4,) + spec.input_shape).astype(np.float32)
+        assert_bit_identical(model, inputs)
+
+    @pytest.mark.parametrize("batch", [1, 3, 32])
+    def test_variable_batch_sizes(self, batch):
+        spec = network_table()["mnist_reduced"]
+        model = spec.builder()
+        rng = np.random.default_rng(3)
+        inputs = rng.random((batch,) + spec.input_shape).astype(np.float32)
+        assert_bit_identical(model, inputs)
+
+    def test_fused_mode_matches_to_tolerance(self):
+        for name in ("mnist_reduced", "mnist_bn", "cifar_depthwise"):
+            spec = network_table()[name]
+            model = spec.builder()
+            rng = np.random.default_rng(11)
+            inputs = rng.random((5,) + spec.input_shape).astype(np.float32)
+            seed = model.predict(inputs, use_plan=False)
+            fused = model.predict(inputs, fused=True)
+            np.testing.assert_allclose(fused, seed, rtol=1e-5, atol=1e-6)
+
+
+class TestAdversarialStacks:
+    def test_zeropad_borders_survive_inplace_neighbours(self):
+        # Bias/ReLU directly after ZeroPadding2D must not corrupt the padding
+        # buffer's pre-zeroed borders across calls.
+        model = Sequential(
+            [ZeroPadding2D(1), Bias(seed=1), ReLU(), Conv2D(4, 3, seed=2)]
+        )
+        model.build((5, 5, 2))
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            inputs = rng.standard_normal((3, 5, 5, 2)).astype(np.float32)
+            assert_bit_identical(model, inputs)
+
+    def test_user_input_never_mutated(self):
+        # First-layer elementwise steps must not run in place on the caller's
+        # array; pass-through layers forward the caller's array itself.
+        model = Sequential([InputLayer((4,)), Dropout(0.5, seed=0), Bias(seed=5), ReLU()])
+        model.build((4,))
+        rng = np.random.default_rng(1)
+        inputs = rng.standard_normal((2, 4)).astype(np.float32)
+        pristine = inputs.copy()
+        assert_bit_identical(model, inputs)
+        np.testing.assert_array_equal(inputs, pristine)
+
+    def test_signed_zeros_and_nan_through_pooling(self):
+        # Max pooling's strided-maximum fold must keep the seed's tie (signed
+        # zero) and NaN semantics; mean pooling keeps the windowed form.
+        for pool in (
+            MaxPool2D(2),
+            MaxPool2D(2, stride=1),
+            MaxPool2D((2, 3), stride=(1, 2)),
+            AvgPool2D(2),
+            AvgPool2D(3, stride=2),
+        ):
+            model = Sequential([pool])
+            model.build((7, 7, 3))
+            rng = np.random.default_rng(9)
+            inputs = rng.standard_normal((2, 7, 7, 3)).astype(np.float32)
+            inputs[np.abs(inputs) < 0.4] = np.float32(-0.0)
+            inputs[0, 2, 2, 1] = np.nan
+            assert_bit_identical(model, inputs)
+
+    def test_mid_stack_softmax_and_head(self):
+        model = Sequential(
+            [Flatten(), Dense(6, seed=3), Softmax(), Bias(seed=4), ReLU()]
+        )
+        model.build((2, 3, 1))
+        rng = np.random.default_rng(2)
+        inputs = rng.standard_normal((4, 2, 3, 1)).astype(np.float32)
+        assert_bit_identical(model, inputs)
+
+    def test_unknown_layer_falls_back_to_layer_forward(self):
+        from repro.nn.layers.base import Layer
+
+        class Doubling(Layer):
+            def compute_output_shape(self, input_shape):
+                return input_shape
+
+            def forward(self, inputs, training=False):
+                return (inputs * 2.0).astype(np.float32)
+
+        model = Sequential([Doubling(), Bias(seed=6)])
+        model.build((3,))
+        rng = np.random.default_rng(4)
+        inputs = rng.standard_normal((2, 3)).astype(np.float32)
+        assert_bit_identical(model, inputs)
+
+
+class TestPlanCacheAndInvalidation:
+    def _model(self):
+        return network_table()["mnist_reduced"].builder()
+
+    def test_plan_cache_hit_and_compile_counters(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        inputs = rng.random((2, 28, 28, 1)).astype(np.float32)
+        model.predict(inputs)
+        assert model.plan_stats.compiles == 1
+        model.predict(inputs)
+        assert model.plan_stats.compiles == 1
+        assert model.plan_stats.hits == 1
+
+    def test_weight_mutation_invalidates_and_recompiles(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        inputs = rng.random((2, 28, 28, 1)).astype(np.float32)
+        model.predict(inputs)
+        layer = next(x for x in model.layers if x.has_parameters)
+        weights = layer.get_weights()
+        weights.flat[0] += 1.0
+        layer.set_weights(weights)
+        assert_bit_identical(model, inputs)  # recompiled against new weights
+        assert model.plan_stats.invalidations >= 1
+
+    def test_lru_eviction_keeps_cache_bounded(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        for batch in range(1, PLAN_CACHE_SIZE + 3):
+            model.predict(rng.random((batch, 28, 28, 1)).astype(np.float32))
+        assert len(model._plan_cache) == PLAN_CACHE_SIZE
+
+    def test_invalidate_plans_drops_everything(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        model.predict(rng.random((2, 28, 28, 1)).astype(np.float32))
+        model.predict(rng.random((3, 28, 28, 1)).astype(np.float32))
+        assert model.invalidate_plans() == 2
+        assert model.plan_stats.invalidations == 2
+        assert len(model._plan_cache) == 0
+
+    def test_revalidate_keeps_byte_identical_weights(self):
+        # A bit-exact repair rebinds the weight arrays with the *same bytes*;
+        # the fingerprint sweep must keep (and re-arm) such plans.
+        model = self._model()
+        rng = np.random.default_rng(0)
+        inputs = rng.random((2, 28, 28, 1)).astype(np.float32)
+        expected = model.predict(inputs)
+        layer = next(x for x in model.layers if x.has_parameters)
+        layer.set_weights(layer.get_weights())  # same bytes, new epoch
+        assert model.revalidate_plans() == 0
+        assert model.plan_stats.hits == 0
+        got = model.predict(inputs)
+        assert model.plan_stats.compiles == 1  # plan survived, no recompile
+        assert model.plan_stats.hits == 1
+        assert got.tobytes() == expected.tobytes()
+
+    def test_revalidate_drops_changed_weights(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        inputs = rng.random((2, 28, 28, 1)).astype(np.float32)
+        model.predict(inputs)
+        layer = next(x for x in model.layers if x.has_parameters)
+        weights = layer.get_weights()
+        weights.flat[0] += 1.0
+        layer.set_weights(weights)
+        assert model.revalidate_plans() == 1
+        assert len(model._plan_cache) == 0
+        assert_bit_identical(model, inputs)
+
+    def test_training_path_bypasses_plans(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        inputs = rng.random((2, 28, 28, 1)).astype(np.float32)
+        model.predict(inputs, training=True)
+        assert model.plan_stats.compiles == 0
+
+    def test_fingerprint_matches_core_checkpoint_digest(self):
+        from repro.core.checkpoint import weight_fingerprint
+
+        weights = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert plan_weight_fingerprint(weights) == weight_fingerprint(weights)
+
+
+class TestPlanErrors:
+    def test_unbuilt_model_rejected(self):
+        model = Sequential([Dense(4, seed=0)])
+        with pytest.raises(NotBuiltError):
+            model.predict(np.zeros((1, 3), dtype=np.float32))
+        with pytest.raises(NotBuiltError):
+            model.compile_plan(4)
+
+    def test_bad_shape_rejected(self):
+        model = network_table()["mnist_reduced"].builder()
+        with pytest.raises(ShapeError):
+            model.predict(np.zeros((2, 5, 5, 1), dtype=np.float32))
+
+    def test_plan_rejects_wrong_batch(self):
+        model = network_table()["mnist_reduced"].builder()
+        plan = compile_plan(model, 4)
+        with pytest.raises(ShapeError):
+            plan.execute(np.zeros((2, 28, 28, 1), dtype=np.float32))
+
+    def test_precompiled_plan_is_reused(self):
+        model = network_table()["mnist_reduced"].builder()
+        plan = model.compile_plan(4)
+        assert model.compile_plan(4) is plan
+        assert model.plan_stats.compiles == 1

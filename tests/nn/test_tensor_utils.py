@@ -10,8 +10,11 @@ from repro.nn.tensor_utils import (
     col2im,
     conv_output_length,
     im2col,
+    im2col_gather_indices,
+    im2col_into,
     pad_input,
     pad_same_amounts,
+    pool_gather_indices,
     pool_patches,
     unpad_input,
 )
@@ -117,6 +120,70 @@ class TestIm2Col:
             im2col(np.zeros((4, 4, 1), dtype=np.float32), (2, 2), (1, 1))
 
 
+class TestIm2ColPlans:
+    """The plan-building APIs must reproduce im2col / pool_patches exactly."""
+
+    CASES = [
+        ((2, 6, 6, 3), (3, 3), (1, 1)),
+        ((1, 9, 7, 2), (3, 2), (2, 2)),
+        ((3, 8, 8, 1), (2, 2), (2, 2)),
+        ((2, 10, 10, 4), (5, 5), (3, 3)),
+    ]
+
+    @pytest.mark.parametrize("input_shape,filter_size,stride", CASES)
+    def test_gather_indices_match_im2col(self, input_shape, filter_size, stride):
+        rng = np.random.default_rng(0)
+        inputs = rng.standard_normal(input_shape).astype(np.float32)
+        patches = im2col(inputs, filter_size, stride)
+        indices = im2col_gather_indices(
+            input_shape[1], input_shape[2], input_shape[3], filter_size, stride
+        )
+        batch = input_shape[0]
+        gathered = inputs.reshape(batch, -1)[:, indices]
+        np.testing.assert_array_equal(
+            gathered, patches.reshape(batch, -1, patches.shape[-1])
+        )
+
+    @pytest.mark.parametrize("input_shape,filter_size,stride", CASES)
+    def test_im2col_into_matches_im2col(self, input_shape, filter_size, stride):
+        rng = np.random.default_rng(1)
+        inputs = np.ascontiguousarray(
+            rng.standard_normal(input_shape).astype(np.float32)
+        )
+        patches = im2col(inputs, filter_size, stride)
+        batch, g1, g2, _ = patches.shape
+        f1, f2 = filter_size
+        buffer = np.empty(
+            (batch, g1, g2, f1 * f2 * input_shape[3]), dtype=np.float32
+        )
+        im2col_into(
+            inputs,
+            filter_size,
+            stride,
+            buffer.reshape(batch, g1, g2, f1, f2, input_shape[3]),
+        )
+        assert buffer.tobytes() == patches.tobytes()
+
+    def test_gather_indices_are_cached(self):
+        first = im2col_gather_indices(8, 8, 3, (3, 3), (1, 1))
+        second = im2col_gather_indices(8, 8, 3, (3, 3), (1, 1))
+        assert first is second
+
+    def test_gather_indices_reject_small_input(self):
+        with pytest.raises(ShapeError):
+            im2col_gather_indices(2, 2, 1, (3, 3), (1, 1))
+
+    def test_pool_gather_indices_match_pool_patches(self):
+        rng = np.random.default_rng(2)
+        inputs = rng.standard_normal((2, 7, 7, 3)).astype(np.float32)
+        windows = pool_patches(inputs, (2, 2), (2, 2))
+        indices = pool_gather_indices(7, 7, 3, (2, 2), (2, 2))
+        gathered = inputs.reshape(2, -1)[:, indices]
+        np.testing.assert_array_equal(
+            gathered, windows.reshape(2, -1, windows.shape[3], windows.shape[4])
+        )
+
+
 class TestCol2Im:
     def test_roundtrip_mean_reduction(self):
         inputs = np.random.default_rng(2).random((1, 5, 5, 2)).astype(np.float32)
@@ -141,6 +208,15 @@ class TestCol2Im:
         patches = np.zeros((1, 1, 1, 4), dtype=np.float32)
         with pytest.raises(ValueError):
             col2im(patches, (1, 2, 2, 1), (2, 2), (1, 1), reduce="max")
+
+    def test_accumulates_in_float_dtype_without_trailing_copy(self):
+        from repro.types import FLOAT_DTYPE
+
+        inputs = np.random.default_rng(5).random((2, 5, 5, 2)).astype(np.float32)
+        patches = im2col(inputs, (3, 3), (1, 1))
+        for reduce in ("mean", "sum"):
+            folded = col2im(patches, inputs.shape, (3, 3), (1, 1), reduce=reduce)
+            assert folded.dtype == FLOAT_DTYPE
 
     @staticmethod
     def _col2im_loop_reference(patches, input_shape, filter_size, stride, reduce):

@@ -120,3 +120,75 @@ class TestInferenceEngine:
             sample = rng.random(entry.model.input_shape).astype(np.float32)
             service.submit("late", sample).result(timeout=10.0)
         assert entry.stats.requests_completed == 1
+
+    def test_partial_batches_are_not_padded_by_default(self, sync_service, rng):
+        service, entry = sync_service
+        sample = rng.random(entry.model.input_shape).astype(np.float32)
+        with service:
+            service.submit(entry.name, sample).result(timeout=10.0)
+        # A 1-request batch computes exactly 1 sample (the seed engine padded
+        # it to max_batch and threw the rest away).
+        assert entry.stats.samples_served >= 1
+        assert entry.stats.samples_padded == 0
+
+    def test_plan_cache_sized_for_max_batch(self):
+        service = SelfHealingService(ServiceConfig(recovery_async=False, max_batch=24))
+        entry = service.load_model("mnist_reduced", name="big_batches")
+        assert entry.model.plan_cache_size >= 24 + 2
+
+    def test_fixed_batch_shape_pads_and_counts(self, rng):
+        service = SelfHealingService(
+            ServiceConfig(recovery_async=False, fixed_batch_shape=True, max_batch=4)
+        )
+        with service:
+            entry = service.load_model("mnist_reduced", name="padded")
+            sample = rng.random(entry.model.input_shape).astype(np.float32)
+            service.submit("padded", sample).result(timeout=10.0)
+        assert entry.stats.samples_served == 1
+        assert entry.stats.samples_padded == 3
+
+    def test_engine_outputs_match_unbatched_predict_exactly(self, sync_service, rng):
+        # The engine serves through the plan fast path; results must be
+        # byte-identical to a direct (seed-path) forward of the same samples.
+        service, entry = sync_service
+        samples = rng.random((5,) + entry.model.input_shape).astype(np.float32)
+        with service:
+            outputs = service.predict(entry.name, samples, timeout=10.0)
+        expected = entry.model.predict(samples, use_plan=False)
+        assert outputs.tobytes() == expected.tobytes()
+
+
+class TestPlanRevalidation:
+    def test_quarantine_lift_keeps_plans_after_bit_exact_restore(self, sync_service, rng):
+        _, entry = sync_service
+        model = entry.model
+        index = entry.parameterized_indices[0]
+        inputs = rng.random((3,) + model.input_shape).astype(np.float32)
+        model.predict(inputs)
+        compiles = model.plan_stats.compiles
+        golden = model.layers[index].get_weights()
+        # Bit-exact repair: same bytes written back -> plan survives the sweep.
+        entry.quarantine([index])
+        model.layers[index].set_weights(golden)
+        entry.clear_quarantine([index])
+        assert entry.stats.plan_invalidations == 0
+        model.predict(inputs)
+        assert model.plan_stats.compiles == compiles
+
+    def test_quarantine_lift_drops_plans_after_weight_change(self, sync_service, rng):
+        _, entry = sync_service
+        model = entry.model
+        index = entry.parameterized_indices[0]
+        inputs = rng.random((3,) + model.input_shape).astype(np.float32)
+        model.predict(inputs)
+        corrupted = model.layers[index].get_weights()
+        corrupted.flat[0] += 1.0
+        entry.quarantine([index])
+        model.layers[index].set_weights(corrupted)
+        entry.clear_quarantine([index])
+        assert entry.stats.plan_invalidations >= 1
+        # The next serve recompiles against the live weights and stays
+        # bit-identical to the seed forward.
+        assert model.predict(inputs).tobytes() == model.predict(
+            inputs, use_plan=False
+        ).tobytes()

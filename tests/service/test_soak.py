@@ -60,3 +60,14 @@ class TestEndToEndSoak:
     def test_latency_accounting_present(self, soak_result):
         assert soak_result.throughput_rps > 0
         assert 0 < soak_result.p50_latency_seconds <= soak_result.p99_latency_seconds
+
+    def test_serving_ran_on_the_plan_fast_path(self, soak_result):
+        # Variable-occupancy batches: nothing was padded to max_batch.
+        assert soak_result.samples_padded == 0
+
+    def test_plan_invalidation_observed_after_repairs(self, soak_result):
+        # Every fault/repair cycle mutates weights under the cached plans;
+        # serving through the corruption (and again after the repair) must
+        # have invalidated and recompiled them at least once.
+        assert soak_result.fault_events
+        assert soak_result.plan_invalidations >= 1

@@ -14,9 +14,20 @@ def _write_bench(path: Path, entries: list[dict]) -> None:
     path.write_text(json.dumps({"results": entries}))
 
 
-def _write_baseline(path: Path, detection: list[dict], service: list[dict]) -> None:
+def _write_baseline(
+    path: Path,
+    detection: list[dict],
+    service: list[dict],
+    inference: list[dict] | None = None,
+) -> None:
     path.write_text(
-        json.dumps({"detection": {"results": detection}, "service": {"results": service}})
+        json.dumps(
+            {
+                "detection": {"results": detection},
+                "service": {"results": service},
+                "inference": {"results": inference or []},
+            }
+        )
     )
 
 
@@ -45,9 +56,11 @@ def _write_all(tmp_path: Path, fresh_ns: float, baseline_ns: float = 100.0) -> N
         tmp_path / "BENCH_baseline.json",
         [_entry("encode", baseline_ns)],
         [_entry("serve", baseline_ns)],
+        [_entry("predict", baseline_ns)],
     )
     _write_bench(tmp_path / "BENCH_detection.json", [_entry("encode", fresh_ns)])
     _write_bench(tmp_path / "BENCH_service.json", [_entry("serve", fresh_ns)])
+    _write_bench(tmp_path / "BENCH_inference.json", [_entry("predict", fresh_ns)])
 
 
 class TestCheckRegression:
@@ -109,7 +122,7 @@ class TestCheckRegression:
         assert _run(tmp_path).returncode == 0
 
     def test_repo_baseline_matches_gate_schema(self, tmp_path):
-        # The committed baseline must load and cover both benchmark files.
+        # The committed baseline must load and cover all three benchmark files.
         sys.path.insert(0, str(SCRIPT.parent))
         try:
             from check_regression import load_baseline
@@ -118,5 +131,5 @@ class TestCheckRegression:
         finally:
             sys.path.pop(0)
         sources = {key[0] for key in baseline}
-        assert sources == {"detection", "service"}
+        assert sources == {"detection", "service", "inference"}
         assert all(ns > 0 for ns in baseline.values())
