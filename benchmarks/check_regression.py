@@ -6,6 +6,11 @@ Compares freshly measured ``BENCH_detection.json`` / ``BENCH_service.json``
 deliberately generous (default 2.5x) so shared-runner noise does not flake
 the gate while order-of-magnitude regressions still fail.
 
+Entries may carry a ``rate`` field instead of ``ns_per_op`` (the fault-model
+soak qualities in ``BENCH_faults.json``: detection rates, availability).
+Rates are absolute, higher-is-better numbers in [0, 1]; they fail when a
+fresh value drops more than ``--rate-tolerance`` below the baseline.
+
 Usage (what CI runs after the benchmark steps)::
 
     python benchmarks/check_regression.py
@@ -31,31 +36,42 @@ FRESH_FILES = {
     "detection": "BENCH_detection.json",
     "service": "BENCH_service.json",
     "inference": "BENCH_inference.json",
+    "faults": "BENCH_faults.json",
 }
 
 OpKey = tuple[str, str, tuple[int, ...]]
 
+#: value kind markers: ("ns", ns_per_op) lower-is-better ratio check,
+#: ("rate", value) higher-is-better absolute check.
+OpValue = tuple[str, float]
 
-def _result_map(source: str, payload: dict) -> dict[OpKey, float]:
-    out: dict[OpKey, float] = {}
+
+def _entry_value(entry: dict) -> OpValue:
+    if "rate" in entry:
+        return ("rate", float(entry["rate"]))
+    return ("ns", float(entry["ns_per_op"]))
+
+
+def _result_map(source: str, payload: dict) -> dict[OpKey, OpValue]:
+    out: dict[OpKey, OpValue] = {}
     for entry in payload.get("results", []):
         key = (source, entry["op"], tuple(entry.get("shape", ())))
-        out[key] = float(entry["ns_per_op"])
+        out[key] = _entry_value(entry)
     return out
 
 
-def load_baseline(path: Path) -> dict[OpKey, float]:
-    """Flatten the committed baseline into ``(source, op, shape) -> ns``."""
+def load_baseline(path: Path) -> dict[OpKey, OpValue]:
+    """Flatten the committed baseline into ``(source, op, shape) -> value``."""
     payload = json.loads(path.read_text())
-    out: dict[OpKey, float] = {}
+    out: dict[OpKey, OpValue] = {}
     for source in FRESH_FILES:
         out.update(_result_map(source, payload.get(source, {})))
     return out
 
 
-def load_fresh(root: Path) -> tuple[dict[OpKey, float], list[str]]:
+def load_fresh(root: Path) -> tuple[dict[OpKey, OpValue], list[str]]:
     """Load the fresh benchmark files; returns (results, missing files)."""
-    out: dict[OpKey, float] = {}
+    out: dict[OpKey, OpValue] = {}
     missing: list[str] = []
     for source, filename in FRESH_FILES.items():
         path = root / filename
@@ -67,23 +83,33 @@ def load_fresh(root: Path) -> tuple[dict[OpKey, float], list[str]]:
 
 
 def compare(
-    baseline: dict[OpKey, float], fresh: dict[OpKey, float], tolerance: float
+    baseline: dict[OpKey, OpValue],
+    fresh: dict[OpKey, OpValue],
+    tolerance: float,
+    rate_tolerance: float = 0.05,
 ) -> list[dict[str, object]]:
     """One comparison row per baseline op; regressions carry status 'FAIL'."""
     rows: list[dict[str, object]] = []
     for key in sorted(baseline):
         source, op, shape = key
-        baseline_ns = baseline[key]
+        baseline_kind, baseline_value = baseline[key]
         row: dict[str, object] = {
             "source": source,
             "op": op,
-            "baseline_ns": round(baseline_ns, 1),
+            "baseline_ns": round(baseline_value, 4 if baseline_kind == "rate" else 1),
         }
-        if key not in fresh:
+        if key not in fresh or fresh[key][0] != baseline_kind:
             row.update(fresh_ns="-", ratio="-", status="MISSING")
+        elif baseline_kind == "rate":
+            fresh_value = fresh[key][1]
+            row.update(
+                fresh_ns=round(fresh_value, 4),
+                ratio=round(fresh_value - baseline_value, 4),
+                status="FAIL" if fresh_value < baseline_value - rate_tolerance else "ok",
+            )
         else:
-            fresh_ns = fresh[key]
-            ratio = fresh_ns / baseline_ns if baseline_ns > 0 else float("inf")
+            fresh_ns = fresh[key][1]
+            ratio = fresh_ns / baseline_value if baseline_value > 0 else float("inf")
             row.update(
                 fresh_ns=round(fresh_ns, 1),
                 ratio=round(ratio, 3),
@@ -92,12 +118,13 @@ def compare(
         rows.append(row)
     for key in sorted(set(fresh) - set(baseline)):
         source, op, shape = key
+        kind, value = fresh[key]
         rows.append(
             {
                 "source": source,
                 "op": op,
                 "baseline_ns": "-",
-                "fresh_ns": round(fresh[key], 1),
+                "fresh_ns": round(value, 4 if kind == "rate" else 1),
                 "ratio": "-",
                 "status": "NEW",
             }
@@ -120,16 +147,16 @@ def update_baseline(baseline_path: Path, root: Path) -> None:
         if not path.exists():
             raise FileNotFoundError(f"cannot update baseline: {filename} is missing")
         fresh = json.loads(path.read_text())
-        payload[source] = {
-            "results": [
-                {
-                    "op": entry["op"],
-                    "shape": entry.get("shape", []),
-                    "ns_per_op": round(float(entry["ns_per_op"]), 1),
-                }
-                for entry in fresh.get("results", [])
-            ]
-        }
+        results = []
+        for entry in fresh.get("results", []):
+            kind, value = _entry_value(entry)
+            row = {"op": entry["op"], "shape": entry.get("shape", [])}
+            if kind == "rate":
+                row["rate"] = round(value, 4)
+            else:
+                row["ns_per_op"] = round(value, 1)
+            results.append(row)
+        payload[source] = {"results": results}
     baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
@@ -157,6 +184,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=2.5,
         help="maximum tolerated fresh/baseline ns_per_op ratio",
+    )
+    parser.add_argument(
+        "--rate-tolerance",
+        type=float,
+        default=0.05,
+        help="maximum tolerated absolute drop for higher-is-better rate entries",
     )
     parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline from fresh results"
@@ -190,7 +223,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    rows = compare(baseline, fresh, args.tolerance)
+    rows = compare(baseline, fresh, args.tolerance, args.rate_tolerance)
     _print_rows(rows)
     failures = [row for row in rows if row["status"] == "FAIL"]
     if failures:

@@ -1,0 +1,118 @@
+"""Fault-model zoo soak qualities: detection rate and availability per model.
+
+Each zoo model drives a short self-healing soak; the measured detection rate
+and availability land in ``BENCH_faults.json`` as higher-is-better ``rate``
+entries.  ``benchmarks/check_regression.py`` gates them against the committed
+baseline with an absolute drop tolerance (``--rate-tolerance``), so a change
+that quietly breaks detection for one fault model fails CI even when raw
+throughput is unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_header, record_bench_results
+from repro.analysis.reporting import format_table
+from repro.service import run_soak
+
+#: model name -> soak scenario. Durations are short (the gate checks quality
+#: rates, not timing); seeds/pressures match the validated acceptance soaks.
+SCENARIOS = {
+    "row_hammer": dict(
+        network="mnist_reduced",
+        duration_seconds=2.5,
+        mean_fault_interval_seconds=0.5,
+        seed=11,
+    ),
+    "stuck_at": dict(
+        network="mnist_reduced",
+        duration_seconds=4.0,
+        mean_fault_interval_seconds=0.8,
+        seed=3,
+        reassert_interval_seconds=0.1,
+    ),
+    "ecc_escape": dict(
+        network="mnist_reduced",
+        duration_seconds=2.5,
+        mean_fault_interval_seconds=0.5,
+        seed=12,
+    ),
+    "adversarial": dict(
+        network="mnist_reduced",
+        duration_seconds=2.5,
+        mean_fault_interval_seconds=0.5,
+        seed=13,
+    ),
+    "activation": dict(
+        network="cifar_reduced",
+        duration_seconds=3.0,
+        mean_fault_interval_seconds=0.3,
+        seed=5,
+    ),
+}
+
+
+def _detection_rate(model_name: str, result) -> float:
+    if model_name == "activation":
+        # The scratch canary is the only detector that can see these faults.
+        events = len(result.fault_events)
+        if events == 0:
+            return 1.0
+        return min(1.0, result.scratch_detections / events)
+    if not result.injected_layers:
+        return 1.0
+    caught = result.injected_layers & result.detected_layers
+    return len(caught) / len(result.injected_layers)
+
+
+@pytest.mark.benchmark(group="fault-models")
+def test_bench_fault_model_soaks(benchmark):
+    rows = []
+    entries = []
+    for name, scenario in SCENARIOS.items():
+        result = run_soak(
+            scrub_period_seconds=0.25,
+            request_interval_seconds=0.002,
+            fault_models={name: 1.0},
+            **scenario,
+        )
+        detection = _detection_rate(name, result)
+        availability = result.sla.availability
+        rows.append(
+            {
+                "fault_model": name,
+                "events": len(result.fault_events),
+                "detection_rate": detection,
+                "availability": availability,
+            }
+        )
+        entries.append(
+            {
+                "op": f"soak_{name}_detection_rate",
+                "shape": [],
+                "rate": detection,
+                "events": len(result.fault_events),
+            }
+        )
+        entries.append(
+            {
+                "op": f"soak_{name}_availability",
+                "shape": [],
+                "rate": availability,
+                "requests_completed": result.requests_completed,
+            }
+        )
+        benchmark.extra_info[f"{name}_detection_rate"] = detection
+        benchmark.extra_info[f"{name}_availability"] = availability
+
+    print_header("Fault-model zoo soak qualities (detection rate, availability)")
+    print(format_table(rows, title="one short soak per registered fault model", precision=4))
+    benchmark(lambda: None)  # quality rates measured above; keep the fixture happy
+
+    bench_path = record_bench_results("BENCH_faults.json", entries)
+    print(f"machine-readable results appended to {bench_path}")
+
+    for row in rows:
+        assert row["detection_rate"] >= 0.9, row
+        assert row["availability"] >= 0.95, row

@@ -12,7 +12,11 @@ detecting the tampering and restoring the original weights:
 1. a *targeted bit-flip attack*: flip the most-significant exponent bit of the
    largest-magnitude weights of the last dense layer,
 2. a *whole-weight overwrite* of a random subset of a convolution layer,
-3. a *whole-layer overwrite* (every parameter of a layer replaced).
+3. a *whole-layer overwrite* (every parameter of a layer replaced),
+4. the same adversarial model from the fault-model zoo
+   (``AdversarialTargeted``) mounted against the **live service runtime**:
+   the background scrubber detects the tampering and performs a verified
+   bit-exact repair while the service keeps answering requests.
 
 Run with:  python examples/bitflip_attack_defense.py
 """
@@ -25,8 +29,14 @@ from repro.analysis import normalized_accuracy
 from repro.core import MILRConfig, MILRProtector
 from repro.experiments.injection import restore_weights, snapshot_weights
 from repro.experiments.model_provider import get_trained_network
-from repro.memory import inject_whole_layer, inject_whole_weight
+from repro.memory import (
+    AdversarialTargeted,
+    FaultTarget,
+    inject_whole_layer,
+    inject_whole_weight,
+)
 from repro.memory.bitops import flip_bits
+from repro.service import SelfHealingService, ServiceConfig
 
 
 def report(tag: str, network) -> float:
@@ -81,6 +91,46 @@ def main() -> None:
     print(f"\nmax |recovered - original| for the attacked dense layer: {max_error:.2e}")
     if recovered >= 0.99:
         print("MILR restored the network despite every parameter of the layer being overwritten.")
+
+    service_runtime_defense()
+
+
+def service_runtime_defense() -> None:
+    """Mount the zoo's adversarial fault model against the live service."""
+    print("\nAttack 4: AdversarialTargeted zoo model vs the self-healing service")
+    service = SelfHealingService(ServiceConfig(recovery_async=False))
+    entry = service.load_model("mnist_reduced")
+    golden = {
+        index: entry.model.layers[index].get_weights().copy()
+        for index in entry.parameterized_indices
+    }
+    service.start(scrub=False)  # scrubbed on demand below, for determinism
+    try:
+        attack = AdversarialTargeted(flips=6)
+        index = entry.parameterized_indices[-1]
+        # An attacker with a write primitive races live inference; the entry
+        # lock stands in for the hardware's atomic memory write.
+        with entry.lock:
+            hit = attack.inject(FaultTarget(entry.model, index), np.random.default_rng(7))
+        layer = entry.model.layers[index]
+        print(f"  flipped {hit.flipped_bits} exponent MSBs of '{layer.name}'")
+
+        service.scrub_now(entry.name)  # detect + quarantine + verified repair
+
+        bit_exact = all(
+            np.array_equal(
+                entry.model.layers[i].get_weights().view(np.uint32),
+                golden[i].view(np.uint32),
+            )
+            for i in entry.parameterized_indices
+        )
+        repaired = sum(entry.repair_counts.values())
+        print(f"  scrubber repaired {repaired} layer(s); bit-exact: {bit_exact}")
+        probe = np.zeros(entry.model.input_shape, dtype=np.float32)
+        service.submit(entry.name, probe).result(timeout=10.0)
+        print("  service answered a request through the healed model")
+    finally:
+        service.stop()
 
 
 if __name__ == "__main__":

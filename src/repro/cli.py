@@ -49,6 +49,7 @@ from repro.experiments import (
 )
 from repro.experiments.campaign import FAULT_MODES
 from repro.experiments.availability_tradeoff import availability_tradeoff_curves
+from repro.memory.fault_models import fault_model_names
 from repro.experiments.storage import storage_overhead_table
 from repro.experiments.timing import (
     measure_prediction_and_identification,
@@ -169,6 +170,19 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--max-faults", type=int, default=None, help="stop after this many error events"
     )
+    soak.add_argument(
+        "--fault-models",
+        nargs="+",
+        default=None,
+        choices=list(fault_model_names()),
+        help="fault-model zoo workloads to mix (default: uniform bit flips)",
+    )
+    soak.add_argument(
+        "--reassert-interval",
+        type=float,
+        default=0.2,
+        help="seconds between persistent-fault reassertion passes",
+    )
 
     campaign = subparsers.add_parser(
         "campaign", help="sharded, resumable fault-injection campaigns"
@@ -202,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=100,
             help="errors injected by availability-mode timing trials",
+        )
+        sub.add_argument(
+            "--fault-events",
+            type=int,
+            default=3,
+            help="fault events injected per zoo-model trial",
         )
 
     campaign_run = campaign_sub.add_parser(
@@ -418,6 +438,8 @@ def _print_soak(args: argparse.Namespace) -> None:
         request_interval_seconds=args.request_interval,
         trained=args.trained,
         seed=args.seed,
+        fault_models=list(args.fault_models) if args.fault_models else None,
+        reassert_interval_seconds=args.reassert_interval,
     )
     print(
         format_table(
@@ -447,6 +469,7 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         train_samples_per_class=args.train_samples_per_class,
         train_epochs=args.train_epochs,
         recovery_error_count=args.recovery_error_count,
+        fault_events=args.fault_events,
     )
 
 

@@ -46,11 +46,13 @@ from repro.experiments.injection import (
     weights_bit_exact,
 )
 from repro.experiments.model_provider import TrainedNetwork, get_trained_network
+from repro.memory.fault_models import FaultTarget, create_fault_model
 from repro.experiments.results import MemoryResultStore, StoreLike, open_store, trial_key
 from repro.zoo import network_table
 
 __all__ = [
     "FAULT_MODES",
+    "FAULT_MODEL_MODES",
     "TIMING_RESULT_FIELDS",
     "TrialSpec",
     "CampaignSpec",
@@ -69,12 +71,26 @@ FAULT_MODE_RBER = "rber"
 FAULT_MODE_WHOLE_WEIGHT = "whole_weight"
 FAULT_MODE_WHOLE_LAYER = "whole_layer"
 FAULT_MODE_AVAILABILITY = "availability"
+FAULT_MODE_ROW_HAMMER = "row_hammer"
+FAULT_MODE_STUCK_AT = "stuck_at"
+FAULT_MODE_ECC_ESCAPE = "ecc_escape"
+FAULT_MODE_ACTIVATION = "activation"
+FAULT_MODE_ADVERSARIAL = "adversarial"
+#: Modes backed by the composable zoo in :mod:`repro.memory.fault_models`;
+#: each mode name doubles as the registry name of the model it instantiates.
+FAULT_MODEL_MODES = (
+    FAULT_MODE_ROW_HAMMER,
+    FAULT_MODE_STUCK_AT,
+    FAULT_MODE_ECC_ESCAPE,
+    FAULT_MODE_ACTIVATION,
+    FAULT_MODE_ADVERSARIAL,
+)
 FAULT_MODES = (
     FAULT_MODE_RBER,
     FAULT_MODE_WHOLE_WEIGHT,
     FAULT_MODE_WHOLE_LAYER,
     FAULT_MODE_AVAILABILITY,
-)
+) + FAULT_MODEL_MODES
 
 #: Result fields that are wall-clock measurements.  Everything else in a trial
 #: result is a pure function of the trial spec (and therefore identical across
@@ -85,6 +101,7 @@ TIMING_RESULT_FIELDS = (
     "recovery_seconds",
     "single_prediction_seconds",
     "batch_per_sample_seconds",
+    "serve_seconds",
 )
 
 #: Schemes each fault mode evaluates (None = whatever the campaign lists).
@@ -96,6 +113,9 @@ _MODE_SCHEMES: dict[str, Optional[tuple[str, ...]]] = {
     FAULT_MODE_WHOLE_WEIGHT: (ProtectionScheme.NONE.value, ProtectionScheme.MILR.value),
     FAULT_MODE_WHOLE_LAYER: (ProtectionScheme.MILR.value,),
     FAULT_MODE_AVAILABILITY: (ProtectionScheme.MILR.value,),
+    # Zoo-model workloads measure the MILR pipeline (or, for activation
+    # faults, the scratch canary it cannot see) -- fixed scheme axis.
+    **{mode: (ProtectionScheme.MILR.value,) for mode in FAULT_MODEL_MODES},
 }
 
 
@@ -174,6 +194,9 @@ class CampaignSpec:
     train_epochs: int = 6
     #: Whole-weight errors injected by an availability-mode timing trial.
     recovery_error_count: int = 100
+    #: Fault events injected per trial by the zoo-model modes
+    #: (:data:`FAULT_MODEL_MODES`); their single sweep point.
+    fault_events: int = 3
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -190,6 +213,8 @@ class CampaignSpec:
 def _validate_spec(spec: CampaignSpec, networks: Optional[Mapping[str, TrainedNetwork]]) -> None:
     if spec.repetitions < 1:
         raise ExperimentError("repetitions must be at least 1")
+    if spec.fault_events < 1:
+        raise ExperimentError("fault_events must be at least 1")
     known_schemes = {scheme.value for scheme in ProtectionScheme}
     for scheme in spec.schemes:
         if scheme not in known_schemes:
@@ -238,6 +263,8 @@ def expand_campaign(
                 points: tuple[Union[float, int, str], ...] = _layer_points(network, networks)
             elif mode == FAULT_MODE_AVAILABILITY:
                 points = (spec.recovery_error_count,)
+            elif mode in FAULT_MODEL_MODES:
+                points = (int(spec.fault_events),)
             else:
                 points = tuple(float(rate) for rate in spec.error_rates)
             allowed = _MODE_SCHEMES[mode]
@@ -425,6 +452,148 @@ def _run_whole_layer_trial(spec: TrialSpec, context: _TrialContext) -> dict:
         restore_weights(model, context.clean_weights)
 
 
+#: Batch size scratch-corruption trials pin their forward plan to, so a
+#: trial's result never depends on which plans the executing process happens
+#: to have cached (serial == parallel == resumed).
+_SCRATCH_TRIAL_BATCH = 8
+
+
+def _run_fault_model_trial(spec: TrialSpec, context: _TrialContext) -> dict:
+    """Zoo-model trial: inject ``point`` fault events, detect/recover via MILR.
+
+    Persistent models (stuck-at cells) additionally re-assert their standing
+    faults after the first repair and run a second detection/recovery pass --
+    the campaign-grid view of the repeat-offender problem the service
+    scrubber solves by blacklisting.
+    """
+    model = context.network.model
+    baseline = context.network.baseline_accuracy
+    fault_model = create_fault_model(spec.fault_mode)
+    rng = np.random.default_rng(trial_seed_sequence(spec))
+    assert context.protector.plan is not None
+    indices = [plan.index for plan in context.protector.plan.parameterized_layers()]
+    flipped_bits = 0
+    injected_weights = 0
+    hit_layers: list[int] = []
+    try:
+        for _ in range(int(spec.point)):
+            index = int(indices[int(rng.integers(0, len(indices)))])
+            report = fault_model.inject(FaultTarget(model, index), rng)
+            flipped_bits += int(report.flipped_bits)
+            injected_weights += int(report.affected_weights)
+            if report.flipped_bits and index not in hit_layers:
+                hit_layers.append(index)
+        started = time.perf_counter()
+        detection = context.protector.detect()
+        detection_seconds = time.perf_counter() - started
+        recovery = None
+        recovery_seconds = 0.0
+        if detection.any_errors:
+            started = time.perf_counter()
+            recovery = context.protector.recover(detection)
+            recovery_seconds = time.perf_counter() - started
+        reasserted_bits = 0
+        redetected_layers = 0
+        if fault_model.persistent:
+            for index in hit_layers:
+                again = fault_model.reassert(FaultTarget(model, index), rng)
+                if again is not None:
+                    reasserted_bits += int(again.flipped_bits)
+            if reasserted_bits:
+                started = time.perf_counter()
+                redetection = context.protector.detect()
+                detection_seconds += time.perf_counter() - started
+                redetected_layers = len(redetection.erroneous_layers)
+                if redetection.any_errors:
+                    started = time.perf_counter()
+                    context.protector.recover(redetection)
+                    recovery_seconds += time.perf_counter() - started
+        return {
+            "baseline_accuracy": baseline,
+            "fault_model": spec.fault_mode,
+            "normalized_accuracy": float(
+                normalized_accuracy(context.network.accuracy(), baseline)
+            ),
+            "flipped_bits": flipped_bits,
+            "injected_weights": injected_weights,
+            "faulted": flipped_bits > 0,
+            "detected": len(detection.erroneous_layers) > 0,
+            "detected_layers": len(detection.erroneous_layers),
+            "recovered_layers": len(recovery.recovered_layers) if recovery is not None else 0,
+            "reasserted_bits": reasserted_bits,
+            "redetected_layers": redetected_layers,
+            "bit_exact": weights_bit_exact(model, context.clean_weights),
+            "detection_seconds": detection_seconds,
+            "recovery_seconds": recovery_seconds,
+            "model_bytes": model.parameter_bytes(),
+        }
+    finally:
+        restore_weights(model, context.clean_weights)
+
+
+def _run_scratch_trial(spec: TrialSpec, context: _TrialContext) -> dict:
+    """Activation-fault trial: corrupt plan scratch buffers, serve, count catches.
+
+    Weight checkpoints never see these faults, so the trial's detection signal
+    is the per-serve scratch canary; ``checkpoint_detected_layers`` records
+    that the CheckpointStore-side pass stayed silent.  On networks whose plans
+    pin no scratch buffers (valid padding everywhere) every event is empty and
+    the trial reports ``faulted=False``.
+    """
+    model = context.network.model
+    images = context.network.test_images
+    batch = int(min(_SCRATCH_TRIAL_BATCH, images.shape[0]))
+    fault_model = create_fault_model(spec.fault_mode, batch_size=batch)
+    rng = np.random.default_rng(trial_seed_sequence(spec))
+    flipped_bits = 0
+    injected_events = 0
+    canary_detections = 0
+    serve_seconds = 0.0
+    try:
+        for _ in range(int(spec.point)):
+            report = fault_model.inject(FaultTarget(model), rng)
+            if report.flipped_bits == 0:
+                continue
+            flipped_bits += int(report.flipped_bits)
+            injected_events += 1
+            before = model.plan_stats.scratch_detections
+            started = time.perf_counter()
+            model.predict(images[:batch])
+            serve_seconds += time.perf_counter() - started
+            canary_detections += model.plan_stats.scratch_detections - before
+        started = time.perf_counter()
+        detection = context.protector.detect()
+        detection_seconds = time.perf_counter() - started
+        return {
+            "baseline_accuracy": context.network.baseline_accuracy,
+            "fault_model": spec.fault_mode,
+            "normalized_accuracy": float(
+                normalized_accuracy(
+                    context.network.accuracy(), context.network.baseline_accuracy
+                )
+            ),
+            "flipped_bits": flipped_bits,
+            "injected_weights": 0,
+            "faulted": flipped_bits > 0,
+            "detected": injected_events > 0 and canary_detections >= injected_events,
+            "canary_detections": canary_detections,
+            "injected_events": injected_events,
+            "checkpoint_detected_layers": len(detection.erroneous_layers),
+            "detected_layers": 0,
+            "recovered_layers": 0,
+            "bit_exact": weights_bit_exact(model, context.clean_weights),
+            "detection_seconds": detection_seconds,
+            "recovery_seconds": 0.0,
+            "serve_seconds": serve_seconds,
+            "model_bytes": model.parameter_bytes(),
+        }
+    finally:
+        for plan in model.cached_plans():
+            for guard in plan.scratch_guards:
+                guard.scrub()
+        restore_weights(model, context.clean_weights)
+
+
 def _run_availability_trial(spec: TrialSpec, milr_config: Optional[MILRConfig]) -> dict:
     """Availability trial: measure Td/Tr on a fresh (untrained) zoo model."""
     # Imported here: timing builds on injection/zoo, and keeping the import
@@ -477,6 +646,10 @@ def execute_trial(
     context = _context_for(spec, cache, networks=networks, milr_config=milr_config)
     if spec.fault_mode == FAULT_MODE_WHOLE_LAYER:
         return _run_whole_layer_trial(spec, context)
+    if spec.fault_mode == FAULT_MODE_ACTIVATION:
+        return _run_scratch_trial(spec, context)
+    if spec.fault_mode in FAULT_MODEL_MODES:
+        return _run_fault_model_trial(spec, context)
     return _run_rate_trial(spec, context)
 
 

@@ -22,7 +22,12 @@ from repro.memory.bitops import (
     flip_bits,
     floats_to_bits,
 )
-from repro.memory.ecc import SECDEDCodec, SECDEDProtectedWeights, SECDEDWordStatus
+from repro.memory.ecc import (
+    SECDEDCodec,
+    SECDEDProtectedWeights,
+    SECDEDWordStatus,
+    secded_escape_pattern,
+)
 from repro.memory.encryption import XTSMemoryModel
 from repro.memory.fault_injection import (
     FaultInjectionReport,
@@ -30,6 +35,21 @@ from repro.memory.fault_injection import (
     inject_rber,
     inject_whole_layer,
     inject_whole_weight,
+)
+from repro.memory.fault_models import (
+    ActivationScratchCorruption,
+    AdversarialTargeted,
+    ECCEscapeTriple,
+    FaultModel,
+    FaultModelRegistry,
+    FaultTarget,
+    RowHammerBurst,
+    StuckAtCells,
+    StuckCell,
+    create_fault_model,
+    fault_model_names,
+    fault_model_registry,
+    register_fault_model,
 )
 
 __all__ = [
@@ -40,10 +60,24 @@ __all__ = [
     "SECDEDCodec",
     "SECDEDWordStatus",
     "SECDEDProtectedWeights",
+    "secded_escape_pattern",
     "XTSMemoryModel",
     "FaultInjectionReport",
     "inject_rber",
     "inject_bit_flips",
     "inject_whole_weight",
     "inject_whole_layer",
+    "FaultTarget",
+    "FaultModel",
+    "FaultModelRegistry",
+    "fault_model_registry",
+    "register_fault_model",
+    "create_fault_model",
+    "fault_model_names",
+    "RowHammerBurst",
+    "StuckAtCells",
+    "StuckCell",
+    "ECCEscapeTriple",
+    "ActivationScratchCorruption",
+    "AdversarialTargeted",
 ]

@@ -18,7 +18,13 @@ from repro.exceptions import ECCError
 from repro.memory.bitops import bits_to_floats, floats_to_bits
 from repro.types import BITS_DTYPE, FLOAT_DTYPE
 
-__all__ = ["SECDEDWordStatus", "SECDEDCodec", "SECDEDProtectedWeights", "ScrubReport"]
+__all__ = [
+    "SECDEDWordStatus",
+    "SECDEDCodec",
+    "SECDEDProtectedWeights",
+    "ScrubReport",
+    "secded_escape_pattern",
+]
 
 #: Number of Hamming parity bits for 32 data bits.
 _HAMMING_PARITY_BITS = 6
@@ -178,6 +184,40 @@ class SECDEDCodec:
         weights = np.asarray(weights, dtype=FLOAT_DTYPE)
         corrected_words, statuses = self.decode_words(floats_to_bits(weights).ravel(), check)
         return bits_to_floats(corrected_words).reshape(weights.shape), statuses
+
+
+def secded_escape_pattern(
+    rng: np.random.Generator, require_high_bit: bool = True
+) -> tuple[np.ndarray, int]:
+    """Draw a triple-bit data pattern that SECDED *miscorrects*.
+
+    Three flipped data bits leave the overall parity odd, so the decoder treats
+    the word as a single-bit error and "corrects" the data bit addressed by the
+    syndrome -- which here is the XOR of the three flipped codeword positions.
+    When that syndrome lands on a *fourth* data position, the decode reports
+    :attr:`SECDEDWordStatus.CORRECTED` while actually leaving the word with
+    four wrong bits: a silent ECC escape.
+
+    Returns ``(injected_bits, miscorrected_bit)``: the three data-bit indices
+    to flip (word bit positions, 0-31) and the fourth bit the decoder will
+    flip on top of them.  With ``require_high_bit`` the pattern is rejected
+    until at least one of the four bits is an exponent/sign bit (>= 23), so
+    the resulting float corruption is large enough for tolerance-based
+    detection downstream.
+    """
+    for _ in range(10_000):
+        picks = rng.choice(_DATA_POSITIONS, size=3, replace=False)
+        syndrome = int(picks[0] ^ picks[1] ^ picks[2])
+        if syndrome == 0 or syndrome >= 64:
+            continue
+        if _POSITION_TO_DATA_BIT[syndrome] < 0 or syndrome in picks:
+            continue
+        injected = _POSITION_TO_DATA_BIT[picks]
+        target = int(_POSITION_TO_DATA_BIT[syndrome])
+        if require_high_bit and not (np.any(injected >= 23) or target >= 23):
+            continue
+        return injected.astype(np.int64), target
+    raise ECCError("failed to draw a SECDED escape pattern")  # pragma: no cover
 
 
 class SECDEDProtectedWeights:

@@ -28,6 +28,36 @@ __all__ = [
     "inject_whole_layer",
 ]
 
+#: Above this many candidate bits, ``inject_rber`` switches from a dense
+#: ``rng.choice`` (which materializes an array of *all* bit indices, i.e.
+#: O(32 * weights) memory) to a sparse rejection draw.  Below the limit the
+#: dense path is kept bit-identical with earlier releases for seeded
+#: reproducibility.
+_DENSE_SAMPLE_LIMIT = 1 << 22
+
+
+def _sparse_distinct_bit_indices(
+    total_weights: int, flip_count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``flip_count`` distinct bit indices without materializing the space.
+
+    Samples (weight index, bit position) pairs and rejects duplicates, keeping
+    first-draw order so the draw stays unbiased.  Memory is O(flip_count), not
+    O(total_weights * 32).
+    """
+    picked = np.zeros(0, dtype=np.int64)
+    while picked.size < flip_count:
+        need = flip_count - picked.size
+        weight_draw = rng.integers(0, total_weights, size=2 * need, dtype=np.int64)
+        bit_draw = rng.integers(0, BITS_PER_WEIGHT, size=2 * need, dtype=np.int64)
+        draw = weight_draw * BITS_PER_WEIGHT + bit_draw
+        _, first_idx = np.unique(draw, return_index=True)
+        draw = draw[np.sort(first_idx)]
+        if picked.size:
+            draw = draw[~np.isin(draw, picked)]
+        picked = np.concatenate([picked, draw[:need]])
+    return picked
+
 
 @dataclass
 class FaultInjectionReport:
@@ -73,7 +103,10 @@ def inject_rber(
     flip_count = int(rng.binomial(total_bits, error_rate))
     if flip_count == 0:
         return weights.copy(), FaultInjectionReport(total_weights=total_weights)
-    bit_indices = rng.choice(total_bits, size=flip_count, replace=False)
+    if total_bits <= _DENSE_SAMPLE_LIMIT:
+        bit_indices = rng.choice(total_bits, size=flip_count, replace=False)
+    else:
+        bit_indices = _sparse_distinct_bit_indices(total_weights, flip_count, rng)
     weight_indices = bit_indices // BITS_PER_WEIGHT
     bit_positions = bit_indices % BITS_PER_WEIGHT
     bits = floats_to_bits(weights).ravel()
@@ -188,11 +221,22 @@ def inject_whole_layer(
     if total_weights == 0:
         return weights.copy(), FaultInjectionReport(total_weights=0)
     replacement = rng.uniform(-scale, scale, size=weights.shape).astype(FLOAT_DTYPE)
-    collisions = replacement == weights
-    if np.any(collisions):
-        replacement = np.where(
-            collisions, replacement + np.float32(scale) * np.float32(1e-3) + np.float32(1e-6), replacement
-        ).astype(FLOAT_DTYPE)
+    flat = replacement.ravel()
+    originals = weights.ravel()
+    colliding = np.flatnonzero(flat == originals)
+    # Redraw colliding entries instead of nudging them: an additive nudge can
+    # itself land on a different original value, or overflow past ``scale``.
+    for _ in range(16):
+        if colliding.size == 0:
+            break
+        flat[colliding] = rng.uniform(-scale, scale, size=colliding.size).astype(FLOAT_DTYPE)
+        colliding = colliding[flat[colliding] == originals[colliding]]
+    if colliding.size:
+        # Degenerate draw space (e.g. scale=0 makes every draw exactly 0.0):
+        # replace zero originals with the smallest positive float32 and any
+        # other residual collisions with 0.0 -- both stay within [-s, s].
+        tiny = np.nextafter(FLOAT_DTYPE(0.0), FLOAT_DTYPE(1.0))
+        flat[colliding] = np.where(originals[colliding] == 0.0, tiny, FLOAT_DTYPE(0.0))
     report = FaultInjectionReport(
         flipped_bits=total_weights * BITS_PER_WEIGHT,
         affected_weights=total_weights,

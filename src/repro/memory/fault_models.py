@@ -1,0 +1,499 @@
+"""Composable fault-model zoo: memory-fault workloads beyond uniform bit flips.
+
+The paper evaluates MILR against three *uniform* fault models (RBER flips,
+whole-weight ciphertext errors, whole-layer overwrite).  Real memory faults
+are messier: spatially clustered (row-hammer), persistent (stuck-at cells),
+ECC-escaping (aliasing multi-bit patterns), off-weight (activation/scratch
+buffers), and sometimes adversarial.  This module packages each of those as a
+small class implementing a common :class:`FaultModel` protocol, registered by
+name the same way :mod:`repro.core.handlers` registers layer handlers, so the
+pressure driver and the campaign grid can mix them freely.
+
+Protocol:
+
+* ``inject(target, rng) -> FaultInjectionReport`` -- corrupt the target once.
+  An empty report (``flipped_bits == 0``) means the model found nothing to
+  corrupt (e.g. no scratch buffers on a valid-padding network).
+* ``reassert(target, rng) -> FaultInjectionReport | None`` -- for persistent
+  models only: re-apply the standing fault after a repair, returning how many
+  bits actually changed (0 when the fault is still asserted).
+* ``revert(target)`` -- undo the most recent ``inject`` bookkeeping, used by
+  drivers that roll back undetectable injections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FaultInjectionError
+from repro.memory.bitops import bits_to_floats, flip_bits, floats_to_bits
+from repro.memory.ecc import secded_escape_pattern
+from repro.memory.fault_injection import FaultInjectionReport
+from repro.types import BITS_DTYPE, BITS_PER_WEIGHT, FLOAT_DTYPE
+
+__all__ = [
+    "FaultTarget",
+    "FaultModel",
+    "FaultModelRegistry",
+    "fault_model_registry",
+    "register_fault_model",
+    "create_fault_model",
+    "fault_model_names",
+    "RowHammerBurst",
+    "StuckAtCells",
+    "StuckCell",
+    "ECCEscapeTriple",
+    "ActivationScratchCorruption",
+    "AdversarialTargeted",
+]
+
+#: Exponent + sign bits of a float32 word; flips here survive MILR's
+#: tolerance-based detection for weights of non-trivial magnitude.
+_HIGH_BIT_POSITIONS = tuple(range(23, 32))
+
+
+@dataclass
+class FaultTarget:
+    """Where a fault lands: a model and (for weight faults) a layer index.
+
+    ``layer_index == -1`` means the model itself is the target (used by
+    non-weight models such as activation/scratch corruption).
+    """
+
+    model: object
+    layer_index: int = -1
+
+    @property
+    def layer(self):
+        return self.model.layers[self.layer_index]
+
+    def key(self) -> tuple[int, int]:
+        """Hashable identity for per-target persistent-fault bookkeeping."""
+        return (id(self.model), self.layer_index)
+
+
+class FaultModel:
+    """Base class of the zoo; subclasses register via :func:`register_fault_model`."""
+
+    #: Registry name (set on subclasses).
+    name: str = ""
+    #: Whether the fault re-asserts itself after repair (stuck-at cells).
+    persistent: bool = False
+    #: Whether the fault corrupts layer weights (vs plan scratch buffers).
+    targets_weights: bool = True
+    #: Whether MILR's weight checkpoints can see the corruption at all.
+    detectable_by_milr: bool = True
+
+    def inject(self, target: FaultTarget, rng: np.random.Generator) -> FaultInjectionReport:
+        raise NotImplementedError
+
+    def reassert(
+        self, target: FaultTarget, rng: np.random.Generator
+    ) -> FaultInjectionReport | None:
+        """Re-apply a standing fault; ``None`` when the model is not persistent."""
+        return None
+
+    def revert(self, target: FaultTarget) -> None:
+        """Forget the most recent ``inject`` on ``target`` (driver rollback)."""
+
+
+class FaultModelRegistry:
+    """Name -> :class:`FaultModel` subclass registry (conflict-refusing)."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, type[FaultModel]] = {}
+
+    def register(self, model_cls: type[FaultModel]) -> type[FaultModel]:
+        name = model_cls.name
+        if not name:
+            raise FaultInjectionError(f"{model_cls.__name__} has no registry name")
+        existing = self._models.get(name)
+        if existing is not None and existing is not model_cls:
+            raise FaultInjectionError(
+                f"fault model {name!r} already registered by {existing.__name__}"
+            )
+        self._models[name] = model_cls
+        return model_cls
+
+    def create(self, name: str, **params) -> FaultModel:
+        try:
+            model_cls = self._models[name]
+        except KeyError:
+            raise FaultInjectionError(
+                f"unknown fault model {name!r}; registered: {', '.join(self.names())}"
+            ) from None
+        return model_cls(**params)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._models))
+
+
+#: The process-wide registry the driver and campaign draw from.
+fault_model_registry = FaultModelRegistry()
+
+
+def register_fault_model(model_cls: type[FaultModel]) -> type[FaultModel]:
+    """Class decorator registering a model in :data:`fault_model_registry`."""
+    return fault_model_registry.register(model_cls)
+
+
+def create_fault_model(name: str, **params) -> FaultModel:
+    """Instantiate a registered fault model by name."""
+    return fault_model_registry.create(name, **params)
+
+
+def fault_model_names() -> tuple[str, ...]:
+    """Sorted names of all registered fault models."""
+    return fault_model_registry.names()
+
+
+def _eligible_indices(flat: np.ndarray, min_magnitude: float) -> np.ndarray:
+    eligible = np.flatnonzero(np.abs(flat) >= min_magnitude)
+    if eligible.size == 0:
+        eligible = np.arange(flat.size)
+    return eligible
+
+
+@register_fault_model
+class RowHammerBurst(FaultModel):
+    """Spatially clustered multi-bit flips in physically adjacent words.
+
+    Models a row-hammer burst: one aggressor row disturbs a small window of
+    physically adjacent words in a layer's weight buffer.  The burst is
+    centred on a word of detectable magnitude (always hit); each neighbour in
+    the window is hit independently with ``hit_probability``, receiving 1 to
+    ``max_bits_per_word`` high-order bit flips.
+    """
+
+    name = "row_hammer"
+
+    def __init__(
+        self,
+        row_words: int = 8,
+        hit_probability: float = 0.6,
+        max_bits_per_word: int = 2,
+        bit_positions: tuple[int, ...] = _HIGH_BIT_POSITIONS,
+        min_magnitude: float = 1e-3,
+    ):
+        if row_words < 1:
+            raise FaultInjectionError(f"row_words must be >= 1, got {row_words}")
+        if not 0.0 < hit_probability <= 1.0:
+            raise FaultInjectionError(
+                f"hit_probability must be in (0, 1], got {hit_probability}"
+            )
+        if max_bits_per_word < 1:
+            raise FaultInjectionError(
+                f"max_bits_per_word must be >= 1, got {max_bits_per_word}"
+            )
+        self.row_words = int(row_words)
+        self.hit_probability = float(hit_probability)
+        self.max_bits_per_word = int(max_bits_per_word)
+        self.bit_positions = np.asarray(sorted(set(int(b) for b in bit_positions)))
+        self.min_magnitude = float(min_magnitude)
+
+    def inject(self, target: FaultTarget, rng: np.random.Generator) -> FaultInjectionReport:
+        layer = target.layer
+        weights = np.asarray(layer.get_weights(), dtype=FLOAT_DTYPE)
+        flat = weights.ravel()
+        total = int(flat.size)
+        if total == 0:
+            return FaultInjectionReport(total_weights=0)
+        center = int(rng.choice(_eligible_indices(flat, self.min_magnitude)))
+        window = min(self.row_words, total)
+        start = max(0, min(center - window // 2, total - window))
+        hit_words: list[int] = []
+        hit_bits: list[int] = []
+        for word in range(start, start + window):
+            if word != center and rng.random() >= self.hit_probability:
+                continue
+            count = int(rng.integers(1, self.max_bits_per_word + 1))
+            chosen = rng.choice(
+                self.bit_positions, size=min(count, self.bit_positions.size), replace=False
+            )
+            hit_words.extend([word] * int(chosen.size))
+            hit_bits.extend(int(b) for b in chosen)
+        corrupted = flip_bits(weights, np.asarray(hit_words), np.asarray(hit_bits))
+        layer.set_weights(corrupted)
+        affected = np.unique(np.asarray(hit_words, dtype=np.int64))
+        return FaultInjectionReport(
+            flipped_bits=len(hit_bits),
+            affected_weights=int(affected.size),
+            total_weights=total,
+            affected_indices=affected,
+        )
+
+
+@dataclass(frozen=True)
+class StuckCell:
+    """One memory cell stuck at a fixed value inside a layer's weight buffer."""
+
+    weight_index: int
+    bit_position: int
+    stuck_value: int  # 0 or 1
+
+
+@register_fault_model
+class StuckAtCells(FaultModel):
+    """Persistent stuck-at cells that re-corrupt after every repair.
+
+    Each ``inject`` pins ``cells_per_event`` fresh cells of the target layer
+    to the complement of their current value; ``reassert`` re-applies *all*
+    standing cells, so a scrubber that bit-exactly repairs the layer sees the
+    same cell dirty again on the next pass -- the forcing function for
+    repeat-offender blacklisting.
+    """
+
+    name = "stuck_at"
+    persistent = True
+
+    def __init__(
+        self,
+        cells_per_event: int = 1,
+        bit_positions: tuple[int, ...] = _HIGH_BIT_POSITIONS,
+        min_magnitude: float = 1e-3,
+    ):
+        if cells_per_event < 1:
+            raise FaultInjectionError(
+                f"cells_per_event must be >= 1, got {cells_per_event}"
+            )
+        self.cells_per_event = int(cells_per_event)
+        self.bit_positions = np.asarray(sorted(set(int(b) for b in bit_positions)))
+        self.min_magnitude = float(min_magnitude)
+        self._cells: dict[tuple[int, int], list[StuckCell]] = {}
+        self._last: dict[tuple[int, int], int] = {}
+
+    def cells_for(self, target: FaultTarget) -> tuple[StuckCell, ...]:
+        """The standing stuck cells pinned on ``target`` so far."""
+        return tuple(self._cells.get(target.key(), ()))
+
+    @staticmethod
+    def _apply(bits: np.ndarray, cells: list[StuckCell]) -> int:
+        """Force each cell to its stuck value in ``bits``; returns changed count."""
+        changed = 0
+        for cell in cells:
+            mask = BITS_DTYPE(1) << BITS_DTYPE(cell.bit_position)
+            current = int(bits[cell.weight_index] & mask) != 0
+            if current != bool(cell.stuck_value):
+                bits[cell.weight_index] ^= mask
+                changed += 1
+        return changed
+
+    def inject(self, target: FaultTarget, rng: np.random.Generator) -> FaultInjectionReport:
+        layer = target.layer
+        weights = np.asarray(layer.get_weights(), dtype=FLOAT_DTYPE)
+        flat = weights.ravel()
+        total = int(flat.size)
+        if total == 0:
+            return FaultInjectionReport(total_weights=0)
+        eligible = _eligible_indices(flat, self.min_magnitude)
+        count = min(self.cells_per_event, int(eligible.size))
+        picked = rng.choice(eligible, size=count, replace=False)
+        chosen_bits = rng.choice(self.bit_positions, size=count, replace=True)
+        bits = floats_to_bits(weights).ravel()
+        fresh: list[StuckCell] = []
+        for index, bit in zip(picked, chosen_bits):
+            mask = BITS_DTYPE(1) << BITS_DTYPE(int(bit))
+            current = int(bits[int(index)] & mask) != 0
+            fresh.append(StuckCell(int(index), int(bit), int(not current)))
+        key = target.key()
+        self._cells.setdefault(key, []).extend(fresh)
+        self._last[key] = len(fresh)
+        changed = self._apply(bits, fresh)
+        layer.set_weights(bits_to_floats(bits).reshape(weights.shape))
+        affected = np.unique(np.asarray([cell.weight_index for cell in fresh], dtype=np.int64))
+        return FaultInjectionReport(
+            flipped_bits=changed,
+            affected_weights=int(affected.size),
+            total_weights=total,
+            affected_indices=affected,
+        )
+
+    def reassert(
+        self, target: FaultTarget, rng: np.random.Generator
+    ) -> FaultInjectionReport | None:
+        cells = self._cells.get(target.key())
+        if not cells:
+            return None
+        layer = target.layer
+        weights = np.asarray(layer.get_weights(), dtype=FLOAT_DTYPE)
+        bits = floats_to_bits(weights).ravel()
+        changed = self._apply(bits, cells)
+        if changed:
+            layer.set_weights(bits_to_floats(bits).reshape(weights.shape))
+        affected = np.unique(np.asarray([cell.weight_index for cell in cells], dtype=np.int64))
+        return FaultInjectionReport(
+            flipped_bits=changed,
+            affected_weights=int(affected.size) if changed else 0,
+            total_weights=int(weights.size),
+            affected_indices=affected,
+        )
+
+    def revert(self, target: FaultTarget) -> None:
+        key = target.key()
+        count = self._last.pop(key, 0)
+        if count and key in self._cells:
+            del self._cells[key][-count:]
+            if not self._cells[key]:
+                del self._cells[key]
+
+
+@register_fault_model
+class ECCEscapeTriple(FaultModel):
+    """Triple-bit patterns that SECDED silently *miscorrects*.
+
+    For each hit word, three data bits are flipped such that the SECDED
+    syndrome aliases to a fourth data position: a hardware scrub pass would
+    report ``CORRECTED`` and flip that fourth bit on top, leaving the word
+    with four wrong bits and no interrupt raised.  The injected state is the
+    post-scrub word (all four flips applied), i.e. what actually reaches the
+    inference engine after ECC has "handled" the error.
+    """
+
+    name = "ecc_escape"
+
+    def __init__(self, words_per_event: int = 1, min_magnitude: float = 1e-3):
+        if words_per_event < 1:
+            raise FaultInjectionError(
+                f"words_per_event must be >= 1, got {words_per_event}"
+            )
+        self.words_per_event = int(words_per_event)
+        self.min_magnitude = float(min_magnitude)
+
+    def inject(self, target: FaultTarget, rng: np.random.Generator) -> FaultInjectionReport:
+        layer = target.layer
+        weights = np.asarray(layer.get_weights(), dtype=FLOAT_DTYPE)
+        flat = weights.ravel()
+        total = int(flat.size)
+        if total == 0:
+            return FaultInjectionReport(total_weights=0)
+        eligible = _eligible_indices(flat, self.min_magnitude)
+        count = min(self.words_per_event, int(eligible.size))
+        picked = rng.choice(eligible, size=count, replace=False)
+        bits = floats_to_bits(weights).ravel()
+        for index in picked:
+            injected, miscorrected = secded_escape_pattern(rng)
+            mask = BITS_DTYPE(0)
+            for bit in injected:
+                mask ^= BITS_DTYPE(1) << BITS_DTYPE(int(bit))
+            mask ^= BITS_DTYPE(1) << BITS_DTYPE(miscorrected)
+            bits[int(index)] ^= mask
+        layer.set_weights(bits_to_floats(bits).reshape(weights.shape))
+        affected = np.unique(np.asarray(picked, dtype=np.int64))
+        return FaultInjectionReport(
+            flipped_bits=4 * count,
+            affected_weights=int(affected.size),
+            total_weights=total,
+            affected_indices=affected,
+        )
+
+
+@register_fault_model
+class ActivationScratchCorruption(FaultModel):
+    """Bit flips in :class:`ForwardPlan`-owned scratch buffers, not weights.
+
+    Corrupts the zero border of pinned padding buffers that compiled plans
+    reuse across calls -- state that :class:`CheckpointStore` cannot see, so
+    weight-checkpoint detection is blind to it.  Detection instead relies on
+    the per-serve scratch-canary check in :mod:`repro.nn.plan`.
+    """
+
+    name = "activation"
+    targets_weights = False
+    detectable_by_milr = False
+
+    def __init__(self, flips: int = 2, batch_size: int | None = None, compile_batch: int = 1):
+        if flips < 1:
+            raise FaultInjectionError(f"flips must be >= 1, got {flips}")
+        self.flips = int(flips)
+        #: When set, only the plan compiled for this batch size is targeted --
+        #: campaign trials pin this so results do not depend on which plans
+        #: happen to be cached in the executing process.
+        self.batch_size = batch_size
+        self.compile_batch = int(compile_batch)
+
+    def _guards(self, model) -> list:
+        if self.batch_size is not None:
+            plans = [model.compile_plan(self.batch_size)]
+        else:
+            plans = model.cached_plans()
+            if not plans:
+                plans = [model.compile_plan(self.compile_batch)]
+        guards = []
+        for plan in plans:
+            guards.extend(plan.scratch_guards)
+        return guards
+
+    def inject(self, target: FaultTarget, rng: np.random.Generator) -> FaultInjectionReport:
+        guards = self._guards(target.model)
+        if not guards:
+            return FaultInjectionReport(total_weights=0)
+        guard = guards[int(rng.integers(0, len(guards)))]
+        border = guard.border_indices()
+        if border.size == 0:
+            return FaultInjectionReport(total_weights=0)
+        count = min(self.flips, int(border.size))
+        picked = rng.choice(border, size=count, replace=False)
+        chosen_bits = rng.integers(0, BITS_PER_WEIGHT, size=count)
+        flat_bits = guard.buffer.reshape(-1).view(BITS_DTYPE)
+        for index, bit in zip(picked, chosen_bits):
+            flat_bits[int(index)] ^= BITS_DTYPE(1) << BITS_DTYPE(int(bit))
+        affected = np.unique(np.asarray(picked, dtype=np.int64))
+        return FaultInjectionReport(
+            flipped_bits=count,
+            affected_weights=int(affected.size),
+            total_weights=int(guard.buffer.size),
+            affected_indices=affected,
+        )
+
+
+@register_fault_model
+class AdversarialTargeted(FaultModel):
+    """Targeted flips maximizing output perturbation (bit-flip attack).
+
+    Grown out of ``examples/bitflip_attack_defense.py``: the attacker knows
+    the weights, ranks them by magnitude, and flips the high exponent bit
+    (bit 30) of the largest ones -- the single most damaging bit/weight
+    combination for a float32 network.
+    """
+
+    name = "adversarial"
+
+    def __init__(self, flips: int = 2, bit_position: int = 30, candidate_pool: int = 16):
+        if flips < 1:
+            raise FaultInjectionError(f"flips must be >= 1, got {flips}")
+        if not 0 <= bit_position < BITS_PER_WEIGHT:
+            raise FaultInjectionError(
+                f"bit_position must be in [0, {BITS_PER_WEIGHT}), got {bit_position}"
+            )
+        if candidate_pool < 1:
+            raise FaultInjectionError(
+                f"candidate_pool must be >= 1, got {candidate_pool}"
+            )
+        self.flips = int(flips)
+        self.bit_position = int(bit_position)
+        self.candidate_pool = int(candidate_pool)
+
+    def inject(self, target: FaultTarget, rng: np.random.Generator) -> FaultInjectionReport:
+        layer = target.layer
+        weights = np.asarray(layer.get_weights(), dtype=FLOAT_DTYPE)
+        flat = weights.ravel()
+        total = int(flat.size)
+        if total == 0:
+            return FaultInjectionReport(total_weights=0)
+        pool = min(self.candidate_pool, total)
+        candidates = np.argpartition(np.abs(flat), total - pool)[total - pool :]
+        count = min(self.flips, pool)
+        picked = rng.choice(candidates, size=count, replace=False)
+        corrupted = flip_bits(
+            weights, picked, np.full(count, self.bit_position, dtype=np.int64)
+        )
+        layer.set_weights(corrupted)
+        affected = np.unique(np.asarray(picked, dtype=np.int64))
+        return FaultInjectionReport(
+            flipped_bits=count,
+            affected_weights=int(affected.size),
+            total_weights=total,
+            affected_indices=affected,
+        )

@@ -131,6 +131,14 @@ class Sequential:
             )
         with self._plan_lock:
             plan = self._plan_for(inputs.shape[0], bool(fused))
+            if plan.scratch_guards:
+                # Per-serve canary over pinned padding buffers: scratch faults
+                # live outside the weights, so this is the only detector that
+                # can see them (CheckpointStore cannot).  Healing is safe --
+                # the interior is fully rewritten by the execute below.
+                healed = plan.verify_scratch()
+                if healed:
+                    self._plan_stats.scratch_detections += healed
             return plan.execute(inputs)
 
     def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
@@ -170,6 +178,11 @@ class Sequential:
             raise NotBuiltError(f"model {self.name!r} has not been built")
         with self._plan_lock:
             return self._plan_for(batch_size, bool(fused))
+
+    def cached_plans(self) -> list[ForwardPlan]:
+        """Snapshot of the currently cached compiled plans."""
+        with self._plan_lock:
+            return list(self._plan_cache.values())
 
     def invalidate_plans(self) -> int:
         """Drop every cached plan; returns how many were discarded."""

@@ -54,11 +54,52 @@ from repro.nn.layers.structural import Flatten, ZeroPadding2D
 from repro.nn.tensor_utils import im2col_into, pad_same_amounts
 from repro.types import FLOAT_DTYPE
 
-__all__ = ["PlanStats", "ForwardPlan", "compile_plan", "plan_weight_fingerprint"]
+__all__ = [
+    "PlanStats",
+    "ScratchGuard",
+    "ForwardPlan",
+    "compile_plan",
+    "plan_weight_fingerprint",
+]
 
 #: A compiled per-layer step: reads the previous activation, returns the next
 #: one (usually a plan-owned scratch buffer).
 PlanStep = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class ScratchGuard:
+    """Canary over a pinned scratch buffer's zero border.
+
+    Padding buffers (conv/depthwise ``pad_buf``, zero-padding ``out_buf``)
+    rely on a cross-call invariant: everything outside the interior window
+    stays exactly zero.  A memory fault in that border silently corrupts every
+    subsequent planned forward -- and lives outside the weights, so
+    :class:`CheckpointStore` detection cannot see it.  The guard makes the
+    invariant checkable in O(buffer) with no stored golden copy: the buffer's
+    nonzero count must equal the interior's nonzero count.
+    """
+
+    layer_name: str
+    buffer: np.ndarray
+    interior: tuple[slice, ...]
+
+    def is_clean(self) -> bool:
+        """Whether the border invariant holds (no nonzeros outside interior)."""
+        return int(np.count_nonzero(self.buffer)) == int(
+            np.count_nonzero(self.buffer[self.interior])
+        )
+
+    def scrub(self) -> None:
+        """Re-establish the invariant.  Zeroing the whole buffer is safe: the
+        interior is fully rewritten at the start of every planned call."""
+        self.buffer.fill(0.0)
+
+    def border_indices(self) -> np.ndarray:
+        """Flat indices (into ``buffer.ravel()``) of the guarded border."""
+        mask = np.ones(self.buffer.shape, dtype=bool)
+        mask[self.interior] = False
+        return np.flatnonzero(mask)
 
 
 def plan_weight_fingerprint(weights: np.ndarray) -> bytes:
@@ -86,6 +127,9 @@ class PlanStats:
     #: Cached plans discarded because weights changed under them (stale epoch
     #: on lookup, or a failed fingerprint revalidation sweep).
     invalidations: int = 0
+    #: Dirty scratch-buffer borders caught (and healed) by the per-serve
+    #: canary check before they could corrupt a planned forward.
+    scratch_detections: int = 0
 
 
 class ForwardPlan:
@@ -95,7 +139,14 @@ class ForwardPlan:
     revalidated) by :class:`~repro.nn.model.Sequential`.
     """
 
-    __slots__ = ("batch_size", "fused", "_steps", "_captured", "_result_provenance")
+    __slots__ = (
+        "batch_size",
+        "fused",
+        "_steps",
+        "_captured",
+        "_result_provenance",
+        "_guards",
+    )
 
     def __init__(
         self,
@@ -112,6 +163,27 @@ class ForwardPlan:
         #: compile)`` for every parameterized layer the plan touched.
         self._captured = captured
         self._result_provenance = result_provenance
+        self._guards = tuple(
+            step.scratch_guard for step in steps if hasattr(step, "scratch_guard")
+        )
+
+    @property
+    def scratch_guards(self) -> tuple[ScratchGuard, ...]:
+        """Canaries over every pinned padding buffer the plan owns."""
+        return self._guards
+
+    def verify_scratch(self) -> int:
+        """Check every scratch canary, healing dirty borders.
+
+        Returns the number of dirty buffers found (0 on the clean fast path,
+        which costs one ``count_nonzero`` pass per pinned buffer).
+        """
+        dirty = 0
+        for guard in self._guards:
+            if not guard.is_clean():
+                guard.scrub()
+                dirty += 1
+        return dirty
 
     # ------------------------------------------------------------------ #
     def execute(self, inputs: np.ndarray) -> np.ndarray:
@@ -209,11 +281,11 @@ def _conv_step(layer: Conv2D, batch: int, affine: Optional[Layer]) -> PlanStep:
         if origin is not None
         else None
     )
+    top, left = origin if origin is not None else (0, 0)
     kernel_matrix, add_values = _affine_fold(layer.kernel_matrix(), affine)
 
     def run(x: np.ndarray) -> np.ndarray:
         if pad_buf is not None:
-            top, left = origin
             pad_buf[:, top : top + height, left : left + width, :] = x
             source = pad_buf
         else:
@@ -224,6 +296,12 @@ def _conv_step(layer: Conv2D, batch: int, affine: Optional[Layer]) -> PlanStep:
             np.add(out_buf, add_values, out=out_buf)
         return out_buf
 
+    if pad_buf is not None:
+        run.scratch_guard = ScratchGuard(
+            layer.name,
+            pad_buf,
+            (slice(None), slice(top, top + height), slice(left, left + width), slice(None)),
+        )
     return run
 
 
@@ -246,11 +324,11 @@ def _depthwise_step(
         if origin is not None
         else None
     )
+    top, left = origin if origin is not None else (0, 0)
     kernel_matrix, add_values = _affine_fold(layer.kernel_matrix(), affine)
 
     def run(x: np.ndarray) -> np.ndarray:
         if pad_buf is not None:
-            top, left = origin
             pad_buf[:, top : top + height, left : left + width, :] = x
             source = pad_buf
         else:
@@ -261,6 +339,12 @@ def _depthwise_step(
             np.add(out_buf, add_values, out=out_buf)
         return out_buf
 
+    if pad_buf is not None:
+        run.scratch_guard = ScratchGuard(
+            layer.name,
+            pad_buf,
+            (slice(None), slice(top, top + height), slice(left, left + width), slice(None)),
+        )
     return run
 
 
@@ -394,6 +478,11 @@ def _zeropad_step(layer: ZeroPadding2D, batch: int) -> PlanStep:
         out_buf[:, pad_h : pad_h + height, pad_w : pad_w + width, :] = x
         return out_buf
 
+    run.scratch_guard = ScratchGuard(
+        layer.name,
+        out_buf,
+        (slice(None), slice(pad_h, pad_h + height), slice(pad_w, pad_w + width), slice(None)),
+    )
     return run
 
 

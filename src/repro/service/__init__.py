@@ -20,7 +20,12 @@ evaluated with measured detection/recovery times instead of assumptions.
 
 from repro.service.config import ServiceConfig
 from repro.service.engine import InferenceEngine, InferenceRequest
-from repro.service.pressure import DEFAULT_BIT_POSITIONS, FaultEvent, FaultPressureDriver
+from repro.service.pressure import (
+    DEFAULT_BIT_POSITIONS,
+    SCRATCH_LAYER_NAME,
+    FaultEvent,
+    FaultPressureDriver,
+)
 from repro.service.registry import ManagedModel, ModelRegistry, RequestStats
 from repro.service.repair import (
     RepairOutcome,
@@ -48,6 +53,7 @@ __all__ = [
     "FaultPressureDriver",
     "FaultEvent",
     "DEFAULT_BIT_POSITIONS",
+    "SCRATCH_LAYER_NAME",
     "RepairOutcome",
     "crc_guided_kernel_repair",
     "estimate_guided_repair",

@@ -61,6 +61,12 @@ class ServiceConfig:
             codes make convolution repair self-contained -- corrupted words
             are localized and their bit-flip corrections verified without
             golden passes through (possibly corrupted) neighbour layers.
+        repeat_offender_threshold: Number of bit-exact repairs of the *same
+            memory cell* (word index, bit position) of a layer after which the
+            scrubber blacklists the cell as stuck-at hardware: the golden word
+            is remembered and rewritten by a cheap remap pass at the start of
+            every scrub, without waiting for full detection to flag the layer
+            again.
     """
 
     max_batch: int = 8
@@ -78,6 +84,7 @@ class ServiceConfig:
     yearly_accuracy_floor: float = 0.5
     recovery_async: bool = True
     store_conv_crc: bool = True
+    repeat_offender_threshold: int = 2
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -100,3 +107,5 @@ class ServiceConfig:
             raise ValueError("quarantine_wait_seconds must be positive")
         if not 0.0 <= self.yearly_accuracy_floor <= 1.0:
             raise ValueError("yearly_accuracy_floor must be in [0, 1]")
+        if self.repeat_offender_threshold < 1:
+            raise ValueError("repeat_offender_threshold must be at least 1")

@@ -20,19 +20,29 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import FaultInjectionError
 from repro.memory.fault_injection import inject_bit_flips
+from repro.memory.fault_models import FaultModel, FaultTarget, create_fault_model
 from repro.service.registry import ManagedModel, ModelRegistry
 
-__all__ = ["FaultEvent", "FaultPressureDriver", "DEFAULT_BIT_POSITIONS"]
+__all__ = [
+    "FaultEvent",
+    "FaultPressureDriver",
+    "DEFAULT_BIT_POSITIONS",
+    "SCRATCH_LAYER_NAME",
+]
 
 #: Exponent and sign bits of an IEEE-754 float32 word: flips here change the
 #: weight by at least a factor of two, which MILR detection always observes.
 DEFAULT_BIT_POSITIONS: tuple[int, ...] = tuple(range(23, 32))
+
+#: Pseudo layer name recorded for events that corrupt plan scratch buffers
+#: rather than any layer's weights.
+SCRATCH_LAYER_NAME = "<plan-scratch>"
 
 
 @dataclass(frozen=True)
@@ -45,6 +55,12 @@ class FaultEvent:
     layer_name: str
     flipped_bits: int
     affected_weight_indices: tuple[int, ...]
+    #: Registry name of the fault model that produced the event ("bit_flip"
+    #: for the driver's classic single-flip workload).
+    fault_model: str = "bit_flip"
+    #: Whether this event is a persistent fault re-asserting itself after a
+    #: repair (stuck-at cells), rather than a fresh Poisson arrival.
+    reasserted: bool = False
 
 
 class FaultPressureDriver:
@@ -62,11 +78,20 @@ class FaultPressureDriver:
         ensure_detectable: bool = True,
         max_attempts: int = 50,
         layer_indices: Optional[Sequence[int]] = None,
+        fault_models: Optional[
+            Union[
+                Mapping[str, float],
+                Sequence[Union[str, FaultModel]],
+            ]
+        ] = None,
+        reassert_interval_seconds: float = 0.2,
     ):
         if mean_interval_seconds <= 0:
             raise FaultInjectionError("mean_interval_seconds must be positive")
         if flips_per_event < 1:
             raise FaultInjectionError("flips_per_event must be at least 1")
+        if reassert_interval_seconds <= 0:
+            raise FaultInjectionError("reassert_interval_seconds must be positive")
         if isinstance(target, ManagedModel):
             self._entries: list[ManagedModel] = [target]
         elif isinstance(target, ModelRegistry):
@@ -101,6 +126,35 @@ class FaultPressureDriver:
                         f"model {entry.name!r} has no parameterized layer among "
                         f"targeted indices {sorted(self.layer_indices)}"
                     )
+        #: Mixed-model mode: each Poisson arrival picks one model from the
+        #: zoo (:mod:`repro.memory.fault_models`) according to the per-model
+        #: weight vector.  ``None`` keeps the driver's classic single-bit-flip
+        #: workload (bit-identically: no extra RNG draws are consumed).
+        self._fault_models: list[FaultModel] = []
+        self._model_weights: Optional[np.ndarray] = None
+        if fault_models:
+            if isinstance(fault_models, Mapping):
+                items = [(spec, float(weight)) for spec, weight in fault_models.items()]
+            else:
+                items = [(spec, 1.0) for spec in fault_models]
+            models: list[FaultModel] = []
+            weights: list[float] = []
+            for spec, weight in items:
+                if weight <= 0:
+                    raise FaultInjectionError(
+                        f"fault model weight must be positive, got {weight} for {spec!r}"
+                    )
+                models.append(
+                    spec if isinstance(spec, FaultModel) else create_fault_model(str(spec))
+                )
+                weights.append(weight)
+            total = sum(weights)
+            self._fault_models = models
+            self._model_weights = np.asarray([w / total for w in weights])
+        self.reassert_interval_seconds = float(reassert_interval_seconds)
+        #: ``(model, entry, layer index)`` of every persistent fault injected
+        #: so far; :meth:`reassert_once` re-applies them on its own cadence.
+        self._persistent_targets: list[tuple[FaultModel, ManagedModel, int]] = []
         #: Events that were drawn but reverted as undetectable.
         self.skipped_undetectable = 0
         self._rng = np.random.default_rng(seed)
@@ -117,60 +171,156 @@ class FaultPressureDriver:
             return list(self._events)
 
     def injected_layers(self, model_name: str) -> set[int]:
-        """Layer indices of ``model_name`` hit by at least one event."""
+        """Layer indices of ``model_name`` hit by at least one weight event.
+
+        Scratch-corruption events (``layer_index == -1``) are excluded: they
+        corrupt plan buffers, not layer weights, so they are not ground truth
+        for weight-checkpoint detection.
+        """
         with self._events_lock:
             return {
                 event.layer_index
                 for event in self._events
-                if event.model_name == model_name
+                if event.model_name == model_name and event.layer_index >= 0
             }
 
     # ------------------------------------------------------------------ #
+    def _pick_model(self) -> Optional[FaultModel]:
+        """Draw one zoo model per arrival (no RNG use in classic mode)."""
+        if not self._fault_models:
+            return None
+        if len(self._fault_models) == 1:
+            return self._fault_models[0]
+        choice = int(self._rng.choice(len(self._fault_models), p=self._model_weights))
+        return self._fault_models[choice]
+
+    def _record(self, event: FaultEvent) -> FaultEvent:
+        with self._events_lock:
+            self._events.append(event)
+        return event
+
+    def _inject_scratch(self, entry: ManagedModel, model: FaultModel) -> Optional[FaultEvent]:
+        """One non-weight (plan scratch) injection; ``None`` if no targets."""
+        with entry.lock:
+            report = model.inject(FaultTarget(entry.model), self._rng)
+        if report.flipped_bits == 0:
+            return None
+        return self._record(
+            FaultEvent(
+                timestamp=time.perf_counter(),
+                model_name=entry.name,
+                layer_index=-1,
+                layer_name=SCRATCH_LAYER_NAME,
+                flipped_bits=report.flipped_bits,
+                affected_weight_indices=tuple(int(i) for i in report.affected_indices),
+                fault_model=model.name,
+            )
+        )
+
     def inject_once(self) -> Optional[FaultEvent]:
         """Inject one error event now (also usable without the thread).
 
-        Returns ``None`` only when ``ensure_detectable`` is set and no
-        detectable corruption was found within ``max_attempts`` draws.
+        Returns ``None`` when ``ensure_detectable`` is set and no detectable
+        corruption was found within ``max_attempts`` draws, or when the drawn
+        fault model found nothing to corrupt.
         """
         entry = self._entries[int(self._rng.integers(len(self._entries)))]
+        model = self._pick_model()
+        if model is not None and not model.targets_weights:
+            return self._inject_scratch(entry, model)
         candidates = entry.parameterized_indices
         if self.layer_indices is not None:
             candidates = [i for i in candidates if i in self.layer_indices]
-        attempts = self.max_attempts if self.ensure_detectable else 1
+        # Scratch/adversarial models outside MILR's view skip the
+        # detectability verification: weight checkpoints cannot (or need not)
+        # confirm them.
+        verify = self.ensure_detectable and (model is None or model.detectable_by_milr)
+        attempts = self.max_attempts if verify else 1
         for _ in range(attempts):
             index = int(candidates[int(self._rng.integers(len(candidates)))])
             layer = entry.model.layers[index]
+            target = FaultTarget(entry.model, index)
             # The lock makes the corruption atomic with respect to batches and
             # recovery -- a bit flip lands between forward passes, never inside
             # one (the simulator's stand-in for word-granular memory writes).
             with entry.lock:
                 weights = layer.get_weights()
-                corrupted, report = inject_bit_flips(
-                    weights,
-                    self._rng,
-                    flips=self.flips_per_event,
-                    bit_positions=self.bit_positions,
-                    min_magnitude=self.min_magnitude,
-                )
-                layer.set_weights(corrupted)
-                if self.ensure_detectable:
+                if model is None:
+                    corrupted, report = inject_bit_flips(
+                        weights,
+                        self._rng,
+                        flips=self.flips_per_event,
+                        bit_positions=self.bit_positions,
+                        min_magnitude=self.min_magnitude,
+                    )
+                    layer.set_weights(corrupted)
+                else:
+                    report = model.inject(target, self._rng)
+                if report.flipped_bits == 0:
+                    if model is not None:
+                        model.revert(target)
+                    layer.set_weights(weights)
+                    continue
+                if verify:
                     check = entry.protector.detect(layer_indices=[index])
                     if index not in check.erroneous_layers:
+                        if model is not None:
+                            model.revert(target)
                         layer.set_weights(weights)
                         self.skipped_undetectable += 1
                         continue
-            event = FaultEvent(
-                timestamp=time.perf_counter(),
-                model_name=entry.name,
-                layer_index=index,
-                layer_name=layer.name,
-                flipped_bits=report.flipped_bits,
-                affected_weight_indices=tuple(int(i) for i in report.affected_indices),
+            if model is not None and model.persistent:
+                with self._events_lock:
+                    key = (model, entry, index)
+                    if key not in self._persistent_targets:
+                        self._persistent_targets.append(key)
+            return self._record(
+                FaultEvent(
+                    timestamp=time.perf_counter(),
+                    model_name=entry.name,
+                    layer_index=index,
+                    layer_name=layer.name,
+                    flipped_bits=report.flipped_bits,
+                    affected_weight_indices=tuple(
+                        int(i) for i in report.affected_indices
+                    ),
+                    fault_model=model.name if model is not None else "bit_flip",
+                )
             )
-            with self._events_lock:
-                self._events.append(event)
-            return event
         return None
+
+    def reassert_once(self) -> int:
+        """Re-apply every standing persistent fault; returns bits re-flipped.
+
+        Targets whose cells are still asserted (nothing repaired them since
+        the last pass) contribute nothing and no event is recorded; a repaired
+        layer re-corrupts and the re-assertion is logged as a ``reasserted``
+        event so harnesses can count repair/re-corruption cycles.
+        """
+        with self._events_lock:
+            targets = list(self._persistent_targets)
+        total = 0
+        for model, entry, index in targets:
+            with entry.lock:
+                report = model.reassert(FaultTarget(entry.model, index), self._rng)
+            if report is None or report.flipped_bits == 0:
+                continue
+            total += report.flipped_bits
+            self._record(
+                FaultEvent(
+                    timestamp=time.perf_counter(),
+                    model_name=entry.name,
+                    layer_index=index,
+                    layer_name=entry.model.layers[index].name,
+                    flipped_bits=report.flipped_bits,
+                    affected_weight_indices=tuple(
+                        int(i) for i in report.affected_indices
+                    ),
+                    fault_model=model.name,
+                    reasserted=True,
+                )
+            )
+        return total
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -190,18 +340,43 @@ class FaultPressureDriver:
 
     @property
     def exhausted(self) -> bool:
-        """Whether the driver stopped after reaching ``max_events``."""
+        """Whether the driver's budget of *fresh* arrivals is spent.
+
+        Re-assertions of standing persistent faults do not count against
+        ``max_events`` -- they are consequences of earlier arrivals, and an
+        exhausted driver keeps re-asserting them until stopped.
+        """
+        if self.max_events is None:
+            return False
         with self._events_lock:
-            count = len(self._events)
-        return self.max_events is not None and count >= self.max_events
+            count = sum(1 for event in self._events if not event.reasserted)
+        return count >= self.max_events
 
     def _loop(self) -> None:
+        # Classic mode (no zoo models) must stay RNG-identical with earlier
+        # releases: exactly one exponential draw per fresh arrival, nothing
+        # else, so seeded soak tests reproduce bit-for-bit.
+        reassert_enabled = any(model.persistent for model in self._fault_models)
+        clock = time.perf_counter
+        next_reassert = clock() + self.reassert_interval_seconds
         while not self._stop_event.is_set():
-            if self.max_events is not None:
-                with self._events_lock:
-                    if len(self._events) >= self.max_events:
-                        return
-            wait = float(self._rng.exponential(self.mean_interval_seconds))
-            if self._stop_event.wait(wait):
-                return
-            self.inject_once()
+            fresh_allowed = not self.exhausted
+            if not fresh_allowed:
+                if not (reassert_enabled and self._persistent_targets):
+                    return
+                target = next_reassert
+            else:
+                wait = float(self._rng.exponential(self.mean_interval_seconds))
+                target = clock() + wait
+            while True:
+                now = clock()
+                if reassert_enabled and now >= next_reassert:
+                    self.reassert_once()
+                    next_reassert = now + self.reassert_interval_seconds
+                if now >= target:
+                    break
+                upper = min(target, next_reassert) if reassert_enabled else target
+                if self._stop_event.wait(max(0.0, upper - now)):
+                    return
+            if fresh_allowed:
+                self.inject_once()

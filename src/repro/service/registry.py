@@ -101,10 +101,27 @@ class ManagedModel:
         #: the golden words by bit-flip search.
         self.degraded_originals: dict[int, "object"] = {}
         self.stats = RequestStats()
+        #: Bit-exact repairs per layer index (bumped by the scrubber).
+        self.repair_counts: dict[int, int] = {}
+        #: Per-layer repeat-offender tally: how many bit-exact repairs have
+        #: corrected each specific memory cell ``(word index, bit position)``.
+        self.offender_counts: dict[int, dict[tuple[int, int], int]] = {}
+        #: Cells promoted to stuck-at hardware: layer index -> flat word
+        #: index -> golden uint32 word, rewritten by the scrubber's remap pass.
+        self.blacklisted_cells: dict[int, dict[int, int]] = {}
+        #: Repairs performed by the remap pass (golden-word rewrites of
+        #: blacklisted cells, without a full detection cycle).
+        self.remap_repairs: int = 0
         assert protector.plan is not None
         self.parameterized_indices: list[int] = [
             plan.index for plan in protector.plan.parameterized_layers()
         ]
+
+    @property
+    def blacklisted_cell_count(self) -> int:
+        """Total number of memory words blacklisted as stuck-at hardware."""
+        with self.lock:
+            return sum(len(cells) for cells in self.blacklisted_cells.values())
 
     # ------------------------------------------------------------------ #
     # Quarantine management

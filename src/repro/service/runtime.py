@@ -190,6 +190,13 @@ class SoakResult:
     bit_exact: bool
     #: Whether the post-soak drain reached two consecutive clean detections.
     converged: bool
+    #: Dirty plan scratch buffers caught (and healed) by the per-serve canary
+    #: -- the only detector that sees activation/scratch corruption.
+    scratch_detections: int
+    #: Blacklisted stuck-at cells healed by the scrubber's remap pass.
+    remap_repairs: int
+    #: Memory cells blacklisted as repeat offenders during the soak.
+    blacklisted_cells: int
     sla: SLAReport
 
     @property
@@ -208,6 +215,9 @@ class SoakResult:
             "rps": self.throughput_rps,
             "plan_invalidations": self.plan_invalidations,
             "p99_ms": self.p99_latency_seconds * 1e3,
+            "scratch_detections": self.scratch_detections,
+            "remap_repairs": self.remap_repairs,
+            "blacklisted_cells": self.blacklisted_cells,
             "availability": self.sla.availability,
             "min_accuracy": self.sla.minimum_accuracy,
             "observed_avail": self.sla.observed_availability,
@@ -235,6 +245,8 @@ def run_soak(
     drain_timeout_seconds: float = 60.0,
     milr_config: Optional[MILRConfig] = None,
     fault_layer_indices: Optional[Sequence[int]] = None,
+    fault_models: Optional[object] = None,
+    reassert_interval_seconds: float = 0.2,
 ) -> SoakResult:
     """Serve continuous traffic under Poisson bit-flip pressure, then drain.
 
@@ -245,6 +257,11 @@ def run_soak(
     driver stops, the service drains until two consecutive full detection
     passes come back clean, and the final weights are compared bit-for-bit
     against a golden pre-soak snapshot.
+
+    ``fault_models`` switches the driver to mixed-model zoo pressure: a
+    mapping of fault-model name to arrival weight (or a plain sequence of
+    names for equal weights); persistent models re-assert their standing
+    faults every ``reassert_interval_seconds`` while the driver runs.
     """
     if duration_seconds <= 0:
         raise ExperimentError("duration_seconds must be positive")
@@ -281,6 +298,8 @@ def run_soak(
         flips_per_event=flips_per_event,
         max_events=max_fault_events,
         layer_indices=fault_layer_indices,
+        fault_models=fault_models,
+        reassert_interval_seconds=reassert_interval_seconds,
     )
 
     started = time.perf_counter()
@@ -372,5 +391,8 @@ def run_soak(
         p99_latency_seconds=latency_percentile(latencies, 99),
         bit_exact=bit_exact,
         converged=converged,
+        scratch_detections=entry.model.plan_stats.scratch_detections,
+        remap_repairs=entry.remap_repairs,
+        blacklisted_cells=entry.blacklisted_cell_count,
         sla=sla,
     )

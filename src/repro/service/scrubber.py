@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.checkpoint import weight_fingerprint
 from repro.core.handlers import handler_for
+from repro.memory.bitops import bits_to_floats, floats_to_bits
 from repro.service.config import ServiceConfig
 from repro.service.registry import ManagedModel, ModelRegistry
 from repro.service.repair import (
@@ -119,6 +120,7 @@ class Scrubber:
         but quarantined layers without a dispatched recovery job (a previous
         recovery attempt that did not fully converge) are re-dispatched.
         """
+        self._remap_pass(entry)
         chunk_size = self._config.scrub_chunk_layers
         with entry.lock:
             skip = entry.quarantined
@@ -151,6 +153,80 @@ class Scrubber:
                 entry.dispatched.update(pending)
         if pending:
             self.dispatch_recovery(entry, sorted(pending))
+
+    def _remap_pass(self, entry: ManagedModel) -> None:
+        """Rewrite blacklisted stuck-at cells with their golden words.
+
+        Cells promoted by :meth:`_note_repeat_offenders` re-corrupt after
+        every repair; instead of paying a full detect/quarantine/recover cycle
+        each time, this pass checks just the blacklisted words against their
+        remembered golden values and rewrites dirty ones directly -- the
+        software equivalent of remapping a bad DRAM row.  Rewrites are
+        counted as detections/recoveries in the SLA tracker (they are real
+        error events the service healed), and the brief quarantine around the
+        write keeps the no-serve-through-corruption invariant.
+        """
+        with entry.lock:
+            layers = {
+                index: dict(cells)
+                for index, cells in entry.blacklisted_cells.items()
+                if cells
+            }
+        if not layers:
+            return
+        began = time.perf_counter()
+        healed_layers = 0
+        for index, cells in sorted(layers.items()):
+            with entry.lock:
+                if index in entry.quarantined:
+                    continue  # full recovery already owns this layer
+                layer = entry.model.layers[index]
+                weights = layer.get_weights()
+                bits = floats_to_bits(weights).ravel()
+                dirty = [
+                    word for word, golden in cells.items() if int(bits[word]) != golden
+                ]
+                if not dirty:
+                    continue
+                entry.quarantine([index])
+                for word in dirty:
+                    bits[word] = np.uint32(cells[word])
+                layer.set_weights(bits_to_floats(bits).reshape(weights.shape))
+                entry.remap_repairs += len(dirty)
+                entry.clear_quarantine([index])
+                healed_layers += 1
+        if healed_layers:
+            entry.tracker.record_errors_detected(healed_layers)
+            entry.tracker.record_recovery(
+                time.perf_counter() - began, healed_layers, healed_layers
+            )
+
+    def _note_repeat_offenders(
+        self, entry: ManagedModel, index: int, corrupted: np.ndarray
+    ) -> None:
+        """Track which cells a bit-exact repair corrected; blacklist repeats.
+
+        Called right after layer ``index`` healed bit-exactly (caller holds
+        the lock, so the live words *are* the golden words).  Diffing them
+        against the corrupted snapshot yields exactly the cells this repair
+        fixed; a cell corrected ``repeat_offender_threshold`` times is
+        stuck-at hardware, not random noise, and gets remapped.
+        """
+        healed_bits = floats_to_bits(entry.model.layers[index].get_weights()).ravel()
+        diff = healed_bits ^ floats_to_bits(corrupted).ravel()
+        entry.repair_counts[index] = entry.repair_counts.get(index, 0) + 1
+        offenders = entry.offender_counts.setdefault(index, {})
+        blacklist = entry.blacklisted_cells.setdefault(index, {})
+        for word in np.flatnonzero(diff):
+            word = int(word)
+            mask = int(diff[word])
+            for bit in range(32):
+                if not mask & (1 << bit):
+                    continue
+                cell = (word, bit)
+                offenders[cell] = offenders.get(cell, 0) + 1
+                if offenders[cell] >= self._config.repeat_offender_threshold:
+                    blacklist[word] = int(healed_bits[word])
 
     def dispatch_recovery(self, entry: ManagedModel, indices: list[int]) -> None:
         """Queue (or run inline) a recovery job for quarantined layers."""
@@ -360,6 +436,9 @@ class Scrubber:
                         entry.degraded_originals.pop(index, None)
                         if outcomes[index].bit_exact:
                             bit_exact_layers += 1
+                            self._note_repeat_offenders(
+                                entry, index, originals[index]
+                            )
                         continue
                     attempts = entry.recovery_attempts.get(index, 0) + 1
                     entry.recovery_attempts[index] = attempts

@@ -21,7 +21,7 @@ from repro.experiments import (
     trial_key,
     trial_seed_sequence,
 )
-from repro.experiments.campaign import TIMING_RESULT_FIELDS
+from repro.experiments.campaign import FAULT_MODEL_MODES, TIMING_RESULT_FIELDS
 from repro.experiments.model_provider import TrainedNetwork
 
 #: Grid small enough that a full serial run takes a couple of seconds.
@@ -36,6 +36,39 @@ def network(trained_tiny_network):
         test_images=trained_tiny_network["test_images"],
         test_labels=trained_tiny_network["test_labels"],
         baseline_accuracy=trained_tiny_network["baseline_accuracy"],
+    )
+
+
+@pytest.fixture(scope="module")
+def padded_network():
+    """A same-padding conv net whose forward plans pin scratch buffers.
+
+    ``trained_tiny`` uses valid padding, so activation-corruption trials find
+    nothing there; zoo-mode execution tests need pinned pad buffers.
+    """
+    from repro.nn import Bias, Conv2D, Dense, Flatten, ReLU, Sequential
+
+    model = Sequential(
+        [
+            Conv2D(4, 3, padding="same", seed=21, name="c1"),
+            Bias(name="cb1", seed=22),
+            ReLU(name="r1"),
+            Flatten(name="f1"),
+            Dense(10, seed=23, name="d1"),
+            Bias(name="db1", seed=24),
+        ],
+        name="padded_tiny",
+    )
+    model.build((12, 12, 1))
+    data_rng = np.random.default_rng(6)
+    images = data_rng.random((16, 12, 12, 1)).astype(np.float32)
+    labels = data_rng.integers(0, 10, size=16)
+    return TrainedNetwork(
+        name="padded_tiny",
+        model=model,
+        test_images=images,
+        test_labels=labels,
+        baseline_accuracy=model.accuracy(images, labels),
     )
 
 
@@ -313,6 +346,100 @@ class TestRunCampaign:
         assert result["flipped_bits"] > 0
         assert result["detection_seconds"] > 0
         assert result["model_bytes"] == network.model.parameter_bytes()
+
+
+class TestFaultModelModes:
+    def zoo_spec(self, **overrides) -> CampaignSpec:
+        fields = dict(
+            name="zoo",
+            networks=("padded_tiny",),
+            error_rates=(1e-3,),
+            fault_modes=FAULT_MODEL_MODES,
+            schemes=("milr",),
+            repetitions=1,
+            seed=11,
+            **TINY_TRAIN,
+        )
+        fields.update(overrides)
+        return CampaignSpec(**fields)
+
+    def test_each_mode_expands_to_fault_events_point(self, padded_network):
+        spec = self.zoo_spec(schemes=("none", "ecc", "milr"), fault_events=4)
+        trials = expand_campaign(spec, networks={"padded_tiny": padded_network})
+        # One cell per model: the single point is the event count, and only
+        # MILR applies (ECC cannot see scratch buffers, `none` detects nothing).
+        assert len(trials) == len(FAULT_MODEL_MODES)
+        assert {trial.fault_mode for trial in trials} == set(FAULT_MODEL_MODES)
+        assert all(trial.point == 4 for trial in trials)
+        assert all(trial.scheme == "milr" for trial in trials)
+
+    def test_fault_events_must_be_positive(self, padded_network):
+        with pytest.raises(ExperimentError):
+            expand_campaign(
+                self.zoo_spec(fault_events=0),
+                networks={"padded_tiny": padded_network},
+            )
+
+    def test_fault_events_survives_dict_round_trip(self):
+        spec = self.zoo_spec(fault_events=7)
+        restored = CampaignSpec.from_dict(spec.as_dict())
+        assert restored == spec and restored.fault_events == 7
+
+    def test_weight_model_trials_detect_and_recover(self, padded_network):
+        spec = self.zoo_spec(
+            fault_modes=("row_hammer", "ecc_escape", "adversarial")
+        )
+        records = collect_campaign_records(
+            spec, networks={"padded_tiny": padded_network}
+        )
+        assert len(records) == 3
+        for record in records:
+            result = record["result"]
+            assert result["fault_model"] == record["spec"]["fault_mode"]
+            assert result["faulted"] and result["detected"]
+            assert result["flipped_bits"] > 0
+            assert result["detected_layers"] >= 1
+            assert result["recovered_layers"] >= 1
+            assert result["detection_seconds"] > 0
+            assert result["reasserted_bits"] == 0  # transient models
+
+    def test_stuck_at_trial_reasserts_and_redetects(self, padded_network):
+        records = collect_campaign_records(
+            self.zoo_spec(fault_modes=("stuck_at",)),
+            networks={"padded_tiny": padded_network},
+        )
+        result = records[0]["result"]
+        assert result["faulted"] and result["detected"]
+        # The persistent cells re-corrupted the repaired layers, and a second
+        # detection pass caught them again.
+        assert result["reasserted_bits"] > 0
+        assert result["redetected_layers"] >= 1
+
+    def test_activation_trial_detects_without_checkpoints(self, padded_network):
+        records = collect_campaign_records(
+            self.zoo_spec(fault_modes=("activation",)),
+            networks={"padded_tiny": padded_network},
+        )
+        result = records[0]["result"]
+        assert result["faulted"] and result["detected"]
+        assert result["injected_events"] == 3  # default fault_events
+        assert result["canary_detections"] >= result["injected_events"]
+        # CheckpointStore sees nothing: no weight layer is ever corrupted.
+        assert result["checkpoint_detected_layers"] == 0
+        assert result["detected_layers"] == 0
+        assert result["recovered_layers"] == 0
+        assert result["bit_exact"]
+
+    def test_interrupted_run_matches_uninterrupted(self, padded_network, tmp_path):
+        spec = self.zoo_spec()
+        networks = {"padded_tiny": padded_network}
+        straight = ResultStore(tmp_path / "straight.jsonl")
+        run_campaign(spec, straight, networks=networks)
+        interrupted = ResultStore(tmp_path / "interrupted.jsonl")
+        run_campaign(spec, interrupted, networks=networks, max_trials=2)
+        resumed = run_campaign(spec, interrupted, networks=networks)
+        assert resumed.finished
+        assert deterministic_results(straight) == deterministic_results(interrupted)
 
 
 class TestSerialParallelEquivalence:

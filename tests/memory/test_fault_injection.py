@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import FaultInjectionError
 from repro.memory import inject_rber, inject_whole_layer, inject_whole_weight
+from repro.memory import fault_injection
 from repro.memory.bitops import count_bit_differences
 
 
@@ -67,6 +70,63 @@ class TestInjectRBER:
         corrupted, _ = inject_rber(weights, 0.01, rng)
         assert corrupted.shape == weights.shape
 
+    def test_small_arrays_stay_bit_identical_with_dense_reference(self, weights):
+        # The dense path below _DENSE_SAMPLE_LIMIT is the historical draw
+        # order; a seeded run must reproduce it exactly (stored campaign
+        # results and seeded experiments depend on it).
+        assert weights.size * 32 <= fault_injection._DENSE_SAMPLE_LIMIT
+        corrupted, report = inject_rber(weights, 1e-3, np.random.default_rng(42))
+        reference_rng = np.random.default_rng(42)
+        flip_count = int(reference_rng.binomial(weights.size * 32, 1e-3))
+        bit_indices = reference_rng.choice(weights.size * 32, size=flip_count, replace=False)
+        expected = weights.copy().view(np.uint32)
+        np.bitwise_xor.at(
+            expected,
+            bit_indices // 32,
+            (np.uint32(1) << (bit_indices % 32).astype(np.uint32)).astype(np.uint32),
+        )
+        np.testing.assert_array_equal(corrupted.view(np.uint32), expected)
+        assert report.flipped_bits == flip_count
+
+
+class TestInjectRBERSparsePath:
+    """The O(flips)-memory draw used above ``_DENSE_SAMPLE_LIMIT``."""
+
+    @pytest.fixture(autouse=True)
+    def force_sparse(self, monkeypatch):
+        monkeypatch.setattr(fault_injection, "_DENSE_SAMPLE_LIMIT", 0)
+
+    def test_exact_flip_count_and_distinct_bits(self, weights):
+        corrupted, report = inject_rber(weights, 1e-2, np.random.default_rng(7))
+        assert report.flipped_bits == count_bit_differences(weights, corrupted)
+        expected = int(np.random.default_rng(7).binomial(weights.size * 32, 1e-2))
+        # Every drawn (weight, bit) pair is distinct, so nothing cancels out.
+        assert report.flipped_bits == expected
+
+    def test_same_seed_same_corruption(self, weights):
+        a, report_a = inject_rber(weights, 5e-3, np.random.default_rng(3))
+        b, report_b = inject_rber(weights, 5e-3, np.random.default_rng(3))
+        np.testing.assert_array_equal(a.view(np.uint32), b.view(np.uint32))
+        np.testing.assert_array_equal(report_a.affected_indices, report_b.affected_indices)
+
+    def test_helper_draws_distinct_indices(self):
+        rng = np.random.default_rng(1)
+        picked = fault_injection._sparse_distinct_bit_indices(100, 1500, rng)
+        assert picked.size == 1500
+        assert np.unique(picked).size == 1500
+        assert picked.min() >= 0 and picked.max() < 100 * 32
+
+    def test_rate_one_flips_every_bit(self):
+        weights = np.ones(16, dtype=np.float32)
+        corrupted, report = inject_rber(weights, 1.0, np.random.default_rng(0))
+        assert report.flipped_bits == 16 * 32
+        assert count_bit_differences(weights, corrupted) == 16 * 32
+
+    def test_flip_count_close_to_expectation(self, weights):
+        _, report = inject_rber(weights, 1e-2, np.random.default_rng(9))
+        expected = weights.size * 32 * 1e-2
+        assert expected * 0.7 < report.flipped_bits < expected * 1.3
+
 
 class TestInjectWholeWeight:
     def test_all_bits_of_selected_weights_flip(self, weights, rng):
@@ -118,3 +178,35 @@ class TestInjectWholeLayer:
         a, _ = inject_whole_layer(weights, np.random.default_rng(5))
         b, _ = inject_whole_layer(weights, np.random.default_rng(5))
         np.testing.assert_array_equal(a, b)
+
+    def test_scale_zero_still_changes_every_value(self, rng):
+        # scale=0 degenerates every draw to 0.0; zero originals must still be
+        # replaced (with the smallest positive float32, inside [-0, 0]...the
+        # documented fallback) and nonzero originals become 0.0.
+        weights = np.array([0.0, 0.5, -0.25, 0.0], dtype=np.float32)
+        corrupted, report = inject_whole_layer(weights, rng, scale=0.0)
+        assert np.all(corrupted != weights)
+        assert report.affected_weights == weights.size
+
+    def test_collisions_resolved_by_redraw(self, rng):
+        # An all-zeros layer guarantees the first uniform draw collides with
+        # probability ~0 but the zero *original* values stress the fallback.
+        weights = np.zeros(64, dtype=np.float32)
+        corrupted, _ = inject_whole_layer(weights, rng, scale=1.0)
+        assert np.all(corrupted != 0.0)
+        assert np.max(np.abs(corrupted)) <= 1.0
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.sampled_from([0.0, 1e-30, 0.5, 1.0, 100.0]),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50, deadline=None)
+    def test_no_value_ever_survives(self, seed, scale, size):
+        rng = np.random.default_rng(seed)
+        weights = (rng.standard_normal(size) * scale).astype(np.float32)
+        # Mix in exact zeros and values on the draw boundary.
+        weights[:: max(1, size // 7)] = 0.0
+        corrupted, report = inject_whole_layer(weights, rng, scale=scale)
+        assert np.all(corrupted != weights)
+        assert corrupted.shape == weights.shape
+        assert report.affected_weights == size
+        assert np.all(np.abs(corrupted) <= max(scale, np.finfo(np.float32).tiny))

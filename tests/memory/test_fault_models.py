@@ -1,0 +1,222 @@
+"""Tests for the composable fault-model zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultInjectionError
+from repro.memory import (
+    ActivationScratchCorruption,
+    AdversarialTargeted,
+    ECCEscapeTriple,
+    FaultModel,
+    FaultTarget,
+    RowHammerBurst,
+    StuckAtCells,
+    create_fault_model,
+    fault_model_names,
+    fault_model_registry,
+    register_fault_model,
+    secded_escape_pattern,
+)
+from repro.memory.bitops import floats_to_bits
+from repro.memory.ecc import SECDEDCodec, SECDEDWordStatus
+from repro.nn import Bias, Conv2D, Dense, Flatten, ReLU, Sequential
+
+ZOO = ("activation", "adversarial", "ecc_escape", "row_hammer", "stuck_at")
+
+
+@pytest.fixture
+def dense_target(tiny_dense_model) -> FaultTarget:
+    index = next(
+        i for i, layer in enumerate(tiny_dense_model.layers) if layer.has_parameters
+    )
+    return FaultTarget(tiny_dense_model, index)
+
+
+@pytest.fixture
+def padded_conv_model() -> Sequential:
+    """A conv net with same padding: its plans pin scratch pad buffers."""
+    model = Sequential(
+        [
+            Conv2D(3, 3, padding="same", seed=1, name="c1"),
+            Bias(name="b1", seed=2),
+            ReLU(name="r1"),
+            Flatten(name="f1"),
+            Dense(4, seed=3, name="d1"),
+            Bias(name="b2", seed=4),
+        ],
+        name="padded_conv",
+    )
+    model.build((6, 6, 2))
+    return model
+
+
+def layer_bits(target: FaultTarget) -> np.ndarray:
+    return floats_to_bits(target.layer.get_weights()).ravel()
+
+
+class TestRegistry:
+    def test_all_zoo_models_registered(self):
+        assert set(ZOO) <= set(fault_model_names())
+
+    def test_create_unknown_name_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            create_fault_model("no_such_model")
+
+    def test_conflicting_registration_refused(self):
+        class Impostor(FaultModel):
+            name = "row_hammer"
+
+        with pytest.raises(FaultInjectionError):
+            register_fault_model(Impostor)
+        assert fault_model_registry.create("row_hammer").__class__ is RowHammerBurst
+
+    def test_reregistering_same_class_is_idempotent(self):
+        assert register_fault_model(RowHammerBurst) is RowHammerBurst
+
+    def test_custom_model_round_trip(self):
+        @register_fault_model
+        class NullModel(FaultModel):
+            name = "test_null"
+
+            def inject(self, target, rng):
+                raise NotImplementedError
+
+        try:
+            assert "test_null" in fault_model_names()
+            assert isinstance(create_fault_model("test_null"), NullModel)
+        finally:
+            del fault_model_registry._models["test_null"]
+
+    def test_same_seed_same_corruption(self, tiny_dense_model, dense_target):
+        for name in ("row_hammer", "stuck_at", "ecc_escape", "adversarial"):
+            golden = dense_target.layer.get_weights().copy()
+            outcomes = []
+            for _ in range(2):
+                create_fault_model(name).inject(
+                    dense_target, np.random.default_rng(99)
+                )
+                outcomes.append(layer_bits(dense_target).copy())
+                dense_target.layer.set_weights(golden)
+            np.testing.assert_array_equal(outcomes[0], outcomes[1])
+
+
+class TestRowHammer:
+    def test_burst_is_clustered_and_high_bit(self, dense_target, rng):
+        model = RowHammerBurst(row_words=8, hit_probability=1.0)
+        before = layer_bits(dense_target).copy()
+        report = model.inject(dense_target, rng)
+        after = layer_bits(dense_target)
+        assert report.flipped_bits >= 8  # every word in the window was hit
+        touched = np.flatnonzero(before != after)
+        assert int(touched.max() - touched.min()) < 8
+        np.testing.assert_array_equal(touched, np.sort(report.affected_indices))
+        diffs = before[touched] ^ after[touched]
+        assert int((diffs & np.uint32((1 << 23) - 1)).max()) == 0  # bits >= 23 only
+
+    def test_parameter_validation(self):
+        with pytest.raises(FaultInjectionError):
+            RowHammerBurst(row_words=0)
+        with pytest.raises(FaultInjectionError):
+            RowHammerBurst(hit_probability=0.0)
+        with pytest.raises(FaultInjectionError):
+            RowHammerBurst(max_bits_per_word=0)
+
+
+class TestStuckAt:
+    def test_cells_recorrupt_after_repair(self, dense_target, rng):
+        model = StuckAtCells(cells_per_event=2)
+        golden = dense_target.layer.get_weights().copy()
+        report = model.inject(dense_target, rng)
+        assert report.flipped_bits == 2
+        corrupted = layer_bits(dense_target).copy()
+        # A bit-exact repair restores golden words...
+        dense_target.layer.set_weights(golden)
+        again = model.reassert(dense_target, rng)
+        # ...and re-assertion forces the same cells back to their stuck value.
+        assert again is not None and again.flipped_bits == 2
+        np.testing.assert_array_equal(layer_bits(dense_target), corrupted)
+
+    def test_reassert_is_idempotent_while_asserted(self, dense_target, rng):
+        model = StuckAtCells()
+        model.inject(dense_target, rng)
+        still = model.reassert(dense_target, rng)
+        assert still is not None and still.flipped_bits == 0
+        assert still.affected_weights == 0
+
+    def test_revert_forgets_last_injection(self, dense_target, rng):
+        model = StuckAtCells()
+        model.inject(dense_target, rng)
+        assert len(model.cells_for(dense_target)) == 1
+        model.revert(dense_target)
+        assert model.cells_for(dense_target) == ()
+        assert model.reassert(dense_target, rng) is None
+
+
+class TestECCEscape:
+    def test_pattern_miscorrects_under_secded(self, rng):
+        codec = SECDEDCodec()
+        for _ in range(20):
+            injected, target_bit = secded_escape_pattern(rng)
+            assert injected.size == 3 and target_bit not in injected
+            word = np.asarray([0x3F80_1234], dtype=np.uint32)
+            check = codec.encode_words(word)
+            mask = np.uint32(0)
+            for bit in injected:
+                mask ^= np.uint32(1) << np.uint32(bit)
+            decoded, statuses = codec.decode_words(word ^ mask, check)
+            # SECDED claims it corrected a single-bit error...
+            assert statuses[0] is SECDEDWordStatus.CORRECTED
+            # ...but actually flipped a 4th bit on top of the 3 injected ones.
+            expected = word ^ mask ^ (np.uint32(1) << np.uint32(target_bit))
+            np.testing.assert_array_equal(decoded, expected)
+
+    def test_pattern_touches_high_bits_by_default(self, rng):
+        for _ in range(50):
+            injected, target_bit = secded_escape_pattern(rng)
+            assert np.any(injected >= 23) or target_bit >= 23
+
+    def test_inject_flips_four_bits_per_word(self, dense_target, rng):
+        model = ECCEscapeTriple(words_per_event=2)
+        before = layer_bits(dense_target).copy()
+        report = model.inject(dense_target, rng)
+        after = layer_bits(dense_target)
+        assert report.flipped_bits == 8 and report.affected_weights == 2
+        for index in report.affected_indices:
+            assert bin(int(before[index] ^ after[index])).count("1") == 4
+
+
+class TestAdversarial:
+    def test_flips_high_exponent_of_largest_weights(self, dense_target, rng):
+        model = AdversarialTargeted(flips=2, candidate_pool=4)
+        flat = np.abs(dense_target.layer.get_weights().ravel())
+        top4 = set(np.argsort(flat)[-4:].tolist())
+        before = layer_bits(dense_target).copy()
+        report = model.inject(dense_target, rng)
+        after = layer_bits(dense_target)
+        assert report.flipped_bits == 2
+        assert set(int(i) for i in report.affected_indices) <= top4
+        for index in report.affected_indices:
+            assert int(before[index] ^ after[index]) == 1 << 30
+
+
+class TestActivationScratch:
+    def test_corrupts_canary_border_and_predict_heals(self, padded_conv_model, rng):
+        model = ActivationScratchCorruption(flips=2, batch_size=3)
+        plan = padded_conv_model.compile_plan(3)
+        assert plan.scratch_guards  # same padding pins pad buffers
+        report = model.inject(FaultTarget(padded_conv_model), rng)
+        assert report.flipped_bits == 2
+        assert any(not guard.is_clean() for guard in plan.scratch_guards)
+        before = padded_conv_model.plan_stats.scratch_detections
+        batch = np.random.default_rng(0).random((3, 6, 6, 2)).astype(np.float32)
+        padded_conv_model.predict(batch)
+        assert padded_conv_model.plan_stats.scratch_detections > before
+        assert all(guard.is_clean() for guard in plan.scratch_guards)
+
+    def test_valid_padding_network_has_no_targets(self, tiny_conv_model, rng):
+        model = ActivationScratchCorruption(batch_size=2)
+        report = model.inject(FaultTarget(tiny_conv_model), rng)
+        assert report.flipped_bits == 0

@@ -1,0 +1,170 @@
+"""Unit tests for the Poisson fault-pressure driver (incl. mixed-model mode)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultInjectionError
+from repro.memory import StuckAtCells
+from repro.service import FaultPressureDriver
+
+
+def restore(entry, golden) -> None:
+    for index, weights in golden.items():
+        entry.model.layers[index].set_weights(weights)
+
+
+class TestClassicDriver:
+    def test_fixed_seed_reproduces_the_schedule(self, sync_service, golden_weights):
+        _, entry = sync_service
+        events = []
+        for _ in range(2):
+            driver = FaultPressureDriver(entry, seed=7)
+            events.append([driver.inject_once() for _ in range(3)])
+            restore(entry, golden_weights)
+        for first, second in zip(*events):
+            assert first.layer_index == second.layer_index
+            assert first.flipped_bits == second.flipped_bits
+            assert first.affected_weight_indices == second.affected_weight_indices
+
+    def test_inject_once_honours_layer_indices(self, sync_service, golden_weights):
+        _, entry = sync_service
+        index = entry.parameterized_indices[-1]
+        driver = FaultPressureDriver(entry, seed=3, layer_indices=[index])
+        try:
+            for _ in range(4):
+                event = driver.inject_once()
+                assert event is not None and event.layer_index == index
+        finally:
+            restore(entry, golden_weights)
+
+    def test_layer_indices_must_intersect_parameterized(self, sync_service):
+        _, entry = sync_service
+        with pytest.raises(FaultInjectionError):
+            FaultPressureDriver(entry, layer_indices=[10_000])
+
+    def test_exhausted_counts_fresh_events_only(self, sync_service, golden_weights):
+        _, entry = sync_service
+        driver = FaultPressureDriver(
+            entry, seed=5, max_events=2, fault_models={"stuck_at": 1.0}
+        )
+        try:
+            assert not driver.exhausted
+            assert driver.inject_once() is not None
+            assert driver.inject_once() is not None
+            assert driver.exhausted
+            # A repair + re-assertion cycle adds events, but none of them are
+            # fresh arrivals: the budget stays spent.
+            restore(entry, golden_weights)
+            assert driver.reassert_once() > 0
+            assert driver.exhausted
+            assert sum(1 for event in driver.events if event.reasserted) >= 1
+        finally:
+            restore(entry, golden_weights)
+
+    def test_classic_events_are_tagged_bit_flip(self, sync_service, golden_weights):
+        _, entry = sync_service
+        driver = FaultPressureDriver(entry, seed=1)
+        try:
+            event = driver.inject_once()
+            assert event.fault_model == "bit_flip" and not event.reasserted
+        finally:
+            restore(entry, golden_weights)
+
+
+class TestMixedModelDriver:
+    def test_events_carry_their_model_name(self, sync_service, golden_weights):
+        _, entry = sync_service
+        driver = FaultPressureDriver(
+            entry,
+            seed=11,
+            fault_models={"row_hammer": 1.0, "adversarial": 1.0, "ecc_escape": 1.0},
+        )
+        try:
+            names = {driver.inject_once().fault_model for _ in range(9)}
+            assert names <= {"row_hammer", "adversarial", "ecc_escape"}
+            assert len(names) >= 2
+        finally:
+            restore(entry, golden_weights)
+
+    def test_model_instances_are_accepted(self, sync_service, golden_weights):
+        _, entry = sync_service
+        stuck = StuckAtCells(cells_per_event=1)
+        driver = FaultPressureDriver(entry, seed=2, fault_models=[stuck])
+        try:
+            event = driver.inject_once()
+            assert event.fault_model == "stuck_at"
+            assert len(stuck._cells) == 1  # the driver used our instance
+        finally:
+            restore(entry, golden_weights)
+
+    def test_reassert_recorrupts_repaired_layer(self, sync_service, golden_weights):
+        _, entry = sync_service
+        driver = FaultPressureDriver(entry, seed=4, fault_models={"stuck_at": 1.0})
+        try:
+            event = driver.inject_once()
+            corrupted = entry.model.layers[event.layer_index].get_weights().copy()
+            restore(entry, golden_weights)
+            assert driver.reassert_once() == event.flipped_bits
+            np.testing.assert_array_equal(
+                entry.model.layers[event.layer_index].get_weights().view(np.uint32),
+                corrupted.view(np.uint32),
+            )
+            # Nothing repaired since: the standing fault contributes nothing.
+            assert driver.reassert_once() == 0
+        finally:
+            restore(entry, golden_weights)
+
+    def test_undetectable_zoo_injections_are_reverted(self, sync_service, golden_weights):
+        _, entry = sync_service
+        # min_magnitude=0 with low-order bit flips routinely lands below the
+        # detection tolerance; every such draw must be rolled back.
+        from repro.memory import RowHammerBurst
+
+        low_bits = RowHammerBurst(
+            row_words=1, bit_positions=(0,), min_magnitude=0.0
+        )
+        driver = FaultPressureDriver(entry, seed=6, fault_models=[low_bits], max_attempts=3)
+        try:
+            before = {
+                index: entry.model.layers[index].get_weights().copy()
+                for index in entry.parameterized_indices
+            }
+            event = driver.inject_once()
+            if event is None:
+                assert driver.skipped_undetectable > 0
+                for index, weights in before.items():
+                    np.testing.assert_array_equal(
+                        entry.model.layers[index].get_weights(), weights
+                    )
+        finally:
+            restore(entry, golden_weights)
+
+    def test_nonpositive_weight_rejected(self, sync_service):
+        _, entry = sync_service
+        with pytest.raises(FaultInjectionError):
+            FaultPressureDriver(entry, fault_models={"row_hammer": 0.0})
+
+    def test_unknown_model_name_rejected(self, sync_service):
+        _, entry = sync_service
+        with pytest.raises(FaultInjectionError):
+            FaultPressureDriver(entry, fault_models=["no_such_model"])
+
+    def test_nonpositive_reassert_interval_rejected(self, sync_service):
+        _, entry = sync_service
+        with pytest.raises(FaultInjectionError):
+            FaultPressureDriver(entry, reassert_interval_seconds=0.0)
+
+    def test_scratch_injection_on_valid_padding_model_is_empty(
+        self, sync_service, golden_weights
+    ):
+        _, entry = sync_service
+        # mnist_reduced uses valid padding: no pinned scratch buffers, so the
+        # activation model has nothing to corrupt and no event is recorded.
+        driver = FaultPressureDriver(entry, seed=8, fault_models={"activation": 1.0})
+        try:
+            assert driver.inject_once() is None
+            assert driver.events == []
+        finally:
+            restore(entry, golden_weights)

@@ -19,6 +19,7 @@ def _write_baseline(
     detection: list[dict],
     service: list[dict],
     inference: list[dict] | None = None,
+    faults: list[dict] | None = None,
 ) -> None:
     path.write_text(
         json.dumps(
@@ -26,6 +27,7 @@ def _write_baseline(
                 "detection": {"results": detection},
                 "service": {"results": service},
                 "inference": {"results": inference or []},
+                "faults": {"results": faults or []},
             }
         )
     )
@@ -33,6 +35,10 @@ def _write_baseline(
 
 def _entry(op: str, ns: float) -> dict:
     return {"op": op, "shape": [2, 2], "ns_per_op": ns}
+
+
+def _rate_entry(op: str, rate: float) -> dict:
+    return {"op": op, "shape": [], "rate": rate}
 
 
 def _run(tmp_path: Path, *extra: str) -> subprocess.CompletedProcess:
@@ -51,16 +57,26 @@ def _run(tmp_path: Path, *extra: str) -> subprocess.CompletedProcess:
     )
 
 
-def _write_all(tmp_path: Path, fresh_ns: float, baseline_ns: float = 100.0) -> None:
+def _write_all(
+    tmp_path: Path,
+    fresh_ns: float,
+    baseline_ns: float = 100.0,
+    fresh_rate: float = 1.0,
+    baseline_rate: float = 1.0,
+) -> None:
     _write_baseline(
         tmp_path / "BENCH_baseline.json",
         [_entry("encode", baseline_ns)],
         [_entry("serve", baseline_ns)],
         [_entry("predict", baseline_ns)],
+        [_rate_entry("detection_rate", baseline_rate)],
     )
     _write_bench(tmp_path / "BENCH_detection.json", [_entry("encode", fresh_ns)])
     _write_bench(tmp_path / "BENCH_service.json", [_entry("serve", fresh_ns)])
     _write_bench(tmp_path / "BENCH_inference.json", [_entry("predict", fresh_ns)])
+    _write_bench(
+        tmp_path / "BENCH_faults.json", [_rate_entry("detection_rate", fresh_rate)]
+    )
 
 
 class TestCheckRegression:
@@ -113,16 +129,39 @@ class TestCheckRegression:
         assert result.returncode == 0
         assert "NEW" in result.stdout
 
+    def test_rate_drop_beyond_tolerance_fails(self, tmp_path):
+        # 0.92 is 0.06 below the 0.98 baseline: beyond the default 0.05 margin.
+        _write_all(tmp_path, fresh_ns=100.0, baseline_rate=0.98, fresh_rate=0.92)
+        result = _run(tmp_path)
+        assert result.returncode == 1
+        assert "FAIL" in result.stdout
+
+    def test_rate_within_tolerance_passes(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=100.0, baseline_rate=0.98, fresh_rate=0.95)
+        assert _run(tmp_path).returncode == 0
+
+    def test_rate_improvement_passes(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=100.0, baseline_rate=0.90, fresh_rate=1.0)
+        assert _run(tmp_path).returncode == 0
+
+    def test_custom_rate_tolerance(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=100.0, baseline_rate=0.98, fresh_rate=0.92)
+        assert _run(tmp_path, "--rate-tolerance", "0.1").returncode == 0
+        assert _run(tmp_path, "--rate-tolerance", "0.01").returncode == 1
+
     def test_update_rewrites_baseline(self, tmp_path):
-        _write_all(tmp_path, fresh_ns=400.0)
+        _write_all(tmp_path, fresh_ns=400.0, fresh_rate=0.97)
         assert _run(tmp_path, "--update").returncode == 0
         payload = json.loads((tmp_path / "BENCH_baseline.json").read_text())
         assert payload["detection"]["results"][0]["ns_per_op"] == 400.0
+        # Rate entries keep their kind through the rewrite.
+        assert payload["faults"]["results"][0]["rate"] == 0.97
+        assert "ns_per_op" not in payload["faults"]["results"][0]
         # The gate now passes against the refreshed baseline.
         assert _run(tmp_path).returncode == 0
 
     def test_repo_baseline_matches_gate_schema(self, tmp_path):
-        # The committed baseline must load and cover all three benchmark files.
+        # The committed baseline must load and cover all four benchmark files.
         sys.path.insert(0, str(SCRIPT.parent))
         try:
             from check_regression import load_baseline
@@ -131,5 +170,10 @@ class TestCheckRegression:
         finally:
             sys.path.pop(0)
         sources = {key[0] for key in baseline}
-        assert sources == {"detection", "service", "inference"}
-        assert all(ns > 0 for ns in baseline.values())
+        assert sources == {"detection", "service", "inference", "faults"}
+        assert all(value > 0 for _, value in baseline.values())
+        assert all(
+            0.0 < value <= 1.0
+            for kind, value in baseline.values()
+            if kind == "rate"
+        )

@@ -5,6 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.campaign import FAULT_MODES
+from repro.memory import fault_model_names
 
 
 class TestParser:
@@ -63,6 +65,42 @@ class TestParser:
             build_parser().parse_args(
                 ["campaign", "run", "--store", "x.jsonl", "--fault-modes", "nope"]
             )
+
+    def test_every_fault_mode_is_a_valid_choice(self):
+        # The zoo modes are auto-populated from FAULT_MODES; a new registry
+        # entry must never silently miss the CLI.
+        for mode in FAULT_MODES:
+            args = build_parser().parse_args(
+                ["campaign", "run", "--store", "x.jsonl", "--fault-modes", mode]
+            )
+            assert args.fault_modes == [mode]
+
+    def test_campaign_fault_events_default(self):
+        args = build_parser().parse_args(["campaign", "run", "--store", "x.jsonl"])
+        assert args.fault_events == 3
+        args = build_parser().parse_args(
+            ["campaign", "run", "--store", "x.jsonl", "--fault-events", "5"]
+        )
+        assert args.fault_events == 5
+
+    def test_soak_fault_model_arguments(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.fault_models is None
+        assert args.reassert_interval == 0.2
+        args = build_parser().parse_args(
+            ["soak", "--fault-models", "stuck_at", "row_hammer", "--reassert-interval", "0.5"]
+        )
+        assert args.fault_models == ["stuck_at", "row_hammer"]
+        assert args.reassert_interval == 0.5
+
+    def test_soak_fault_models_cover_the_registry(self):
+        # choices= comes from fault_model_names(): every registered model
+        # parses, anything else exits.
+        for name in fault_model_names():
+            args = build_parser().parse_args(["soak", "--fault-models", name])
+            assert args.fault_models == [name]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soak", "--fault-models", "no_such_model"])
 
     def test_campaign_report_arguments(self):
         args = build_parser().parse_args(
