@@ -11,6 +11,14 @@ soak qualities in ``BENCH_faults.json``: detection rates, availability).
 Rates are absolute, higher-is-better numbers in [0, 1]; they fail when a
 fresh value drops more than ``--rate-tolerance`` below the baseline.
 
+One extra gate compares two *fresh* ops against each other instead of the
+baseline: the telemetry layer's serve overhead.  The service benchmark
+records ``serve_request_telemetry_on`` and ``_off`` under identical load;
+the gate fails when the enabled/disabled ``ns_per_op`` ratio exceeds
+``1 + --telemetry-overhead-tolerance`` (default 5%).  Same-run comparison
+makes this budget immune to runner-speed drift, so it can be far tighter
+than the cross-run 2.5x tolerance.
+
 Usage (what CI runs after the benchmark steps)::
 
     python benchmarks/check_regression.py
@@ -132,6 +140,26 @@ def compare(
     return rows
 
 
+def telemetry_overhead(fresh: dict[OpKey, OpValue]) -> Optional[float]:
+    """Fractional serve slowdown with telemetry on, from fresh results only.
+
+    Returns ``ns_on / ns_off - 1`` for the ``serve_request_telemetry_on`` /
+    ``_off`` pair measured in the same benchmark run, or ``None`` when either
+    entry is absent (older fresh files).
+    """
+    on = off = None
+    for (source, op, _shape), (kind, value) in fresh.items():
+        if source != "service" or kind != "ns":
+            continue
+        if op == "serve_request_telemetry_on":
+            on = value
+        elif op == "serve_request_telemetry_off":
+            off = value
+    if on is None or off is None or off <= 0:
+        return None
+    return on / off - 1.0
+
+
 def update_baseline(baseline_path: Path, root: Path) -> None:
     """Rewrite the baseline from the fresh benchmark files."""
     payload: dict[str, object] = {
@@ -192,6 +220,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="maximum tolerated absolute drop for higher-is-better rate entries",
     )
     parser.add_argument(
+        "--telemetry-overhead-tolerance",
+        type=float,
+        default=0.05,
+        help=(
+            "maximum tolerated fractional serve slowdown between the fresh "
+            "serve_request_telemetry_on and _off entries"
+        ),
+    )
+    parser.add_argument(
         "--update", action="store_true", help="rewrite the baseline from fresh results"
     )
     args = parser.parse_args(argv)
@@ -226,9 +263,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rows = compare(baseline, fresh, args.tolerance, args.rate_tolerance)
     _print_rows(rows)
     failures = [row for row in rows if row["status"] == "FAIL"]
+
+    overhead = telemetry_overhead(fresh)
+    if overhead is None:
+        print(
+            "telemetry overhead gate skipped: serve_request_telemetry_on/_off "
+            "not present in fresh BENCH_service.json",
+            file=sys.stderr,
+        )
+    else:
+        budget = args.telemetry_overhead_tolerance
+        verdict = "FAIL" if overhead > budget else "ok"
+        print(
+            f"\ntelemetry serve overhead {overhead:+.1%} "
+            f"(budget {budget:.0%}) ... {verdict}"
+        )
+        if overhead > budget:
+            failures.append(
+                {"source": "service", "op": "telemetry_overhead", "status": "FAIL"}
+            )
+
     if failures:
         print(
-            f"\n{len(failures)} benchmark regression(s) beyond {args.tolerance}x tolerance",
+            f"\n{len(failures)} benchmark regression(s) beyond tolerance",
             file=sys.stderr,
         )
         return 1

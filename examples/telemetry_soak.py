@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Telemetry walkthrough: trace a fault storm and read the exported signals.
+
+Runs a mixed fault-model soak (ECC-escape flips, persistent stuck-at faults
+and row-hammer bursts) with the unified telemetry layer enabled, then shows what
+the observability surface gives you that the summary counters cannot:
+
+1. per-fault lifecycle chains -- every injected weight fault correlated
+   through inject -> detect -> quarantine -> repair -> verify, with
+   reassert -> redetect cycles for the persistent faults,
+2. the five slowest repairs, with per-stage timing taken from span durations,
+3. a Prometheus-style metrics snapshot (counters, gauges, latency histograms).
+
+The trace and metrics land in JSONL files you can tail while the soak runs,
+or pretty-print afterwards with ``python -m repro.cli telemetry --metrics ...``.
+
+Run with:  python examples/telemetry_soak.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.service import run_soak
+
+
+def main() -> None:
+    duration = float(os.environ.get("SOAK_DURATION", "30.0"))
+    out = Path(tempfile.mkdtemp(prefix="repro-telemetry-"))
+    trace_path = out / "trace.jsonl"
+    metrics_path = out / "metrics.jsonl"
+
+    print("== Telemetry soak: reduced MNIST under a mixed fault storm")
+    print(f"   duration={duration}s  trace={trace_path}  metrics={metrics_path}")
+    result = run_soak(
+        network="mnist_reduced",
+        duration_seconds=duration,
+        mean_fault_interval_seconds=0.5,
+        fault_models={"ecc_escape": 0.5, "stuck_at": 0.3, "row_hammer": 0.2},
+        reassert_interval_seconds=0.2,
+        seed=13,
+        trace_out=str(trace_path),
+        metrics_out=str(metrics_path),
+    )
+
+    chains = result.fault_chains
+    print(f"\nfault events injected:      {len(result.fault_events)}")
+    print(f"lifecycle chains opened:    {len(chains)}")
+    print(f"chains complete:            {sum(1 for c in chains if c.complete)}")
+    print(f"requests served:            {result.requests_completed}")
+    print(f"weights restored bit-exact: {result.bit_exact}")
+
+    print("\n== Five slowest repairs (per-fault Td / Tr from correlated spans)")
+    header = f"{'fault':<12}{'layer':>6}  {'model':<14}{'reasserts':>10}"
+    header += f"{'Td_ms':>10}{'Tr_ms':>10}  stages"
+    print(header)
+    slowest = sorted(chains, key=lambda c: c.repair_seconds, reverse=True)[:5]
+    for chain in slowest:
+        print(
+            f"{chain.fault_id:<12}{chain.layer_index:>6}  {chain.model_name:<14}"
+            f"{chain.reassert_cycles:>10}"
+            f"{chain.detection_seconds * 1e3:>10.3f}"
+            f"{chain.repair_seconds * 1e3:>10.3f}"
+            f"  {'>'.join(chain.stages)}"
+        )
+
+    print("\n== Final metrics snapshot (also the last line of the JSONL export)")
+    snapshot = json.loads(metrics_path.read_text().splitlines()[-1])
+    for name in sorted(snapshot["counters"]):
+        print(f"counter  {name} = {snapshot['counters'][name]}")
+    for name in sorted(snapshot["gauges"]):
+        print(f"gauge    {name} = {snapshot['gauges'][name]:.6g}")
+    for name, hist in sorted(snapshot["histograms"].items()):
+        print(
+            f"hist     {name}: count={hist['count']} "
+            f"p50={hist['p50']:.6g}s p99={hist['p99']:.6g}s"
+        )
+
+    print(
+        "\npretty-print the snapshot any time with:\n"
+        f"  python -m repro.cli telemetry --metrics {metrics_path}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,8 @@ experiment:
 * ``soak``           — the fault-pressure scenario (Fig. 12's live
   counterpart): Poisson bit flips against live weights under continuous
   inference, with detection/recovery/bit-exactness and availability reported
+* ``telemetry``      — pretty-print the latest metrics snapshot from a soak
+  started with ``--metrics-out`` (works while the soak is still running)
 
 ``campaign`` drives the sharded, resumable evaluation-campaign runner:
 
@@ -182,6 +184,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.2,
         help="seconds between persistent-fault reassertion passes",
+    )
+    soak.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the telemetry span trace (fault-lifecycle chains, serve "
+        "batches, scrub slices) to this JSONL file when the soak ends",
+    )
+    soak.add_argument(
+        "--metrics-out",
+        default=None,
+        help="append metrics snapshots to this JSONL file (~1/s while the "
+        "soak runs; watch live with `repro telemetry --metrics PATH`)",
+    )
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="pretty-print the latest metrics snapshot from a soak's "
+        "--metrics-out JSONL file",
+    )
+    telemetry.add_argument(
+        "--metrics",
+        required=True,
+        help="metrics JSONL file a (possibly still running) soak is appending to",
+    )
+    telemetry.add_argument(
+        "--raw", action="store_true", help="dump the raw snapshot JSON instead"
     )
 
     campaign = subparsers.add_parser(
@@ -440,6 +468,8 @@ def _print_soak(args: argparse.Namespace) -> None:
         seed=args.seed,
         fault_models=list(args.fault_models) if args.fault_models else None,
         reassert_interval_seconds=args.reassert_interval,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
     )
     print(
         format_table(
@@ -455,6 +485,72 @@ def _print_soak(args: argparse.Namespace) -> None:
             precision=6,
         )
     )
+    if result.fault_chains:
+        rows = [
+            {
+                "fault": chain.fault_id,
+                "layer": chain.layer_index,
+                "fault_model": chain.fault_model,
+                "stages": len(chain.stages),
+                "reasserts": chain.reassert_cycles,
+                "complete": chain.complete,
+                "Td_ms": chain.detection_seconds * 1e3,
+                "Tr_ms": chain.repair_seconds * 1e3,
+            }
+            for chain in result.fault_chains
+        ]
+        print(
+            format_table(
+                rows, title="Fault-lifecycle chains (per-fault Td/Tr)", precision=3
+            )
+        )
+    for error in result.errors:
+        print(f"traffic thread error: {error}")
+    if args.trace_out:
+        print(f"span trace written to {args.trace_out}")
+    if args.metrics_out:
+        print(f"metrics snapshots appended to {args.metrics_out}")
+
+
+def _print_telemetry(args: argparse.Namespace) -> None:
+    import json
+
+    with open(args.metrics, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        print(f"no snapshots in {args.metrics} yet")
+        return
+    snapshot = json.loads(lines[-1])
+    if args.raw:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return
+    print(
+        f"snapshot {len(lines)} of {args.metrics} "
+        f"(wall time {snapshot.get('time', 0.0):.3f})"
+    )
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [
+            {"counter": name, "value": counters[name]} for name in sorted(counters)
+        ]
+        print(format_table(rows, title="Counters", precision=0))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [{"gauge": name, "value": gauges[name]} for name in sorted(gauges)]
+        print(format_table(rows, title="Gauges", precision=4))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = [
+            {
+                "histogram": name,
+                "count": histograms[name]["count"],
+                "sum_s": histograms[name]["sum"],
+                "p50_s": histograms[name]["p50"],
+                "p99_s": histograms[name]["p99"],
+            }
+            for name in sorted(histograms)
+        ]
+        print(format_table(rows, title="Histograms", precision=6))
 
 
 def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
@@ -510,6 +606,7 @@ _HANDLERS = {
     "availability": _print_availability,
     "serve": _print_serve,
     "soak": _print_soak,
+    "telemetry": _print_telemetry,
 }
 
 

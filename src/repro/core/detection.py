@@ -26,7 +26,32 @@ from repro.exceptions import DetectionError
 from repro.nn.model import Sequential
 from repro.prng import SeededTensorGenerator
 
-__all__ = ["LayerDetectionResult", "DetectionReport", "DetectionEngine"]
+__all__ = ["LayerDetectionResult", "DetectionReport", "DetectionEngine", "DetectionStats"]
+
+
+@dataclass
+class DetectionStats:
+    """Detection-engine counters (guarded by the engine's cache lock).
+
+    Plain integers with no telemetry dependency; the service-layer telemetry
+    mirrors them into gauges at snapshot time, keeping ``core/`` import-free
+    of ``repro.obs``.
+    """
+
+    #: Detection passes run (full or sliced).
+    passes: int = 0
+    #: Layers probed across all passes.
+    layers_scanned: int = 0
+    #: PRNG detection-input memo hits/misses.
+    input_cache_hits: int = 0
+    input_cache_misses: int = 0
+    #: CRC localization replays from the per-layer version cache.
+    localize_cache_hits: int = 0
+    #: Full batched localizations actually computed.
+    localize_cache_misses: int = 0
+    #: Localizations skipped entirely because the live weights still match
+    #: the fingerprint the stored CRC codes were computed from.
+    localize_clean_skips: int = 0
 
 
 @dataclass
@@ -109,16 +134,20 @@ class DetectionEngine:
         #: weight mutation), so cache reads and writes must be atomic.  The
         #: cached tensors themselves are treated as immutable once stored.
         self._cache_lock = threading.Lock()
+        self.stats = DetectionStats()
 
     def _detection_input(self, index: int, input_shape: tuple[int, ...]) -> np.ndarray:
         key = (index, tuple(input_shape), self._config.detection_batch)
         with self._cache_lock:
             cached = self._detection_inputs.get(key)
+            if cached is not None:
+                self.stats.input_cache_hits += 1
         if cached is None:
             cached = detection_input_for(
                 index, input_shape, self._prng, self._config.detection_batch
             )
             with self._cache_lock:
+                self.stats.input_cache_misses += 1
                 # A concurrent pass may have stored the same key already; the
                 # PRNG stream is deterministic, so either tensor is identical.
                 cached = self._detection_inputs.setdefault(key, cached)
@@ -139,15 +168,19 @@ class DetectionEngine:
         weights = layer.get_weights()
         fingerprint = weight_fingerprint(weights)
         if fingerprint == self._store.crc_fingerprint_for(index):
+            with self._cache_lock:
+                self.stats.localize_clean_skips += 1
             return np.zeros(weights.shape, dtype=bool)
         with self._cache_lock:
             cached = self._localize_cache.get(index)
-        if cached is not None and cached[0] == fingerprint:
-            return cached[1]
+            if cached is not None and cached[0] == fingerprint:
+                self.stats.localize_cache_hits += 1
+                return cached[1]
         mask = handler.localize_suspects(
             layer, layer_plan, weights, self._store, self._config
         )
         with self._cache_lock:
+            self.stats.localize_cache_misses += 1
             self._localize_cache[index] = (fingerprint, mask)
         return mask
 
@@ -206,6 +239,9 @@ class DetectionEngine:
                     f"layers {sorted(unknown)} are not parameterized detection targets"
                 )
             plans = [plan for plan in plans if plan.index in wanted]
+        with self._cache_lock:
+            self.stats.passes += 1
+            self.stats.layers_scanned += len(plans)
         report = DetectionReport()
         for layer_plan in plans:
             report.results.append(self._detect_layer(layer_plan.index))

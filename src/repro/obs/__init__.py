@@ -1,0 +1,43 @@
+"""Zero-dependency telemetry: spans, metrics and fault-lifecycle tracing.
+
+* :mod:`repro.obs.trace` -- span tracer (monotonic clocks, bounded ring
+  buffer, contextvar nesting, JSONL export)
+* :mod:`repro.obs.metrics` -- counters / gauges / fixed-bucket histograms
+  with Prometheus text exposition and JSONL snapshots
+* :mod:`repro.obs.lifecycle` -- per-fault correlated span chains
+  (inject -> detect -> quarantine -> repair -> verify, with reassert cycles)
+* :mod:`repro.obs.telemetry` -- the facade the service runtime talks to,
+  plus :class:`TelemetryConfig` (the whole layer is removable by config)
+"""
+
+from repro.obs.lifecycle import (
+    STAGES,
+    FaultChain,
+    FaultChainSummary,
+    FaultLifecycleLog,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import Telemetry, TelemetryConfig
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "FaultChain",
+    "FaultChainSummary",
+    "FaultLifecycleLog",
+    "STAGES",
+    "Telemetry",
+    "TelemetryConfig",
+]

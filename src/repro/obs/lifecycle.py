@@ -1,0 +1,367 @@
+"""Fault-lifecycle tracing: one correlated span chain per injected fault.
+
+The paper's availability model is built from detection time (Td) and
+recovery time (Tr); this module makes them *per-fault facts* instead of
+aggregates.  Every injected :class:`~repro.service.pressure.FaultEvent`
+opens a :class:`FaultChain` keyed by a fault id, and the service runtime
+appends lifecycle stages as they happen::
+
+    inject -> detect -> quarantine -> repair(strategy, rounds) -> verify
+           -> (reassert -> redetect -> repair -> verify)*   # stuck-at cells
+
+Each stage is recorded as a span (``fault.<stage>``) through the shared
+tracer -- so an exported trace JSONL contains the full chains, correlated by
+``trace_id`` -- and indexed here for direct queries: per-fault detection
+latency (inject to first detect), repair latency (detect to verify) and the
+reassert cycle count.
+
+Correlation model: faults are keyed by ``(model name, layer index)``.  All
+chains open on a layer receive that layer's detection/quarantine/repair/
+verify stages -- when two faults hit the same layer before a scrub, one
+detection genuinely observed both, so fan-out is the truthful attribution.
+A ``reasserted`` event re-opens the chain of the persistent fault that
+produced it rather than starting a new one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = ["FaultChain", "FaultChainSummary", "FaultLifecycleLog", "STAGES"]
+
+#: Canonical stage names, in lifecycle order.
+STAGES: tuple[str, ...] = (
+    "inject",
+    "detect",
+    "quarantine",
+    "repair",
+    "verify",
+    "reassert",
+    "redetect",
+    "degrade",
+)
+
+#: Stages that satisfy the "detected" requirement of a complete chain.
+_DETECT_STAGES = frozenset({"detect", "redetect"})
+
+
+@dataclass(frozen=True)
+class FaultChainSummary:
+    """Immutable, serializable digest of one fault's lifecycle."""
+
+    fault_id: str
+    model_name: str
+    layer_index: int
+    fault_model: str
+    #: Stage names in the order they were recorded.
+    stages: tuple[str, ...]
+    #: Whether the fault reached a verified repair (chain closed by verify).
+    closed: bool
+    #: Seconds from injection to the first detection (the per-fault Td).
+    detection_seconds: float
+    #: Seconds from first detection to the final verify (the per-fault Tr).
+    repair_seconds: float
+    #: Seconds from injection to the final verify.
+    total_seconds: float
+    #: Times a persistent fault re-asserted itself after a repair.
+    reassert_cycles: int
+
+    @property
+    def complete(self) -> bool:
+        """Injected, detected, repaired and verified -- nothing missing."""
+        kinds = set(self.stages)
+        return (
+            self.closed
+            and "inject" in kinds
+            and bool(kinds & _DETECT_STAGES)
+            and "repair" in kinds
+            and "verify" in kinds
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "fault_id": self.fault_id,
+            "model": self.model_name,
+            "layer_index": self.layer_index,
+            "fault_model": self.fault_model,
+            "stages": list(self.stages),
+            "closed": self.closed,
+            "complete": self.complete,
+            "detection_seconds": self.detection_seconds,
+            "repair_seconds": self.repair_seconds,
+            "total_seconds": self.total_seconds,
+            "reassert_cycles": self.reassert_cycles,
+        }
+
+
+class FaultChain:
+    """Mutable lifecycle record of one injected fault (guarded by the log)."""
+
+    __slots__ = (
+        "fault_id",
+        "model_name",
+        "layer_index",
+        "fault_model",
+        "spans",
+        "closed",
+        "quarantine_opened_at",
+    )
+
+    def __init__(self, fault_id: str, model_name: str, layer_index: int, fault_model: str):
+        self.fault_id = fault_id
+        self.model_name = model_name
+        self.layer_index = layer_index
+        self.fault_model = fault_model
+        #: ``(stage name, span)`` in recording order.
+        self.spans: list[tuple[str, Span]] = []
+        self.closed = False
+        #: perf_counter timestamp of the currently open quarantine window.
+        self.quarantine_opened_at: Optional[float] = None
+
+    # -- queries (caller holds the log lock or owns a finished log) ------ #
+    def _first(self, *stages: str) -> Optional[Span]:
+        for stage, span in self.spans:
+            if stage in stages:
+                return span
+        return None
+
+    def _last(self, *stages: str) -> Optional[Span]:
+        found = None
+        for stage, span in self.spans:
+            if stage in stages:
+                found = span
+        return found
+
+    def summary(self) -> FaultChainSummary:
+        inject = self._first("inject")
+        detect = self._first("detect", "redetect")
+        verify = self._last("verify")
+        injected_at = inject.end if inject else 0.0
+        detection = (detect.end - injected_at) if (detect and inject) else 0.0
+        repair = (verify.end - detect.end) if (verify and detect) else 0.0
+        total = (verify.end - injected_at) if (verify and inject) else 0.0
+        return FaultChainSummary(
+            fault_id=self.fault_id,
+            model_name=self.model_name,
+            layer_index=self.layer_index,
+            fault_model=self.fault_model,
+            stages=tuple(stage for stage, _span in self.spans),
+            closed=self.closed,
+            detection_seconds=max(0.0, detection),
+            repair_seconds=max(0.0, repair),
+            total_seconds=max(0.0, total),
+            reassert_cycles=sum(1 for stage, _ in self.spans if stage == "reassert"),
+        )
+
+
+class FaultLifecycleLog:
+    """Thread-safe index of fault chains over a shared tracer.
+
+    All mutation goes through the ``on_*`` hooks the service runtime calls;
+    each hook records a ``fault.<stage>`` span per affected chain and updates
+    the open-chain index.  The log never takes any lock but its own, so the
+    hooks are safe to call while holding a model lock.
+    """
+
+    def __init__(self, tracer: Tracer, enabled: bool = True):
+        self._tracer = tracer
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._chains: list[FaultChain] = []
+        #: Open (not yet verified) chains per ``(model name, layer index)``.
+        self._open: dict[tuple[str, int], list[FaultChain]] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------ #
+    def _record_stage(
+        self,
+        chain: FaultChain,
+        stage: str,
+        start: Optional[float],
+        end: Optional[float],
+        attrs: Optional[dict] = None,
+    ) -> None:
+        """Caller holds the lock."""
+        merged = {
+            "model": chain.model_name,
+            "layer_index": chain.layer_index,
+            "fault_model": chain.fault_model,
+        }
+        if attrs:
+            merged.update(attrs)
+        span = self._tracer.record(
+            f"fault.{stage}",
+            start=start,
+            end=end,
+            trace_id=chain.fault_id,
+            attrs=merged,
+        )
+        if span is None:  # tracer disabled: keep the chain queryable anyway
+            span = Span(name=f"fault.{stage}", span_id=0, start=start or 0.0)
+            span.end = end if end is not None else span.start
+            span.attrs = merged
+        chain.spans.append((stage, span))
+
+    # ------------------------------------------------------------------ #
+    def on_inject(
+        self,
+        model_name: str,
+        layer_index: int,
+        fault_model: str,
+        reasserted: bool,
+        timestamp: float,
+        attrs: Optional[dict] = None,
+    ) -> Optional[str]:
+        """Open a chain for a fresh fault, or re-open one for a reassert.
+
+        Returns the fault id (``None`` when disabled).
+        """
+        if not self.enabled:
+            return None
+        key = (model_name, layer_index)
+        with self._lock:
+            if reasserted:
+                chain = self._reassert_target(key, fault_model)
+                if chain is None:
+                    # A reassert with no known ancestor (driver restarted?):
+                    # open a fresh chain so the event is never lost.
+                    chain = self._new_chain(key, fault_model)
+                    self._record_stage(chain, "inject", timestamp, timestamp, attrs)
+                    return chain.fault_id
+                self._record_stage(chain, "reassert", timestamp, timestamp, attrs)
+                if chain.closed:
+                    chain.closed = False
+                    self._open.setdefault(key, []).append(chain)
+                return chain.fault_id
+            chain = self._new_chain(key, fault_model)
+            self._record_stage(chain, "inject", timestamp, timestamp, attrs)
+            return chain.fault_id
+
+    def _new_chain(self, key: tuple[str, int], fault_model: str) -> FaultChain:
+        chain = FaultChain(f"fault-{self._next_id:05d}", key[0], key[1], fault_model)
+        self._next_id += 1
+        self._chains.append(chain)
+        self._open.setdefault(key, []).append(chain)
+        return chain
+
+    def _reassert_target(
+        self, key: tuple[str, int], fault_model: str
+    ) -> Optional[FaultChain]:
+        """Most recent chain (open or closed) this reassert belongs to."""
+        open_chains = self._open.get(key, [])
+        for chain in reversed(open_chains):
+            if chain.fault_model == fault_model:
+                return chain
+        for chain in reversed(self._chains):
+            if (
+                (chain.model_name, chain.layer_index) == key
+                and chain.fault_model == fault_model
+            ):
+                return chain
+        return None
+
+    # ------------------------------------------------------------------ #
+    def on_detect(
+        self,
+        model_name: str,
+        layer_index: int,
+        start: float,
+        end: float,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        """A detection pass flagged this layer (re-detect after a verify)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            for chain in self._open.get((model_name, layer_index), []):
+                stage = (
+                    "redetect"
+                    if any(s == "verify" for s, _ in chain.spans)
+                    else "detect"
+                )
+                self._record_stage(chain, stage, start, end, attrs)
+
+    def on_quarantine_open(self, model_name: str, layer_index: int, timestamp: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            for chain in self._open.get((model_name, layer_index), []):
+                if chain.quarantine_opened_at is None:
+                    chain.quarantine_opened_at = timestamp
+
+    def on_quarantine_close(self, model_name: str, layer_index: int, timestamp: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            for chain in self._open.get((model_name, layer_index), []):
+                opened = chain.quarantine_opened_at
+                if opened is not None:
+                    chain.quarantine_opened_at = None
+                    self._record_stage(chain, "quarantine", opened, timestamp)
+
+    def on_repair(
+        self,
+        model_name: str,
+        layer_index: int,
+        start: float,
+        end: float,
+        strategy: str,
+        round_number: int,
+        bit_exact: bool,
+    ) -> None:
+        if not self.enabled:
+            return
+        attrs = {"strategy": strategy, "round": round_number, "bit_exact": bit_exact}
+        with self._lock:
+            for chain in self._open.get((model_name, layer_index), []):
+                self._record_stage(chain, "repair", start, end, attrs)
+
+    def on_verify(
+        self,
+        model_name: str,
+        layer_index: int,
+        start: float,
+        end: float,
+        bit_exact: bool,
+    ) -> None:
+        """The layer passed post-repair verification: close its chains."""
+        if not self.enabled:
+            return
+        key = (model_name, layer_index)
+        with self._lock:
+            chains = self._open.pop(key, [])
+            for chain in chains:
+                self._record_stage(
+                    chain, "verify", start, end, {"bit_exact": bit_exact}
+                )
+                chain.closed = True
+
+    def on_degrade(self, model_name: str, layer_index: int, timestamp: float) -> None:
+        """Recovery gave up and released the layer degraded.
+
+        The chain stays *open*: a later re-opened repair can still verify it,
+        and an unclosed chain is exactly how an audit finds unhealed faults.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for chain in self._open.get((model_name, layer_index), []):
+                self._record_stage(chain, "degrade", timestamp, timestamp)
+
+    # ------------------------------------------------------------------ #
+    def summaries(self) -> "list[FaultChainSummary]":
+        """Digest of every chain, in injection order."""
+        with self._lock:
+            return [chain.summary() for chain in self._chains]
+
+    def open_count(self) -> int:
+        with self._lock:
+            return sum(len(chains) for chains in self._open.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._chains)

@@ -1,0 +1,297 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Zero-dependency, thread-safe, Prometheus-flavoured.  Instruments are
+get-or-created by ``(name, labels)`` -- repeated lookups return the same
+object, so hot paths fetch their instrument handles once and call
+``inc``/``observe`` directly (one lock acquisition per update, no name
+hashing on the hot path).
+
+Two export forms:
+
+* :meth:`MetricsRegistry.exposition` -- the Prometheus text format
+  (``name{label="value"} 123``), suitable for scraping or pasting into
+  promtool.
+* :meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.export_jsonl` --
+  one JSON object per snapshot, appended to a JSONL file so a running soak
+  can be watched live (``repro.cli telemetry`` pretty-prints the latest
+  line).
+
+Naming scheme (documented in the README): ``repro_<subsystem>_<what>_<unit>``
+with ``_total`` for counters, e.g. ``repro_serve_requests_total`` or
+``repro_scrub_detection_seconds``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+import time
+from typing import Mapping, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default histogram buckets for serve/scrub/repair latencies (seconds).
+#: Spans 50 us .. 5 s: serve batches sit near the bottom decades, recovery
+#: jobs near the top; +Inf catches the rest.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    5e-5,
+    1e-4,
+    2.5e-4,
+    5e-4,
+    1e-3,
+    2.5e-3,
+    5e-3,
+    1e-2,
+    2.5e-2,
+    5e-2,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (thread-safe)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (thread-safe).
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an implicit
+    ``+Inf`` bucket always exists.  ``observe`` costs one binary search plus
+    two adds under the lock.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be non-empty and increasing")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> "list[int]":
+        """Per-bucket (non-cumulative) counts, +Inf last."""
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (0..1) from the bucket upper bounds.
+
+        Returns the upper bound of the bucket containing the q-th
+        observation (the Prometheus ``histogram_quantile`` convention), the
+        last finite bound for observations in +Inf, and 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        target = q * total
+        seen = 0
+        for index, count in enumerate(counts):
+            seen += count
+            if seen >= target and count:
+                return self.buckets[min(index, len(self.buckets) - 1)]
+        return self.buckets[-1]
+
+
+class MetricsRegistry:
+    """Name+labels-keyed instrument store with text/JSONL exposition."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters.setdefault(key, Counter())
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges.setdefault(key, Gauge())
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms.setdefault(key, Histogram(buckets))
+        return instrument
+
+    # ------------------------------------------------------------------ #
+    def exposition(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for (name, labels), counter in counters:
+            type_line(name, "counter")
+            lines.append(f"{name}{_label_text(labels)} {counter.value:g}")
+        for (name, labels), gauge in gauges:
+            type_line(name, "gauge")
+            lines.append(f"{name}{_label_text(labels)} {gauge.value:g}")
+        for (name, labels), histogram in histograms:
+            type_line(name, "histogram")
+            cumulative = 0
+            for bound, count in zip(
+                histogram.buckets, histogram.bucket_counts()
+            ):
+                cumulative += count
+                bucket_labels = _label_text(labels + (("le", f"{bound:g}"),))
+                lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+            total = histogram.count
+            inf_labels = _label_text(labels + (("le", "+Inf"),))
+            lines.append(f"{name}_bucket{inf_labels} {total}")
+            lines.append(f"{name}_sum{_label_text(labels)} {histogram.sum:g}")
+            lines.append(f"{name}_count{_label_text(labels)} {total}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable snapshot of every instrument's state."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        return {
+            "time": time.time(),
+            "counters": {
+                name + _label_text(labels): counter.value
+                for (name, labels), counter in counters
+            },
+            "gauges": {
+                name + _label_text(labels): gauge.value
+                for (name, labels), gauge in gauges
+            },
+            "histograms": {
+                name + _label_text(labels): {
+                    "count": histogram.count,
+                    "sum": histogram.sum,
+                    "buckets": list(histogram.buckets),
+                    "counts": histogram.bucket_counts(),
+                    "p50": histogram.quantile(0.50),
+                    "p99": histogram.quantile(0.99),
+                }
+                for (name, labels), histogram in histograms
+            },
+        }
+
+    def export_jsonl(self, path, snapshot: Optional[dict] = None) -> dict:
+        """Append one snapshot line to ``path``; returns the snapshot."""
+        if snapshot is None:
+            snapshot = self.snapshot()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(snapshot) + "\n")
+        return snapshot

@@ -1,0 +1,205 @@
+"""Span-based tracer: monotonic clocks, bounded ring buffer, thread-safe.
+
+A :class:`Span` is one timed operation -- a batch execution, a detection
+slice, one stage of a fault's life.  Spans carry a ``trace_id`` so related
+spans correlate into chains (the fault-lifecycle log keys chains by fault id)
+and a ``parent_id`` so nested spans form a tree; nesting is tracked with
+:mod:`contextvars`, which follows the *logical* call stack per thread, so the
+scrubber thread, the recovery thread and every inference worker each get
+their own nesting context without coordination.
+
+Durations come from :func:`time.perf_counter` (monotonic, immune to wall
+clock steps); each span additionally records a wall-clock ``wall_start`` so
+exported traces can be lined up against external logs.
+
+The buffer is a bounded ring: a long soak cannot grow memory without bound,
+old spans simply fall off (the ``dropped`` counter says how many).
+Recording is a single append under a lock -- cheap enough for the serve hot
+path -- and a *disabled* tracer still measures durations (callers such as the
+scrubber feed ``span.duration`` into the SLA tracker) but retains nothing.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) timed operation."""
+
+    name: str
+    span_id: int
+    start: float
+    end: float = 0.0
+    #: Correlation key shared by every span of one logical chain (a fault id
+    #: for lifecycle spans); ``None`` for uncorrelated spans.
+    trace_id: Optional[str] = None
+    parent_id: Optional[int] = None
+    #: Wall-clock time (``time.time``) at span start, for external alignment.
+    wall_start: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span duration in seconds (0.0 while the span is still open)."""
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form used by the JSONL trace export."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "wall_start": self.wall_start,
+            "attrs": self.attrs,
+        }
+
+
+#: Current span id per logical context (one chain per thread/task).
+_current_span: "contextvars.ContextVar[Optional[int]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Tracer:
+    """Thread-safe span recorder over a bounded ring buffer.
+
+    With ``enabled=False`` the tracer still times spans (so callers can use
+    ``span.duration`` for accounting) but records nothing and skips the
+    contextvar bookkeeping -- the disabled cost is two ``perf_counter`` calls.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("trace buffer capacity must be at least 1")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: "list[Span]" = []
+        #: Ring cursor: index of the oldest retained span once full.
+        self._cursor = 0
+        self._ids = itertools.count(1)
+        #: Spans dropped off the ring (observable so exports can say when a
+        #: trace is a suffix, not the whole history).
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) < self.capacity:
+                self._spans.append(span)
+            else:
+                self._spans[self._cursor] = span
+                self._cursor = (self._cursor + 1) % self.capacity
+                self.dropped += 1
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        attrs: Optional[dict] = None,
+    ) -> Iterator[Span]:
+        """Context manager timing one operation; records it when enabled."""
+        if not self.enabled:
+            handle = Span(name=name, span_id=0, start=time.perf_counter())
+            try:
+                yield handle
+            finally:
+                handle.end = time.perf_counter()
+            return
+        handle = Span(
+            name=name,
+            span_id=next(self._ids),
+            start=time.perf_counter(),
+            trace_id=trace_id,
+            parent_id=_current_span.get(),
+            wall_start=time.time(),
+            attrs=dict(attrs) if attrs else {},
+        )
+        token = _current_span.set(handle.span_id)
+        try:
+            yield handle
+        finally:
+            _current_span.reset(token)
+            handle.end = time.perf_counter()
+            self._append(handle)
+
+    def record(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        trace_id: Optional[str] = None,
+        attrs: Optional[dict] = None,
+    ) -> Optional[Span]:
+        """Record a span retroactively from explicit timestamps.
+
+        Used for operations whose start/end were observed in different call
+        frames (e.g. a quarantine window opened by the scrubber and closed by
+        the recovery job).  ``start``/``end`` default to now, making a
+        zero-duration point event.  Returns the span, or ``None`` disabled.
+        """
+        if not self.enabled:
+            return None
+        now = time.perf_counter()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            start=now if start is None else start,
+            end=now if end is None else end,
+            trace_id=trace_id,
+            parent_id=_current_span.get(),
+            wall_start=time.time(),
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._append(span)
+        return span
+
+    # ------------------------------------------------------------------ #
+    def spans(self) -> "list[Span]":
+        """Chronological snapshot of every retained span."""
+        with self._lock:
+            return self._spans[self._cursor :] + self._spans[: self._cursor]
+
+    def spans_for(self, trace_id: str) -> "list[Span]":
+        """Every retained span of one correlation chain, in order."""
+        return [span for span in self.spans() if span.trace_id == trace_id]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._cursor = 0
+            self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    def export_jsonl(self, path) -> int:
+        """Write the retained spans as one JSON object per line.
+
+        Returns the number of spans written.  The file is overwritten (a
+        trace is a snapshot, not an append-only log -- repeated exports of a
+        growing ring would duplicate spans).
+        """
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.as_dict()) + "\n")
+        return len(spans)

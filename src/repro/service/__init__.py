@@ -16,8 +16,14 @@ evaluated with measured detection/recovery times instead of assumptions.
 * :mod:`repro.service.pressure` -- Poisson bit-flip fault driver
 * :mod:`repro.service.runtime` -- the :class:`SelfHealingService` facade and
   the :func:`run_soak` scenario harness
+
+Observability for the whole stack lives in :mod:`repro.obs` (re-exported
+here for convenience): every component above reports into one
+:class:`~repro.obs.telemetry.Telemetry` facade owned by the model registry.
 """
 
+from repro.obs.lifecycle import FaultChainSummary
+from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.service.config import ServiceConfig
 from repro.service.engine import InferenceEngine, InferenceRequest
 from repro.service.pressure import (
@@ -64,4 +70,7 @@ __all__ = [
     "SelfHealingService",
     "SoakResult",
     "run_soak",
+    "Telemetry",
+    "TelemetryConfig",
+    "FaultChainSummary",
 ]

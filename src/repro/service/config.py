@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.obs.telemetry import TelemetryConfig
 
 __all__ = ["ServiceConfig"]
 
@@ -67,6 +69,11 @@ class ServiceConfig:
             is remembered and rewritten by a cheap remap pass at the start of
             every scrub, without waiting for full detection to flag the layer
             again.
+        telemetry: Configuration of the unified telemetry layer
+            (:mod:`repro.obs`): span tracing, fault-lifecycle chains and the
+            metrics registry.  ``TelemetryConfig(enabled=False)`` removes the
+            whole layer -- the runtime then follows exactly the
+            pre-instrumentation code paths.
     """
 
     max_batch: int = 8
@@ -85,6 +92,7 @@ class ServiceConfig:
     recovery_async: bool = True
     store_conv_crc: bool = True
     repeat_offender_threshold: int = 2
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:

@@ -98,6 +98,7 @@ class InferenceEngine:
     def __init__(self, registry: ModelRegistry, config: Optional[ServiceConfig] = None):
         self._registry = registry
         self._config = config or registry.config
+        self._telemetry = registry.telemetry
         self._queues: dict[str, "queue.Queue"] = {}
         self._workers: dict[str, threading.Thread] = {}
         self._running = False
@@ -189,8 +190,41 @@ class InferenceEngine:
         return request
 
     # ------------------------------------------------------------------ #
+    def _instruments(self, entry: ManagedModel) -> Optional[dict]:
+        """Prefetched per-model metric handles for the serve hot path.
+
+        Instrument lookup hashes names and takes the registry lock; doing it
+        once per worker (not per batch) keeps the per-batch telemetry cost to
+        a few lock-guarded adds.  Returns ``None`` when telemetry is off,
+        which short-circuits every hot-path hook to one ``is None`` check.
+        """
+        telemetry = self._telemetry
+        if telemetry is None or not telemetry.enabled:
+            return None
+        buckets = telemetry.config.latency_buckets
+        metrics = telemetry.metrics
+        return {
+            "tracer": telemetry.tracer,
+            "batch_seconds": metrics.histogram(
+                "repro_serve_batch_seconds", buckets=buckets, model=entry.name
+            ),
+            "request_seconds": metrics.histogram(
+                "repro_serve_request_seconds", buckets=buckets, model=entry.name
+            ),
+            "requests": metrics.counter(
+                "repro_serve_requests_total", model=entry.name
+            ),
+            "failed": metrics.counter(
+                "repro_serve_requests_failed_total", model=entry.name
+            ),
+            "batches": metrics.counter(
+                "repro_serve_batches_total", model=entry.name
+            ),
+        }
+
     def _worker_loop(self, entry: ManagedModel, q: "queue.Queue") -> None:
         config = self._config
+        instruments = self._instruments(entry)
         while True:
             item = q.get()
             if item is _STOP:
@@ -210,12 +244,18 @@ class InferenceEngine:
                     stopping = True
                     break
                 batch.append(extra)
-            self._execute(entry, batch)
+            self._execute(entry, batch, instruments)
             if stopping:
                 return
 
-    def _execute(self, entry: ManagedModel, batch: list[InferenceRequest]) -> None:
+    def _execute(
+        self,
+        entry: ManagedModel,
+        batch: list[InferenceRequest],
+        instruments: Optional[dict] = None,
+    ) -> None:
         config = self._config
+        began = time.perf_counter() if instruments is not None else 0.0
         try:
             with entry.lock:
                 if not entry.wait_healthy(timeout=config.quarantine_wait_seconds):
@@ -248,6 +288,17 @@ class InferenceEngine:
                 entry.stats.requests_failed += len(batch)
             for request in batch:
                 request._fail(error)
+            if instruments is not None:
+                instruments["failed"].inc(len(batch))
+                instruments["tracer"].record(
+                    "serve.batch",
+                    start=began,
+                    attrs={
+                        "model": entry.name,
+                        "occupancy": len(batch),
+                        "error": type(error).__name__,
+                    },
+                )
             return
         for request, output in zip(batch, outputs):
             request._complete(output)
@@ -259,3 +310,17 @@ class InferenceEngine:
                 entry.stats.max_latency_seconds = max(
                     entry.stats.max_latency_seconds, latency
                 )
+        if instruments is not None:
+            ended = time.perf_counter()
+            instruments["batches"].inc()
+            instruments["requests"].inc(len(batch))
+            instruments["batch_seconds"].observe(ended - began)
+            request_hist = instruments["request_seconds"]
+            for request in batch:
+                request_hist.observe(request.latency_seconds or 0.0)
+            instruments["tracer"].record(
+                "serve.batch",
+                start=began,
+                end=ended,
+                attrs={"model": entry.name, "occupancy": len(batch)},
+            )

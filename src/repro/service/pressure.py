@@ -85,6 +85,7 @@ class FaultPressureDriver:
             ]
         ] = None,
         reassert_interval_seconds: float = 0.2,
+        telemetry=None,
     ):
         if mean_interval_seconds <= 0:
             raise FaultInjectionError("mean_interval_seconds must be positive")
@@ -152,6 +153,10 @@ class FaultPressureDriver:
             self._fault_models = models
             self._model_weights = np.asarray([w / total for w in weights])
         self.reassert_interval_seconds = float(reassert_interval_seconds)
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` facade; every
+        #: recorded event opens (or re-opens) its fault-lifecycle chain.
+        #: Telemetry never consumes the driver's RNG stream.
+        self._telemetry = telemetry
         #: ``(model, entry, layer index)`` of every persistent fault injected
         #: so far; :meth:`reassert_once` re-applies them on its own cadence.
         self._persistent_targets: list[tuple[FaultModel, ManagedModel, int]] = []
@@ -197,6 +202,15 @@ class FaultPressureDriver:
     def _record(self, event: FaultEvent) -> FaultEvent:
         with self._events_lock:
             self._events.append(event)
+        if self._telemetry is not None:
+            self._telemetry.fault_injected(
+                event.model_name,
+                event.layer_index,
+                event.fault_model,
+                event.reasserted,
+                event.timestamp,
+                flipped_bits=event.flipped_bits,
+            )
         return event
 
     def _inject_scratch(self, entry: ManagedModel, model: FaultModel) -> Optional[FaultEvent]:

@@ -17,6 +17,7 @@ quarantined model never blocks the others in the registry.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from dataclasses import replace as dataclass_replace
 from typing import Iterable, Iterator, Optional
@@ -25,6 +26,7 @@ from repro.core.config import MILRConfig
 from repro.core.protector import MILRProtector
 from repro.exceptions import ExperimentError
 from repro.nn.model import Sequential
+from repro.obs.telemetry import Telemetry
 from repro.service.config import ServiceConfig
 from repro.service.sla import SLATracker
 
@@ -72,6 +74,7 @@ class ManagedModel:
         model: Sequential,
         protector: MILRProtector,
         tracker: Optional[SLATracker] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if not protector.initialized:
             raise ExperimentError(
@@ -81,6 +84,9 @@ class ManagedModel:
         self.model = model
         self.protector = protector
         self.tracker = tracker or SLATracker(name, model.parameter_bytes())
+        #: Shared telemetry facade (owned by the registry); ``None`` keeps
+        #: every hook in this class a no-op.
+        self.telemetry = telemetry
         #: Serializes weight-coherent operations on this model.
         self.lock = threading.RLock()
         self._healthy = threading.Condition(self.lock)
@@ -140,8 +146,17 @@ class ManagedModel:
         with self.lock:
             if not self._quarantined:
                 self.tracker.mark_unavailable()
+            fresh = indices - self._quarantined
             self._quarantined.update(indices)
             self.ever_quarantined.update(indices)
+            telemetry = self.telemetry
+            if telemetry is not None and telemetry.enabled and fresh:
+                now = time.perf_counter()
+                for index in sorted(fresh):
+                    telemetry.quarantine_opened(self.name, index, now)
+                telemetry.metrics.gauge(
+                    "repro_quarantined_layers", model=self.name
+                ).set(len(self._quarantined))
 
     def clear_quarantine(self, layer_indices: Iterable[int]) -> None:
         """Lift quarantine from recovered layers; wakes waiting workers.
@@ -156,9 +171,18 @@ class ManagedModel:
         """
         indices = set(layer_indices)
         with self.lock:
+            lifted = indices & self._quarantined
             self._quarantined.difference_update(indices)
             if indices:
                 self.stats.plan_invalidations += self.model.revalidate_plans()
+            telemetry = self.telemetry
+            if telemetry is not None and telemetry.enabled and lifted:
+                now = time.perf_counter()
+                for index in sorted(lifted):
+                    telemetry.quarantine_closed(self.name, index, now)
+                telemetry.metrics.gauge(
+                    "repro_quarantined_layers", model=self.name
+                ).set(len(self._quarantined))
             if not self._quarantined:
                 self.tracker.mark_available()
                 self._healthy.notify_all()
@@ -181,6 +205,9 @@ class ModelRegistry:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
+        #: One telemetry facade per registry, shared by every managed model
+        #: and by the engine/scrubber/driver built on top of this registry.
+        self.telemetry = Telemetry(self.config.telemetry)
         self._lock = threading.Lock()
         self._models: dict[str, ManagedModel] = {}
 
@@ -211,7 +238,7 @@ class ModelRegistry:
         # (1..max_batch, plus evaluation chunk sizes): make sure the model's
         # plan LRU can hold them all so the hot path never thrashes.
         model.plan_cache_size = max(model.plan_cache_size, self.config.max_batch + 2)
-        entry = ManagedModel(name, model, protector)
+        entry = ManagedModel(name, model, protector, telemetry=self.telemetry)
         with self._lock:
             if name in self._models:
                 raise ExperimentError(f"model {name!r} is already registered")

@@ -91,6 +91,10 @@ class RepairOutcome:
     snapped_weights: int
     #: Number of weights kept verbatim from the (mostly clean) stored array.
     kept_weights: int
+    #: Which repair-chain strategy produced this outcome ("checkpoint_free",
+    #: "residual_estimate", "solver_snap", "estimate_guided", "remap"); ""
+    #: for low-level helpers that do not know their caller.
+    strategy: str = ""
 
 
 def snap_to_bit_flips(

@@ -52,6 +52,11 @@ class SelfHealingService:
         self.scrubber = Scrubber(self.registry, self.config)
         self._started = False
 
+    @property
+    def telemetry(self):
+        """The registry-owned :class:`~repro.obs.telemetry.Telemetry` facade."""
+        return self.registry.telemetry
+
     # ------------------------------------------------------------------ #
     # Model management
     # ------------------------------------------------------------------ #
@@ -198,6 +203,15 @@ class SoakResult:
     #: Memory cells blacklisted as repeat offenders during the soak.
     blacklisted_cells: int
     sla: SLAReport
+    #: Exceptions raised by the background traffic thread, as
+    #: ``"TypeName: message"`` strings.  Empty on a clean run -- a submission
+    #: crash used to die silently inside the daemon thread and read as a
+    #: mysteriously idle soak.
+    errors: tuple = ()
+    #: Correlated fault-lifecycle chain summaries
+    #: (:class:`~repro.obs.lifecycle.FaultChainSummary`) exported by the
+    #: telemetry layer; empty when telemetry is disabled.
+    fault_chains: tuple = ()
 
     @property
     def all_errors_detected(self) -> bool:
@@ -225,9 +239,21 @@ class SoakResult:
 
 
 def latency_percentile(latencies: "list[float]", q: float) -> float:
-    """Percentile (0-100) of a latency sample list; 0.0 when empty."""
+    """Percentile ``q`` (0-100) of a latency sample list.
+
+    Edge cases are explicit rather than delegated: an empty sample has no
+    percentiles and returns 0.0 (so reports of an idle service read as zero
+    latency, not NaN), and a single sample is every percentile of itself.
+    Larger samples use numpy's default linear interpolation between the two
+    nearest order statistics -- e.g. the p50 of ``[1.0, 2.0]`` is 1.5, not
+    either endpoint.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
     if not latencies:
         return 0.0
+    if len(latencies) == 1:
+        return float(latencies[0])
     return float(np.percentile(np.asarray(latencies), q))
 
 
@@ -247,6 +273,8 @@ def run_soak(
     fault_layer_indices: Optional[Sequence[int]] = None,
     fault_models: Optional[object] = None,
     reassert_interval_seconds: float = 0.2,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> SoakResult:
     """Serve continuous traffic under Poisson bit-flip pressure, then drain.
 
@@ -262,6 +290,12 @@ def run_soak(
     mapping of fault-model name to arrival weight (or a plain sequence of
     names for equal weights); persistent models re-assert their standing
     faults every ``reassert_interval_seconds`` while the driver runs.
+
+    ``trace_out`` writes the retained telemetry spans (fault-lifecycle
+    chains, serve batches, scrub slices) to a JSONL file when the soak ends;
+    ``metrics_out`` appends one metrics snapshot line roughly every second
+    while the soak runs (so ``repro telemetry`` can watch it live) plus a
+    final snapshot.  Both are no-ops with telemetry disabled.
     """
     if duration_seconds <= 0:
         raise ExperimentError("duration_seconds must be positive")
@@ -280,6 +314,7 @@ def run_soak(
     pool = rng.random((32,) + entry.model.input_shape).astype(FLOAT_DTYPE)
     requests: list[InferenceRequest] = []
     traffic_stop = threading.Event()
+    traffic_errors: list[str] = []
 
     def _traffic() -> None:
         cursor = 0
@@ -287,6 +322,10 @@ def run_soak(
             try:
                 requests.append(service.submit(entry.name, pool[cursor % len(pool)]))
             except ExperimentError:
+                # Engine stopped under us (normal shutdown race): not an error.
+                return
+            except BaseException as error:  # noqa: BLE001 - surfaced in result
+                traffic_errors.append(f"{type(error).__name__}: {error}")
                 return
             cursor += 1
             traffic_stop.wait(request_interval_seconds)
@@ -300,6 +339,7 @@ def run_soak(
         layer_indices=fault_layer_indices,
         fault_models=fault_models,
         reassert_interval_seconds=reassert_interval_seconds,
+        telemetry=service.telemetry,
     )
 
     started = time.perf_counter()
@@ -309,9 +349,13 @@ def run_soak(
     driver.start()
 
     deadline = started + duration_seconds
+    next_snapshot = started + 1.0
     while time.perf_counter() < deadline:
         if max_fault_events is not None and driver.exhausted:
             break
+        if metrics_out is not None and time.perf_counter() >= next_snapshot:
+            service.telemetry.export_metrics(metrics_out, registry=service.registry)
+            next_snapshot = time.perf_counter() + 1.0
         time.sleep(min(0.05, duration_seconds))
     driver.stop()
 
@@ -348,6 +392,11 @@ def run_soak(
     traffic_thread.join(timeout=10.0)
     elapsed = time.perf_counter() - started
     service.stop()
+
+    if trace_out is not None:
+        service.telemetry.export_trace(trace_out)
+    if metrics_out is not None:
+        service.telemetry.export_metrics(metrics_out, registry=service.registry)
 
     completed = 0
     failed = 0
@@ -395,4 +444,6 @@ def run_soak(
         remap_repairs=entry.remap_repairs,
         blacklisted_cells=entry.blacklisted_cell_count,
         sla=sla,
+        errors=tuple(traffic_errors),
+        fault_chains=tuple(service.telemetry.fault_chains()),
     )

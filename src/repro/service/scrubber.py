@@ -19,6 +19,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from dataclasses import replace as dataclass_replace
 from typing import Optional
 
 import numpy as np
@@ -45,6 +46,7 @@ class Scrubber:
     def __init__(self, registry: ModelRegistry, config: Optional[ServiceConfig] = None):
         self._registry = registry
         self._config = config or registry.config
+        self._telemetry = registry.telemetry
         self._stop_event = threading.Event()
         self._scrub_thread: Optional[threading.Thread] = None
         self._recovery_thread: Optional[threading.Thread] = None
@@ -121,6 +123,7 @@ class Scrubber:
         recovery attempt that did not fully converge) are re-dispatched.
         """
         self._remap_pass(entry)
+        telemetry = self._telemetry
         chunk_size = self._config.scrub_chunk_layers
         with entry.lock:
             skip = entry.quarantined
@@ -129,22 +132,39 @@ class Scrubber:
         flagged: list[int] = []
         for start in range(0, len(targets), chunk_size):
             chunk = targets[start : start + chunk_size]
-            began = time.perf_counter()
-            with entry.lock:
-                report = entry.protector.detect(layer_indices=chunk)
-                bad = [
-                    index
-                    for index in report.erroneous_layers
-                    if not self._accepted_degraded(entry, index)
-                ]
-                # Quarantine under the same lock hold as the detection that
-                # flagged the layers -- releasing in between would let a
-                # waiting batch execute through the just-detected corruption.
-                if bad:
-                    flagged.extend(bad)
-                    entry.quarantine(bad)
-            total_seconds += time.perf_counter() - began
+            # The span times the slice even with telemetry disabled, so the
+            # SLA tracker consumes span durations in both modes.
+            with telemetry.tracer.span(
+                "scrub.detect_slice",
+                attrs={"model": entry.name, "layers": len(chunk)},
+            ) as span:
+                with entry.lock:
+                    report = entry.protector.detect(layer_indices=chunk)
+                    bad = [
+                        index
+                        for index in report.erroneous_layers
+                        if not self._accepted_degraded(entry, index)
+                    ]
+                    # Quarantine under the same lock hold as the detection
+                    # that flagged the layers -- releasing in between would
+                    # let a waiting batch execute through the just-detected
+                    # corruption.
+                    if bad:
+                        flagged.extend(bad)
+                        detected_at = time.perf_counter()
+                        for index in bad:
+                            telemetry.fault_detected(
+                                entry.name, index, span.start, detected_at
+                            )
+                        entry.quarantine(bad)
+            total_seconds += span.duration
         entry.tracker.record_detection(total_seconds)
+        if telemetry.enabled:
+            telemetry.metrics.histogram(
+                "repro_scrub_detection_seconds",
+                buckets=telemetry.config.latency_buckets,
+                model=entry.name,
+            ).observe(total_seconds)
         if flagged:
             entry.tracker.record_errors_detected(len(flagged))
         with entry.lock:
@@ -174,31 +194,49 @@ class Scrubber:
             }
         if not layers:
             return
-        began = time.perf_counter()
+        telemetry = self._telemetry
         healed_layers = 0
-        for index, cells in sorted(layers.items()):
-            with entry.lock:
-                if index in entry.quarantined:
-                    continue  # full recovery already owns this layer
-                layer = entry.model.layers[index]
-                weights = layer.get_weights()
-                bits = floats_to_bits(weights).ravel()
-                dirty = [
-                    word for word, golden in cells.items() if int(bits[word]) != golden
-                ]
-                if not dirty:
-                    continue
-                entry.quarantine([index])
-                for word in dirty:
-                    bits[word] = np.uint32(cells[word])
-                layer.set_weights(bits_to_floats(bits).reshape(weights.shape))
-                entry.remap_repairs += len(dirty)
-                entry.clear_quarantine([index])
-                healed_layers += 1
+        with telemetry.tracer.span(
+            "scrub.remap", attrs={"model": entry.name}
+        ) as remap_span:
+            for index, cells in sorted(layers.items()):
+                with entry.lock:
+                    if index in entry.quarantined:
+                        continue  # full recovery already owns this layer
+                    layer = entry.model.layers[index]
+                    weights = layer.get_weights()
+                    bits = floats_to_bits(weights).ravel()
+                    dirty = [
+                        word for word, golden in cells.items() if int(bits[word]) != golden
+                    ]
+                    if not dirty:
+                        continue
+                    found_at = time.perf_counter()
+                    telemetry.fault_detected(entry.name, index, found_at, found_at)
+                    entry.quarantine([index])
+                    for word in dirty:
+                        bits[word] = np.uint32(cells[word])
+                    layer.set_weights(bits_to_floats(bits).reshape(weights.shape))
+                    entry.remap_repairs += len(dirty)
+                    entry.clear_quarantine([index])
+                    healed_at = time.perf_counter()
+                    telemetry.strategy_attempted("remap", True)
+                    telemetry.repair_attempt(
+                        entry.name, index, found_at, healed_at,
+                        strategy="remap", round_number=1, bit_exact=True,
+                    )
+                    telemetry.fault_verified(
+                        entry.name, index, healed_at, healed_at, bit_exact=True
+                    )
+                    if telemetry.enabled:
+                        telemetry.metrics.counter(
+                            "repro_scrub_remap_repairs_total", model=entry.name
+                        ).inc(len(dirty))
+                    healed_layers += 1
         if healed_layers:
             entry.tracker.record_errors_detected(healed_layers)
             entry.tracker.record_recovery(
-                time.perf_counter() - began, healed_layers, healed_layers
+                remap_span.duration, healed_layers, healed_layers
             )
 
     def _note_repeat_offenders(
@@ -312,6 +350,7 @@ class Scrubber:
         model lock.
         """
         config = self._config
+        telemetry = self._telemetry
         store = entry.protector.store
         assert store is not None
         layer = entry.model.layers[index]
@@ -327,6 +366,7 @@ class Scrubber:
             entry.protector.config,
             config,
         )
+        telemetry.strategy_attempted("checkpoint_free", repaired is not None)
         if repaired is not None:
             layer.set_weights(repaired)
             snapped = int(np.sum(repaired.view(np.uint32) != corrupted.view(np.uint32)))
@@ -334,13 +374,14 @@ class Scrubber:
                 bit_exact=True,
                 snapped_weights=snapped,
                 kept_weights=corrupted.size - snapped,
+                strategy="checkpoint_free",
             )
         estimate = handler.residual_repair_estimate(
             layer, layer_plan, corrupted, entry.protector.recovery_engine, config
         )
         if estimate is not None:
             layer.set_weights(estimate)
-            return refine_recovered_weights(
+            outcome = refine_recovered_weights(
                 layer,
                 corrupted,
                 fingerprint,
@@ -348,6 +389,8 @@ class Scrubber:
                 atol=config.repair_atol,
                 max_flips=config.repair_max_flips,
             )
+            telemetry.strategy_attempted("residual_estimate", outcome.bit_exact)
+            return dataclass_replace(outcome, strategy="residual_estimate")
         # Solver path: start from the stored bits so CRC localization (and the
         # restricted solves it feeds) sees the actual corruption pattern.
         layer.set_weights(corrupted)
@@ -362,8 +405,9 @@ class Scrubber:
             atol=config.repair_atol,
             max_flips=config.repair_max_flips,
         )
+        telemetry.strategy_attempted("solver_snap", outcome.bit_exact)
         if outcome.bit_exact:
-            return outcome
+            return dataclass_replace(outcome, strategy="solver_snap")
         # Last resort: the solver estimate may be unbiased but noisier than
         # the snap tolerances (e.g. a bias recovered through a dense-layer
         # inversion); retry with the noise-adaptive fingerprint search.
@@ -374,14 +418,16 @@ class Scrubber:
             atol=config.repair_atol,
             max_flips=config.repair_max_flips,
         )
+        telemetry.strategy_attempted("estimate_guided", repaired is not None)
         if repaired is not None:
             layer.set_weights(repaired)
             return RepairOutcome(
                 bit_exact=True,
                 snapped_weights=outcome.snapped_weights,
                 kept_weights=outcome.kept_weights,
+                strategy="estimate_guided",
             )
-        return outcome
+        return dataclass_replace(outcome, strategy="solver_snap")
 
     def _recover(self, entry: ManagedModel, indices: list[int]) -> None:
         """Recover quarantined layers, then try the verified bit-exact repair.
@@ -399,71 +445,121 @@ class Scrubber:
         :meth:`reopen_degraded`.
         """
         config = self._config
-        began = time.perf_counter()
+        telemetry = self._telemetry
         attempted_layers = 0
         healed_layers = 0
         bit_exact_layers = 0
         degraded_layers = 0
-        try:
-            with entry.lock:
-                # Fresh detection over just the quarantined subset: weights may
-                # have degraded further since the scrub pass, and conv-partial
-                # layers need an up-to-date CRC suspect mask.
-                report = entry.protector.detect(layer_indices=indices)
-                flagged = report.erroneous_layers
-                cleared = [i for i in indices if i not in flagged]
-                originals = {
-                    i: entry.model.layers[i].get_weights() for i in flagged
-                }
-                outcomes: dict[int, RepairOutcome] = {}
-                still_bad = set(flagged)
-                for _ in range(config.max_recovery_attempts):
-                    if not still_bad:
-                        break
-                    for index in sorted(still_bad, key=self._repair_order(entry)):
-                        outcomes[index] = self._repair_layer(
-                            entry, index, originals[index]
-                        )
-                    verify = entry.protector.detect(layer_indices=flagged)
-                    still_bad = set(verify.erroneous_layers)
-                attempted_layers = len(flagged)
-                for index in flagged:
-                    if index not in still_bad:
-                        cleared.append(index)
-                        healed_layers += 1
-                        entry.recovery_attempts.pop(index, None)
-                        entry.degraded.pop(index, None)
-                        entry.degraded_originals.pop(index, None)
-                        if outcomes[index].bit_exact:
-                            bit_exact_layers += 1
-                            self._note_repeat_offenders(
+        # The span times the job even with telemetry disabled, so the SLA
+        # tracker consumes the span duration in both modes.
+        with telemetry.tracer.span(
+            "scrub.recover", attrs={"model": entry.name, "layers": len(indices)}
+        ) as recover_span:
+            try:
+                with entry.lock:
+                    # Fresh detection over just the quarantined subset: weights
+                    # may have degraded further since the scrub pass, and
+                    # conv-partial layers need an up-to-date CRC suspect mask.
+                    report = entry.protector.detect(layer_indices=indices)
+                    flagged = report.erroneous_layers
+                    cleared = [i for i in indices if i not in flagged]
+                    originals = {
+                        i: entry.model.layers[i].get_weights() for i in flagged
+                    }
+                    outcomes: dict[int, RepairOutcome] = {}
+                    still_bad = set(flagged)
+                    verify_began = verify_ended = recover_span.start
+                    for round_number in range(1, config.max_recovery_attempts + 1):
+                        if not still_bad:
+                            break
+                        for index in sorted(still_bad, key=self._repair_order(entry)):
+                            repair_began = time.perf_counter()
+                            outcomes[index] = self._repair_layer(
                                 entry, index, originals[index]
                             )
-                        continue
-                    attempts = entry.recovery_attempts.get(index, 0) + 1
-                    entry.recovery_attempts[index] = attempts
-                    if attempts >= config.max_recovery_attempts:
-                        # Degrade: serve the best functional estimate, stash
-                        # the stored bits for a later re-opened repair.
-                        entry.degraded[index] = weight_fingerprint(
-                            entry.model.layers[index].get_weights()
+                            telemetry.repair_attempt(
+                                entry.name,
+                                index,
+                                repair_began,
+                                time.perf_counter(),
+                                strategy=outcomes[index].strategy,
+                                round_number=round_number,
+                                bit_exact=outcomes[index].bit_exact,
+                            )
+                        verify_began = time.perf_counter()
+                        verify = entry.protector.detect(layer_indices=flagged)
+                        still_bad = set(verify.erroneous_layers)
+                        verify_ended = time.perf_counter()
+                    attempted_layers = len(flagged)
+                    degraded_indices: list[int] = []
+                    for index in flagged:
+                        if index not in still_bad:
+                            cleared.append(index)
+                            healed_layers += 1
+                            entry.recovery_attempts.pop(index, None)
+                            entry.degraded.pop(index, None)
+                            entry.degraded_originals.pop(index, None)
+                            if outcomes[index].bit_exact:
+                                bit_exact_layers += 1
+                                self._note_repeat_offenders(
+                                    entry, index, originals[index]
+                                )
+                            continue
+                        attempts = entry.recovery_attempts.get(index, 0) + 1
+                        entry.recovery_attempts[index] = attempts
+                        if attempts >= config.max_recovery_attempts:
+                            # Degrade: serve the best functional estimate, stash
+                            # the stored bits for a later re-opened repair.
+                            entry.degraded[index] = weight_fingerprint(
+                                entry.model.layers[index].get_weights()
+                            )
+                            entry.degraded_originals[index] = originals[index]
+                            entry.recovery_attempts.pop(index, None)
+                            cleared.append(index)
+                            degraded_layers += 1
+                            degraded_indices.append(index)
+                        else:
+                            entry.model.layers[index].set_weights(originals[index])
+                    entry.clear_quarantine(cleared)
+                    # Lifecycle closure runs after clear_quarantine so every
+                    # chain records its full quarantine window before the
+                    # verify stage closes it (on_verify pops the open chain).
+                    for index in flagged:
+                        if index not in still_bad:
+                            telemetry.fault_verified(
+                                entry.name,
+                                index,
+                                verify_began,
+                                verify_ended,
+                                outcomes[index].bit_exact,
+                            )
+                    for index in sorted(set(indices) - set(flagged)):
+                        # Flagged by the scrub pass but clean on fresh
+                        # detection: nothing was repaired, the passing detect
+                        # is the verification.
+                        telemetry.fault_verified(
+                            entry.name,
+                            index,
+                            recover_span.start,
+                            verify_ended,
+                            bit_exact=False,
                         )
-                        entry.degraded_originals[index] = originals[index]
-                        entry.recovery_attempts.pop(index, None)
-                        cleared.append(index)
-                        degraded_layers += 1
-                    else:
-                        entry.model.layers[index].set_weights(originals[index])
-                entry.clear_quarantine(cleared)
-        finally:
-            with entry.lock:
-                entry.dispatched.difference_update(indices)
-            if attempted_layers:
-                # The duration sample covers the whole attempt (that is the
-                # maintenance time Tr measures); the layer count reports only
-                # layers that actually passed verification.
-                entry.tracker.record_recovery(
-                    time.perf_counter() - began, healed_layers, bit_exact_layers
-                )
-            if degraded_layers:
-                entry.tracker.record_degraded(degraded_layers)
+                    for index in degraded_indices:
+                        telemetry.fault_degraded(
+                            entry.name, index, time.perf_counter()
+                        )
+            finally:
+                with entry.lock:
+                    entry.dispatched.difference_update(indices)
+                # Provisional end stamp: the span context manager overwrites it
+                # microseconds later with (essentially) the same value.
+                recover_span.end = time.perf_counter()
+                if attempted_layers:
+                    # The duration sample covers the whole attempt (that is the
+                    # maintenance time Tr measures); the layer count reports
+                    # only layers that actually passed verification.
+                    entry.tracker.record_recovery(
+                        recover_span.duration, healed_layers, bit_exact_layers
+                    )
+                if degraded_layers:
+                    entry.tracker.record_degraded(degraded_layers)

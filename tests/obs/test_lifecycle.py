@@ -1,0 +1,137 @@
+"""Unit tests for fault-lifecycle chains (repro.obs.lifecycle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import FaultLifecycleLog, Tracer
+
+
+@pytest.fixture()
+def log():
+    return FaultLifecycleLog(Tracer())
+
+
+def _walk_full_chain(log, model="m", layer=3, t0=100.0):
+    fault_id = log.on_inject(model, layer, "bit_flip", False, t0)
+    log.on_detect(model, layer, t0 + 1.0, t0 + 1.5)
+    log.on_quarantine_open(model, layer, t0 + 1.5)
+    log.on_repair(model, layer, t0 + 2.0, t0 + 3.0, "solver_snap", 1, True)
+    log.on_quarantine_close(model, layer, t0 + 3.5)
+    log.on_verify(model, layer, t0 + 3.0, t0 + 3.5, True)
+    return fault_id
+
+
+class TestFaultChains:
+    def test_full_chain_is_complete_with_td_tr(self, log):
+        fault_id = _walk_full_chain(log)
+        (summary,) = log.summaries()
+        assert summary.fault_id == fault_id
+        assert summary.closed and summary.complete
+        assert summary.stages == (
+            "inject", "detect", "repair", "quarantine", "verify",
+        )
+        # Td: injection end -> first detect end; Tr: detect end -> verify end.
+        assert summary.detection_seconds == pytest.approx(1.5)
+        assert summary.repair_seconds == pytest.approx(2.0)
+        assert summary.total_seconds == pytest.approx(3.5)
+        assert summary.reassert_cycles == 0
+        assert log.open_count() == 0
+
+    def test_spans_correlated_by_fault_id(self):
+        tracer = Tracer()
+        log = FaultLifecycleLog(tracer)
+        fault_id = _walk_full_chain(log)
+        names = [span.name for span in tracer.spans_for(fault_id)]
+        assert names == [
+            "fault.inject", "fault.detect", "fault.repair",
+            "fault.quarantine", "fault.verify",
+        ]
+
+    def test_reassert_reopens_closed_chain_and_redetects(self, log):
+        fault_id = log.on_inject("m", 3, "stuck_at", False, 1.0)
+        log.on_detect("m", 3, 2.0, 2.1)
+        log.on_verify("m", 3, 3.0, 3.1, True)
+        assert log.open_count() == 0
+        reassert_id = log.on_inject("m", 3, "stuck_at", True, 4.0)
+        assert reassert_id == fault_id  # same chain, not a new one
+        assert log.open_count() == 1
+        log.on_detect("m", 3, 5.0, 5.1)
+        log.on_verify("m", 3, 6.0, 6.1, True)
+        (summary,) = log.summaries()
+        assert summary.stages == (
+            "inject", "detect", "verify", "reassert", "redetect", "verify",
+        )
+        assert summary.reassert_cycles == 1
+        assert summary.complete is False  # no repair stage was ever recorded
+        assert len(log) == 1
+
+    def test_orphan_reassert_opens_fresh_chain(self, log):
+        fault_id = log.on_inject("m", 3, "stuck_at", True, 1.0)
+        assert fault_id is not None
+        (summary,) = log.summaries()
+        assert summary.stages == ("inject",)
+
+    def test_fanout_two_faults_same_layer_share_stages(self, log):
+        first = log.on_inject("m", 3, "bit_flip", False, 1.0)
+        second = log.on_inject("m", 3, "bit_flip", False, 1.5)
+        assert first != second
+        log.on_detect("m", 3, 2.0, 2.1)
+        log.on_repair("m", 3, 2.2, 2.4, "checkpoint_free", 1, True)
+        log.on_verify("m", 3, 2.5, 2.6, True)
+        summaries = log.summaries()
+        assert len(summaries) == 2
+        assert all(summary.complete for summary in summaries)
+
+    def test_degrade_keeps_chain_open(self, log):
+        log.on_inject("m", 3, "bit_flip", False, 1.0)
+        log.on_detect("m", 3, 2.0, 2.1)
+        log.on_degrade("m", 3, 3.0)
+        (summary,) = log.summaries()
+        assert not summary.closed and not summary.complete
+        assert summary.stages[-1] == "degrade"
+        assert log.open_count() == 1
+
+    def test_quarantine_window_spans_open_to_close(self):
+        tracer = Tracer()
+        log = FaultLifecycleLog(tracer)
+        fault_id = log.on_inject("m", 3, "bit_flip", False, 1.0)
+        log.on_quarantine_open("m", 3, 10.0)
+        log.on_quarantine_open("m", 3, 11.0)  # re-open is a no-op
+        log.on_quarantine_close("m", 3, 12.0)
+        (span,) = [
+            span for span in tracer.spans_for(fault_id)
+            if span.name == "fault.quarantine"
+        ]
+        assert span.start == pytest.approx(10.0)
+        assert span.end == pytest.approx(12.0)
+
+    def test_stage_spans_carry_chain_attrs(self):
+        tracer = Tracer()
+        log = FaultLifecycleLog(tracer)
+        fault_id = log.on_inject("m", 3, "bit_flip", False, 1.0, attrs={"flipped_bits": 2})
+        (span,) = tracer.spans_for(fault_id)
+        assert span.attrs["model"] == "m"
+        assert span.attrs["layer_index"] == 3
+        assert span.attrs["fault_model"] == "bit_flip"
+        assert span.attrs["flipped_bits"] == 2
+
+    def test_disabled_log_records_nothing(self):
+        tracer = Tracer()
+        log = FaultLifecycleLog(tracer, enabled=False)
+        assert log.on_inject("m", 3, "bit_flip", False, 1.0) is None
+        log.on_detect("m", 3, 2.0, 2.1)
+        log.on_verify("m", 3, 3.0, 3.1, True)
+        assert len(log) == 0
+        assert log.summaries() == []
+        assert len(tracer) == 0
+
+    def test_chain_survives_disabled_tracer(self):
+        # Lifecycle enabled over a disabled tracer: chains stay queryable
+        # even though no spans are retained.
+        tracer = Tracer(enabled=False)
+        log = FaultLifecycleLog(tracer)
+        _walk_full_chain(log)
+        (summary,) = log.summaries()
+        assert summary.complete
+        assert len(tracer) == 0

@@ -1,0 +1,111 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value == pytest.approx(2.5)
+
+    def test_histogram_bucket_assignment(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            hist.observe(value)
+        # bisect_left: a value equal to a bound lands in that bound's bucket.
+        assert hist.bucket_counts() == [2, 0, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(104.5)
+
+    def test_histogram_quantile_conventions(self):
+        hist = Histogram(buckets=(1.0, 2.0, 4.0))
+        assert hist.quantile(0.5) == 0.0  # empty
+        for _ in range(99):
+            hist.observe(0.5)
+        hist.observe(100.0)  # +Inf bucket
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 4.0  # +Inf reported as last finite bound
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_histogram_buckets_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x_total", model="m")
+        second = registry.counter("repro_x_total", model="m")
+        other = registry.counter("repro_x_total", model="n")
+        assert first is second
+        assert first is not other
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.gauge("repro_g", a="1", b="2")
+        b = registry.gauge("repro_g", b="2", a="1")
+        assert a is b
+
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_reqs_total", model="m").inc(3)
+        registry.gauge("repro_depth").set(2)
+        hist = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = registry.exposition()
+        assert '# TYPE repro_reqs_total counter' in text
+        assert 'repro_reqs_total{model="m"} 3' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 2" in text
+        # Histogram buckets are cumulative and end with +Inf = count.
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_count 3" in text
+        assert "repro_lat_seconds_sum 5.55" in text
+
+    def test_snapshot_and_jsonl_append(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc()
+        registry.histogram("repro_b_seconds", buckets=(1.0,)).observe(0.5)
+        path = tmp_path / "metrics.jsonl"
+        registry.export_jsonl(path)
+        registry.counter("repro_a_total").inc()
+        registry.export_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2  # append mode: one line per snapshot
+        assert lines[0]["counters"]["repro_a_total"] == 1
+        assert lines[1]["counters"]["repro_a_total"] == 2
+        hist = lines[1]["histograms"]["repro_b_seconds"]
+        assert hist["count"] == 1
+        assert set(hist) >= {"count", "sum", "buckets", "counts", "p50", "p99"}
+
+    def test_empty_registry_exposition_and_snapshot(self):
+        registry = MetricsRegistry()
+        assert registry.exposition() == ""
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}

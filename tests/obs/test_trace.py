@@ -1,0 +1,132 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Span, Tracer
+
+
+class TestSpanBasics:
+    def test_duration_clamped_non_negative(self):
+        span = Span(name="x", span_id=1, start=10.0, end=9.0)
+        assert span.duration == 0.0
+        span.end = 10.5
+        assert span.duration == pytest.approx(0.5)
+
+    def test_as_dict_round_trips_through_json(self):
+        span = Span(name="x", span_id=1, start=1.0, end=2.0, trace_id="t", attrs={"k": 1})
+        loaded = json.loads(json.dumps(span.as_dict()))
+        assert loaded["name"] == "x"
+        assert loaded["trace_id"] == "t"
+        assert loaded["duration"] == pytest.approx(1.0)
+        assert loaded["attrs"] == {"k": 1}
+
+
+class TestTracerEnabled:
+    def test_span_records_and_times(self):
+        tracer = Tracer()
+        with tracer.span("op", attrs={"a": 1}) as span:
+            pass
+        assert len(tracer) == 1
+        recorded = tracer.spans()[0]
+        assert recorded is span
+        assert recorded.end >= recorded.start
+        assert recorded.attrs == {"a": 1}
+
+    def test_nesting_tracked_with_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_nesting_is_per_thread(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name) as span:
+                seen[name] = span.parent_id
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker, args=("other",))
+            thread.start()
+            thread.join()
+        # The worker thread starts its own context: no parent inherited.
+        assert seen["other"] is None
+
+    def test_record_retroactive_span(self):
+        tracer = Tracer()
+        span = tracer.record("late", start=1.0, end=3.0, trace_id="t1")
+        assert span is not None
+        assert span.duration == pytest.approx(2.0)
+        assert tracer.spans_for("t1") == [span]
+
+    def test_record_defaults_to_point_event(self):
+        tracer = Tracer()
+        span = tracer.record("point")
+        assert span.duration == 0.0
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            tracer.record(f"s{index}", start=float(index), end=float(index))
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [span.name for span in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(capacity=2)
+        for index in range(4):
+            tracer.record(f"s{index}")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.spans() == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_export_jsonl_overwrites(self, tmp_path):
+        tracer = Tracer()
+        tracer.record("a", trace_id="t")
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 1
+        tracer.record("b")
+        assert tracer.export_jsonl(path) == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["name"] for line in lines] == ["a", "b"]
+
+    def test_thread_safe_appends(self):
+        tracer = Tracer(capacity=10_000)
+
+        def worker():
+            for _ in range(200):
+                tracer.record("op")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer) == 8 * 200
+
+
+class TestTracerDisabled:
+    def test_span_still_times_but_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("op") as span:
+            pass
+        assert span.end >= span.start
+        assert len(tracer) == 0
+
+    def test_record_returns_none(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.record("op") is None
+        assert len(tracer) == 0

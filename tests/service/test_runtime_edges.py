@@ -1,0 +1,62 @@
+"""Edge-case tests for the soak harness helpers (repro.service.runtime)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import run_soak
+from repro.service.runtime import SelfHealingService, latency_percentile
+
+
+class TestLatencyPercentile:
+    def test_empty_sample_is_zero(self):
+        assert latency_percentile([], 50) == 0.0
+        assert latency_percentile([], 0) == 0.0
+        assert latency_percentile([], 100) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0, 1, 50, 99, 100):
+            assert latency_percentile([0.25], q) == 0.25
+
+    def test_linear_interpolation_between_order_statistics(self):
+        assert latency_percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert latency_percentile([1.0, 2.0, 3.0, 4.0], 25) == pytest.approx(1.75)
+
+    def test_endpoints_are_min_and_max(self):
+        sample = [3.0, 1.0, 2.0]
+        assert latency_percentile(sample, 0) == 1.0
+        assert latency_percentile(sample, 100) == 3.0
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            latency_percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            latency_percentile([1.0], 100.5)
+
+
+class TestTrafficThreadErrors:
+    def test_submit_crash_surfaces_in_soak_result(self, monkeypatch):
+        def boom(self, model_name, sample):
+            raise RuntimeError("submit exploded")
+
+        monkeypatch.setattr(SelfHealingService, "submit", boom)
+        result = run_soak(
+            network="mnist_reduced",
+            duration_seconds=0.3,
+            max_fault_events=0,
+            scrub_period_seconds=0.1,
+            seed=0,
+        )
+        assert result.errors == ("RuntimeError: submit exploded",)
+        assert result.requests_completed == 0
+
+    def test_clean_soak_reports_no_errors(self):
+        result = run_soak(
+            network="mnist_reduced",
+            duration_seconds=0.3,
+            max_fault_events=0,
+            scrub_period_seconds=0.1,
+            seed=0,
+        )
+        assert result.errors == ()
+        assert result.requests_completed > 0

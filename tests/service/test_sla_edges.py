@@ -1,0 +1,102 @@
+"""Edge-case tests for SLAReport: no NaN / ZeroDivision on empty windows."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.service import SLATracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _assert_all_floats_finite(report) -> None:
+    for field in dataclasses.fields(report):
+        value = getattr(report, field.name)
+        if isinstance(value, float):
+            assert math.isfinite(value), f"{field.name} is {value}"
+
+
+class TestSLAReportEdges:
+    def test_zero_served_requests_no_nan(self):
+        tracker = SLATracker("m", 1024)
+        report = tracker.report(0.25)
+        _assert_all_floats_finite(report)
+        assert report.detections == 0
+        assert report.recoveries == 0
+        assert report.mean_detection_seconds == 0.0
+        assert report.mean_recovery_seconds == 0.0
+        assert report.max_recovery_seconds == 0.0
+        assert report.elapsed_seconds == 0.0
+        assert report.observed_availability == 1.0
+        assert 0.0 <= report.availability <= 1.0
+        assert 0.0 <= report.minimum_accuracy <= 1.0
+
+    def test_all_degraded_window_clamps_to_zero(self):
+        clock = FakeClock()
+        tracker = SLATracker("m", 1024, clock=clock)
+        tracker.start()
+        tracker.mark_unavailable()
+        tracker.record_degraded(3)
+        clock.now = 10.0
+        report = tracker.report(0.25)
+        _assert_all_floats_finite(report)
+        assert report.layers_degraded == 3
+        assert report.observed_availability == 0.0  # clamped, never negative
+
+    def test_single_detection_zero_recoveries(self):
+        clock = FakeClock()
+        tracker = SLATracker("m", 1024, clock=clock)
+        tracker.start()
+        tracker.record_detection(0.5)
+        clock.now = 10.0
+        report = tracker.report(0.25)
+        _assert_all_floats_finite(report)
+        assert report.detections == 1
+        assert report.mean_detection_seconds == pytest.approx(0.5)
+        assert report.recoveries == 0
+        assert report.mean_recovery_seconds == 0.0
+
+    def test_single_recovery_zero_detections(self):
+        clock = FakeClock()
+        tracker = SLATracker("m", 1024, clock=clock)
+        tracker.start()
+        tracker.record_recovery(1.5, layers=1, bit_exact_layers=1)
+        clock.now = 10.0
+        report = tracker.report(0.25)
+        _assert_all_floats_finite(report)
+        assert report.recoveries == 1
+        assert report.mean_recovery_seconds == pytest.approx(1.5)
+        assert report.max_recovery_seconds == pytest.approx(1.5)
+        assert report.layers_recovered == 1
+        assert report.layers_recovered_bit_exact == 1
+        assert report.detections == 0
+
+    def test_detection_inside_quarantine_not_double_counted(self):
+        clock = FakeClock()
+        tracker = SLATracker("m", 1024, clock=clock)
+        tracker.start()
+        tracker.mark_unavailable()
+        tracker.record_detection(5.0)  # covered by the open window already
+        clock.now = 2.0
+        tracker.mark_available()
+        clock.now = 4.0
+        report = tracker.report(0.25)
+        assert report.unavailable_seconds == pytest.approx(2.0)
+        assert report.observed_availability == pytest.approx(0.5)
+
+    def test_as_row_serializes_cleanly(self):
+        report = SLATracker("m", 1024).report(0.25)
+        row = report.as_row()
+        assert row["model"] == "m"
+        for value in row.values():
+            if isinstance(value, float):
+                assert math.isfinite(value)

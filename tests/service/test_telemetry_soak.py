@@ -1,0 +1,193 @@
+"""Acceptance tests for the unified telemetry layer.
+
+Two contracts from the ISSUE:
+
+* Every weight fault injected during a stuck-at soak yields a *complete*
+  correlated lifecycle chain (inject -> detect -> quarantine -> repair ->
+  verify) in the exported trace, including reassert -> redetect cycles for
+  the persistent faults.
+* With telemetry disabled the runtime follows today's exact code paths:
+  a deterministic fault/repair/serve scenario produces bit-identical
+  predictions, weights and injected-event sequences either way (telemetry
+  never consumes service RNG).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import TelemetryConfig
+from repro.service import (
+    FaultPressureDriver,
+    ModelRegistry,
+    Scrubber,
+    ServiceConfig,
+    run_soak,
+)
+from repro.types import FLOAT_DTYPE
+
+
+@pytest.fixture(scope="module")
+def soak(tmp_path_factory):
+    out = tmp_path_factory.mktemp("telemetry")
+    result = run_soak(
+        network="mnist_reduced",
+        duration_seconds=5.0,
+        mean_fault_interval_seconds=0.8,
+        seed=3,
+        fault_models={"stuck_at": 1.0},
+        reassert_interval_seconds=0.1,
+        trace_out=str(out / "trace.jsonl"),
+        metrics_out=str(out / "metrics.jsonl"),
+    )
+    return result, out
+
+
+class TestLifecycleChainCompleteness:
+    def test_soak_healed_and_clean(self, soak):
+        result, _ = soak
+        assert result.fault_events
+        assert result.converged and result.bit_exact
+        assert result.errors == ()
+
+    def test_every_fresh_weight_fault_has_a_complete_chain(self, soak):
+        result, _ = soak
+        fresh_weight_events = [
+            event
+            for event in result.fault_events
+            if event.layer_index >= 0 and not event.reasserted
+        ]
+        assert len(result.fault_chains) == len(fresh_weight_events)
+        assert all(chain.complete for chain in result.fault_chains)
+        assert {chain.layer_index for chain in result.fault_chains} == {
+            event.layer_index for event in fresh_weight_events
+        }
+
+    def test_stuck_at_chains_record_reassert_redetect_cycles(self, soak):
+        result, _ = soak
+        reasserted = [event for event in result.fault_events if event.reasserted]
+        assert reasserted, "stuck-at soak produced no reassertion events"
+        cycles = [chain for chain in result.fault_chains if chain.reassert_cycles > 0]
+        assert cycles
+        for chain in cycles:
+            assert "reassert" in chain.stages
+            assert "redetect" in chain.stages
+        assert sum(chain.reassert_cycles for chain in result.fault_chains) == len(
+            reasserted
+        )
+
+    def test_per_fault_td_tr_positive(self, soak):
+        result, _ = soak
+        for chain in result.fault_chains:
+            assert chain.detection_seconds >= 0.0
+            assert chain.repair_seconds >= 0.0
+            assert chain.total_seconds >= chain.detection_seconds
+
+
+class TestTraceExport:
+    def test_exported_trace_contains_correlated_chains(self, soak):
+        result, out = soak
+        spans = [
+            json.loads(line)
+            for line in (out / "trace.jsonl").read_text().splitlines()
+        ]
+        assert spans
+        by_chain: dict[str, list[str]] = {}
+        for span in spans:
+            trace_id = span["trace_id"]
+            if trace_id and trace_id.startswith("fault-"):
+                by_chain.setdefault(trace_id, []).append(span["name"])
+        assert set(by_chain) == {chain.fault_id for chain in result.fault_chains}
+        for names in by_chain.values():
+            assert names[0] == "fault.inject"
+            assert "fault.detect" in names
+            assert "fault.quarantine" in names
+            assert "fault.repair" in names
+            assert "fault.verify" in names
+
+    def test_trace_includes_serve_and_scrub_spans(self, soak):
+        _, out = soak
+        names = {
+            json.loads(line)["name"]
+            for line in (out / "trace.jsonl").read_text().splitlines()
+        }
+        assert "serve.batch" in names
+        assert "scrub.detect_slice" in names
+        assert "scrub.recover" in names
+
+
+class TestMetricsExport:
+    def test_snapshots_appended_while_running(self, soak):
+        _, out = soak
+        lines = (out / "metrics.jsonl").read_text().splitlines()
+        # ~1/s during a 5 s soak plus the final snapshot.
+        assert len(lines) >= 3
+
+    def test_final_snapshot_consistent_with_result(self, soak):
+        result, out = soak
+        snapshot = json.loads((out / "metrics.jsonl").read_text().splitlines()[-1])
+        counters = snapshot["counters"]
+        injected = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith("repro_faults_injected_total")
+        )
+        assert injected == len(result.fault_events)
+        served = counters['repro_serve_requests_total{model="mnist_reduced"}']
+        assert served == result.requests_completed
+        verified = counters['repro_faults_verified_total{model="mnist_reduced"}']
+        assert verified >= len(result.fault_chains)
+
+
+def _controlled_run(enabled: bool):
+    """Deterministic inject/scrub/repair/serve scenario, single-threaded."""
+    config = ServiceConfig(
+        recovery_async=False, telemetry=TelemetryConfig(enabled=enabled)
+    )
+    registry = ModelRegistry(config)
+    entry = registry.load("mnist_reduced")
+    scrubber = Scrubber(registry, config)
+    driver = FaultPressureDriver(
+        entry,
+        seed=11,
+        fault_models={"stuck_at": 1.0},
+        telemetry=registry.telemetry,
+    )
+    batch = (
+        np.random.default_rng(5)
+        .random((4,) + entry.model.input_shape)
+        .astype(FLOAT_DTYPE)
+    )
+    events = []
+    outputs = []
+    for _ in range(4):
+        event = driver.inject_once()
+        if event is not None:
+            events.append(
+                (event.layer_index, event.flipped_bits, event.affected_weight_indices)
+            )
+        scrubber.scrub_model(entry)
+        driver.reassert_once()
+        scrubber.scrub_model(entry)
+        outputs.append(entry.model.predict(batch).tobytes())
+    weights = [
+        entry.model.layers[index].get_weights().tobytes()
+        for index in entry.parameterized_indices
+    ]
+    return registry, events, outputs, weights
+
+
+class TestDisabledTelemetryBitExactness:
+    def test_disabled_matches_enabled_bit_for_bit(self):
+        enabled_registry, e_events, e_outputs, e_weights = _controlled_run(True)
+        disabled_registry, d_events, d_outputs, d_weights = _controlled_run(False)
+        assert e_events == d_events  # telemetry consumed no driver RNG
+        assert e_outputs == d_outputs  # predictions byte-identical
+        assert e_weights == d_weights  # repaired weights byte-identical
+        assert enabled_registry.telemetry.fault_chains()
+        assert disabled_registry.telemetry.fault_chains() == []
+        assert len(disabled_registry.telemetry.tracer) == 0
+        assert disabled_registry.telemetry.snapshot()["counters"] == {}

@@ -160,6 +160,46 @@ class TestCheckRegression:
         # The gate now passes against the refreshed baseline.
         assert _run(tmp_path).returncode == 0
 
+    def _write_telemetry_pair(self, tmp_path, ns_on: float, ns_off: float) -> None:
+        _write_all(tmp_path, fresh_ns=100.0)
+        _write_bench(
+            tmp_path / "BENCH_service.json",
+            [
+                _entry("serve", 100.0),
+                _entry("serve_request_telemetry_off", ns_off),
+                _entry("serve_request_telemetry_on", ns_on),
+            ],
+        )
+
+    def test_telemetry_overhead_within_budget_passes(self, tmp_path):
+        self._write_telemetry_pair(tmp_path, ns_on=103.0, ns_off=100.0)  # +3% < 5%
+        result = _run(tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "telemetry serve overhead" in result.stdout
+        assert "ok" in result.stdout
+
+    def test_telemetry_overhead_beyond_budget_fails(self, tmp_path):
+        self._write_telemetry_pair(tmp_path, ns_on=110.0, ns_off=100.0)  # +10% > 5%
+        result = _run(tmp_path)
+        assert result.returncode == 1
+        assert "telemetry serve overhead" in result.stdout
+        assert "FAIL" in result.stdout
+
+    def test_telemetry_overhead_custom_tolerance(self, tmp_path):
+        self._write_telemetry_pair(tmp_path, ns_on=110.0, ns_off=100.0)
+        assert _run(tmp_path, "--telemetry-overhead-tolerance", "0.15").returncode == 0
+        assert _run(tmp_path, "--telemetry-overhead-tolerance", "0.01").returncode == 1
+
+    def test_telemetry_overhead_faster_when_enabled_passes(self, tmp_path):
+        self._write_telemetry_pair(tmp_path, ns_on=95.0, ns_off=100.0)
+        assert _run(tmp_path).returncode == 0
+
+    def test_telemetry_pair_missing_is_skipped_not_fatal(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=100.0)  # no telemetry ops in service file
+        result = _run(tmp_path)
+        assert result.returncode == 0
+        assert "telemetry overhead gate skipped" in result.stderr
+
     def test_repo_baseline_matches_gate_schema(self, tmp_path):
         # The committed baseline must load and cover all four benchmark files.
         sys.path.insert(0, str(SCRIPT.parent))

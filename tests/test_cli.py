@@ -229,3 +229,51 @@ class TestCommands:
         assert "Soak scenario on mnist_reduced" in output
         assert "bit_exact" in output
         assert "min_accuracy" in output
+
+    def test_soak_trace_flags_default_off(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+
+    def test_telemetry_requires_metrics_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry"])
+        args = build_parser().parse_args(["telemetry", "--metrics", "m.jsonl"])
+        assert args.metrics == "m.jsonl"
+        assert not args.raw
+
+    def test_soak_exports_and_telemetry_reads_them(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        assert (
+            main(
+                [
+                    "soak",
+                    "--duration",
+                    "1.0",
+                    "--fault-interval",
+                    "0.1",
+                    "--max-faults",
+                    "2",
+                    "--scrub-period",
+                    "0.1",
+                    "--seed",
+                    "3",
+                    "--trace-out",
+                    str(trace),
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "fault chains" in output or "fault-00001" in output
+        assert trace.exists() and metrics.exists()
+
+        assert main(["telemetry", "--metrics", str(metrics)]) == 0
+        output = capsys.readouterr().out
+        assert "repro_serve_requests_total" in output
+
+        assert main(["telemetry", "--metrics", str(metrics), "--raw"]) == 0
+        assert "counters" in capsys.readouterr().out
