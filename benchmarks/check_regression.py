@@ -19,6 +19,18 @@ the gate fails when the enabled/disabled ``ns_per_op`` ratio exceeds
 makes this budget immune to runner-speed drift, so it can be far tighter
 than the cross-run 2.5x tolerance.
 
+A second family of same-run gates holds the certified-fusion fast path to
+the ISSUE acceptance criteria.  These floors are hardcoded constants, not
+baseline entries, so ``--update`` can refresh the ns_per_op baselines but
+can never relax them:
+
+* every ``predict_<net>_b256_fused`` entry's ``speedup`` (measured against
+  the seed forward *in the same benchmark run*) must clear
+  ``FUSED_SPEEDUP_FLOOR``, and their median must clear
+  ``FUSED_SPEEDUP_MEDIAN_FLOOR`` (the headline >= 3x target);
+* the fresh ``serve_request_scrub_off`` latency must stay under
+  ``SERVE_REQUEST_CEILING_NS``.
+
 Usage (what CI runs after the benchmark steps)::
 
     python benchmarks/check_regression.py
@@ -35,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -46,6 +59,22 @@ FRESH_FILES = {
     "inference": "BENCH_inference.json",
     "faults": "BENCH_faults.json",
 }
+
+#: Networks whose fused batch-256 speedup the gate enforces (the conv nets
+#: measured by benchmarks/test_bench_inference_throughput.py).
+FUSED_SPEEDUP_NETWORKS = (
+    "mnist_reduced",
+    "mnist_bn",
+    "cifar_reduced",
+    "cifar_depthwise",
+)
+#: Per-network floor on the fused b256 median speedup vs the seed forward.
+FUSED_SPEEDUP_FLOOR = 2.25
+#: Floor on the median fused b256 speedup across the conv networks -- the
+#: ISSUE's headline >= 3x acceptance criterion.
+FUSED_SPEEDUP_MEDIAN_FLOOR = 3.0
+#: Hard ceiling on the fresh serve_request_scrub_off ns_per_op (80 us).
+SERVE_REQUEST_CEILING_NS = 80_000.0
 
 OpKey = tuple[str, str, tuple[int, ...]]
 
@@ -158,6 +187,80 @@ def telemetry_overhead(fresh: dict[OpKey, OpValue]) -> Optional[float]:
     if on is None or off is None or off <= 0:
         return None
     return on / off - 1.0
+
+
+def fusion_gates(root: Path) -> tuple[list[str], list[str]]:
+    """Hardcoded certified-fusion gates from the fresh results only.
+
+    Returns ``(failures, notices)``.  Both the fused speedups and the serve
+    latency are same-run measurements (the speedup pairs fused and seed
+    timings inside one benchmark round), so the floors can be absolute where
+    the cross-run baseline comparison must tolerate runner drift.  Entries
+    absent from the fresh files (older benchmark runs) skip the gate with a
+    notice instead of failing.
+    """
+    failures: list[str] = []
+    notices: list[str] = []
+
+    speedups: dict[str, float] = {}
+    inference_path = root / FRESH_FILES["inference"]
+    if inference_path.exists():
+        for entry in json.loads(inference_path.read_text()).get("results", []):
+            for name in FUSED_SPEEDUP_NETWORKS:
+                if entry.get("op") == f"predict_{name}_b256_fused":
+                    speedups[name] = float(entry.get("speedup", 0.0))
+    missing = [name for name in FUSED_SPEEDUP_NETWORKS if name not in speedups]
+    if missing:
+        notices.append(
+            "fused speedup gate skipped: predict_<net>_b256_fused missing for "
+            + ", ".join(missing)
+        )
+    else:
+        for name in FUSED_SPEEDUP_NETWORKS:
+            if speedups[name] < FUSED_SPEEDUP_FLOOR:
+                failures.append(
+                    f"fused b256 speedup on {name}: {speedups[name]:.2f}x "
+                    f"below the {FUSED_SPEEDUP_FLOOR}x floor"
+                )
+        median = statistics.median(speedups.values())
+        if median < FUSED_SPEEDUP_MEDIAN_FLOOR:
+            failures.append(
+                f"median fused b256 speedup {median:.2f}x below the "
+                f"{FUSED_SPEEDUP_MEDIAN_FLOOR}x floor"
+            )
+        else:
+            notices.append(
+                "fused b256 speedups "
+                + ", ".join(
+                    f"{name} {speedups[name]:.2f}x"
+                    for name in FUSED_SPEEDUP_NETWORKS
+                )
+                + f" (median {median:.2f}x, floors {FUSED_SPEEDUP_FLOOR}x "
+                f"per net / {FUSED_SPEEDUP_MEDIAN_FLOOR}x median) ... ok"
+            )
+
+    serve_ns: Optional[float] = None
+    service_path = root / FRESH_FILES["service"]
+    if service_path.exists():
+        for entry in json.loads(service_path.read_text()).get("results", []):
+            if entry.get("op") == "serve_request_scrub_off" and "ns_per_op" in entry:
+                serve_ns = float(entry["ns_per_op"])
+    if serve_ns is None:
+        notices.append(
+            "serve latency ceiling skipped: serve_request_scrub_off missing "
+            "from fresh BENCH_service.json"
+        )
+    elif serve_ns > SERVE_REQUEST_CEILING_NS:
+        failures.append(
+            f"serve_request_scrub_off {serve_ns:.0f} ns exceeds the "
+            f"{SERVE_REQUEST_CEILING_NS:.0f} ns ceiling"
+        )
+    else:
+        notices.append(
+            f"serve_request_scrub_off {serve_ns:.0f} ns "
+            f"(ceiling {SERVE_REQUEST_CEILING_NS:.0f} ns) ... ok"
+        )
+    return failures, notices
 
 
 def update_baseline(baseline_path: Path, root: Path) -> None:
@@ -282,6 +385,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             failures.append(
                 {"source": "service", "op": "telemetry_overhead", "status": "FAIL"}
             )
+
+    fusion_failures, fusion_notices = fusion_gates(root)
+    for notice in fusion_notices:
+        stream = sys.stderr if "skipped" in notice else sys.stdout
+        print(notice, file=stream)
+    for failure in fusion_failures:
+        print(f"{failure} ... FAIL")
+        failures.append({"source": "fusion", "op": failure, "status": "FAIL"})
 
     if failures:
         print(

@@ -107,6 +107,55 @@ def test_bench_inference_throughput(benchmark):
                     "speedup": speedup,
                 }
             )
+        # Certified-fused fast path at the ISSUE acceptance batch (256).
+        # check_regression.py holds these entries to hard floors: per-net
+        # fused speedup and a >= 3x median across the conv networks.
+        fused_batch, fused_reps = 256, 3
+        inputs = rng.random((fused_batch,) + spec.input_shape).astype(np.float32)
+        _outputs, info = model.predict_served(inputs, fused=True)
+        assert info["mode"] == "fused", (
+            f"{name} b={fused_batch}: fused serving failed ULP certification"
+        )
+        certificate = info["certificate"]
+        speedup, seed_s, fused_s = _paired(
+            lambda: model.predict(inputs, use_plan=False),
+            lambda: model.predict(inputs, fused=True),
+            fused_reps,
+        )
+        rows.append(
+            {
+                "network": f"{name} (fused)",
+                "batch": fused_batch,
+                "seed_us": seed_s * 1e6,
+                "plan_us": fused_s * 1e6,
+                "us_per_sample": fused_s * 1e6 / fused_batch,
+                "speedup": speedup,
+            }
+        )
+        entries.append(
+            {
+                "op": f"predict_{name}_b{fused_batch}_fused",
+                "shape": [fused_batch, *spec.input_shape],
+                "ns_per_op": fused_s * 1e9,
+                "ns_per_sample": fused_s * 1e9 / fused_batch,
+                "seed_ns_per_op": seed_s * 1e9,
+                # Median of paired rounds vs the seed layer-by-layer path.
+                "speedup": speedup,
+            }
+        )
+        entries.append(
+            {
+                "op": f"fusion_certify_{name}_b{fused_batch}",
+                "shape": [fused_batch, *spec.input_shape],
+                # One-off calibration cost: the seeded batch through both the
+                # fused and exact plans, paid once per (weights, batch size).
+                "ns_per_op": certificate.calibration_seconds * 1e9,
+                "max_ulp": certificate.max_ulp,
+                "ulp_bound": certificate.ulp_bound,
+                "speedup": 1.0,
+            }
+        )
+
         compile_s = _compile_seconds(model, 32)
         plan32_s = next(
             row["plan_us"] for row in rows if row["network"] == name and row["batch"] == 32

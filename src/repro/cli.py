@@ -445,6 +445,13 @@ def _print_serve(args: argparse.Namespace) -> None:
         }
     ]
     print(format_table(rows, title=f"Serving {args.network} (scrubber on)", precision=3))
+    stats = entry.stats
+    print(
+        f"certified-fused serving: {stats.fused_served} samples fused, "
+        f"{stats.fused_fallbacks} fallbacks, "
+        f"{stats.fusion_certifications} certifications, "
+        f"{stats.uncertified_fused_served} uncertified"
+    )
     print(
         format_table(
             [service.sla_report(entry.name).as_row()],

@@ -10,7 +10,14 @@ import numpy as np
 
 from repro.exceptions import NotBuiltError, ShapeError
 from repro.nn.layers.base import Layer
-from repro.nn.plan import ForwardPlan, PlanStats, compile_plan
+from repro.nn.plan import (
+    DEFAULT_ULP_BOUND,
+    FusionCertificate,
+    PlanLike,
+    PlanStats,
+    certify_fusion,
+    compile_plan,
+)
 from repro.types import FLOAT_DTYPE, LayerSignature, Shape, ShapeLike, as_shape
 
 __all__ = ["Sequential"]
@@ -22,6 +29,13 @@ __all__ = ["Sequential"]
 #: ``plan_cache_size`` accordingly when ``max_batch`` exceeds this default,
 #: so the hot serving path never thrashes the cache.
 PLAN_CACHE_SIZE = 8
+
+#: Maximum retained fusion certificates per model, keyed by
+#: ``(network weight fingerprint, batch size, ULP bound)``.  The memo lets a
+#: fused plan recompiled after a bit-exact repair (or LRU eviction) reuse its
+#: certification without re-running calibration: the weight fingerprint is the
+#: same, so the certificate still applies.
+FUSION_CERT_MEMO_SIZE = 64
 
 
 class Sequential:
@@ -49,7 +63,7 @@ class Sequential:
         self.built = False
         self._input_shape: Optional[Shape] = None
         #: Compiled forward plans keyed by ``(batch size, fused)``, LRU.
-        self._plan_cache: "OrderedDict[tuple[int, bool], ForwardPlan]" = OrderedDict()
+        self._plan_cache: "OrderedDict[tuple[int, bool], PlanLike]" = OrderedDict()
         #: Serializes plan compilation and scratch-buffer execution; plan
         #: buffers are shared state, so planned forwards on one model are
         #: mutually exclusive (the service already serializes per-model
@@ -59,6 +73,18 @@ class Sequential:
         #: LRU capacity of the plan cache; raised by the service registry
         #: when ``ServiceConfig.max_batch`` exceeds the default.
         self.plan_cache_size = PLAN_CACHE_SIZE
+        #: Max ULP divergence tolerated by fusion certification; the service
+        #: registry overrides this from ``ServiceConfig.fusion_ulp_bound``.
+        self.fusion_ulp_bound = DEFAULT_ULP_BOUND
+        #: Names of layers that must not be folded into an adjacent matmul or
+        #: consumed into a fused block -- maintained by the service registry
+        #: (quarantined layers) under the model lock and re-checked live by
+        #: the plan compiler at every consumption decision.
+        self.fusion_blocklist: set[str] = set()
+        #: Fusion certificates keyed by ``(weights digest, batch, bound)``.
+        self._fusion_cert_memo: "OrderedDict[tuple[bytes, int, int], FusionCertificate]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -113,8 +139,45 @@ class Sequential:
         buffers, and no training bookkeeping.  The planned output is
         bit-identical to the layer-by-layer path, which remains reachable
         with ``use_plan=False`` (and is always used for ``training=True``).
-        ``fused=True`` opts into folding Bias/BatchNorm affines into the
-        adjacent matmuls -- tolerance-equivalent, not bit-identical.
+        ``fused=True`` requests the certified-fused fast path: affine folds,
+        im2col-free convs and chain fusion, served only when the network
+        passes ULP certification at this batch size (see
+        :meth:`predict_served`); uncertified networks silently fall back to
+        the bit-exact plan.
+        """
+        outputs, _info = self.predict_served(
+            inputs, training=training, use_plan=use_plan, fused=fused
+        )
+        return outputs
+
+    def predict_served(
+        self,
+        inputs: np.ndarray,
+        training: bool = False,
+        use_plan: bool = True,
+        fused: bool = False,
+        certify: bool = True,
+    ) -> tuple[np.ndarray, dict]:
+        """:meth:`predict` plus serve attribution for the service runtime.
+
+        Returns ``(outputs, info)`` where ``info`` carries:
+
+        * ``mode`` -- ``"fused"`` (served through a ULP-certified fused
+          plan), ``"exact"`` (bit-exact plan requested or used), ``"fallback"``
+          (fused requested but the network is not certified at this batch
+          size, so the bit-exact plan served), or ``"seed"`` (the
+          layer-by-layer oracle path),
+        * ``certificate`` -- the :class:`~repro.nn.plan.FusionCertificate`
+          backing a fused serve (``None`` otherwise),
+        * ``certified_now`` -- whether this call ran the calibration batch
+          (certification cache miss), so callers can account its cost,
+        * ``uncertified`` -- invariant flag: ``True`` only if a fused plan
+          served without a passing certificate while certification was
+          requested.  Stays ``False`` by construction; counted (rather than
+          asserted) by the service so violations would be observable.
+
+        With ``certify=False`` a fused request serves the fused plan without
+        the certification gate (the legacy opt-in behaviour).
         """
         if not self.built:
             raise NotBuiltError(f"model {self.name!r} has not been built")
@@ -122,15 +185,37 @@ class Sequential:
             outputs = np.asarray(inputs, dtype=FLOAT_DTYPE)
             for layer in self.layers:
                 outputs = layer.forward(outputs, training=training)
-            return outputs
+            return outputs, {
+                "mode": "seed",
+                "certificate": None,
+                "certified_now": False,
+                "uncertified": False,
+            }
         inputs = np.ascontiguousarray(np.asarray(inputs, dtype=FLOAT_DTYPE))
         if inputs.shape[1:] != self.input_shape:
             raise ShapeError(
                 f"model {self.name!r} expected per-sample shape "
                 f"{self.input_shape}, got {inputs.shape[1:]}"
             )
+        batch = inputs.shape[0]
         with self._plan_lock:
-            plan = self._plan_for(inputs.shape[0], bool(fused))
+            mode = "exact"
+            certificate: Optional[FusionCertificate] = None
+            certified_now = False
+            if fused:
+                plan, certificate, certified_now = self._certified_fused_plan(
+                    batch, certify
+                )
+                if plan is not None:
+                    mode = "fused"
+                else:
+                    # Silent fallback: the network failed (or lost) its ULP
+                    # certification at this batch size -- serve bit-exact.
+                    mode = "fallback"
+                    self._plan_stats.fallbacks += 1
+                    plan = self._plan_for(batch, False)
+            else:
+                plan = self._plan_for(batch, False)
             if plan.scratch_guards:
                 # Per-serve canary over pinned padding buffers: scratch faults
                 # live outside the weights, so this is the only detector that
@@ -139,7 +224,59 @@ class Sequential:
                 healed = plan.verify_scratch()
                 if healed:
                     self._plan_stats.scratch_detections += healed
-            return plan.execute(inputs)
+            outputs = plan.execute(inputs)
+        uncertified = bool(
+            mode == "fused"
+            and certify
+            and (certificate is None or not certificate.certified)
+        )
+        return outputs, {
+            "mode": mode,
+            "certificate": certificate,
+            "certified_now": certified_now,
+            "uncertified": uncertified,
+        }
+
+    def _certified_fused_plan(
+        self, batch: int, certify: bool
+    ) -> tuple[Optional[PlanLike], Optional[FusionCertificate], bool]:
+        """Fused plan for ``batch`` if certified (caller holds the lock).
+
+        Returns ``(plan, certificate, certified_now)``; ``plan`` is ``None``
+        when the network is not certified at this batch size (caller falls
+        back to the bit-exact plan).  Certification is lazy: the first fused
+        request at a given ``(weight state, batch size)`` runs the seeded
+        calibration batch through the fused and exact plans and caches the
+        resulting certificate both on the plan and in the per-model memo, so
+        bit-exact repairs and plan recompiles at an unchanged weight state
+        never pay calibration again.
+        """
+        plan, was_hit = self._plan_lookup(batch, True)
+        if not certify:
+            if was_hit:
+                self._plan_stats.fused_hits += 1
+            return plan, plan.certificate, False
+        certificate = plan.certificate
+        certified_now = False
+        if certificate is None:
+            memo_key = (plan.weights_digest, batch, int(self.fusion_ulp_bound))
+            certificate = self._fusion_cert_memo.get(memo_key)
+            if certificate is None:
+                exact_plan, _hit = self._plan_lookup(batch, False)
+                certificate = certify_fusion(
+                    self, plan, exact_plan, self.fusion_ulp_bound
+                )
+                self._plan_stats.certifications += 1
+                certified_now = True
+                self._fusion_cert_memo[memo_key] = certificate
+                while len(self._fusion_cert_memo) > FUSION_CERT_MEMO_SIZE:
+                    self._fusion_cert_memo.popitem(last=False)
+            plan.certificate = certificate
+        if not certificate.certified:
+            return None, certificate, certified_now
+        if was_hit:
+            self._plan_stats.fused_hits += 1
+        return plan, certificate, certified_now
 
     def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         return self.predict(inputs, training=training)
@@ -149,18 +286,19 @@ class Sequential:
     # ------------------------------------------------------------------ #
     @property
     def plan_stats(self) -> PlanStats:
-        """Counters of the plan cache (compiles / hits / invalidations)."""
+        """Counters of the plan cache (compiles / fused and exact hits /
+        fallbacks / invalidations / certifications)."""
         return self._plan_stats
 
-    def _plan_for(self, batch_size: int, fused: bool) -> ForwardPlan:
-        """Cached plan for ``(batch_size, fused)``; caller holds the lock."""
+    def _plan_lookup(self, batch_size: int, fused: bool) -> tuple[PlanLike, bool]:
+        """Cached plan for ``(batch_size, fused)`` plus whether it was a cache
+        hit (no counter side effects); caller holds the lock."""
         key = (batch_size, fused)
         plan = self._plan_cache.get(key)
         if plan is not None:
             if plan.epochs_current():
                 self._plan_cache.move_to_end(key)
-                self._plan_stats.hits += 1
-                return plan
+                return plan, True
             # Weights mutated since compile (injection, repair, training).
             self._plan_stats.invalidations += 1
         plan = compile_plan(self, batch_size, fused=fused)
@@ -169,9 +307,20 @@ class Sequential:
         self._plan_cache.move_to_end(key)
         while len(self._plan_cache) > self.plan_cache_size:
             self._plan_cache.popitem(last=False)
+        return plan, False
+
+    def _plan_for(self, batch_size: int, fused: bool) -> PlanLike:
+        """Cached plan for ``(batch_size, fused)``, counting cache hits into
+        the per-kind bucket; caller holds the lock."""
+        plan, was_hit = self._plan_lookup(batch_size, fused)
+        if was_hit:
+            if fused:
+                self._plan_stats.fused_hits += 1
+            else:
+                self._plan_stats.exact_hits += 1
         return plan
 
-    def compile_plan(self, batch_size: int, fused: bool = False) -> ForwardPlan:
+    def compile_plan(self, batch_size: int, fused: bool = False) -> PlanLike:
         """Compile (or fetch from cache) the plan for ``batch_size`` up front,
         so the first serving call does not pay the compile."""
         if not self.built:
@@ -179,7 +328,7 @@ class Sequential:
         with self._plan_lock:
             return self._plan_for(batch_size, bool(fused))
 
-    def cached_plans(self) -> list[ForwardPlan]:
+    def cached_plans(self) -> list[PlanLike]:
         """Snapshot of the currently cached compiled plans."""
         with self._plan_lock:
             return list(self._plan_cache.values())
@@ -192,6 +341,25 @@ class Sequential:
             self._plan_stats.invalidations += dropped
             return dropped
 
+    def verify_cached_scratch(self) -> int:
+        """Canary-check every cached plan's scratch borders; heal and count.
+
+        The per-serve canary only covers the plan about to execute; with
+        fused serving on, bit-exact plans (and fused plans for cold batch
+        sizes) can sit in the cache carrying scratch dirt indefinitely.  The
+        background scrubber sweeps them all through this method once per
+        scrub cycle -- the border check is O(border) per buffer, so a full
+        sweep costs well under a millisecond.
+        """
+        with self._plan_lock:
+            healed = 0
+            for plan in self._plan_cache.values():
+                if plan.scratch_guards:
+                    healed += plan.verify_scratch()
+            if healed:
+                self._plan_stats.scratch_detections += healed
+            return healed
+
     def revalidate_plans(self) -> int:
         """Fingerprint-aware invalidation sweep.
 
@@ -200,6 +368,14 @@ class Sequential:
         weights: byte-identical plans (weights restored exactly, e.g. by a
         bit-exact repair) are kept and re-armed, all others are dropped.
         Returns the number of plans invalidated.
+
+        Fused plans kept by the sweep keep their attached
+        :class:`~repro.nn.plan.FusionCertificate` -- the certificate is keyed
+        to the compile-time weight fingerprint, which the sweep just proved
+        unchanged -- so a bit-exact repair never forces re-certification.
+        Dropped fused plans recompile lazily and reuse the per-model
+        certificate memo when the weights return to a previously certified
+        state.
         """
         with self._plan_lock:
             dropped = 0

@@ -20,6 +20,8 @@ __all__ = [
     "unpad_input",
     "im2col",
     "im2col_into",
+    "im2col_width_into",
+    "direct_patch_view",
     "im2col_gather_indices",
     "pool_gather_indices",
     "col2im",
@@ -137,6 +139,61 @@ def im2col_into(
     # exactly the transpose im2col materializes with ascontiguousarray.
     np.copyto(out, windows[:, ::s1, ::s2].transpose(0, 1, 2, 4, 5, 3))
     return out
+
+
+def im2col_width_into(inputs: np.ndarray, filter_width: int, out: np.ndarray) -> np.ndarray:
+    """Width-only patch extraction for the im2col-free stride-1 conv path.
+
+    Writes ``out[b, j, h, :] = inputs[b, h, j:j+F2, :]`` (flattened over the
+    trailing ``(F2, C)`` axes) for every output column ``j`` -- a copy of
+    ``F2*C`` elements per position instead of the ``F1*F2*C`` a full im2col
+    performs.  ``out`` must be a ``(B, G2, H, F2, C)`` view of a contiguous
+    ``(B, G2, H, F2*C)`` buffer, where ``G2 = W - F2 + 1`` and ``H`` spans
+    every (padded) input row.  The full ``F1*F2*C`` patch matrix is then an
+    overlapping strided view of this buffer (:func:`direct_patch_view`): rows
+    ``h..h+F1-1`` of ``out[b, j]`` are exactly the ``(f1, f2, c)``-ordered
+    taps of output position ``(h, j)``, laid out contiguously.
+    """
+    # (B, H, G2, C, F2) -> (B, G2, H, F2, C): same element values as the full
+    # im2col's (f1, f2, c) tap order once F1 rows are stacked by the view.
+    if inputs.shape[3] == 1:
+        # Single-channel inputs copy ~2.7x faster one tap at a time (three
+        # plain strided transposes) than through the 5-D windowed transpose;
+        # both orderings write the identical bytes.
+        g2 = out.shape[1]
+        for tap in range(filter_width):
+            np.copyto(
+                out[:, :, :, tap, :],
+                inputs[:, :, tap : tap + g2, :].transpose(0, 2, 1, 3),
+            )
+        return out
+    windows = np.lib.stride_tricks.sliding_window_view(inputs, filter_width, axis=2)
+    np.copyto(out, windows.transpose(0, 2, 1, 4, 3))
+    return out
+
+
+def direct_patch_view(
+    width_buf: np.ndarray, filter_height: int, out_height: int
+) -> np.ndarray:
+    """Overlapping strided view turning a width-patch buffer into full patches.
+
+    Given the contiguous ``(B, G2, H, F2*C)`` buffer filled by
+    :func:`im2col_width_into`, returns a read-only ``(B, G1, G2, F1*F2*C)``
+    view whose element ``[b, i, j]`` is the full ``(f1, f2, c)``-ordered patch
+    of stride-1 output position ``(i, j)`` -- no copy: consecutive ``h`` rows
+    of ``width_buf[b, j]`` are contiguous, so ``F1`` of them concatenate into
+    one patch by pure striding.  ``np.matmul`` consumes the view directly
+    (the inner ``(G2, taps)`` matrices have a legitimate row stride), which is
+    what eliminates the windowed patch copy from the conv fast path.
+    """
+    batch, g2, _height, taps_w = width_buf.shape
+    s0, s1, s2, s3 = width_buf.strides
+    return np.lib.stride_tricks.as_strided(
+        width_buf,
+        shape=(batch, out_height, g2, filter_height * taps_w),
+        strides=(s0, s2, s1, s3),
+        writeable=False,
+    )
 
 
 #: Cached im2col gather indices per patch geometry, keyed by

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.nn.plan import DEFAULT_ULP_BOUND
 from repro.obs.telemetry import TelemetryConfig
 
 __all__ = ["ServiceConfig"]
@@ -18,16 +19,34 @@ class ServiceConfig:
             batches of up to this many samples.  Batches execute at their
             actual occupancy through a per-batch-size compiled forward plan;
             set ``fixed_batch_shape`` to restore the old pad-to-``max_batch``
-            behaviour.
+            behaviour.  The default of 16 sits where the fused per-sample
+            forward cost has saturated on the zoo networks while the queue
+            depth (and hence worst-case batching latency) stays small.
         fixed_batch_shape: Pad every partial batch to ``max_batch`` samples so
             each forward pass has one fixed shape (one plan, but up to
             ``max_batch - 1`` wasted sample computations per batch).  Off by
             default: variable-occupancy batches are served unpadded and the
             padded/real sample split is observable in ``RequestStats``.
-        fused_forward: Serve batches through the opt-in fused forward plan
-            (Bias/BatchNorm affines folded into the adjacent matmul).  Fused
-            outputs are tolerance-equivalent, not bit-identical, so this is
-            off by default.
+        fused_forward: Serve batches through the fused forward plan (affines
+            folded into the adjacent matmul, im2col-free stride-1 convs,
+            conv→ReLU→maxpool chain fusion).  On by default, but gated per
+            network by ULP certification (see ``certify_fusion``): a network
+            that fails certification at a batch size silently falls back to
+            the bit-exact plan at that size.  Set ``False`` to pin every
+            serve to the bit-exact plan.
+        certify_fusion: Require a passing ULP certification before a fused
+            plan may serve (on by default).  Certification runs a seeded
+            calibration batch through the fused and bit-exact plans once per
+            ``(weight state, batch size)`` and caches the certificate; with
+            this off, ``fused_forward`` serves fused plans unconditionally
+            (the legacy opt-in behaviour).
+        fusion_ulp_bound: Maximum ULP divergence between the fused and
+            bit-exact calibration outputs for certification to pass.
+            Propagated to every registered model.
+        precompile_plans: Warm every serving occupancy's forward plan (and,
+            with fused serving on, its fused plan plus ULP certification)
+            when a model's worker starts, so no live request ever pays a
+            plan compile or a calibration run.
         batch_timeout_seconds: How long a worker waits for additional requests
             to fill a batch before executing a partial one.
         scrub_period_seconds: Period of the background detection scrubber.
@@ -76,9 +95,12 @@ class ServiceConfig:
             pre-instrumentation code paths.
     """
 
-    max_batch: int = 8
+    max_batch: int = 16
     fixed_batch_shape: bool = False
-    fused_forward: bool = False
+    fused_forward: bool = True
+    certify_fusion: bool = True
+    fusion_ulp_bound: int = DEFAULT_ULP_BOUND
+    precompile_plans: bool = True
     batch_timeout_seconds: float = 0.002
     scrub_period_seconds: float = 0.25
     scrub_chunk_layers: int = 4
@@ -97,6 +119,8 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if self.fusion_ulp_bound < 0:
+            raise ValueError("fusion_ulp_bound must be non-negative")
         if self.batch_timeout_seconds < 0:
             raise ValueError("batch_timeout_seconds must be non-negative")
         if self.scrub_period_seconds <= 0:

@@ -59,8 +59,10 @@ class InferenceRequest:
         self._error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------ #
-    def _complete(self, result: np.ndarray) -> None:
-        self.completed_at = time.perf_counter()
+    def _complete(self, result: np.ndarray, at: Optional[float] = None) -> None:
+        # Requests of one batch complete together; the worker passes a shared
+        # timestamp so the hot path reads the clock once per batch.
+        self.completed_at = time.perf_counter() if at is None else at
         self.latency_seconds = self.completed_at - self.enqueued_at
         self._result = result
         self._done.set()
@@ -220,11 +222,53 @@ class InferenceEngine:
             "batches": metrics.counter(
                 "repro_serve_batches_total", model=entry.name
             ),
+            "fused": metrics.counter(
+                "repro_serve_fused_total", model=entry.name
+            ),
+            "fused_fallback": metrics.counter(
+                "repro_serve_fused_fallback_total", model=entry.name
+            ),
+            "certifications": metrics.counter(
+                "repro_fusion_certifications_total", model=entry.name
+            ),
         }
+
+    def _warm_plans(self, entry: ManagedModel) -> None:
+        """Precompile (and certify) the plans variable-occupancy serving uses.
+
+        Runs once per worker before it accepts requests: every occupancy
+        ``1..max_batch`` gets its bit-exact plan -- and, with fused serving
+        on, its fused plan plus ULP certification -- compiled up front, so no
+        live request ever pays a plan compile or a calibration run.  Skipped
+        while the model is quarantined (plans would be dropped on the
+        quarantine lift anyway); serving then warms lazily as before.
+        """
+        config = self._config
+        if not config.precompile_plans:
+            return
+        with entry.lock:
+            if not entry.is_healthy():
+                return
+            probe = np.zeros((1,) + entry.model.input_shape, dtype=FLOAT_DTYPE)
+            occupancies = (
+                [config.max_batch]
+                if config.fixed_batch_shape
+                else range(1, config.max_batch + 1)
+            )
+            for occupancy in occupancies:
+                batch = np.broadcast_to(probe, (occupancy,) + probe.shape[1:])
+                _outputs, serve_info = entry.model.predict_served(
+                    batch,
+                    fused=config.fused_forward,
+                    certify=config.certify_fusion,
+                )
+                if serve_info["certified_now"]:
+                    entry.stats.fusion_certifications += 1
 
     def _worker_loop(self, entry: ManagedModel, q: "queue.Queue") -> None:
         config = self._config
         instruments = self._instruments(entry)
+        self._warm_plans(entry)
         while True:
             item = q.get()
             if item is _STOP:
@@ -278,11 +322,27 @@ class InferenceEngine:
                     )
                     stacked = np.concatenate([stacked, pad], axis=0)
                     entry.stats.samples_padded += pad.shape[0]
-                outputs = entry.model.predict(stacked, fused=config.fused_forward)[
-                    : len(batch)
-                ]
+                # The production forward: fused by default, but only served
+                # through a plan whose network passed ULP certification at
+                # this batch size -- anything else silently falls back to the
+                # bit-exact plan (attributed below).
+                outputs, serve_info = entry.model.predict_served(
+                    stacked,
+                    fused=config.fused_forward,
+                    certify=config.certify_fusion,
+                )
+                outputs = outputs[: len(batch)]
                 entry.stats.batches_executed += 1
                 entry.stats.samples_served += len(batch)
+                mode = serve_info["mode"]
+                if mode == "fused":
+                    entry.stats.fused_served += len(batch)
+                    if serve_info["uncertified"]:
+                        entry.stats.uncertified_fused_served += len(batch)
+                elif mode == "fallback":
+                    entry.stats.fused_fallbacks += len(batch)
+                if serve_info["certified_now"]:
+                    entry.stats.fusion_certifications += 1
         except BaseException as error:  # noqa: BLE001 - forwarded to requests
             with entry.lock:
                 entry.stats.requests_failed += len(batch)
@@ -300,8 +360,9 @@ class InferenceEngine:
                     },
                 )
             return
+        completed_at = time.perf_counter()
         for request, output in zip(batch, outputs):
-            request._complete(output)
+            request._complete(output, at=completed_at)
         with entry.lock:
             entry.stats.requests_completed += len(batch)
             for request in batch:
@@ -315,12 +376,38 @@ class InferenceEngine:
             instruments["batches"].inc()
             instruments["requests"].inc(len(batch))
             instruments["batch_seconds"].observe(ended - began)
-            request_hist = instruments["request_seconds"]
-            for request in batch:
-                request_hist.observe(request.latency_seconds or 0.0)
+            instruments["request_seconds"].observe_many(
+                [request.latency_seconds or 0.0 for request in batch]
+            )
+            mode = serve_info["mode"]
+            if mode == "fused":
+                instruments["fused"].inc(len(batch))
+            elif mode == "fallback":
+                instruments["fused_fallback"].inc(len(batch))
+            if serve_info["certified_now"]:
+                certificate = serve_info["certificate"]
+                instruments["certifications"].inc()
+                # The calibration ran inside this batch's forward; backdate
+                # the span so its duration is the measured calibration cost.
+                instruments["tracer"].record(
+                    "plan.certify",
+                    start=ended - certificate.calibration_seconds,
+                    end=ended,
+                    attrs={
+                        "model": entry.name,
+                        "batch_size": certificate.batch_size,
+                        "certified": certificate.certified,
+                        "max_ulp": certificate.max_ulp,
+                        "ulp_bound": certificate.ulp_bound,
+                    },
+                )
             instruments["tracer"].record(
                 "serve.batch",
                 start=began,
                 end=ended,
-                attrs={"model": entry.name, "occupancy": len(batch)},
+                attrs={
+                    "model": entry.name,
+                    "occupancy": len(batch),
+                    "mode": mode,
+                },
             )

@@ -57,6 +57,18 @@ class RequestStats:
     #: runtime's invariant is that this stays zero; it is counted (rather than
     #: asserted) so violations are observable in production.
     served_during_quarantine: int = 0
+    #: Requests answered through a ULP-certified fused plan.
+    fused_served: int = 0
+    #: Requests that asked for the fused plan but were served bit-exact
+    #: because the network is not certified at that batch size.
+    fused_fallbacks: int = 0
+    #: Fusion calibration runs paid by the serve path (certification cache
+    #: misses; each one ran the seeded calibration batch through both plans).
+    fusion_certifications: int = 0
+    #: Requests served by a fused plan *without* a passing certificate while
+    #: certification was on.  The serving contract keeps this zero by
+    #: construction; counted (not asserted) so violations are observable.
+    uncertified_fused_served: int = 0
 
     @property
     def mean_latency_seconds(self) -> float:
@@ -149,6 +161,15 @@ class ManagedModel:
             fresh = indices - self._quarantined
             self._quarantined.update(indices)
             self.ever_quarantined.update(indices)
+            # Mirror the quarantine set onto the model's fusion blocklist:
+            # the plan compiler re-reads it at every consumption decision, so
+            # a layer quarantined mid-compile is never folded into a matmul
+            # kernel or consumed into a fused block.
+            self.model.fusion_blocklist.update(
+                self.model.layers[index].name
+                for index in indices
+                if 0 <= index < len(self.model.layers)
+            )
             telemetry = self.telemetry
             if telemetry is not None and telemetry.enabled and fresh:
                 now = time.perf_counter()
@@ -173,6 +194,11 @@ class ManagedModel:
         with self.lock:
             lifted = indices & self._quarantined
             self._quarantined.difference_update(indices)
+            self.model.fusion_blocklist.difference_update(
+                self.model.layers[index].name
+                for index in indices
+                if 0 <= index < len(self.model.layers)
+            )
             if indices:
                 self.stats.plan_invalidations += self.model.revalidate_plans()
             telemetry = self.telemetry
@@ -235,9 +261,15 @@ class ModelRegistry:
         if not protector.initialized:
             protector.initialize()
         # Variable-occupancy serving compiles one forward plan per batch size
-        # (1..max_batch, plus evaluation chunk sizes): make sure the model's
-        # plan LRU can hold them all so the hot path never thrashes.
-        model.plan_cache_size = max(model.plan_cache_size, self.config.max_batch + 2)
+        # (1..max_batch, plus evaluation chunk sizes) and, with fused serving
+        # on, up to two plans per size (fused + the bit-exact certification
+        # reference): make sure the model's plan LRU can hold them all so the
+        # hot path never thrashes.
+        plans_needed = self.config.max_batch + 2
+        if self.config.fused_forward:
+            plans_needed *= 2
+        model.plan_cache_size = max(model.plan_cache_size, plans_needed)
+        model.fusion_ulp_bound = self.config.fusion_ulp_bound
         entry = ManagedModel(name, model, protector, telemetry=self.telemetry)
         with self._lock:
             if name in self._models:

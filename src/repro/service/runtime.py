@@ -198,6 +198,15 @@ class SoakResult:
     #: Dirty plan scratch buffers caught (and healed) by the per-serve canary
     #: -- the only detector that sees activation/scratch corruption.
     scratch_detections: int
+    #: Samples served through a ULP-certified fused plan.
+    fused_served: int
+    #: Fused batches that fell back to the bit-exact plan (certification
+    #: failed or lapsed at that batch size).
+    fused_fallbacks: int
+    #: Samples served through a fused plan *without* a passing certificate.
+    #: Invariant: stays zero -- fused serving always re-certifies or falls
+    #: back, no matter what the fault driver does to the weights.
+    uncertified_fused_served: int
     #: Blacklisted stuck-at cells healed by the scrubber's remap pass.
     remap_repairs: int
     #: Memory cells blacklisted as repeat offenders during the soak.
@@ -230,6 +239,7 @@ class SoakResult:
             "plan_invalidations": self.plan_invalidations,
             "p99_ms": self.p99_latency_seconds * 1e3,
             "scratch_detections": self.scratch_detections,
+            "fused_served": self.fused_served,
             "remap_repairs": self.remap_repairs,
             "blacklisted_cells": self.blacklisted_cells,
             "availability": self.sla.availability,
@@ -441,6 +451,9 @@ def run_soak(
         bit_exact=bit_exact,
         converged=converged,
         scratch_detections=entry.model.plan_stats.scratch_detections,
+        fused_served=entry.stats.fused_served,
+        fused_fallbacks=entry.stats.fused_fallbacks,
+        uncertified_fused_served=entry.stats.uncertified_fused_served,
         remap_repairs=entry.remap_repairs,
         blacklisted_cells=entry.blacklisted_cell_count,
         sla=sla,

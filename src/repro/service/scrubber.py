@@ -128,6 +128,12 @@ class Scrubber:
         with entry.lock:
             skip = entry.quarantined
             targets = [i for i in entry.parameterized_indices if i not in skip]
+            # Sweep every cached plan's scratch borders, not just the plans
+            # the serve path happens to execute: with fused serving on, the
+            # bit-exact plans (and fused plans for cold batch sizes) would
+            # otherwise carry dirt until their next -- possibly never --
+            # serve.  O(border) per buffer, so this costs microseconds.
+            entry.model.verify_cached_scratch()
         total_seconds = 0.0
         flagged: list[int] = []
         for start in range(0, len(targets), chunk_size):

@@ -228,6 +228,175 @@ class TestPlanCacheAndInvalidation:
         assert plan_weight_fingerprint(weights) == weight_fingerprint(weights)
 
 
+class TestAdversarialZooBitIdentity:
+    """Exact plans (direct stride-1 matmul + chain fusion) must stay byte-equal
+    to the seed forward on hostile inputs, not just well-behaved ones."""
+
+    @staticmethod
+    def _adversarial(rng, shape):
+        # Dense signed zeros plus scattered NaNs: the inputs most likely to
+        # expose a reordered reduction or a max/tie semantics drift.
+        inputs = rng.standard_normal(shape).astype(np.float32)
+        inputs[np.abs(inputs) < 0.3] = np.float32(-0.0)
+        flat = inputs.reshape(-1)
+        flat[:: max(1, flat.size // 17)] = np.nan
+        return inputs
+
+    @pytest.mark.parametrize("name", sorted(network_table()))
+    def test_adversarial_inputs_all_zoo(self, name):
+        spec = network_table()[name]
+        model = spec.builder()
+        rng = np.random.default_rng(23)
+        inputs = self._adversarial(rng, (4,) + spec.input_shape)
+        assert_bit_identical(model, inputs)
+
+    @pytest.mark.parametrize("batch", [1, 5, 33])
+    def test_partial_occupancy_batches(self, batch):
+        # 5 and 33 straddle the conv batch-chunk width (32): a partial chunk
+        # and a full chunk plus remainder must both stay bit-identical.
+        for name in ("mnist_reduced", "cifar_reduced"):
+            spec = network_table()[name]
+            model = spec.builder()
+            rng = np.random.default_rng(batch)
+            inputs = self._adversarial(rng, (batch,) + spec.input_shape)
+            assert_bit_identical(model, inputs)
+
+
+class TestFusionCertification:
+    def _model(self, name="mnist_reduced"):
+        return network_table()[name].builder()
+
+    def test_certified_fused_serve_and_memoized_recheck(self):
+        model = self._model()
+        rng = np.random.default_rng(0)
+        inputs = rng.random((4, 28, 28, 1)).astype(np.float32)
+        outputs, info = model.predict_served(inputs, fused=True)
+        assert info["mode"] == "fused"
+        assert info["certificate"] is not None and info["certificate"].certified
+        assert info["certified_now"]
+        assert not info["uncertified"]
+        assert info["certificate"].max_ulp <= info["certificate"].ulp_bound
+        assert model.plan_stats.certifications == 1
+        seed = model.predict(inputs, use_plan=False)
+        np.testing.assert_allclose(outputs, seed, rtol=1e-5, atol=1e-6)
+        # Second serve is a cache hit: no re-calibration.
+        _again, info2 = model.predict_served(inputs, fused=True)
+        assert info2["mode"] == "fused"
+        assert not info2["certified_now"]
+        assert model.plan_stats.certifications == 1
+        assert model.plan_stats.fused_hits == 1
+
+    def test_uncertifiable_network_falls_back_bit_exact(self):
+        model = self._model()
+        model.fusion_ulp_bound = -1  # nothing can pass: force the fallback
+        rng = np.random.default_rng(1)
+        inputs = rng.random((3, 28, 28, 1)).astype(np.float32)
+        outputs, info = model.predict_served(inputs, fused=True)
+        assert info["mode"] == "fallback"
+        assert info["certificate"] is not None
+        assert not info["certificate"].certified
+        assert not info["uncertified"]  # fallback never serves the fused plan
+        assert model.plan_stats.fallbacks == 1
+        assert outputs.tobytes() == model.predict(inputs, use_plan=False).tobytes()
+
+    def test_hit_buckets_split_fused_and_exact(self):
+        model = self._model()
+        rng = np.random.default_rng(2)
+        inputs = rng.random((2, 28, 28, 1)).astype(np.float32)
+        model.predict(inputs)  # exact compile
+        model.predict(inputs)  # exact hit
+        model.predict(inputs, fused=True)  # fused compile + certification
+        model.predict(inputs, fused=True)  # fused hit
+        stats = model.plan_stats
+        assert stats.exact_hits == 1
+        assert stats.fused_hits == 1
+        assert stats.fallbacks == 0
+
+    def test_bit_exact_repair_keeps_certificate(self):
+        # Fingerprint revalidation after a byte-identical weight restore must
+        # keep the fused plan *and* its certificate: no second calibration.
+        model = self._model()
+        rng = np.random.default_rng(3)
+        inputs = rng.random((2, 28, 28, 1)).astype(np.float32)
+        model.predict(inputs, fused=True)
+        assert model.plan_stats.certifications == 1
+        layer = next(x for x in model.layers if x.has_parameters)
+        layer.set_weights(layer.get_weights())  # same bytes, new epoch
+        assert model.revalidate_plans() == 0
+        _outputs, info = model.predict_served(inputs, fused=True)
+        assert info["mode"] == "fused"
+        assert not info["certified_now"]
+        assert model.plan_stats.certifications == 1
+
+    def test_certificate_memo_survives_recompile(self):
+        # Corrupt then restore the exact original bytes: the recompiled fused
+        # plan lands on the same weights digest and reuses the memoized
+        # certificate instead of re-running calibration.
+        model = self._model()
+        rng = np.random.default_rng(4)
+        inputs = rng.random((2, 28, 28, 1)).astype(np.float32)
+        model.predict(inputs, fused=True)
+        assert model.plan_stats.certifications == 1
+        layer = next(x for x in model.layers if x.has_parameters)
+        original = layer.get_weights().copy()
+        corrupted = original.copy()
+        corrupted.flat[0] += 1.0
+        layer.set_weights(corrupted)
+        model.predict(inputs, fused=True)  # new digest: fresh certification
+        assert model.plan_stats.certifications == 2
+        layer.set_weights(original)
+        model.invalidate_plans()
+        _outputs, info = model.predict_served(inputs, fused=True)
+        assert info["mode"] == "fused"
+        assert not info["certified_now"]
+        assert model.plan_stats.certifications == 2
+
+    def test_blocklisted_affine_is_not_folded(self):
+        spec = network_table()["mnist_bn"]
+        free = spec.builder()
+        folded = compile_plan(free, 2, fused=True).folded_affines
+        assert folded  # mnist_bn folds its BatchNorms when unblocked
+        blocked_model = spec.builder()
+        blocked_model.fusion_blocklist.add(folded[0])
+        plan = compile_plan(blocked_model, 2, fused=True)
+        assert folded[0] not in plan.folded_affines
+        rng = np.random.default_rng(5)
+        inputs = rng.random((2,) + spec.input_shape).astype(np.float32)
+        seed = blocked_model.predict(inputs, use_plan=False)
+        np.testing.assert_allclose(
+            plan.execute(inputs), seed, rtol=1e-5, atol=1e-6
+        )
+
+
+class TestSlicedPlans:
+    def test_batch_slices_merge_deterministically(self):
+        from repro.nn.plan import SlicedForwardPlan
+
+        spec = network_table()["mnist_reduced"]
+        model = spec.builder()
+        # Force an uneven split (256 = 86 + 85 + 85) regardless of host CPUs.
+        plan = compile_plan(model, 256, fused=True, slice_workers=3)
+        assert isinstance(plan, SlicedForwardPlan)
+        assert sum(plan.slice_sizes) == 256
+        assert max(plan.slice_sizes) - min(plan.slice_sizes) <= 1
+        rng = np.random.default_rng(6)
+        inputs = rng.random((256,) + spec.input_shape).astype(np.float32)
+        first = plan.execute(inputs)
+        # Byte-stable across calls and thread schedules: the merge is ordered
+        # by slice index, never by completion order.
+        for _ in range(2):
+            assert plan.execute(inputs).tobytes() == first.tobytes()
+        seed = model.predict(inputs, use_plan=False)
+        np.testing.assert_allclose(first, seed, rtol=1e-5, atol=1e-6)
+
+    def test_small_batches_stay_monolithic(self):
+        from repro.nn.plan import SlicedForwardPlan
+
+        model = network_table()["mnist_reduced"].builder()
+        plan = compile_plan(model, 32, fused=True, slice_workers=3)
+        assert not isinstance(plan, SlicedForwardPlan)
+
+
 class TestPlanErrors:
     def test_unbuilt_model_rejected(self):
         model = Sequential([Dense(4, seed=0)])

@@ -62,10 +62,17 @@ class TestInferenceEngine:
     def test_predictions_match_direct_forward(self, sync_service, rng):
         service, entry = sync_service
         samples = rng.random((5,) + entry.model.input_shape).astype(np.float32)
-        expected = entry.model.predict(samples)
+        expected = entry.model.predict(samples, use_plan=False)
         with service:
             outputs = service.predict(entry.name, samples, timeout=10.0)
-        np.testing.assert_allclose(outputs, expected, rtol=1e-6, atol=1e-7)
+        # Served through the certified-fused default: tolerance-equivalent to
+        # the seed forward (the ULP certification bounds the divergence) and
+        # byte-identical to a fused predict of the same batch.
+        np.testing.assert_allclose(outputs, expected, rtol=1e-5, atol=1e-6)
+        assert (
+            outputs.tobytes()
+            == entry.model.predict(samples, fused=True).tobytes()
+        )
 
     def test_latency_and_stats_recorded(self, sync_service, rng):
         service, entry = sync_service
@@ -147,15 +154,45 @@ class TestInferenceEngine:
         assert entry.stats.samples_served == 1
         assert entry.stats.samples_padded == 3
 
-    def test_engine_outputs_match_unbatched_predict_exactly(self, sync_service, rng):
-        # The engine serves through the plan fast path; results must be
-        # byte-identical to a direct (seed-path) forward of the same samples.
-        service, entry = sync_service
+    def test_engine_outputs_match_unbatched_predict_exactly(self, rng):
+        # With fused serving pinned off, the engine serves through the
+        # bit-exact plan and results must be byte-identical to a direct
+        # (seed-path) forward of the same samples.
+        service = SelfHealingService(
+            ServiceConfig(recovery_async=False, fused_forward=False)
+        )
+        entry = service.load_model("mnist_reduced")
         samples = rng.random((5,) + entry.model.input_shape).astype(np.float32)
         with service:
             outputs = service.predict(entry.name, samples, timeout=10.0)
         expected = entry.model.predict(samples, use_plan=False)
         assert outputs.tobytes() == expected.tobytes()
+        assert entry.stats.fused_served == 0
+        assert entry.stats.fused_fallbacks == 0
+
+    def test_fused_default_serves_certified_and_attributes_stats(
+        self, sync_service, rng
+    ):
+        service, entry = sync_service
+        samples = rng.random((5,) + entry.model.input_shape).astype(np.float32)
+        with service:
+            service.predict(entry.name, samples, timeout=10.0)
+        # The default config serves fused behind certification: every request
+        # was answered by a certified fused plan, the (one) calibration run is
+        # accounted, and the uncertified-serve invariant held.
+        assert entry.stats.fused_served == len(samples)
+        assert entry.stats.uncertified_fused_served == 0
+        assert entry.stats.fusion_certifications >= 1
+        assert entry.model.plan_stats.certifications >= 1
+
+    def test_fusion_blocklist_follows_quarantine(self, sync_service):
+        _, entry = sync_service
+        index = entry.parameterized_indices[0]
+        name = entry.model.layers[index].name
+        entry.quarantine([index])
+        assert name in entry.model.fusion_blocklist
+        entry.clear_quarantine([index])
+        assert name not in entry.model.fusion_blocklist
 
 
 class TestPlanRevalidation:

@@ -45,6 +45,44 @@ def activation_result():
     )
 
 
+@pytest.fixture(scope="module")
+def fused_pressure_result():
+    # mnist_bn folds its BatchNorms into the conv kernels, so fused serving
+    # here exercises the full certification surface under weight pressure.
+    return run_soak(
+        network="mnist_bn",
+        duration_seconds=4.0,
+        mean_fault_interval_seconds=0.4,
+        scrub_period_seconds=0.25,
+        request_interval_seconds=0.002,
+        seed=7,
+    )
+
+
+class TestFusedServingSoak:
+    def test_fused_serving_stays_certified_under_pressure(
+        self, fused_pressure_result
+    ):
+        # The certified-fusion invariant (ISSUE satellite): every fused serve
+        # is backed by a passing certificate, no matter how the fault driver
+        # mangles the weights mid-flight.  Corruption invalidates the plan
+        # (stale epoch), recompiles pick up a new digest, and the new digest
+        # either re-certifies or falls back to the bit-exact plan.
+        result = fused_pressure_result
+        assert result.fault_events
+        assert result.fused_served > 0
+        assert result.uncertified_fused_served == 0
+
+    def test_recovery_invariants_hold_with_fusion_on(self, fused_pressure_result):
+        result = fused_pressure_result
+        assert result.all_errors_detected
+        assert result.bit_exact
+        assert result.converged
+        assert result.requests_completed > 0
+        assert result.requests_failed == 0
+        assert result.sla.availability >= 0.99
+
+
 class TestStuckAtSoak:
     def test_persistent_faults_reasserted(self, stuck_at_result):
         fresh = [e for e in stuck_at_result.fault_events if not e.reasserted]

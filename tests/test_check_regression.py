@@ -200,6 +200,79 @@ class TestCheckRegression:
         assert result.returncode == 0
         assert "telemetry overhead gate skipped" in result.stderr
 
+    def _write_fused_entries(self, tmp_path, speedups: dict, serve_ns: float) -> None:
+        _write_all(tmp_path, fresh_ns=100.0)
+        _write_bench(
+            tmp_path / "BENCH_inference.json",
+            [_entry("predict", 100.0)]
+            + [
+                {
+                    "op": f"predict_{name}_b256_fused",
+                    "shape": [256, 8, 8, 1],
+                    "ns_per_op": 1000.0,
+                    "speedup": speedup,
+                }
+                for name, speedup in speedups.items()
+            ],
+        )
+        _write_bench(
+            tmp_path / "BENCH_service.json",
+            [_entry("serve", 100.0), _entry("serve_request_scrub_off", serve_ns)],
+        )
+
+    _FUSED_NETS = ("mnist_reduced", "mnist_bn", "cifar_reduced", "cifar_depthwise")
+
+    def test_fusion_gates_pass(self, tmp_path):
+        self._write_fused_entries(
+            tmp_path, dict.fromkeys(self._FUSED_NETS, 3.5), serve_ns=60_000.0
+        )
+        result = _run(tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "fused b256 speedups" in result.stdout
+        assert "serve_request_scrub_off" in result.stdout
+
+    def test_fused_per_net_floor_fails(self, tmp_path):
+        speedups = dict.fromkeys(self._FUSED_NETS, 3.5)
+        speedups["cifar_reduced"] = 2.0  # below the 2.25x per-net floor
+        self._write_fused_entries(tmp_path, speedups, serve_ns=60_000.0)
+        result = _run(tmp_path)
+        assert result.returncode == 1
+        assert "cifar_reduced" in result.stdout
+        assert "floor" in result.stdout
+
+    def test_fused_median_floor_fails(self, tmp_path):
+        # Every net clears the per-net floor, but the median misses 3x.
+        self._write_fused_entries(
+            tmp_path, dict.fromkeys(self._FUSED_NETS, 2.5), serve_ns=60_000.0
+        )
+        result = _run(tmp_path)
+        assert result.returncode == 1
+        assert "median fused b256 speedup" in result.stdout
+
+    def test_serve_latency_ceiling_fails(self, tmp_path):
+        self._write_fused_entries(
+            tmp_path, dict.fromkeys(self._FUSED_NETS, 3.5), serve_ns=90_000.0
+        )
+        result = _run(tmp_path)
+        assert result.returncode == 1
+        assert "ceiling" in result.stdout
+
+    def test_fusion_gates_skip_when_entries_absent(self, tmp_path):
+        _write_all(tmp_path, fresh_ns=100.0)  # no fused or serve_request ops
+        result = _run(tmp_path)
+        assert result.returncode == 0
+        assert "fused speedup gate skipped" in result.stderr
+        assert "serve latency ceiling skipped" in result.stderr
+
+    def test_update_cannot_relax_fusion_gates(self, tmp_path):
+        # --update rewrites the baseline from the (failing) fresh numbers,
+        # but the hardcoded floors still fail the next gate run.
+        self._write_fused_entries(
+            tmp_path, dict.fromkeys(self._FUSED_NETS, 2.0), serve_ns=90_000.0
+        )
+        assert _run(tmp_path, "--update").returncode == 0
+        assert _run(tmp_path).returncode == 1
+
     def test_repo_baseline_matches_gate_schema(self, tmp_path):
         # The committed baseline must load and cover all four benchmark files.
         sys.path.insert(0, str(SCRIPT.parent))
