@@ -58,6 +58,7 @@ FRESH_FILES = {
     "service": "BENCH_service.json",
     "inference": "BENCH_inference.json",
     "faults": "BENCH_faults.json",
+    "soak": "BENCH_soak.json",
 }
 
 #: Networks whose fused batch-256 speedup the gate enforces (the conv nets

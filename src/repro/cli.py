@@ -21,6 +21,8 @@ experiment:
 * ``soak``           — the fault-pressure scenario (Fig. 12's live
   counterpart): Poisson bit flips against live weights under continuous
   inference, with detection/recovery/bit-exactness and availability reported
+* ``chaos``          — run a named production-shape chaos scenario
+  (trace-driven overload + fault pressure) and exit nonzero on SLO violation
 * ``telemetry``      — pretty-print the latest metrics snapshot from a soak
   started with ``--metrics-out`` (works while the soak is still running)
 
@@ -28,9 +30,12 @@ experiment:
 
 * ``campaign run``    — expand a grid (networks × fault modes × points ×
   schemes × repetitions) and execute the missing trials across worker
-  processes, streaming results into an append-only JSONL store
+  processes, streaming results into an append-only JSONL store; ``--shard
+  k/n`` runs one grid slice for multi-machine fan-out
 * ``campaign status`` — completed/pending trial counts for a grid vs a store
 * ``campaign report`` — fold a store into per-cell summary tables
+* ``campaign merge``  — union shard stores into one (content-keyed, torn
+  lines reconciled) and print the deterministic store digest
 """
 
 from __future__ import annotations
@@ -158,6 +163,27 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve synthetic traffic with the self-healing runtime"
     )
     add_service_arguments(serve)
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for each request's result before counting it "
+        "as timed out (previously hardcoded)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=0,
+        help="bound each model's request queue (0 = unbounded); a full "
+        "queue sheds requests, reported separately from timeouts",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds (unset = none); expired "
+        "requests are dropped before compute and counted as shed",
+    )
 
     soak = subparsers.add_parser(
         "soak", help="fault-pressure soak scenario (live Figure 12 counterpart)"
@@ -196,6 +222,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append metrics snapshots to this JSONL file (~1/s while the "
         "soak runs; watch live with `repro telemetry --metrics PATH`)",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a named chaos scenario and gate it on its SLO "
+        "(exit code 1 on violation)",
+    )
+    from repro.service.traffic import CHAOS_SCENARIOS
+
+    chaos.add_argument(
+        "scenario",
+        choices=sorted(CHAOS_SCENARIOS),
+        help="named production-shape scenario to run",
+    )
+    chaos.add_argument(
+        "--network", default="mnist_reduced", choices=sorted(network_table())
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=4.0, help="seconds of chaos traffic"
+    )
+    chaos.add_argument(
+        "--scrub-period", type=float, default=0.1, help="scrubber period (seconds)"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--trained",
+        action="store_true",
+        help="serve trained weights instead of freshly initialized ones",
+    )
+    chaos.add_argument(
+        "--capacity",
+        type=float,
+        default=None,
+        help="sustained capacity in requests/second (default: measured by a "
+        "calibration run, so overload multiples are machine-independent)",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable result payload instead of tables",
+    )
+    chaos.add_argument(
+        "--trace-out", default=None, help="write the telemetry span trace here"
+    )
+    chaos.add_argument(
+        "--metrics-out", default=None, help="append metrics snapshots here"
     )
 
     telemetry = subparsers.add_parser(
@@ -265,6 +337,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after this many executed trials (simulates interruption)",
     )
+    campaign_run.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="run only grid slice k of n (1-based), e.g. 2/4; run every "
+        "slice into per-shard stores and `campaign merge` them",
+    )
 
     campaign_status_parser = campaign_sub.add_parser(
         "status", help="completed/pending counts for a grid vs a store"
@@ -281,6 +360,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="omit wall-clock columns (byte-identical for any worker count)",
     )
     campaign_report.add_argument("--confidence", type=float, default=0.95)
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge", help="union shard stores into one and print its digest"
+    )
+    campaign_merge.add_argument(
+        "sources", nargs="+", help="shard JSONL store paths to merge"
+    )
+    campaign_merge.add_argument(
+        "--into", required=True, help="destination JSONL store path"
+    )
+    campaign_merge.add_argument(
+        "--with-timing",
+        action="store_true",
+        help="include wall-clock result fields in the printed digest "
+        "(default strips them, so a sharded run hashes equal to a serial one)",
+    )
     return parser
 
 
@@ -413,11 +508,18 @@ def _print_serve(args: argparse.Namespace) -> None:
 
     import numpy as np
 
+    from repro.exceptions import ServiceOverloadError
     from repro.service import SelfHealingService, ServiceConfig
     from repro.service.runtime import latency_percentile
     from repro.types import FLOAT_DTYPE
 
-    service = SelfHealingService(ServiceConfig(scrub_period_seconds=args.scrub_period))
+    service = SelfHealingService(
+        ServiceConfig(
+            scrub_period_seconds=args.scrub_period,
+            max_queue_depth=args.max_queue_depth,
+            default_deadline_seconds=args.deadline,
+        )
+    )
     entry = service.load_model(args.network, trained=args.trained, seed=args.seed)
     pool = (
         np.random.default_rng(args.seed)
@@ -425,20 +527,41 @@ def _print_serve(args: argparse.Namespace) -> None:
         .astype(FLOAT_DTYPE)
     )
     requests = []
+    overloaded = 0
+    timed_out = 0
+    failed = 0
     with service:
         deadline = time.perf_counter() + args.duration
         cursor = 0
         while time.perf_counter() < deadline:
-            requests.append(service.submit(entry.name, pool[cursor % len(pool)]))
+            try:
+                requests.append(service.submit(entry.name, pool[cursor % len(pool)]))
+            except ServiceOverloadError:
+                # Shed at admission (bounded queue / breaker) -- distinct
+                # outcome from a request that was admitted but timed out.
+                overloaded += 1
             cursor += 1
             time.sleep(args.request_interval)
         for request in requests:
-            request.result(timeout=30.0)
-    latencies = [request.latency_seconds or 0.0 for request in requests]
-    throughput = len(requests) / args.duration
+            try:
+                request.result(timeout=args.request_timeout)
+            except TimeoutError:
+                timed_out += 1
+            except BaseException:  # noqa: BLE001 - counted, reported below
+                failed += 1
+    latencies = [
+        request.latency_seconds or 0.0
+        for request in requests
+        if request.done() and not request.failed
+    ]
+    throughput = len(latencies) / args.duration
     rows = [
         {
             "requests": len(requests),
+            "completed": len(latencies),
+            "overloaded": overloaded,
+            "timed_out": timed_out,
+            "failed": failed,
             "rps": throughput,
             "mean_ms": 1e3 * sum(latencies) / max(len(latencies), 1),
             "p99_ms": 1e3 * latency_percentile(latencies, 99),
@@ -492,6 +615,14 @@ def _print_soak(args: argparse.Namespace) -> None:
             precision=6,
         )
     )
+    if result.slo is not None:
+        print(
+            format_table(
+                [result.slo.as_row()],
+                title="SLO (admitted-request availability vs target)",
+                precision=4,
+            )
+        )
     if result.fault_chains:
         rows = [
             {
@@ -517,6 +648,66 @@ def _print_soak(args: argparse.Namespace) -> None:
         print(f"span trace written to {args.trace_out}")
     if args.metrics_out:
         print(f"metrics snapshots appended to {args.metrics_out}")
+
+
+def _print_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import run_chaos_scenario
+
+    result = run_chaos_scenario(
+        args.scenario,
+        duration_seconds=args.duration,
+        seed=args.seed,
+        network=args.network,
+        capacity_rps=args.capacity,
+        trained=args.trained,
+        scrub_period_seconds=args.scrub_period,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+    )
+    if args.json:
+        # Pure JSON on stdout (the payload carries `passed`/`violations`);
+        # the exit code still gates CI.
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        return 0 if result.passed else 1
+    else:
+        soak = result.soak
+        rows = [
+            {
+                "scenario": result.scenario,
+                "capacity_rps": result.capacity_rps,
+                "completed": soak.requests_completed,
+                "failed": soak.requests_failed,
+                "shed_queue": soak.shed_queue_full,
+                "shed_breaker": soak.shed_breaker,
+                "shed_deadline": soak.shed_deadline,
+                "served_degraded": soak.served_degraded,
+                "queue_highwater": soak.queue_depth_highwater,
+                "breaker_opens": soak.breaker_opens,
+                "faults": len(soak.fault_events),
+            }
+        ]
+        print(
+            format_table(
+                rows, title=f"Chaos scenario {result.scenario!r}", precision=1
+            )
+        )
+        if soak.slo is not None:
+            print(
+                format_table(
+                    [soak.slo.as_row()],
+                    title="SLO (admitted-request availability vs target)",
+                    precision=4,
+                )
+            )
+    if result.passed:
+        print(f"SLO PASS: {args.scenario}")
+        return 0
+    print(f"SLO VIOLATION: {args.scenario}")
+    for violation in result.violations:
+        print(f"  - {violation}")
+    return 1
 
 
 def _print_telemetry(args: argparse.Namespace) -> None:
@@ -576,6 +767,19 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     )
 
 
+def _parse_shard(value: Optional[str]) -> Optional[tuple]:
+    """Parse a ``k/n`` shard flag into a 1-based (k, n) tuple."""
+    if value is None:
+        return None
+    try:
+        index, count = (int(part) for part in value.split("/"))
+    except ValueError:
+        raise SystemExit(f"--shard must look like k/n (e.g. 2/4), got {value!r}")
+    if not 1 <= index <= count:
+        raise SystemExit(f"--shard must satisfy 1 <= k <= n, got {value!r}")
+    return (index, count)
+
+
 def _print_campaign(args: argparse.Namespace) -> None:
     if args.campaign_command == "report":
         records = open_store(args.store).records()
@@ -585,13 +789,37 @@ def _print_campaign(args: argparse.Namespace) -> None:
             )
         )
         return
+    if args.campaign_command == "merge":
+        from repro.experiments import merge_stores, store_digest
+        from repro.experiments.campaign import TIMING_RESULT_FIELDS
+
+        summary = merge_stores(args.sources, args.into)
+        print(
+            format_table(
+                [summary.as_row()],
+                title=f"Merged {len(args.sources)} store(s) into {args.into}",
+                precision=0,
+            )
+        )
+        digest = store_digest(
+            args.into,
+            exclude_result_fields=() if args.with_timing else TIMING_RESULT_FIELDS,
+        )
+        print(f"store digest: {digest}")
+        return
     spec = _campaign_spec_from_args(args)
     store = open_store(args.store)
     if args.campaign_command == "status":
         rows = campaign_status(spec, store)
         print(format_table(rows, title=f"Campaign {spec.name!r} status ({store.path})"))
         return
-    summary = run_campaign(spec, store, workers=args.workers, max_trials=args.max_trials)
+    summary = run_campaign(
+        spec,
+        store,
+        workers=args.workers,
+        max_trials=args.max_trials,
+        shard=_parse_shard(args.shard),
+    )
     print(
         format_table(
             [summary.as_row()],
@@ -613,16 +841,21 @@ _HANDLERS = {
     "availability": _print_availability,
     "serve": _print_serve,
     "soak": _print_soak,
+    "chaos": _print_chaos,
     "telemetry": _print_telemetry,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Handlers may return an exit code (``chaos`` returns 1 on SLO violation);
+    ``None`` means success.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    _HANDLERS[args.command](args)
-    return 0
+    code = _HANDLERS[args.command](args)
+    return int(code or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests

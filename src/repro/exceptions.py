@@ -71,3 +71,26 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class ServiceOverloadError(ReproError):
+    """A request was shed by overload protection before it was admitted.
+
+    Raised by :meth:`~repro.service.engine.InferenceEngine.submit` when the
+    model's bounded queue is full (reject policy, or the caller-block wait
+    timed out) or its circuit breaker is open.  ``reason`` carries the shed
+    cause (``"queue_full"`` or ``"breaker_open"``) for accounting.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline expired before it could be served.
+
+    Requests whose deadline has already passed when their batch is cut are
+    dropped before compute and failed with this error (counted as shed, not
+    as a service failure).
+    """

@@ -44,8 +44,11 @@ from repro.experiments.harness import (
 )
 from repro.experiments.results import (
     MemoryResultStore,
+    MergeSummary,
     ResultStore,
+    merge_stores,
     open_store,
+    store_digest,
     trial_key,
 )
 from repro.experiments.injection import (
@@ -82,6 +85,9 @@ __all__ = [
     "ResultStore",
     "open_store",
     "trial_key",
+    "MergeSummary",
+    "merge_stores",
+    "store_digest",
     "ProtectionScheme",
     "ExperimentSetting",
     "SchemeTrialResult",

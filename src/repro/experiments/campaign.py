@@ -695,6 +695,7 @@ def run_campaign(
     *,
     workers: Optional[int] = None,
     max_trials: Optional[int] = None,
+    shard: Optional[tuple[int, int]] = None,
     networks: Optional[Mapping[str, TrainedNetwork]] = None,
     milr_config: Optional[MILRConfig] = None,
 ) -> CampaignRunSummary:
@@ -711,11 +712,25 @@ def run_campaign(
             serial execution.
         max_trials: Stop after this many *executed* trials (used by tests and
             examples to simulate an interrupted campaign).
+        shard: Optional 1-based ``(k, n)`` grid slice: this invocation only
+            considers trials with ``trial_index % n == k - 1``.  The ``n``
+            shards partition the grid exactly, so running every shard (into
+            per-shard stores) and merging with
+            :func:`~repro.experiments.results.merge_stores` reproduces the
+            serial store -- :func:`~repro.experiments.results.store_digest`
+            proves it.
         networks: Optional pre-built networks keyed by name.
         milr_config: Optional MILR configuration override.
     """
     store = open_store(store)
     trials = expand_campaign(spec, networks=networks, milr_config=milr_config)
+    if shard is not None:
+        index, count = shard
+        if count < 1 or not 1 <= index <= count:
+            raise ExperimentError(
+                f"shard must be (k, n) with 1 <= k <= n, got {shard}"
+            )
+        trials = [t for t in trials if t.trial_index % count == index - 1]
     done = store.completed_keys()
     pending = [trial for trial in trials if trial.key not in done]
     already_completed = len(trials) - len(pending)

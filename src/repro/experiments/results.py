@@ -19,10 +19,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Mapping, Union
+from typing import Iterator, Mapping, Optional, Sequence, Union
 
-__all__ = ["trial_key", "ResultStore", "MemoryResultStore", "open_store"]
+__all__ = [
+    "trial_key",
+    "ResultStore",
+    "MemoryResultStore",
+    "open_store",
+    "MergeSummary",
+    "merge_stores",
+    "store_digest",
+]
 
 
 def trial_key(spec: Mapping[str, object]) -> str:
@@ -98,6 +107,25 @@ class ResultStore:
         """Keys of every stored trial."""
         return {record["key"] for record in self._iter_lines()}
 
+    def invalid_line_count(self) -> int:
+        """Non-empty lines that are not valid records (torn tails/shards)."""
+        if not self.path.exists():
+            return 0
+        invalid = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    invalid += 1
+                    continue
+                if not (isinstance(record, dict) and "key" in record):
+                    invalid += 1
+        return invalid
+
     def __len__(self) -> int:
         return len(self.completed_keys())
 
@@ -126,6 +154,9 @@ class MemoryResultStore:
     def completed_keys(self) -> set[str]:
         return {record["key"] for record in self._records}
 
+    def invalid_line_count(self) -> int:
+        return 0
+
     def __len__(self) -> int:
         return len(self.completed_keys())
 
@@ -138,3 +169,98 @@ def open_store(store: StoreLike) -> Union[ResultStore, MemoryResultStore]:
     if isinstance(store, (ResultStore, MemoryResultStore)):
         return store
     return ResultStore(store)
+
+
+# --------------------------------------------------------------------------- #
+# Shard merging and deterministic store comparison
+
+
+@dataclass(frozen=True)
+class MergeSummary:
+    """What one :func:`merge_stores` call did."""
+
+    destination: Optional[str]
+    sources: tuple
+    #: Records newly written to the destination.
+    records_merged: int
+    #: Records skipped because their key was already present (in the
+    #: destination or an earlier source -- first record wins, as everywhere).
+    duplicates_skipped: int
+    #: Torn/garbage lines encountered across the sources (a shard killed
+    #: mid-append leaves at most one; the merge simply does not carry it over).
+    invalid_lines_skipped: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "destination": self.destination or "<memory>",
+            "sources": len(self.sources),
+            "merged": self.records_merged,
+            "duplicates": self.duplicates_skipped,
+            "invalid_lines": self.invalid_lines_skipped,
+        }
+
+
+def merge_stores(sources: Sequence[StoreLike], destination: StoreLike) -> MergeSummary:
+    """Union shard stores into ``destination`` (first record per key wins).
+
+    The store format makes this trivially safe: records are content-keyed, so
+    the union of shards that each ran a disjoint grid slice equals the store
+    a serial run would have produced (modulo record order and wall-clock
+    fields -- compare with :func:`store_digest`).  Torn tails from killed
+    shards are reconciled by omission: an unparseable line never reaches the
+    destination, and the trial it would have recorded simply stays pending.
+    """
+    dest = open_store(destination)
+    seen = set(dest.completed_keys())
+    merged = duplicates = invalid = 0
+    opened = [open_store(source) for source in sources]
+    for store in opened:
+        invalid += store.invalid_line_count()
+        for record in store.records():
+            if record["key"] in seen:
+                duplicates += 1
+                continue
+            seen.add(record["key"])
+            dest.append(record)
+            merged += 1
+    return MergeSummary(
+        destination=str(dest.path) if dest.path is not None else None,
+        sources=tuple(
+            str(store.path) if store.path is not None else "<memory>"
+            for store in opened
+        ),
+        records_merged=merged,
+        duplicates_skipped=duplicates,
+        invalid_lines_skipped=invalid,
+    )
+
+
+def store_digest(
+    store: StoreLike, exclude_result_fields: Sequence[str] = ()
+) -> str:
+    """Content hash of a store's deduplicated records, order-independent.
+
+    Records are sorted by key and canonically JSON-encoded, so two stores
+    with the same trial outcomes hash identically no matter how the records
+    were interleaved (serial run, sharded run, merge order).  Pass the
+    campaign's ``TIMING_RESULT_FIELDS`` as ``exclude_result_fields`` to strip
+    wall-clock measurements, which legitimately differ between runs -- the
+    remaining payload is a pure function of the trial specs, which is what
+    makes ``digest(serial) == digest(merged shards)`` a meaningful equality.
+    """
+    excluded = frozenset(exclude_result_fields)
+    records = sorted(open_store(store).records(), key=lambda r: r["key"])
+    if excluded:
+        records = [
+            {
+                **record,
+                "result": {
+                    k: v
+                    for k, v in record.get("result", {}).items()
+                    if k not in excluded
+                },
+            }
+            for record in records
+        ]
+    canonical = json.dumps(records, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -195,6 +195,39 @@ class Telemetry:
         self.lifecycle.on_degrade(model_name, layer_index, timestamp)
 
     # ------------------------------------------------------------------ #
+    # Overload-protection hooks
+    # ------------------------------------------------------------------ #
+    def request_shed(self, model_name: str, reason: str) -> None:
+        """One request was shed at admission or dropped at its deadline."""
+        if not self.enabled:
+            return
+        self.metrics.counter(
+            "repro_requests_shed_total", model=model_name, reason=reason
+        ).inc()
+
+    def breaker_transition(
+        self, model_name: str, from_state: str, to_state: str, timestamp: float,
+        reason: str = "",
+    ) -> None:
+        """A model's circuit breaker changed state (point span + counter)."""
+        if not self.enabled:
+            return
+        self.metrics.counter(
+            "repro_breaker_transitions_total", model=model_name, to=to_state
+        ).inc()
+        self.tracer.record(
+            "breaker.transition",
+            start=timestamp,
+            end=timestamp,
+            attrs={
+                "model": model_name,
+                "from": from_state,
+                "to": to_state,
+                "reason": reason,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
     # Snapshot / export
     # ------------------------------------------------------------------ #
     def collect(self, registry) -> None:
@@ -238,6 +271,14 @@ class Telemetry:
                     "repro_detect_localize_cache_misses", det.localize_cache_misses
                 )
                 gauge("repro_detect_localize_clean_skips", det.localize_clean_skips)
+            gauge("repro_serve_requests_shed", stats.requests_shed)
+            gauge("repro_serve_served_degraded", stats.served_degraded)
+            gauge("repro_queue_depth_highwater", stats.queue_depth_highwater)
+            breaker = getattr(entry, "breaker", None)
+            if breaker is not None:
+                gauge("repro_breaker_open", 1.0 if breaker.state == "open" else 0.0)
+                gauge("repro_breaker_opens", breaker.opens)
+                gauge("repro_breaker_shed", breaker.shed)
             gauge("repro_quarantined_layers", len(entry.quarantined))
             gauge("repro_degraded_layers", len(entry.degraded))
             gauge("repro_blacklisted_cells", entry.blacklisted_cell_count)

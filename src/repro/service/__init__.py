@@ -14,8 +14,12 @@ evaluated with measured detection/recovery times instead of assumptions.
 * :mod:`repro.service.repair` -- verified bit-exact repair refinement
 * :mod:`repro.service.sla` -- live availability / minimum-accuracy tracking
 * :mod:`repro.service.pressure` -- Poisson bit-flip fault driver
-* :mod:`repro.service.runtime` -- the :class:`SelfHealingService` facade and
-  the :func:`run_soak` scenario harness
+* :mod:`repro.service.traffic` -- composable trace-driven traffic shapes,
+  the deterministic admission simulation and the named chaos scenarios
+* :mod:`repro.service.breaker` -- per-model circuit breaker (early load
+  shedding under latency/fault stress)
+* :mod:`repro.service.runtime` -- the :class:`SelfHealingService` facade,
+  the :func:`run_soak` scenario harness and :func:`run_chaos_scenario`
 
 Observability for the whole stack lives in :mod:`repro.obs` (re-exported
 here for convenience): every component above reports into one
@@ -42,9 +46,32 @@ from repro.service.repair import (
     sparse_bias_repair,
     sparse_kernel_repair,
 )
-from repro.service.runtime import SelfHealingService, SoakResult, run_soak
+from repro.service.breaker import CircuitBreaker
+from repro.service.runtime import (
+    ChaosRunResult,
+    SelfHealingService,
+    SoakResult,
+    calibrate_capacity,
+    run_chaos_scenario,
+    run_soak,
+)
 from repro.service.scrubber import Scrubber
-from repro.service.sla import SLAReport, SLATracker
+from repro.service.sla import SLAReport, SLATracker, SLOReport
+from repro.service.traffic import (
+    CHAOS_SCENARIOS,
+    Arrival,
+    BurstTraffic,
+    ChaosScenario,
+    ConstantTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    RampTraffic,
+    ReplayTrace,
+    SuperposedTraffic,
+    Trace,
+    TrafficShape,
+    simulate_admission,
+)
 
 __all__ = [
     "ServiceConfig",
@@ -70,6 +97,24 @@ __all__ = [
     "SelfHealingService",
     "SoakResult",
     "run_soak",
+    "ChaosRunResult",
+    "run_chaos_scenario",
+    "calibrate_capacity",
+    "CircuitBreaker",
+    "SLOReport",
+    "Arrival",
+    "Trace",
+    "TrafficShape",
+    "ConstantTraffic",
+    "PoissonTraffic",
+    "DiurnalTraffic",
+    "BurstTraffic",
+    "RampTraffic",
+    "ReplayTrace",
+    "SuperposedTraffic",
+    "simulate_admission",
+    "ChaosScenario",
+    "CHAOS_SCENARIOS",
     "Telemetry",
     "TelemetryConfig",
     "FaultChainSummary",

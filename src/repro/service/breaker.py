@@ -1,0 +1,186 @@
+"""Per-model circuit breaker: early load shedding under latency/fault stress.
+
+The breaker sits in front of a model's request queue.  While *closed* it
+admits everything and keeps a rolling window of completed-request latencies;
+it trips *open* when the window's p99 crosses its threshold or the model's
+quarantine depth reaches its bound (recovery is struggling -- shedding early
+beats queueing requests that will time out anyway).  Open state sheds at
+admission for an exponentially backed-off interval with seeded uniform
+jitter, then goes *half-open*: a bounded number of probe requests are
+admitted, and one full probe round completing under the latency threshold
+closes the breaker (and resets the backoff) while any probe failure re-opens
+it with a doubled backoff.
+
+The jitter RNG is seeded per breaker, so a chaos run's breaker transitions
+are reproducible given the scenario seed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.service.config import ServiceConfig
+
+__all__ = ["CircuitBreaker"]
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+#: Recompute the cached rolling p99 every this many latency records; the
+#: admission path then only reads the cache instead of paying a percentile
+#: per submit.
+_P99_REFRESH_INTERVAL = 32
+
+
+class CircuitBreaker:
+    """Latency/quarantine-tripped admission breaker for one model."""
+
+    def __init__(
+        self,
+        model_name: str,
+        config: ServiceConfig,
+        seed: int = 0,
+        telemetry=None,
+        clock=time.perf_counter,
+    ):
+        self.model_name = model_name
+        self._config = config
+        self._telemetry = telemetry
+        self._clock = clock
+        self._rng = np.random.default_rng(np.random.SeedSequence(seed))
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._latencies: list[float] = []
+        self._cursor = 0
+        self._records_since_refresh = 0
+        self._p99_cache = 0.0
+        self._backoff = config.breaker_backoff_seconds
+        self._reopen_at = 0.0
+        self._probes_in_flight = 0
+        self._probes_succeeded = 0
+        #: Transition counters (monotonic; read by reports/telemetry collect).
+        self.opens = 0
+        self.closes = 0
+        self.shed = 0
+        #: Clock time of the first trip (0.0 if the breaker never opened) --
+        #: the chaos benchmarks measure reaction time from it.
+        self.first_opened_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def rolling_p99(self) -> float:
+        """Cached rolling-window p99 latency (seconds)."""
+        with self._lock:
+            return self._p99_cache
+
+    # ------------------------------------------------------------------ #
+    def allow(self, quarantine_depth: int = 0) -> bool:
+        """Admission check: may a new request enter the queue right now?"""
+        config = self._config
+        with self._lock:
+            now = self._clock()
+            if self._state == STATE_CLOSED:
+                if (
+                    quarantine_depth >= config.breaker_quarantine_depth
+                    or (
+                        len(self._latencies) >= config.breaker_min_samples
+                        and self._p99_cache > config.breaker_p99_threshold_seconds
+                    )
+                ):
+                    self._trip(now, reason=(
+                        "quarantine_depth"
+                        if quarantine_depth >= config.breaker_quarantine_depth
+                        else "p99_latency"
+                    ))
+                    self.shed += 1
+                    return False
+                return True
+            if self._state == STATE_OPEN:
+                if now < self._reopen_at:
+                    self.shed += 1
+                    return False
+                self._transition(STATE_HALF_OPEN, now, reason="backoff_elapsed")
+                self._probes_in_flight = 0
+                self._probes_succeeded = 0
+            # Half-open: admit a bounded probe round.
+            if self._probes_in_flight < config.breaker_half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.shed += 1
+            return False
+
+    def record(self, latency_seconds: float, failed: bool = False) -> None:
+        """Account one finished (or failed) admitted request."""
+        config = self._config
+        with self._lock:
+            if not failed:
+                if len(self._latencies) < config.breaker_window:
+                    self._latencies.append(latency_seconds)
+                else:
+                    self._latencies[self._cursor] = latency_seconds
+                    self._cursor = (self._cursor + 1) % config.breaker_window
+                self._records_since_refresh += 1
+                if self._records_since_refresh >= _P99_REFRESH_INTERVAL:
+                    self._refresh_p99()
+            now = self._clock()
+            if self._state != STATE_HALF_OPEN:
+                return
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            if failed or latency_seconds > config.breaker_p99_threshold_seconds:
+                self._trip(now, reason="probe_failed")
+                return
+            self._probes_succeeded += 1
+            if self._probes_succeeded >= config.breaker_half_open_probes:
+                self._transition(STATE_CLOSED, now, reason="probes_passed")
+                self._backoff = config.breaker_backoff_seconds
+                self._latencies.clear()
+                self._cursor = 0
+                self._p99_cache = 0.0
+                self._records_since_refresh = 0
+                self.closes += 1
+
+    # ------------------------------------------------------------------ #
+    def _refresh_p99(self) -> None:
+        self._records_since_refresh = 0
+        if self._latencies:
+            self._p99_cache = float(np.percentile(np.asarray(self._latencies), 99))
+
+    def _trip(self, now: float, reason: str) -> None:
+        """Enter (or re-enter) the open state with jittered backoff."""
+        jitter = float(self._rng.uniform(0.0, self._config.breaker_jitter)) * self._backoff
+        self._reopen_at = now + self._backoff + jitter
+        self._backoff = min(
+            self._backoff * 2.0, self._config.breaker_backoff_max_seconds
+        )
+        if self.opens == 0:
+            self.first_opened_at = now
+        self.opens += 1
+        self._transition(STATE_OPEN, now, reason=reason)
+
+    def _transition(self, state: str, now: float, reason: str) -> None:
+        previous = self._state
+        self._state = state
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.enabled and previous != state:
+            telemetry.breaker_transition(self.model_name, previous, state, now, reason)
+
+    def snapshot(self) -> dict:
+        """State dump for reports (lock-consistent)."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "opens": self.opens,
+                "closes": self.closes,
+                "shed": self.shed,
+                "rolling_p99_seconds": self._p99_cache,
+                "backoff_seconds": self._backoff,
+                "first_opened_at": self.first_opened_at,
+            }

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.nn.plan import DEFAULT_ULP_BOUND
 from repro.obs.telemetry import TelemetryConfig
@@ -82,6 +83,53 @@ class ServiceConfig:
             codes make convolution repair self-contained -- corrupted words
             are localized and their bit-flip corrections verified without
             golden passes through (possibly corrupted) neighbour layers.
+        max_queue_depth: Bound of each model's request queue.  ``0`` (the
+            default) keeps the legacy unbounded queue; with a bound set, the
+            admission controller applies ``admission_policy`` when the queue
+            is full instead of letting backlog (and memory) grow without
+            limit under overload.
+        admission_policy: What ``submit`` does when a bounded queue is full:
+            ``"reject"`` raises :class:`~repro.exceptions.ServiceOverloadError`
+            immediately (load shedding); ``"block"`` waits up to
+            ``admission_block_timeout_seconds`` for space, then raises the
+            same error.  Ignored while ``max_queue_depth`` is 0.
+        admission_block_timeout_seconds: Longest a ``"block"``-policy submit
+            waits for queue space before shedding the request.
+        default_deadline_seconds: Deadline attached to every request that
+            does not pass one explicitly (``None`` = no deadline).  Requests
+            whose deadline has already passed when their batch is cut are
+            dropped before compute and counted as shed.
+        deadline_batch_cut: Cut a batch early when the oldest queued
+            request's latency budget is half spent (instead of always
+            waiting the full ``batch_timeout_seconds``), so batching never
+            pushes a request past its deadline just to fill occupancy.
+            Only has an effect on requests that carry deadlines.
+        breaker_enabled: Arm a per-model :class:`~repro.service.breaker.
+            CircuitBreaker` that sheds load at admission when the model's
+            rolling p99 latency or quarantine depth crosses its threshold,
+            then probes recovery half-open after a seeded-jitter exponential
+            backoff.  Off by default (chaos/overload deployments opt in).
+        breaker_p99_threshold_seconds: Rolling-window p99 latency above which
+            the breaker opens.
+        breaker_quarantine_depth: Quarantined-layer count at or above which
+            the breaker opens (early shed while recovery is in flight).
+        breaker_window: Completed-request latencies retained in the rolling
+            window the p99 is computed over.
+        breaker_min_samples: Latency samples required before the p99 trip
+            condition is evaluated (prevents opening on the first slow
+            request after start).
+        breaker_backoff_seconds: Initial open-state backoff before the first
+            half-open probe round; doubles on every failed probe round.
+        breaker_backoff_max_seconds: Cap of the exponential backoff.
+        breaker_half_open_probes: Requests admitted per half-open probe
+            round; the round must complete them all under the p99 threshold
+            to close the breaker.
+        breaker_jitter: Fraction of the backoff added as seeded uniform
+            jitter to each reopen delay (decorrelates probe storms across
+            models).
+        slo_availability_target: Availability objective of admitted requests
+            used by :class:`~repro.service.sla.SLOReport` for error-budget
+            burn accounting.  Must be in ``(0, 1)``.
         repeat_offender_threshold: Number of bit-exact repairs of the *same
             memory cell* (word index, bit position) of a layer after which the
             scrubber blacklists the cell as stuck-at hardware: the golden word
@@ -114,6 +162,21 @@ class ServiceConfig:
     recovery_async: bool = True
     store_conv_crc: bool = True
     repeat_offender_threshold: int = 2
+    max_queue_depth: int = 0
+    admission_policy: str = "reject"
+    admission_block_timeout_seconds: float = 1.0
+    default_deadline_seconds: Optional[float] = None
+    deadline_batch_cut: bool = True
+    breaker_enabled: bool = False
+    breaker_p99_threshold_seconds: float = 0.25
+    breaker_quarantine_depth: int = 4
+    breaker_window: int = 256
+    breaker_min_samples: int = 32
+    breaker_backoff_seconds: float = 0.1
+    breaker_backoff_max_seconds: float = 2.0
+    breaker_half_open_probes: int = 8
+    breaker_jitter: float = 0.2
+    slo_availability_target: float = 0.99
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
@@ -141,3 +204,31 @@ class ServiceConfig:
             raise ValueError("yearly_accuracy_floor must be in [0, 1]")
         if self.repeat_offender_threshold < 1:
             raise ValueError("repeat_offender_threshold must be at least 1")
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative (0 = unbounded)")
+        if self.admission_policy not in ("reject", "block"):
+            raise ValueError("admission_policy must be 'reject' or 'block'")
+        if self.admission_block_timeout_seconds <= 0:
+            raise ValueError("admission_block_timeout_seconds must be positive")
+        if self.default_deadline_seconds is not None and self.default_deadline_seconds <= 0:
+            raise ValueError("default_deadline_seconds must be positive (or None)")
+        if self.breaker_p99_threshold_seconds <= 0:
+            raise ValueError("breaker_p99_threshold_seconds must be positive")
+        if self.breaker_quarantine_depth < 1:
+            raise ValueError("breaker_quarantine_depth must be at least 1")
+        if self.breaker_window < 1:
+            raise ValueError("breaker_window must be at least 1")
+        if self.breaker_min_samples < 1:
+            raise ValueError("breaker_min_samples must be at least 1")
+        if self.breaker_backoff_seconds <= 0:
+            raise ValueError("breaker_backoff_seconds must be positive")
+        if self.breaker_backoff_max_seconds < self.breaker_backoff_seconds:
+            raise ValueError(
+                "breaker_backoff_max_seconds must be at least breaker_backoff_seconds"
+            )
+        if self.breaker_half_open_probes < 1:
+            raise ValueError("breaker_half_open_probes must be at least 1")
+        if not 0.0 <= self.breaker_jitter <= 1.0:
+            raise ValueError("breaker_jitter must be in [0, 1]")
+        if not 0.0 < self.slo_availability_target < 1.0:
+            raise ValueError("slo_availability_target must be in (0, 1)")

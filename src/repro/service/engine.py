@@ -12,6 +12,17 @@ Worker loop contract: a batch only executes while the model's quarantine set
 is empty.  The worker takes the model lock, waits on the health condition if
 needed, and runs the forward pass under the lock -- so recovery never rewrites
 weights mid-batch and no request is answered through a quarantined layer.
+
+Overload protection: with ``ServiceConfig.max_queue_depth`` set, each model's
+queue is bounded and :meth:`InferenceEngine.submit` becomes an admission
+controller -- a full queue either rejects the request with
+:class:`~repro.exceptions.ServiceOverloadError` or blocks the caller for a
+bounded wait, and an armed circuit breaker sheds at admission when p99
+latency or quarantine depth trips it.  Requests may carry deadlines: the
+batch cut happens no later than half the oldest request's remaining budget,
+and a request whose deadline already passed when its batch is assembled is
+dropped before compute (counted as shed, failed with
+:class:`~repro.exceptions.DeadlineExceededError`).
 """
 
 from __future__ import annotations
@@ -23,7 +34,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.exceptions import ExperimentError, ShapeError
+from repro.exceptions import (
+    DeadlineExceededError,
+    ExperimentError,
+    ServiceOverloadError,
+    ShapeError,
+)
 from repro.service.config import ServiceConfig
 from repro.service.registry import ManagedModel, ModelRegistry
 from repro.types import FLOAT_DTYPE
@@ -41,6 +57,7 @@ class InferenceRequest:
         "model_name",
         "sample",
         "enqueued_at",
+        "deadline",
         "completed_at",
         "latency_seconds",
         "_done",
@@ -48,10 +65,21 @@ class InferenceRequest:
         "_error",
     )
 
-    def __init__(self, model_name: str, sample: np.ndarray):
+    def __init__(
+        self,
+        model_name: str,
+        sample: np.ndarray,
+        deadline_seconds: Optional[float] = None,
+    ):
         self.model_name = model_name
         self.sample = sample
         self.enqueued_at = time.perf_counter()
+        #: Absolute monotonic-clock deadline (``None`` = no deadline).
+        self.deadline: Optional[float] = (
+            self.enqueued_at + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
         self.completed_at: Optional[float] = None
         self.latency_seconds: Optional[float] = None
         self._done = threading.Event()
@@ -105,6 +133,13 @@ class InferenceEngine:
         self._workers: dict[str, threading.Thread] = {}
         self._running = False
         self._lock = threading.Lock()
+        #: Guards shed-counter bumps (entry.lock would serialize admission
+        #: behind in-flight batch compute; self._lock is sometimes held when
+        #: a shed happens, so neither can cover this path).
+        self._shed_lock = threading.Lock()
+        #: Models whose worker thread died with an unexpected exception;
+        #: submits against them fail fast instead of queueing forever.
+        self._dead_workers: set[str] = set()
 
     @property
     def running(self) -> bool:
@@ -117,6 +152,7 @@ class InferenceEngine:
             if self._running:
                 return
             self._running = True
+            self._dead_workers.clear()
             for entry in self._registry:
                 self._start_worker(entry)
 
@@ -127,7 +163,8 @@ class InferenceEngine:
                 self._start_worker(entry)
 
     def _start_worker(self, entry: ManagedModel) -> None:
-        q: "queue.Queue" = queue.Queue()
+        # maxsize=0 (the default config) keeps the legacy unbounded queue.
+        q: "queue.Queue" = queue.Queue(maxsize=self._config.max_queue_depth)
         worker = threading.Thread(
             target=self._worker_loop,
             args=(entry, q),
@@ -169,26 +206,143 @@ class InferenceEngine:
                     item._fail(ExperimentError("inference engine stopped"))
 
     # ------------------------------------------------------------------ #
-    def submit(self, model_name: str, sample: np.ndarray) -> InferenceRequest:
-        """Enqueue one sample; returns a request handle with ``result()``."""
+    @staticmethod
+    def _abort_probe(breaker) -> None:
+        """Tell the breaker an admitted-by-``allow`` request never queued.
+
+        A half-open breaker counts every ``allow`` as an in-flight probe; an
+        admission that fails afterwards (queue full, engine stopping, dead
+        worker) must report the probe as failed or the probe budget leaks and
+        the breaker sheds forever in half-open.
+        """
+        if breaker is not None:
+            breaker.record(0.0, failed=True)
+
+    def _shed(self, entry: ManagedModel, reason: str, count: int = 1) -> None:
+        """Account ``count`` shed requests against one model."""
+        with self._shed_lock:
+            stats = entry.stats
+            if reason == "queue_full":
+                stats.shed_queue_full += count
+            elif reason == "breaker_open":
+                stats.shed_breaker += count
+            else:
+                stats.shed_deadline += count
+        entry.tracker.record_shed(reason, count)
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.enabled:
+            for _ in range(count):
+                telemetry.request_shed(entry.name, reason)
+
+    def submit(
+        self,
+        model_name: str,
+        sample: np.ndarray,
+        deadline_seconds: Optional[float] = None,
+    ) -> InferenceRequest:
+        """Enqueue one sample; returns a request handle with ``result()``.
+
+        Raises :class:`ServiceOverloadError` when overload protection sheds
+        the request (full bounded queue under the ``"reject"`` policy, block
+        timeout expiry under ``"block"``, or an open circuit breaker), and
+        :class:`ExperimentError` when the engine is stopped or the model's
+        worker has died.  ``deadline_seconds`` (default
+        ``ServiceConfig.default_deadline_seconds``) starts the request's
+        latency budget at admission.
+        """
         entry = self._registry.get(model_name)
+        config = self._config
         sample = np.asarray(sample, dtype=FLOAT_DTYPE)
         if sample.shape != entry.model.input_shape:
             raise ShapeError(
                 f"model {model_name!r} expects per-sample shape "
                 f"{entry.model.input_shape}, got {sample.shape}"
             )
-        request = InferenceRequest(model_name, sample)
+        breaker = entry.breaker
+        if breaker is not None and not breaker.allow(len(entry.quarantined)):
+            self._shed(entry, "breaker_open")
+            raise ServiceOverloadError(
+                f"model {model_name!r} circuit breaker is open",
+                reason="breaker_open",
+            )
+        if deadline_seconds is None:
+            deadline_seconds = config.default_deadline_seconds
+        request = InferenceRequest(model_name, sample, deadline_seconds)
         # Enqueue under the engine lock: a concurrent stop() (which also takes
         # the lock) can then never drain-and-join between our running check
         # and the put, which would strand the request until its timeout.
+        blocked = False
         with self._lock:
             if not self._running:
+                self._abort_probe(breaker)
                 raise ExperimentError("inference engine is not running")
+            if model_name in self._dead_workers:
+                self._abort_probe(breaker)
+                raise ExperimentError(
+                    f"worker for model {model_name!r} died; restart the engine"
+                )
             q = self._queues.get(model_name)
             if q is None:
+                self._abort_probe(breaker)
                 raise ExperimentError(f"no worker running for model {model_name!r}")
-            q.put(request)
+            try:
+                q.put_nowait(request)
+            except queue.Full:
+                if config.admission_policy == "reject":
+                    self._shed(entry, "queue_full")
+                    self._abort_probe(breaker)
+                    raise ServiceOverloadError(
+                        f"model {model_name!r} queue is full "
+                        f"(depth {config.max_queue_depth})",
+                        reason="queue_full",
+                    ) from None
+                blocked = True
+            else:
+                depth = q.qsize()
+                if depth > entry.stats.queue_depth_highwater:
+                    entry.stats.queue_depth_highwater = depth
+        if blocked:
+            # Block policy: wait for queue space OUTSIDE the engine lock so a
+            # full queue behind a quarantine-wedged worker can never hold up
+            # stop() or other models' submits.  Short put timeouts let us
+            # re-check for shutdown/worker death while waiting.
+            give_up = time.perf_counter() + config.admission_block_timeout_seconds
+            while True:
+                remaining = give_up - time.perf_counter()
+                if remaining <= 0:
+                    self._shed(entry, "queue_full")
+                    self._abort_probe(breaker)
+                    raise ServiceOverloadError(
+                        f"model {model_name!r} queue stayed full for "
+                        f"{config.admission_block_timeout_seconds}s",
+                        reason="queue_full",
+                    )
+                if not self._running or model_name in self._dead_workers:
+                    self._abort_probe(breaker)
+                    raise ExperimentError(
+                        "inference engine stopped while waiting for queue space"
+                    )
+                try:
+                    q.put(request, timeout=min(0.05, remaining))
+                    break
+                except queue.Full:
+                    continue
+            with self._lock:
+                depth = q.qsize()
+                if depth > entry.stats.queue_depth_highwater:
+                    entry.stats.queue_depth_highwater = depth
+                if not request.done() and (
+                    not self._running or model_name in self._dead_workers
+                ):
+                    # stop() or a worker death may have drained the queue
+                    # before our put landed; fail the request rather than
+                    # strand it to its timeout.
+                    request._fail(
+                        ExperimentError(
+                            "inference engine stopped while the request was queued"
+                        )
+                    )
+        entry.tracker.record_admitted()
         return request
 
     # ------------------------------------------------------------------ #
@@ -266,6 +420,16 @@ class InferenceEngine:
                     entry.stats.fusion_certifications += 1
 
     def _worker_loop(self, entry: ManagedModel, q: "queue.Queue") -> None:
+        try:
+            self._serve_loop(entry, q)
+        except BaseException:
+            # The worker died with an unexpected error (not the clean _STOP
+            # path).  Fail everything still queued and poison future submits
+            # so callers fail fast instead of queueing against a dead model.
+            self._on_worker_death(entry, q)
+            raise
+
+    def _serve_loop(self, entry: ManagedModel, q: "queue.Queue") -> None:
         config = self._config
         instruments = self._instruments(entry)
         self._warm_plans(entry)
@@ -274,10 +438,18 @@ class InferenceEngine:
             if item is _STOP:
                 return
             batch = [item]
-            deadline = time.perf_counter() + config.batch_timeout_seconds
+            now = time.perf_counter()
+            cut = now + config.batch_timeout_seconds
+            if config.deadline_batch_cut and item.deadline is not None:
+                # Deadline-aware cut: stop gathering once the oldest request
+                # has spent half its latency budget, leaving the other half
+                # for compute instead of letting a sparse queue burn it all
+                # waiting for batch-mates.
+                half_spent = item.enqueued_at + 0.5 * (item.deadline - item.enqueued_at)
+                cut = min(cut, half_spent)
             stopping = False
             while len(batch) < config.max_batch:
-                remaining = deadline - time.perf_counter()
+                remaining = cut - time.perf_counter()
                 if remaining <= 0:
                     break
                 try:
@@ -288,9 +460,56 @@ class InferenceEngine:
                     stopping = True
                     break
                 batch.append(extra)
-            self._execute(entry, batch, instruments)
+            batch = self._drop_expired(entry, batch)
+            if batch:
+                self._execute(entry, batch, instruments)
             if stopping:
                 return
+
+    def _drop_expired(
+        self, entry: ManagedModel, batch: list[InferenceRequest]
+    ) -> list[InferenceRequest]:
+        """Drop deadline-passed requests before compute; they count as shed."""
+        now = time.perf_counter()
+        live = [r for r in batch if r.deadline is None or now < r.deadline]
+        expired = len(batch) - len(live)
+        if expired:
+            breaker = entry.breaker
+            for request in batch:
+                if request.deadline is not None and now >= request.deadline:
+                    request._fail(
+                        DeadlineExceededError(
+                            f"request against model {entry.name!r} missed its "
+                            "deadline before compute"
+                        )
+                    )
+                    if breaker is not None:
+                        breaker.record(0.0, failed=True)
+            self._shed(entry, "deadline", expired)
+        return live
+
+    def _on_worker_death(self, entry: ManagedModel, q: "queue.Queue") -> None:
+        # Mark dead under the engine lock FIRST: any submit serialized after
+        # this point fails fast, and any put that already landed is drained
+        # below -- no request can be stranded in between.
+        with self._lock:
+            self._dead_workers.add(entry.name)
+        failures = 0
+        while True:
+            try:
+                item = q.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            item._fail(
+                ExperimentError(f"inference worker for model {entry.name!r} died")
+            )
+            failures += 1
+        if failures:
+            with entry.lock:
+                entry.stats.requests_failed += failures
+            entry.tracker.record_request_failures(failures)
 
     def _execute(
         self,
@@ -334,6 +553,11 @@ class InferenceEngine:
                 outputs = outputs[: len(batch)]
                 entry.stats.batches_executed += 1
                 entry.stats.samples_served += len(batch)
+                # A serve through repaired-but-inexact (degraded) layers still
+                # answers, but the SLO report separates it from healthy serves.
+                degraded_serving = bool(entry.degraded)
+                if degraded_serving:
+                    entry.stats.served_degraded += len(batch)
                 mode = serve_info["mode"]
                 if mode == "fused":
                     entry.stats.fused_served += len(batch)
@@ -348,6 +572,11 @@ class InferenceEngine:
                 entry.stats.requests_failed += len(batch)
             for request in batch:
                 request._fail(error)
+            entry.tracker.record_request_failures(len(batch))
+            breaker = entry.breaker
+            if breaker is not None:
+                for _ in batch:
+                    breaker.record(0.0, failed=True)
             if instruments is not None:
                 instruments["failed"].inc(len(batch))
                 instruments["tracer"].record(
@@ -363,22 +592,25 @@ class InferenceEngine:
         completed_at = time.perf_counter()
         for request, output in zip(batch, outputs):
             request._complete(output, at=completed_at)
+        latencies = [request.latency_seconds or 0.0 for request in batch]
         with entry.lock:
             entry.stats.requests_completed += len(batch)
-            for request in batch:
-                latency = request.latency_seconds or 0.0
+            for latency in latencies:
                 entry.stats.total_latency_seconds += latency
                 entry.stats.max_latency_seconds = max(
                     entry.stats.max_latency_seconds, latency
                 )
+        entry.tracker.record_served(len(batch), degraded_serving, latencies)
+        breaker = entry.breaker
+        if breaker is not None:
+            for latency in latencies:
+                breaker.record(latency)
         if instruments is not None:
             ended = time.perf_counter()
             instruments["batches"].inc()
             instruments["requests"].inc(len(batch))
             instruments["batch_seconds"].observe(ended - began)
-            instruments["request_seconds"].observe_many(
-                [request.latency_seconds or 0.0 for request in batch]
-            )
+            instruments["request_seconds"].observe_many(latencies)
             mode = serve_info["mode"]
             if mode == "fused":
                 instruments["fused"].inc(len(batch))

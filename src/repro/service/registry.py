@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from dataclasses import replace as dataclass_replace
 from typing import Iterable, Iterator, Optional
@@ -69,6 +70,25 @@ class RequestStats:
     #: certification was on.  The serving contract keeps this zero by
     #: construction; counted (not asserted) so violations are observable.
     uncertified_fused_served: int = 0
+    #: Requests rejected at admission because the bounded queue was full.
+    shed_queue_full: int = 0
+    #: Requests rejected at admission by an open circuit breaker.
+    shed_breaker: int = 0
+    #: Admitted requests dropped before compute because their deadline had
+    #: already passed when their batch was cut.
+    shed_deadline: int = 0
+    #: Requests that completed while the model carried degraded layers
+    #: (best-effort weights released after exhausted recovery attempts).
+    served_degraded: int = 0
+    #: High-water mark of the request queue depth observed at admission.
+    #: With ``ServiceConfig.max_queue_depth`` set this never exceeds the
+    #: bound -- the chaos harness's bounded-memory check.
+    queue_depth_highwater: int = 0
+
+    @property
+    def requests_shed(self) -> int:
+        """Total load-shedding actions (queue-full + breaker + deadline)."""
+        return self.shed_queue_full + self.shed_breaker + self.shed_deadline
 
     @property
     def mean_latency_seconds(self) -> float:
@@ -119,6 +139,9 @@ class ManagedModel:
         #: the golden words by bit-flip search.
         self.degraded_originals: dict[int, "object"] = {}
         self.stats = RequestStats()
+        #: Per-model circuit breaker (armed by ``ServiceConfig.breaker_enabled``
+        #: at registration; ``None`` keeps admission breaker-free).
+        self.breaker: Optional["object"] = None
         #: Bit-exact repairs per layer index (bumped by the scrubber).
         self.repair_counts: dict[int, int] = {}
         #: Per-layer repeat-offender tally: how many bit-exact repairs have
@@ -271,6 +294,17 @@ class ModelRegistry:
         model.plan_cache_size = max(model.plan_cache_size, plans_needed)
         model.fusion_ulp_bound = self.config.fusion_ulp_bound
         entry = ManagedModel(name, model, protector, telemetry=self.telemetry)
+        if self.config.breaker_enabled:
+            from repro.service.breaker import CircuitBreaker
+
+            # Seeded per model name so a scenario's breaker jitter sequence
+            # is reproducible regardless of registration order.
+            entry.breaker = CircuitBreaker(
+                name,
+                self.config,
+                seed=zlib.crc32(name.encode("utf-8")),
+                telemetry=self.telemetry,
+            )
         with self._lock:
             if name in self._models:
                 raise ExperimentError(f"model {name!r} is already registered")

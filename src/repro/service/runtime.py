@@ -7,7 +7,9 @@ engine and the background scrubber together behind a small lifecycle API::
     service.load_model("mnist_reduced")
     service.start()
     request = service.submit("mnist_reduced", sample)
-    probabilities = request.result(timeout=1.0)
+    # Pick the timeout your deployment needs (the serve CLI exposes it as
+    # --request-timeout); there is no magic per-request default.
+    probabilities = request.result(timeout=30.0)
     ...
     service.stop()
 
@@ -16,7 +18,13 @@ engine and the background scrubber together behind a small lifecycle API::
 serves continuous synthetic traffic while a Poisson driver flips bits in the
 live weights, then drains, verifies bit-exact restoration against a golden
 snapshot, and reports the live availability figures (the paper's Fig. 12
-counterpart measured instead of assumed).
+counterpart measured instead of assumed).  Passing a
+:class:`~repro.service.traffic.TrafficShape` replaces the legacy
+fixed-interval loop with deterministic trace replay (bursts, diurnal curves,
+multi-model mixes, stragglers); :func:`run_chaos_scenario` wraps that in the
+named production-shape scenarios of
+:data:`~repro.service.traffic.CHAOS_SCENARIOS` and judges the outcome
+against an SLO.
 """
 
 from __future__ import annotations
@@ -29,17 +37,26 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.config import MILRConfig
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ServiceOverloadError
 from repro.nn.model import Sequential
 from repro.service.config import ServiceConfig
 from repro.service.engine import InferenceEngine, InferenceRequest
 from repro.service.pressure import FaultEvent, FaultPressureDriver
 from repro.service.registry import ManagedModel, ModelRegistry
 from repro.service.scrubber import Scrubber
-from repro.service.sla import SLAReport
+from repro.service.sla import SLAReport, SLOReport
+from repro.service.traffic import CHAOS_SCENARIOS, ChaosScenario, TrafficShape
 from repro.types import FLOAT_DTYPE
 
-__all__ = ["SelfHealingService", "SoakResult", "run_soak", "latency_percentile"]
+__all__ = [
+    "SelfHealingService",
+    "SoakResult",
+    "ChaosRunResult",
+    "run_soak",
+    "run_chaos_scenario",
+    "calibrate_capacity",
+    "latency_percentile",
+]
 
 
 class SelfHealingService:
@@ -125,9 +142,14 @@ class SelfHealingService:
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
-    def submit(self, model_name: str, sample: np.ndarray) -> InferenceRequest:
-        """Queue one sample for prediction."""
-        return self.engine.submit(model_name, sample)
+    def submit(
+        self,
+        model_name: str,
+        sample: np.ndarray,
+        deadline_seconds: Optional[float] = None,
+    ) -> InferenceRequest:
+        """Queue one sample for prediction (optionally with a deadline)."""
+        return self.engine.submit(model_name, sample, deadline_seconds)
 
     def predict(
         self, model_name: str, samples: np.ndarray, timeout: float = 30.0
@@ -221,6 +243,23 @@ class SoakResult:
     #: (:class:`~repro.obs.lifecycle.FaultChainSummary`) exported by the
     #: telemetry layer; empty when telemetry is disabled.
     fault_chains: tuple = ()
+    #: Requests shed by overload protection, by reason (summed across models).
+    shed_queue_full: int = 0
+    shed_breaker: int = 0
+    shed_deadline: int = 0
+    #: Requests answered while the model carried degraded (inexact) layers.
+    served_degraded: int = 0
+    #: Deepest any model's bounded queue ever got (memory-bound witness).
+    queue_depth_highwater: int = 0
+    #: Circuit-breaker trips across all models (0 with breakers disabled).
+    breaker_opens: int = 0
+    #: Request-level SLO snapshot of the primary model (None on legacy runs
+    #: predating the chaos harness fields).
+    slo: Optional[SLOReport] = None
+
+    @property
+    def requests_shed(self) -> int:
+        return self.shed_queue_full + self.shed_breaker + self.shed_deadline
 
     @property
     def all_errors_detected(self) -> bool:
@@ -245,6 +284,8 @@ class SoakResult:
             "availability": self.sla.availability,
             "min_accuracy": self.sla.minimum_accuracy,
             "observed_avail": self.sla.observed_availability,
+            "shed": self.requests_shed,
+            "served_degraded": self.served_degraded,
         }
 
 
@@ -285,6 +326,9 @@ def run_soak(
     reassert_interval_seconds: float = 0.2,
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    traffic: Optional[TrafficShape] = None,
+    extra_networks: Sequence[str] = (),
+    availability_target: Optional[float] = None,
 ) -> SoakResult:
     """Serve continuous traffic under Poisson bit-flip pressure, then drain.
 
@@ -306,6 +350,15 @@ def run_soak(
     ``metrics_out`` appends one metrics snapshot line roughly every second
     while the soak runs (so ``repro telemetry`` can watch it live) plus a
     final snapshot.  Both are no-ops with telemetry disabled.
+
+    ``traffic`` replaces the legacy fixed-interval request loop with
+    deterministic trace replay of a :class:`TrafficShape`: the shape expands
+    once (seeded) into arrival offsets, per-arrival model routing (against
+    ``extra_networks``, loaded alongside the primary) and slow-client result
+    delays, and the replay thread submits each arrival at its offset --
+    falling behind (e.g. a blocked admission) shifts later arrivals rather
+    than dropping them.  Requests shed by overload protection are counted,
+    not errors.
     """
     if duration_seconds <= 0:
         raise ExperimentError("duration_seconds must be positive")
@@ -313,32 +366,121 @@ def run_soak(
     config = replace(config, scrub_period_seconds=scrub_period_seconds)
     service = SelfHealingService(config)
     entry = service.load_model(network, trained=trained, milr_config=milr_config)
+    extras = [
+        service.load_model(name, trained=trained, milr_config=milr_config)
+        for name in extra_networks
+    ]
 
     golden = {
         index: entry.model.layers[index].get_weights()
         for index in entry.parameterized_indices
     }
 
-    # Synthetic request traffic: a small pool of PRNG samples reused round-robin.
+    # Synthetic request traffic: a small pool of PRNG samples reused
+    # round-robin (one pool per model -- input shapes differ across networks).
     rng = np.random.default_rng(seed)
-    pool = rng.random((32,) + entry.model.input_shape).astype(FLOAT_DTYPE)
+    pools = {
+        e.name: rng.random((32,) + e.model.input_shape).astype(FLOAT_DTYPE)
+        for e in [entry, *extras]
+    }
     requests: list[InferenceRequest] = []
     traffic_stop = threading.Event()
     traffic_errors: list[str] = []
+    # Slow clients: (ready_at, request) pairs a collector thread calls
+    # ``result()`` on after the client-side delay.
+    stragglers: list = []
+    straggler_lock = threading.Lock()
+    replay_done = threading.Event()
 
     def _traffic() -> None:
         cursor = 0
-        while not traffic_stop.is_set():
-            try:
-                requests.append(service.submit(entry.name, pool[cursor % len(pool)]))
-            except ExperimentError:
-                # Engine stopped under us (normal shutdown race): not an error.
+        try:
+            pool = pools[entry.name]
+            while not traffic_stop.is_set():
+                try:
+                    requests.append(
+                        service.submit(entry.name, pool[cursor % len(pool)])
+                    )
+                except ExperimentError:
+                    # Engine stopped under us (normal shutdown race): not an error.
+                    return
+                except BaseException as error:  # noqa: BLE001 - surfaced in result
+                    traffic_errors.append(f"{type(error).__name__}: {error}")
+                    return
+                cursor += 1
+                traffic_stop.wait(request_interval_seconds)
+        finally:
+            replay_done.set()
+
+    def _replay() -> None:
+        # Single-submitter trace replay: arrivals fire at their recorded
+        # offsets; when the submitter falls behind (a blocked admission or a
+        # burst outrunning this thread) later arrivals shift instead of being
+        # skipped, matching simulate_admission's clock semantics.
+        assert traffic is not None
+        cursor = 0
+        epoch = time.perf_counter()
+        try:
+            trace = traffic.arrivals(duration_seconds)
+            for arrival in trace:
+                if traffic_stop.is_set():
+                    return
+                wait = (epoch + arrival.offset) - time.perf_counter()
+                if wait > 0 and traffic_stop.wait(wait):
+                    return
+                target = arrival.model or entry.name
+                pool = pools.get(target)
+                if pool is None:
+                    traffic_errors.append(
+                        f"ExperimentError: trace routed to unknown model {target!r}"
+                    )
+                    return
+                try:
+                    request = service.submit(target, pool[cursor % len(pool)])
+                except ServiceOverloadError:
+                    # Shed at admission: accounted by the engine's counters.
+                    cursor += 1
+                    continue
+                except ExperimentError:
+                    return
+                except BaseException as error:  # noqa: BLE001 - surfaced in result
+                    traffic_errors.append(f"{type(error).__name__}: {error}")
+                    return
+                cursor += 1
+                requests.append(request)
+                if arrival.result_delay_seconds > 0:
+                    with straggler_lock:
+                        stragglers.append(
+                            (
+                                time.perf_counter() + arrival.result_delay_seconds,
+                                request,
+                            )
+                        )
+        except BaseException as error:  # noqa: BLE001 - surfaced in result
+            traffic_errors.append(f"{type(error).__name__}: {error}")
+        finally:
+            replay_done.set()
+
+    def _collect_stragglers() -> None:
+        # Exercises the late-result path: a slow client only calls result()
+        # after its delay, long after the engine completed the request.
+        while True:
+            item = None
+            with straggler_lock:
+                if stragglers and stragglers[0][0] <= time.perf_counter():
+                    item = stragglers.pop(0)
+                remaining = len(stragglers)
+            if item is not None:
+                try:
+                    item[1].result(timeout=5.0)
+                except BaseException:  # noqa: BLE001 - outcome read at drain
+                    pass
+                continue
+            if replay_done.is_set() and remaining == 0:
                 return
-            except BaseException as error:  # noqa: BLE001 - surfaced in result
-                traffic_errors.append(f"{type(error).__name__}: {error}")
+            if traffic_stop.is_set():
                 return
-            cursor += 1
-            traffic_stop.wait(request_interval_seconds)
+            time.sleep(0.005)
 
     driver = FaultPressureDriver(
         entry,
@@ -354,8 +496,18 @@ def run_soak(
 
     started = time.perf_counter()
     service.start()
-    traffic_thread = threading.Thread(target=_traffic, name="soak-traffic", daemon=True)
+    traffic_thread = threading.Thread(
+        target=_replay if traffic is not None else _traffic,
+        name="soak-traffic",
+        daemon=True,
+    )
     traffic_thread.start()
+    collector_thread: Optional[threading.Thread] = None
+    if traffic is not None:
+        collector_thread = threading.Thread(
+            target=_collect_stragglers, name="soak-stragglers", daemon=True
+        )
+        collector_thread.start()
     driver.start()
 
     deadline = started + duration_seconds
@@ -400,6 +552,8 @@ def run_soak(
 
     traffic_stop.set()
     traffic_thread.join(timeout=10.0)
+    if collector_thread is not None:
+        collector_thread.join(timeout=10.0)
     elapsed = time.perf_counter() - started
     service.stop()
 
@@ -433,6 +587,19 @@ def run_soak(
         config.scrub_period_seconds,
         yearly_accuracy_floor=config.yearly_accuracy_floor,
     )
+    slo = entry.tracker.slo_report(
+        config.scrub_period_seconds,
+        availability_target=(
+            availability_target
+            if availability_target is not None
+            else config.slo_availability_target
+        ),
+        yearly_accuracy_floor=config.yearly_accuracy_floor,
+    )
+    all_entries = [entry, *extras]
+    breaker_opens = sum(
+        e.breaker.opens for e in all_entries if e.breaker is not None
+    )
     return SoakResult(
         network=network,
         duration_seconds=elapsed,
@@ -459,4 +626,193 @@ def run_soak(
         sla=sla,
         errors=tuple(traffic_errors),
         fault_chains=tuple(service.telemetry.fault_chains()),
+        shed_queue_full=sum(e.stats.shed_queue_full for e in all_entries),
+        shed_breaker=sum(e.stats.shed_breaker for e in all_entries),
+        shed_deadline=sum(e.stats.shed_deadline for e in all_entries),
+        served_degraded=sum(e.stats.served_degraded for e in all_entries),
+        queue_depth_highwater=max(
+            e.stats.queue_depth_highwater for e in all_entries
+        ),
+        breaker_opens=breaker_opens,
+        slo=slo,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Chaos scenarios
+# ---------------------------------------------------------------------- #
+def calibrate_capacity(
+    network: str = "mnist_reduced",
+    samples: int = 512,
+    seed: int = 0,
+    trained: bool = False,
+    milr_config: Optional[MILRConfig] = None,
+    service_config: Optional[ServiceConfig] = None,
+) -> float:
+    """Measure this machine's sustained serve capacity (requests/second).
+
+    Submits ``samples`` single-sample requests full tilt through a fresh,
+    fault-free, scrub-free service and divides by the wall-clock to complete
+    them all.  Chaos scenarios scale their traffic to this figure so "3x
+    overload" stresses every machine by the same ratio instead of a fixed
+    rate that one box shrugs off and another melts under.
+    """
+    if samples < 1:
+        raise ExperimentError("samples must be at least 1")
+    config = service_config or ServiceConfig()
+    service = SelfHealingService(config)
+    entry = service.load_model(network, trained=trained, milr_config=milr_config)
+    rng = np.random.default_rng(seed)
+    pool = rng.random((32,) + entry.model.input_shape).astype(FLOAT_DTYPE)
+    service.start(scrub=False)
+    try:
+        # Warm-up: plan compiles/certifications must not count as capacity.
+        warmup = [service.submit(entry.name, pool[i % len(pool)]) for i in range(32)]
+        for request in warmup:
+            request.result(timeout=30.0)
+        began = time.perf_counter()
+        pending = [
+            service.submit(entry.name, pool[i % len(pool)]) for i in range(samples)
+        ]
+        for request in pending:
+            request.result(timeout=30.0)
+        elapsed = time.perf_counter() - began
+    finally:
+        service.stop()
+    if elapsed <= 0:  # pragma: no cover - sub-resolution clock
+        raise ExperimentError("capacity calibration elapsed no measurable time")
+    return samples / elapsed
+
+
+@dataclass(frozen=True)
+class ChaosRunResult:
+    """Outcome of one named chaos scenario, judged against its SLO."""
+
+    scenario: str
+    capacity_rps: float
+    soak: SoakResult
+    #: Human-readable SLO/invariant violations; empty means the run passed.
+    violations: tuple
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict[str, object]:
+        """Machine-readable summary (the ``repro chaos --json`` payload)."""
+        slo = self.soak.slo
+        return {
+            "scenario": self.scenario,
+            "passed": self.passed,
+            "violations": list(self.violations),
+            "capacity_rps": self.capacity_rps,
+            "requests_completed": self.soak.requests_completed,
+            "requests_failed": self.soak.requests_failed,
+            "requests_shed": self.soak.requests_shed,
+            "shed_queue_full": self.soak.shed_queue_full,
+            "shed_breaker": self.soak.shed_breaker,
+            "shed_deadline": self.soak.shed_deadline,
+            "served_degraded": self.soak.served_degraded,
+            "queue_depth_highwater": self.soak.queue_depth_highwater,
+            "breaker_opens": self.soak.breaker_opens,
+            "uncertified_fused_served": self.soak.uncertified_fused_served,
+            "converged": self.soak.converged,
+            "bit_exact": self.soak.bit_exact,
+            "fault_events": len(self.soak.fault_events),
+            "slo": slo.as_dict() if slo is not None else None,
+        }
+
+
+def run_chaos_scenario(
+    name: str,
+    duration_seconds: float = 4.0,
+    seed: int = 0,
+    network: str = "mnist_reduced",
+    capacity_rps: Optional[float] = None,
+    trained: bool = False,
+    scrub_period_seconds: float = 0.1,
+    service_config: Optional[ServiceConfig] = None,
+    milr_config: Optional[MILRConfig] = None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+) -> ChaosRunResult:
+    """Run one :data:`CHAOS_SCENARIOS` entry and judge it against its SLO.
+
+    The scenario's traffic factory is scaled to ``capacity_rps`` (measured by
+    :func:`calibrate_capacity` when not given), its overload-protection
+    fields override the service config, and the resulting soak is checked
+    for: admitted-request availability >= the scenario's target, drain
+    convergence, bounded queue memory, zero uncertified-fused serves and a
+    clean traffic thread.  Violations come back as strings so the CLI can
+    print them and exit nonzero.
+    """
+    scenario = CHAOS_SCENARIOS.get(name)
+    if scenario is None:
+        raise ExperimentError(
+            f"unknown chaos scenario {name!r}; choose from "
+            f"{sorted(CHAOS_SCENARIOS)}"
+        )
+    if capacity_rps is None:
+        capacity_rps = calibrate_capacity(
+            network, seed=seed, trained=trained, milr_config=milr_config
+        )
+    traffic = scenario.traffic_factory(capacity_rps, seed)
+    config = service_config or ServiceConfig()
+    overrides: dict = {
+        "max_queue_depth": scenario.max_queue_depth,
+        "admission_policy": scenario.admission_policy,
+        "breaker_enabled": scenario.breaker_enabled,
+        "breaker_p99_threshold_seconds": scenario.breaker_p99_threshold_seconds,
+        "slo_availability_target": scenario.slo_availability_target,
+    }
+    if scenario.deadline_seconds is not None:
+        overrides["default_deadline_seconds"] = scenario.deadline_seconds
+    overrides.update(scenario.config_overrides)
+    config = replace(config, **overrides)
+    soak = run_soak(
+        network=network,
+        duration_seconds=duration_seconds,
+        mean_fault_interval_seconds=scenario.mean_fault_interval_seconds,
+        scrub_period_seconds=scrub_period_seconds,
+        trained=trained,
+        seed=seed,
+        flips_per_event=scenario.flips_per_event,
+        service_config=config,
+        milr_config=milr_config,
+        fault_models=dict(scenario.fault_models) or None,
+        reassert_interval_seconds=scenario.reassert_interval_seconds,
+        trace_out=trace_out,
+        metrics_out=metrics_out,
+        traffic=traffic,
+        extra_networks=scenario.extra_networks,
+        availability_target=scenario.slo_availability_target,
+    )
+    violations: list[str] = []
+    slo = soak.slo
+    if slo is not None and not slo.meets_target:
+        violations.append(
+            f"admitted availability {slo.admitted_availability:.4f} below "
+            f"target {slo.availability_target:.4f}"
+        )
+    if not soak.converged:
+        violations.append("drain did not reach two consecutive clean detections")
+    if soak.uncertified_fused_served:
+        violations.append(
+            f"{soak.uncertified_fused_served} samples served through an "
+            "uncertified fused plan"
+        )
+    if config.max_queue_depth > 0 and (
+        soak.queue_depth_highwater > config.max_queue_depth
+    ):
+        violations.append(
+            f"queue depth highwater {soak.queue_depth_highwater} exceeded "
+            f"bound {config.max_queue_depth}"
+        )
+    if soak.errors:
+        violations.append(f"traffic thread errors: {'; '.join(soak.errors)}")
+    return ChaosRunResult(
+        scenario=name,
+        capacity_rps=capacity_rps,
+        soak=soak,
+        violations=tuple(violations),
     )

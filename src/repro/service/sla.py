@@ -21,12 +21,21 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Optional
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.availability import AvailabilityModel, dram_error_interval_seconds
 
-__all__ = ["SLAReport", "SLATracker"]
+__all__ = ["SLAReport", "SLOReport", "SLATracker"]
+
+#: Rolling latency-sample window the SLO percentiles are computed over.
+_LATENCY_WINDOW = 4096
+
+#: Shed reasons the tracker accounts (engine admission + deadline drops).
+SHED_REASONS = ("queue_full", "breaker_open", "deadline")
 
 
 @dataclass(frozen=True)
@@ -71,6 +80,77 @@ class SLAReport:
         }
 
 
+@dataclass(frozen=True)
+class SLOReport:
+    """Service-level objective snapshot of one model's request outcomes.
+
+    Extends the maintenance-centric :class:`SLAReport` with the request-level
+    split the chaos harness gates on: what was admitted, what was shed (and
+    why), what was served while the model carried degraded layers, and how
+    much of the error budget the run burned.
+
+    Accounting contract: ``admitted`` counts requests that entered the
+    queue.  Deadline sheds are *admitted* requests dropped before compute --
+    they count in ``shed_total`` but not as service failures, so
+    ``admitted_availability = served / (served + failed)`` judges only
+    requests the service actually attempted.  ``error_budget_burn`` is the
+    fraction of the allowed failure budget consumed:
+    ``(1 - admitted_availability) / (1 - availability_target)`` (1.0 = the
+    budget is exactly spent, > 1 = the SLO is violated).
+    """
+
+    model_name: str
+    availability_target: float
+    admitted: int
+    served_healthy: int
+    served_degraded: int
+    failed: int
+    #: Admitted requests still in flight when the report was taken.
+    pending: int
+    shed_queue_full: int
+    shed_breaker: int
+    shed_deadline: int
+    admitted_availability: float
+    error_budget_burn: float
+    p50_latency_seconds: float
+    p99_latency_seconds: float
+    sla: SLAReport
+
+    @property
+    def served(self) -> int:
+        return self.served_healthy + self.served_degraded
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_queue_full + self.shed_breaker + self.shed_deadline
+
+    @property
+    def meets_target(self) -> bool:
+        return self.admitted_availability >= self.availability_target
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "model": self.model_name,
+            "admitted": self.admitted,
+            "served_healthy": self.served_healthy,
+            "served_degraded": self.served_degraded,
+            "failed": self.failed,
+            "shed": self.shed_total,
+            "admitted_avail": self.admitted_availability,
+            "budget_burn": self.error_budget_burn,
+            "p50_ms": self.p50_latency_seconds * 1e3,
+            "p99_ms": self.p99_latency_seconds * 1e3,
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable machine-readable form (nested SLA flattened)."""
+        payload = asdict(self)
+        payload["served"] = self.served
+        payload["shed_total"] = self.shed_total
+        payload["meets_target"] = self.meets_target
+        return payload
+
+
 @dataclass
 class _Samples:
     count: int = 0
@@ -110,6 +190,13 @@ class SLATracker:
         self._layers_recovered = 0
         self._layers_recovered_bit_exact = 0
         self._layers_degraded = 0
+        # Request-outcome accounting (the SLO side of the tracker).
+        self._admitted = 0
+        self._served_healthy = 0
+        self._served_degraded = 0
+        self._request_failures = 0
+        self._shed: dict[str, int] = {reason: 0 for reason in SHED_REASONS}
+        self._latency_window: deque = deque(maxlen=_LATENCY_WINDOW)
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -150,6 +237,35 @@ class SLATracker:
     def record_degraded(self, layer_count: int) -> None:
         with self._lock:
             self._layers_degraded += layer_count
+
+    # ------------------------------------------------------------------ #
+    # Request-outcome accounting (SLO)
+    # ------------------------------------------------------------------ #
+    def record_admitted(self, count: int = 1) -> None:
+        """``count`` requests passed admission and entered the queue."""
+        with self._lock:
+            self._admitted += count
+
+    def record_shed(self, reason: str, count: int = 1) -> None:
+        """``count`` requests were shed (``reason`` in :data:`SHED_REASONS`)."""
+        with self._lock:
+            self._shed[reason] = self._shed.get(reason, 0) + count
+
+    def record_served(
+        self, count: int, degraded: bool, latencies: Optional[Sequence[float]] = None
+    ) -> None:
+        """``count`` admitted requests completed (healthy or degraded-serving)."""
+        with self._lock:
+            if degraded:
+                self._served_degraded += count
+            else:
+                self._served_healthy += count
+            if latencies:
+                self._latency_window.extend(latencies)
+
+    def record_request_failures(self, count: int = 1) -> None:
+        with self._lock:
+            self._request_failures += count
 
     def mark_unavailable(self) -> None:
         """A quarantine window opened (no-op if one is already open)."""
@@ -254,3 +370,54 @@ class SLATracker:
                 error_interval_seconds=error_interval_seconds,
                 scrub_period_seconds=scrub_period_seconds,
             )
+
+    def slo_report(
+        self,
+        scrub_period_seconds: float,
+        availability_target: float = 0.99,
+        error_interval_seconds: Optional[float] = None,
+        yearly_accuracy_floor: float = 0.5,
+    ) -> SLOReport:
+        """Produce the request-level SLO snapshot (see :class:`SLOReport`)."""
+        sla = self.report(
+            scrub_period_seconds,
+            error_interval_seconds=error_interval_seconds,
+            yearly_accuracy_floor=yearly_accuracy_floor,
+        )
+        with self._lock:
+            admitted = self._admitted
+            served_healthy = self._served_healthy
+            served_degraded = self._served_degraded
+            failed = self._request_failures
+            shed_queue = self._shed.get("queue_full", 0)
+            shed_breaker = self._shed.get("breaker_open", 0)
+            shed_deadline = self._shed.get("deadline", 0)
+            window = list(self._latency_window)
+        served = served_healthy + served_degraded
+        attempted = served + failed
+        availability = served / attempted if attempted else 1.0
+        budget = 1.0 - availability_target
+        burn = (1.0 - availability) / budget if budget > 0 else 0.0
+        if window:
+            sample = np.asarray(window)
+            p50 = float(np.percentile(sample, 50))
+            p99 = float(np.percentile(sample, 99))
+        else:
+            p50 = p99 = 0.0
+        return SLOReport(
+            model_name=self.model_name,
+            availability_target=availability_target,
+            admitted=admitted,
+            served_healthy=served_healthy,
+            served_degraded=served_degraded,
+            failed=failed,
+            pending=max(0, admitted - served - failed - shed_deadline),
+            shed_queue_full=shed_queue,
+            shed_breaker=shed_breaker,
+            shed_deadline=shed_deadline,
+            admitted_availability=availability,
+            error_budget_burn=burn,
+            p50_latency_seconds=p50,
+            p99_latency_seconds=p99,
+            sla=sla,
+        )

@@ -1,0 +1,187 @@
+"""Tests for campaign grid sharding and content-hash store merging.
+
+The satellite's claim: running every shard of a ``--shard k/n`` split (into
+per-shard stores) and merging them reproduces the serial store, proven by
+:func:`store_digest` equality once wall-clock timing fields are stripped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    MemoryResultStore,
+    ResultStore,
+    expand_campaign,
+    merge_stores,
+    run_campaign,
+    store_digest,
+)
+from repro.experiments import CampaignSpec
+from repro.experiments.campaign import TIMING_RESULT_FIELDS
+from repro.experiments.model_provider import TrainedNetwork
+
+
+def tiny_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        name="shard-test",
+        networks=("trained_tiny",),
+        error_rates=(1e-4, 1e-3),
+        fault_modes=("rber",),
+        schemes=("none", "milr"),
+        repetitions=2,
+        seed=11,
+        train_samples_per_class=8,
+        train_epochs=1,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+@pytest.fixture(scope="module")
+def network(trained_tiny_network):
+    return TrainedNetwork(
+        name="trained_tiny",
+        model=trained_tiny_network["model"],
+        test_images=trained_tiny_network["test_images"],
+        test_labels=trained_tiny_network["test_labels"],
+        baseline_accuracy=trained_tiny_network["baseline_accuracy"],
+    )
+
+
+class TestShardSlicing:
+    def test_shards_partition_the_grid(self, network):
+        spec = tiny_spec()
+        networks = {"trained_tiny": network}
+        full = {t.trial_index for t in expand_campaign(spec, networks=networks)}
+        shard_sets = []
+        for k in (1, 2, 3):
+            store = MemoryResultStore()
+            run_campaign(
+                spec, store, workers=1, shard=(k, 3), networks=networks
+            )
+            shard_sets.append(
+                {record["spec"]["trial_index"] for record in store.records()}
+            )
+        union = set().union(*shard_sets)
+        assert union == full
+        # Disjoint: every trial lands in exactly one shard.
+        assert sum(len(s) for s in shard_sets) == len(full)
+
+    def test_invalid_shard_rejected(self, network):
+        networks = {"trained_tiny": network}
+        for shard in ((0, 3), (4, 3), (1, 0)):
+            with pytest.raises(ExperimentError):
+                run_campaign(
+                    tiny_spec(),
+                    MemoryResultStore(),
+                    workers=1,
+                    shard=shard,
+                    networks=networks,
+                )
+
+
+class TestMergeEquivalence:
+    def test_serial_equals_sharded_and_merged(self, network, tmp_path):
+        spec = tiny_spec()
+        networks = {"trained_tiny": network}
+        serial = ResultStore(tmp_path / "serial.jsonl")
+        run_campaign(spec, serial, workers=1, networks=networks)
+
+        shards = []
+        for k in (1, 2):
+            shard_store = ResultStore(tmp_path / f"shard{k}.jsonl")
+            run_campaign(
+                spec, shard_store, workers=1, shard=(k, 2), networks=networks
+            )
+            shards.append(shard_store)
+
+        merged = ResultStore(tmp_path / "merged.jsonl")
+        summary = merge_stores(shards, merged)
+        assert summary.records_merged == len(serial)
+        assert summary.duplicates_skipped == 0
+        assert summary.invalid_lines_skipped == 0
+        assert store_digest(
+            merged, exclude_result_fields=TIMING_RESULT_FIELDS
+        ) == store_digest(serial, exclude_result_fields=TIMING_RESULT_FIELDS)
+        # With timing kept, the digests legitimately differ between runs.
+        assert store_digest(merged) != store_digest(serial)
+
+    def test_torn_tail_is_reconciled_by_omission(self, network, tmp_path):
+        spec = tiny_spec()
+        networks = {"trained_tiny": network}
+        shard = ResultStore(tmp_path / "shard.jsonl")
+        run_campaign(spec, shard, workers=1, shard=(1, 2), networks=networks)
+        records_before = len(shard)
+        # Simulate a shard killed mid-append: a torn, unparseable tail line.
+        with open(shard.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "deadbeef", "spec": {"trunca')
+
+        merged = ResultStore(tmp_path / "merged.jsonl")
+        summary = merge_stores([shard], merged)
+        assert summary.invalid_lines_skipped == 1
+        assert summary.records_merged == records_before
+        # The torn record never reaches the merged store; its trial is simply
+        # still pending there, so resuming the campaign against the merged
+        # store executes it.
+        assert len(merged) == records_before
+
+    def test_duplicate_records_resolve_first_wins(self, tmp_path):
+        a = MemoryResultStore()
+        a.append({"key": "k1", "spec": {}, "result": {"value": 1}})
+        b = MemoryResultStore()
+        b.append({"key": "k1", "spec": {}, "result": {"value": 2}})
+        b.append({"key": "k2", "spec": {}, "result": {"value": 3}})
+        dest = MemoryResultStore()
+        summary = merge_stores([a, b], dest)
+        assert summary.records_merged == 2
+        assert summary.duplicates_skipped == 1
+        by_key = {record["key"]: record for record in dest.records()}
+        assert by_key["k1"]["result"]["value"] == 1
+
+    def test_merge_into_populated_destination_skips_existing(self):
+        dest = MemoryResultStore()
+        dest.append({"key": "k1", "spec": {}, "result": {"value": 0}})
+        src = MemoryResultStore()
+        src.append({"key": "k1", "spec": {}, "result": {"value": 9}})
+        src.append({"key": "k2", "spec": {}, "result": {"value": 1}})
+        summary = merge_stores([src], dest)
+        assert summary.records_merged == 1
+        assert summary.duplicates_skipped == 1
+        assert {r["key"] for r in dest.records()} == {"k1", "k2"}
+
+
+class TestStoreDigest:
+    def test_digest_is_order_independent(self):
+        a = MemoryResultStore()
+        b = MemoryResultStore()
+        records = [
+            {"key": "k1", "spec": {"x": 1}, "result": {"value": 1}},
+            {"key": "k2", "spec": {"x": 2}, "result": {"value": 2}},
+        ]
+        for record in records:
+            a.append(record)
+        for record in reversed(records):
+            b.append(record)
+        assert store_digest(a) == store_digest(b)
+
+    def test_excluded_fields_are_stripped(self):
+        a = MemoryResultStore()
+        a.append({"key": "k1", "spec": {}, "result": {"value": 1, "detection_seconds": 0.5}})
+        b = MemoryResultStore()
+        b.append({"key": "k1", "spec": {}, "result": {"value": 1, "detection_seconds": 9.9}})
+        assert store_digest(a) != store_digest(b)
+        assert store_digest(
+            a, exclude_result_fields=("detection_seconds",)
+        ) == store_digest(b, exclude_result_fields=("detection_seconds",))
+
+    def test_invalid_line_counts(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append({"key": "k1", "spec": {}, "result": {}})
+        assert store.invalid_line_count() == 0
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write('{"no_key": true}\n')
+        assert store.invalid_line_count() == 2
+        assert MemoryResultStore().invalid_line_count() == 0

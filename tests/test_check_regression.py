@@ -20,6 +20,7 @@ def _write_baseline(
     service: list[dict],
     inference: list[dict] | None = None,
     faults: list[dict] | None = None,
+    soak: list[dict] | None = None,
 ) -> None:
     path.write_text(
         json.dumps(
@@ -28,6 +29,7 @@ def _write_baseline(
                 "service": {"results": service},
                 "inference": {"results": inference or []},
                 "faults": {"results": faults or []},
+                "soak": {"results": soak or []},
             }
         )
     )
@@ -70,12 +72,16 @@ def _write_all(
         [_entry("serve", baseline_ns)],
         [_entry("predict", baseline_ns)],
         [_rate_entry("detection_rate", baseline_rate)],
+        [_rate_entry("chaos_availability", baseline_rate)],
     )
     _write_bench(tmp_path / "BENCH_detection.json", [_entry("encode", fresh_ns)])
     _write_bench(tmp_path / "BENCH_service.json", [_entry("serve", fresh_ns)])
     _write_bench(tmp_path / "BENCH_inference.json", [_entry("predict", fresh_ns)])
     _write_bench(
         tmp_path / "BENCH_faults.json", [_rate_entry("detection_rate", fresh_rate)]
+    )
+    _write_bench(
+        tmp_path / "BENCH_soak.json", [_rate_entry("chaos_availability", fresh_rate)]
     )
 
 
@@ -274,7 +280,7 @@ class TestCheckRegression:
         assert _run(tmp_path).returncode == 1
 
     def test_repo_baseline_matches_gate_schema(self, tmp_path):
-        # The committed baseline must load and cover all four benchmark files.
+        # The committed baseline must load and cover all five benchmark files.
         sys.path.insert(0, str(SCRIPT.parent))
         try:
             from check_regression import load_baseline
@@ -283,7 +289,7 @@ class TestCheckRegression:
         finally:
             sys.path.pop(0)
         sources = {key[0] for key in baseline}
-        assert sources == {"detection", "service", "inference", "faults"}
+        assert sources == {"detection", "service", "inference", "faults", "soak"}
         assert all(value > 0 for _, value in baseline.values())
         assert all(
             0.0 < value <= 1.0

@@ -277,3 +277,183 @@ class TestCommands:
 
         assert main(["telemetry", "--metrics", str(metrics), "--raw"]) == 0
         assert "counters" in capsys.readouterr().out
+
+
+class TestChaosAndOverloadCli:
+    def test_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "burst-storm"])
+        assert args.scenario == "burst-storm"
+        assert args.duration == 4.0
+        assert args.capacity is None
+        assert not args.json
+
+    def test_chaos_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "not-a-scenario"])
+
+    def test_serve_overload_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--request-timeout",
+                "2.5",
+                "--max-queue-depth",
+                "64",
+                "--deadline",
+                "0.5",
+            ]
+        )
+        assert args.request_timeout == 2.5
+        assert args.max_queue_depth == 64
+        assert args.deadline == 0.5
+        # Defaults: the old hardcoded 30 s timeout, unbounded, no deadline.
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.request_timeout == 30.0
+        assert defaults.max_queue_depth == 0
+        assert defaults.deadline is None
+
+    def test_campaign_shard_parsing(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "--store", "x.jsonl", "--shard", "2/4"]
+        )
+        assert args.shard == "2/4"
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--store", "x.jsonl", "--shard", "nope"])
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--store", "x.jsonl", "--shard", "0/4"])
+
+    def test_campaign_merge_parser(self):
+        args = build_parser().parse_args(
+            ["campaign", "merge", "a.jsonl", "b.jsonl", "--into", "m.jsonl"]
+        )
+        assert args.campaign_command == "merge"
+        assert args.sources == ["a.jsonl", "b.jsonl"]
+        assert args.into == "m.jsonl"
+        assert not args.with_timing
+
+    def test_chaos_command_passes_and_reports(self, capsys):
+        # A generous capacity estimate keeps the run tiny; the fixed seed
+        # makes the trace deterministic.
+        assert (
+            main(
+                [
+                    "chaos",
+                    "burst-storm",
+                    "--duration",
+                    "1.0",
+                    "--capacity",
+                    "400",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "SLO PASS: burst-storm" in output
+
+    def test_chaos_command_json_payload(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "chaos",
+                    "straggler-flood",
+                    "--duration",
+                    "1.0",
+                    "--capacity",
+                    "300",
+                    "--seed",
+                    "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "straggler-flood"
+        assert payload["passed"] is True
+        assert payload["uncertified_fused_served"] == 0
+        assert "admitted_availability" in payload["slo"]
+
+    def test_serve_command_reports_overload_columns(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--duration",
+                    "0.5",
+                    "--request-interval",
+                    "0.005",
+                    "--request-timeout",
+                    "5.0",
+                    "--max-queue-depth",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "overloaded" in output
+        assert "timed_out" in output
+
+    def test_campaign_shard_and_merge_round_trip(self, capsys, tmp_path):
+        grid = [
+            "--networks",
+            "mnist_reduced",
+            "--error-rates",
+            "1e-4",
+            "--schemes",
+            "none",
+            "milr",
+            "--repetitions",
+            "1",
+            "--train-samples-per-class",
+            "8",
+            "--train-epochs",
+            "1",
+        ]
+        serial = str(tmp_path / "serial.jsonl")
+        assert main(["campaign", "run", "--store", serial, *grid, "--workers", "1"]) == 0
+        capsys.readouterr()
+        shards = []
+        for k in (1, 2):
+            shard = str(tmp_path / f"shard{k}.jsonl")
+            shards.append(shard)
+            assert (
+                main(
+                    [
+                        "campaign",
+                        "run",
+                        "--store",
+                        shard,
+                        *grid,
+                        "--workers",
+                        "1",
+                        "--shard",
+                        f"{k}/2",
+                    ]
+                )
+                == 0
+            )
+            capsys.readouterr()
+
+        merged = str(tmp_path / "merged.jsonl")
+        assert main(["campaign", "merge", *shards, "--into", merged]) == 0
+        merged_digest = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("store digest:")
+        ]
+        assert merged_digest
+
+        # Digest of the serial store, via a single-source merge into a copy.
+        serial_copy = str(tmp_path / "serial_copy.jsonl")
+        assert main(["campaign", "merge", serial, "--into", serial_copy]) == 0
+        serial_digest = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("store digest:")
+        ]
+        assert serial_digest == merged_digest
